@@ -1,0 +1,36 @@
+//! # cofhee-adpll
+//!
+//! Behavioral model of CoFHEE's compact, low-power, wide-tuning-range
+//! All-Digital PLL (Section V-E and Fig. 4 of the paper): a dual-loop
+//! architecture with a SAR-based frequency-locking loop, an Alexander
+//! (bang-bang) phase detector with all-digital loop filters, a
+//! segmented binary+unary current-DAC DCO, and a digital lock detector.
+//!
+//! The silicon occupies 0.05 mm² and draws 350 µW from 1.1 V (those
+//! figures live in `cofhee-physical`); this crate reproduces the
+//! *dynamics*: SAR acquisition in `code_bits` reference edges, phase
+//! capture, bounded bang-bang limit cycles, and a tuning range covering
+//! the chip's 250 MHz operating point.
+//!
+//! # Examples
+//!
+//! ```
+//! use cofhee_adpll::Adpll;
+//!
+//! let mut pll = Adpll::cofhee_250mhz();
+//! let transient = pll.run_to_lock(2_000);
+//! assert!(pll.locked());
+//! assert!((pll.frequency_hz() - 250.0e6).abs() / 250.0e6 < 0.01);
+//! assert!(!transient.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adpll;
+mod dco;
+mod loops;
+
+pub use adpll::{Adpll, AdpllSample, LoopState};
+pub use dco::Dco;
+pub use loops::{BangBangPll, LockDetector, SarFll};

@@ -1,0 +1,222 @@
+//! The two locking loops and the lock detector.
+//!
+//! Section V-E: "It is a dual-loop architecture with dedicated frequency
+//! and phase-locking loops." The frequency-locking loop uses "a digitized
+//! Phase and Frequency Detector with a Successive Approximation Register
+//! algorithm" to pull the oscillator within the narrow capture range of
+//! the phase loop; the phase loop uses "a modified Alexander (Bang-Bang)
+//! phase detector" with an all-digital loop filter; "to avoid any
+//! conflict between the frequency and phase correcting loops, a digital
+//! lock detector is used."
+
+/// Successive-approximation frequency acquisition (the FLL).
+///
+/// Each step programs one bit of the DCO code (MSB first), compares the
+/// measured frequency against the target, and keeps or clears the bit —
+/// a classic SAR search that converges in `code_bits` reference cycles.
+#[derive(Debug, Clone)]
+pub struct SarFll {
+    code_bits: u32,
+    bit: Option<u32>,
+    code: u32,
+}
+
+impl SarFll {
+    /// A SAR engine for a `code_bits`-wide DCO word.
+    pub fn new(code_bits: u32) -> Self {
+        Self { code_bits, bit: Some(code_bits - 1), code: 0 }
+    }
+
+    /// The code to program for the *next* trial (current code with the
+    /// bit under test set).
+    pub fn trial_code(&self) -> u32 {
+        match self.bit {
+            Some(b) => self.code | (1 << b),
+            None => self.code,
+        }
+    }
+
+    /// Feeds back one comparison: was the trial frequency above target?
+    /// Returns `true` while more steps remain.
+    pub fn feed(&mut self, too_fast: bool) -> bool {
+        if let Some(b) = self.bit {
+            if !too_fast {
+                self.code |= 1 << b;
+            }
+            self.bit = if b == 0 { None } else { Some(b - 1) };
+        }
+        self.bit.is_some()
+    }
+
+    /// Whether the search has finished.
+    pub fn done(&self) -> bool {
+        self.bit.is_none()
+    }
+
+    /// The resolved code (meaningful once [`SarFll::done`]).
+    pub fn code(&self) -> u32 {
+        self.code
+    }
+
+    /// Steps needed from scratch.
+    pub fn steps(&self) -> u32 {
+        self.code_bits
+    }
+}
+
+/// The Alexander (bang-bang) phase detector with its all-digital
+/// proportional–integral loop filter.
+///
+/// Every reference edge yields one early/late decision; the proportional
+/// path nudges the DCO code by ±1 immediately, while the integral path
+/// accumulates decisions and applies a correction every `integral_period`
+/// samples — enough to track small frequency offsets left by the FLL.
+#[derive(Debug, Clone)]
+pub struct BangBangPll {
+    /// Proportional step in DCO LSBs.
+    kp: i32,
+    /// Integral accumulation window.
+    integral_period: u32,
+    acc: i32,
+    samples_in_window: u32,
+}
+
+impl BangBangPll {
+    /// A bang-bang loop with proportional gain `kp` (LSBs per decision)
+    /// and the given integral window.
+    pub fn new(kp: i32, integral_period: u32) -> Self {
+        assert!(kp > 0 && integral_period > 0);
+        Self { kp, integral_period, acc: 0, samples_in_window: 0 }
+    }
+
+    /// Default gains: ±1 LSB proportional, integral every 8 edges.
+    pub fn standard() -> Self {
+        Self::new(1, 8)
+    }
+
+    /// Feeds one phase decision (`late = true` when the DCO lags the
+    /// reference, i.e. it must speed up). Returns the signed code
+    /// correction to apply.
+    pub fn feed(&mut self, late: bool) -> i32 {
+        let sign = if late { 1 } else { -1 };
+        self.acc += sign;
+        self.samples_in_window += 1;
+        let mut correction = self.kp * sign;
+        if self.samples_in_window == self.integral_period {
+            // Integral path: one extra LSB in the accumulated direction.
+            correction += self.acc.signum();
+            self.acc = 0;
+            self.samples_in_window = 0;
+        }
+        correction
+    }
+}
+
+/// The digital lock detector arbitrating between the loops.
+#[derive(Debug, Clone)]
+pub struct LockDetector {
+    /// Phase-error threshold in DCO cycles.
+    threshold: f64,
+    /// Consecutive in-threshold edges required.
+    required: u32,
+    streak: u32,
+    locked: bool,
+}
+
+impl LockDetector {
+    /// A detector declaring lock after `required` consecutive reference
+    /// edges with |phase error| below `threshold` DCO cycles.
+    pub fn new(threshold: f64, required: u32) -> Self {
+        assert!(threshold > 0.0 && required > 0);
+        Self { threshold, required, streak: 0, locked: false }
+    }
+
+    /// Default: 0.5-cycle threshold over 16 edges.
+    pub fn standard() -> Self {
+        Self::new(0.5, 16)
+    }
+
+    /// Feeds one phase-error observation.
+    pub fn feed(&mut self, phase_error_cycles: f64) {
+        if phase_error_cycles.abs() < self.threshold {
+            self.streak += 1;
+            if self.streak >= self.required {
+                self.locked = true;
+            }
+        } else {
+            self.streak = 0;
+            self.locked = false;
+        }
+    }
+
+    /// Whether lock is currently declared.
+    pub fn locked(&self) -> bool {
+        self.locked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sar_converges_to_nearest_code() {
+        // Searching for 171 in an 8-bit space with a perfect comparator.
+        let target = 171u32;
+        let mut sar = SarFll::new(8);
+        loop {
+            let trial = sar.trial_code();
+            let more = sar.feed(trial > target);
+            if !more {
+                break;
+            }
+        }
+        assert!(sar.done());
+        assert_eq!(sar.code(), target);
+    }
+
+    #[test]
+    fn sar_takes_exactly_code_bits_steps() {
+        let mut sar = SarFll::new(12);
+        let mut steps = 0;
+        while !sar.done() {
+            sar.feed(false);
+            steps += 1;
+        }
+        assert_eq!(steps, 12);
+        assert_eq!(sar.code(), (1 << 12) - 1, "never too fast → all ones");
+    }
+
+    #[test]
+    fn bang_bang_alternates_in_lock() {
+        let mut pll = BangBangPll::standard();
+        // Perfectly locked loop sees alternating early/late: corrections
+        // must average to ~0.
+        let mut sum = 0;
+        for i in 0..64 {
+            sum += pll.feed(i % 2 == 0);
+        }
+        assert!(sum.abs() <= 2, "net correction {sum}");
+    }
+
+    #[test]
+    fn integral_path_tracks_consistent_error() {
+        let mut pll = BangBangPll::new(1, 4);
+        // Constantly late: every 4th sample adds an integral LSB.
+        let total: i32 = (0..16).map(|_| pll.feed(true)).sum();
+        assert_eq!(total, 16 + 4);
+    }
+
+    #[test]
+    fn lock_detector_requires_streak() {
+        let mut det = LockDetector::new(0.5, 4);
+        for _ in 0..3 {
+            det.feed(0.1);
+        }
+        assert!(!det.locked());
+        det.feed(0.2);
+        assert!(det.locked());
+        det.feed(2.0); // excursion drops lock
+        assert!(!det.locked());
+    }
+}

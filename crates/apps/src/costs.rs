@@ -1,0 +1,170 @@
+//! Per-operation cost models for the Table X estimates.
+//!
+//! A backend is summarized by the wall time of its three primitive
+//! encrypted operations. CoFHEE's costs are *measured from the simulator*
+//! (one run of each primitive, per RNS tower); CPU costs are measured
+//! from the `cofhee-bfv` tower evaluator by the bench harness, or taken
+//! from the paper's reference totals for comparison.
+//!
+//! The relinearization model on CoFHEE: key switching with `l` digits
+//! costs `l` forward NTTs (one per decomposed digit), `2l` Hadamard
+//! products (against the two relin-key polynomials, kept in NTT form),
+//! `2(l−1)` accumulating additions, and `2` inverse NTTs — all per tower.
+//! This is the natural mapping of digit-decomposition key switching onto
+//! the Table I command set; the paper defers key switching to future
+//! work (Section III-C), so this mapping is ours and is documented here
+//! and in EXPERIMENTS.md.
+
+use cofhee_core::{Device, Result, RnsDevice};
+use cofhee_sim::ChipConfig;
+
+use crate::workloads::Workload;
+
+/// Seconds per primitive encrypted operation on one backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCosts {
+    /// Backend label.
+    pub backend: &'static str,
+    /// One ciphertext + ciphertext addition.
+    pub ct_ct_add_s: f64,
+    /// One ciphertext × plaintext multiplication.
+    pub ct_pt_mul_s: f64,
+    /// One ciphertext × ciphertext multiplication + relinearization.
+    pub ct_ct_mul_relin_s: f64,
+}
+
+impl OpCosts {
+    /// Total runtime for a workload under this backend.
+    pub fn total_seconds(&self, w: &Workload) -> f64 {
+        w.ct_ct_add as f64 * self.ct_ct_add_s
+            + w.ct_pt_mul as f64 * self.ct_pt_mul_s
+            + w.ct_ct_mul_relin as f64 * self.ct_ct_mul_relin_s
+    }
+}
+
+/// Relinearization digit count used by the cost model (20-bit digits over
+/// 109-bit towers).
+pub const RELIN_DIGITS: u64 = 6;
+
+/// Measures CoFHEE per-op costs at `(n, log q)` from the simulator.
+///
+/// * `ct+ct`: two PMODADD passes (the two ciphertext polynomials) per
+///   tower.
+/// * `ct·pt`: two Hadamard passes per tower (weights pre-transformed and
+///   cached in NTT form, as an inference server would).
+/// * `ct·ct + relin`: the full Algorithm 3 (4 NTT + 4 Had + 1 add +
+///   3 iNTT) plus the key-switch schedule described in the module docs.
+///
+/// # Errors
+///
+/// Device bring-up or execution failures.
+pub fn measure_cofhee(n: usize, total_log_q: u32) -> Result<OpCosts> {
+    let mut rns = RnsDevice::connect(ChipConfig::silicon(), total_log_q, n)?;
+    let towers = rns.tower_count() as f64;
+    let freq = ChipConfig::silicon().freq_hz as f64;
+
+    // Measure primitive latencies on the first tower (all towers have
+    // identical microarchitectural cost).
+    let device: &mut Device = &mut rns.towers_mut()[0];
+    let plan = device.bank_plan();
+    let zero = vec![0u128; n];
+    let d0 = cofhee_sim::Slot::new(plan.d0, 0);
+    let d1 = cofhee_sim::Slot::new(plan.d1, 0);
+    let d2 = cofhee_sim::Slot::new(plan.d2, 0);
+    device.upload(d0, &zero)?;
+    device.upload(d1, &zero)?;
+
+    let t_ntt = device.ntt(d0, d1)?.cycles as f64 / freq;
+    let t_intt = device.intt(d1, d2)?.cycles as f64 / freq;
+    let t_had = device.hadamard(d0, d1, d2)?.cycles as f64 / freq;
+    let t_add = device.pointwise_add(d0, d1, d2)?.cycles as f64 / freq;
+
+    // Compose per-tower operation costs from primitive latencies.
+    let ct_add = 2.0 * t_add;
+    let ct_pt = 2.0 * t_had;
+    let ct_ct = 4.0 * t_ntt + 4.0 * t_had + t_add + 3.0 * t_intt;
+    let l = RELIN_DIGITS as f64;
+    let relin = l * t_ntt + 2.0 * l * t_had + 2.0 * (l - 1.0) * t_add + 2.0 * t_intt;
+
+    Ok(OpCosts {
+        backend: "CoFHEE (simulated silicon)",
+        ct_ct_add_s: towers * ct_add,
+        ct_pt_mul_s: towers * ct_pt,
+        ct_ct_mul_relin_s: towers * (ct_ct + relin),
+    })
+}
+
+/// CPU per-op costs from measured primitive latencies (supplied by the
+/// bench harness after timing the `cofhee-bfv` tower evaluator).
+///
+/// `t_ntt_s`/`t_pass_s` are the measured single-tower NTT and pointwise
+/// pass times; the same op-composition as the chip model is applied, so
+/// the comparison is apples-to-apples.
+pub fn cpu_from_primitives(
+    towers: u64,
+    t_ntt_s: f64,
+    t_intt_s: f64,
+    t_pass_s: f64,
+) -> OpCosts {
+    let towers = towers as f64;
+    let ct_add = 2.0 * t_pass_s;
+    let ct_pt = 2.0 * t_pass_s;
+    let ct_ct = 4.0 * t_ntt_s + 4.0 * t_pass_s + t_pass_s + 3.0 * t_intt_s;
+    let l = RELIN_DIGITS as f64;
+    let relin = l * t_ntt_s + 2.0 * l * t_pass_s + 2.0 * (l - 1.0) * t_pass_s + 2.0 * t_intt_s;
+    OpCosts {
+        backend: "CPU (cofhee-bfv)",
+        ct_ct_add_s: towers * ct_add,
+        ct_pt_mul_s: towers * ct_pt,
+        ct_ct_mul_relin_s: towers * (ct_ct + relin),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cofhee_costs_have_the_right_magnitudes() {
+        // n = 2^12, one 109-bit tower: ct·ct alone is 0.84 ms; with our
+        // relin model the combined op lands near 2 ms.
+        let c = measure_cofhee(1 << 12, 109).unwrap();
+        assert!(c.ct_ct_mul_relin_s > 1.5e-3 && c.ct_ct_mul_relin_s < 2.5e-3,
+            "mul+relin = {}", c.ct_ct_mul_relin_s);
+        // Adds are tens of microseconds.
+        assert!(c.ct_ct_add_s > 1e-5 && c.ct_ct_add_s < 1e-4);
+        // Multiplication dominates single-op cost by ~50×.
+        assert!(c.ct_ct_mul_relin_s / c.ct_ct_add_s > 20.0);
+    }
+
+    #[test]
+    fn two_towers_double_costs() {
+        let one = measure_cofhee(1 << 10, 109).unwrap();
+        let two = measure_cofhee(1 << 10, 218).unwrap();
+        let ratio = two.ct_ct_mul_relin_s / one.ct_ct_mul_relin_s;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn workload_totals_follow_op_mixes() {
+        let c = measure_cofhee(1 << 12, 109).unwrap();
+        let cn = c.total_seconds(&Workload::cryptonets());
+        let lr = c.total_seconds(&Workload::logistic_regression());
+        // Logistic regression has 12.6× the mul+relin count, so it must
+        // cost more in total despite fewer adds.
+        assert!(lr > cn, "logreg {lr} vs cryptonets {cn}");
+        assert!(cn > 10.0, "CryptoNets should take tens of seconds: {cn}");
+    }
+
+    #[test]
+    fn cpu_model_composes_identically() {
+        // With identical primitive times, CPU and chip compose the same.
+        let chip = measure_cofhee(1 << 10, 109).unwrap();
+        let freq = ChipConfig::silicon().freq_hz as f64;
+        // Reverse the chip primitives (1 tower).
+        let t_add = chip.ct_ct_add_s / 2.0;
+        let cpu = cpu_from_primitives(1, 0.0, 0.0, t_add);
+        assert!((cpu.ct_ct_add_s - chip.ct_ct_add_s).abs() < 1e-12);
+        let _ = freq;
+    }
+}

@@ -1,0 +1,102 @@
+//! The Table X estimator: op counts × per-op costs, per backend.
+
+use crate::costs::OpCosts;
+use crate::workloads::{Table10Reference, Workload};
+
+/// One application's end-to-end estimate on two backends.
+#[derive(Debug, Clone)]
+pub struct AppEstimate {
+    /// Application name.
+    pub name: &'static str,
+    /// CPU runtime, seconds.
+    pub cpu_s: f64,
+    /// CoFHEE runtime, seconds.
+    pub cofhee_s: f64,
+}
+
+impl AppEstimate {
+    /// The speedup column.
+    pub fn speedup(&self) -> f64 {
+        self.cpu_s / self.cofhee_s
+    }
+}
+
+/// Computes both Table X rows under the given backend cost models.
+pub fn table10(cpu: &OpCosts, cofhee: &OpCosts) -> Vec<AppEstimate> {
+    [Workload::cryptonets(), Workload::logistic_regression()]
+        .iter()
+        .map(|w| AppEstimate {
+            name: w.name,
+            cpu_s: cpu.total_seconds(w),
+            cofhee_s: cofhee.total_seconds(w),
+        })
+        .collect()
+}
+
+/// Renders a Table X style report comparing estimates against the
+/// paper's reference numbers.
+pub fn render_table10(estimates: &[AppEstimate]) -> String {
+    let refs = Table10Reference::all();
+    let mut out = String::from(
+        "Application           CPU(s)   CoFHEE(s)  Speedup | paper: CPU(s)  CoFHEE(s)  Speedup\n",
+    );
+    for e in estimates {
+        let r = refs.iter().find(|r| r.name == e.name);
+        let (pc, pf, ps) = r.map_or((f64::NAN, f64::NAN, f64::NAN), |r| {
+            (r.cpu_s, r.cofhee_s, r.speedup())
+        });
+        out.push_str(&format!(
+            "{:<21} {:>7.2}  {:>9.2}  {:>6.2}x |       {:>7.2}  {:>9.2}  {:>6.2}x\n",
+            e.name,
+            e.cpu_s,
+            e.cofhee_s,
+            e.speedup(),
+            pc,
+            pf,
+            ps
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_costs(scale: f64) -> OpCosts {
+        OpCosts {
+            backend: "synthetic",
+            ct_ct_add_s: 30e-6 * scale,
+            ct_pt_mul_s: 35e-6 * scale,
+            ct_ct_mul_relin_s: 2.0e-3 * scale,
+        }
+    }
+
+    #[test]
+    fn speedup_reflects_cost_ratio_on_mul_heavy_workloads() {
+        // CPU pays 2× on multiplications but equal on adds: logistic
+        // regression (mul-heavy) approaches 2×, CryptoNets stays lower.
+        let cofhee = synthetic_costs(1.0);
+        let cpu = OpCosts {
+            backend: "cpu",
+            ct_ct_add_s: cofhee.ct_ct_add_s,
+            ct_pt_mul_s: cofhee.ct_pt_mul_s,
+            ct_ct_mul_relin_s: cofhee.ct_ct_mul_relin_s * 2.0,
+        };
+        let est = table10(&cpu, &cofhee);
+        let cn = est.iter().find(|e| e.name == "CryptoNets").unwrap();
+        let lr = est.iter().find(|e| e.name == "Logistic Regression").unwrap();
+        assert!(lr.speedup() > cn.speedup());
+        assert!(lr.speedup() < 2.0);
+        assert!(cn.speedup() > 1.0);
+    }
+
+    #[test]
+    fn render_includes_paper_reference() {
+        let c = synthetic_costs(1.0);
+        let s = render_table10(&table10(&c, &c));
+        assert!(s.contains("CryptoNets"));
+        assert!(s.contains("197.00"));
+        assert!(s.contains("2.23x"));
+    }
+}

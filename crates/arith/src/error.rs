@@ -1,0 +1,140 @@
+//! Error types for the arithmetic substrate.
+
+use core::fmt;
+
+/// Errors produced by the arithmetic substrate.
+///
+/// Every fallible public function of [`cofhee-arith`](crate) returns this
+/// type; it implements [`std::error::Error`] so it composes with `?` and
+/// boxed error chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArithError {
+    /// A modulus was zero, even, or one, where an odd modulus > 1 is needed.
+    InvalidModulus {
+        /// The offending modulus value.
+        modulus: u128,
+    },
+    /// A modulus exceeded the representable range for the requested engine.
+    ModulusTooLarge {
+        /// The offending modulus value.
+        modulus: u128,
+        /// The maximum number of bits supported.
+        max_bits: u32,
+    },
+    /// An operand was not strictly below the modulus.
+    OperandOutOfRange {
+        /// The offending operand.
+        value: u128,
+        /// The modulus it was compared against.
+        modulus: u128,
+    },
+    /// An element had no multiplicative inverse modulo `q`.
+    NotInvertible {
+        /// The non-invertible element.
+        value: u128,
+    },
+    /// Prime search exhausted the candidate space without success.
+    PrimeSearchExhausted {
+        /// Requested bit size.
+        bits: u32,
+        /// Requested NTT length the prime must support.
+        n: usize,
+    },
+    /// No primitive root of the requested order exists (or was found).
+    NoPrimitiveRoot {
+        /// Requested order of the root.
+        order: u128,
+        /// Modulus in which the root was sought.
+        modulus: u128,
+    },
+    /// A polynomial degree was not a supported power of two.
+    InvalidDegree {
+        /// The offending degree.
+        n: usize,
+    },
+    /// An RNS basis was empty or its moduli were not pairwise coprime.
+    InvalidRnsBasis {
+        /// Human-readable description of the violated property.
+        reason: &'static str,
+    },
+    /// A value did not fit in the target integer width.
+    Overflow {
+        /// Description of the failed conversion.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidModulus { modulus } => {
+                write!(f, "invalid modulus {modulus}: must be odd and greater than 1")
+            }
+            Self::ModulusTooLarge { modulus, max_bits } => {
+                write!(f, "modulus {modulus} exceeds the supported {max_bits}-bit range")
+            }
+            Self::OperandOutOfRange { value, modulus } => {
+                write!(f, "operand {value} is not reduced modulo {modulus}")
+            }
+            Self::NotInvertible { value } => {
+                write!(f, "element {value} has no multiplicative inverse")
+            }
+            Self::PrimeSearchExhausted { bits, n } => {
+                write!(f, "no {bits}-bit NTT-friendly prime found for n = {n}")
+            }
+            Self::NoPrimitiveRoot { order, modulus } => {
+                write!(f, "no primitive root of order {order} modulo {modulus}")
+            }
+            Self::InvalidDegree { n } => {
+                write!(f, "polynomial degree {n} is not a supported power of two")
+            }
+            Self::InvalidRnsBasis { reason } => {
+                write!(f, "invalid RNS basis: {reason}")
+            }
+            Self::Overflow { what } => write!(f, "value does not fit: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArithError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, ArithError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ArithError::InvalidModulus { modulus: 4 };
+        let s = e.to_string();
+        assert!(s.contains("invalid modulus 4"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArithError>();
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            ArithError::InvalidModulus { modulus: 0 },
+            ArithError::ModulusTooLarge { modulus: 7, max_bits: 2 },
+            ArithError::OperandOutOfRange { value: 9, modulus: 7 },
+            ArithError::NotInvertible { value: 0 },
+            ArithError::PrimeSearchExhausted { bits: 54, n: 4096 },
+            ArithError::NoPrimitiveRoot { order: 8192, modulus: 97 },
+            ArithError::InvalidDegree { n: 3 },
+            ArithError::InvalidRnsBasis { reason: "empty" },
+            ArithError::Overflow { what: "u128 -> u64" },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

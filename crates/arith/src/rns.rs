@@ -1,0 +1,315 @@
+//! The Residue Number System (RNS).
+//!
+//! Section II-D of the paper: coefficients wider than a machine word are
+//! represented by their residues modulo several coprime primes (Chinese
+//! Remainder Theorem), turning one wide polynomial into several narrow
+//! "towers" that compute independently. The CPU baseline splits the
+//! 109-bit modulus into 54+55-bit towers and the 218-bit modulus into four
+//! ~55-bit towers; CoFHEE's 128-bit native width halves the tower count
+//! (two 109-bit towers for 218 bits) — the architectural argument of
+//! Section III-C.
+
+use crate::barrett::Barrett128;
+use crate::error::{ArithError, Result};
+use crate::primes;
+use crate::ring::ModRing;
+use crate::u256::U256;
+
+/// An RNS basis: pairwise-coprime prime moduli whose product covers the
+/// wide modulus `Q = Π qᵢ`.
+///
+/// # Examples
+///
+/// ```
+/// use cofhee_arith::rns::RnsBasis;
+///
+/// # fn main() -> Result<(), cofhee_arith::ArithError> {
+/// // The paper's (n = 2^13, log q = 218) CPU decomposition: 4 towers.
+/// let basis = RnsBasis::for_total_bits(218, 64, 1 << 13)?;
+/// assert_eq!(basis.len(), 4);
+/// let x = 123_456_789_012_345_678_901_234_567u128;
+/// let residues = basis.decompose_u128(x);
+/// assert_eq!(basis.compose(&residues)?.to_u128(), Some(x));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsBasis {
+    moduli: Vec<u128>,
+    /// Per-modulus Barrett engines for mixed-radix arithmetic.
+    rings: Vec<Barrett128>,
+    /// Q = product of all moduli (must fit 256 bits).
+    product: U256,
+    /// Garner constants: `(q₁·…·qᵢ₋₁)^{-1} mod qᵢ` for `i ≥ 1`.
+    garner_inv: Vec<u128>,
+}
+
+impl RnsBasis {
+    /// Builds a basis from explicit prime moduli.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArithError::InvalidRnsBasis`] if the list is empty, contains a
+    ///   non-prime, duplicates, or the product overflows 256 bits.
+    pub fn new(moduli: Vec<u128>) -> Result<Self> {
+        if moduli.is_empty() {
+            return Err(ArithError::InvalidRnsBasis { reason: "basis must not be empty" });
+        }
+        for (i, &q) in moduli.iter().enumerate() {
+            if !primes::is_prime(q) {
+                return Err(ArithError::InvalidRnsBasis { reason: "all moduli must be prime" });
+            }
+            if moduli[..i].contains(&q) {
+                return Err(ArithError::InvalidRnsBasis { reason: "moduli must be distinct" });
+            }
+        }
+        let mut product = U256::ONE;
+        for &q in &moduli {
+            product = product
+                .checked_mul(U256::from_u128(q))
+                .ok_or(ArithError::InvalidRnsBasis { reason: "product exceeds 256 bits" })?;
+        }
+        let rings: Vec<Barrett128> =
+            moduli.iter().map(|&q| Barrett128::new(q)).collect::<crate::Result<_>>()?;
+        // Garner mixed-radix constants: inverse of the prefix product.
+        let mut garner_inv = Vec::with_capacity(moduli.len());
+        for (i, ring) in rings.iter().enumerate() {
+            let mut prefix = ring.one();
+            for &p in &moduli[..i] {
+                prefix = ring.mul(prefix, ring.from_u128(p));
+            }
+            garner_inv.push(ring.inv(prefix)?);
+        }
+        Ok(Self { moduli, rings, product, garner_inv })
+    }
+
+    /// Builds a basis of NTT-friendly primes covering `total_bits` bits
+    /// with towers sized for a `word_bits`-wide engine, all compatible
+    /// with degree-`n` negacyclic NTTs.
+    ///
+    /// Mirrors the paper's decompositions: `(218, 64)` gives the CPU's
+    /// 55+55+54+54 plan; `(218, 128)` gives CoFHEE's 109+109 plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-search and validation failures.
+    pub fn for_total_bits(total_bits: u32, word_bits: u32, n: usize) -> Result<Self> {
+        let plan = primes::tower_plan(total_bits, word_bits);
+        let mut moduli = Vec::with_capacity(plan.len());
+        let mut by_size: std::collections::HashMap<u32, Vec<u128>> = Default::default();
+        let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+        for &bits in &plan {
+            *counts.entry(bits).or_default() += 1;
+        }
+        for (&bits, &count) in &counts {
+            by_size.insert(bits, primes::ntt_primes(bits, n, count)?);
+        }
+        for &bits in &plan {
+            let pool = by_size.get_mut(&bits).expect("pool populated above");
+            moduli.push(pool.pop().expect("pool sized to plan"));
+        }
+        Self::new(moduli)
+    }
+
+    /// The tower moduli.
+    #[inline]
+    pub fn moduli(&self) -> &[u128] {
+        &self.moduli
+    }
+
+    /// Number of towers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Whether the basis is empty (never true for a constructed basis).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// The wide modulus `Q = Π qᵢ`.
+    #[inline]
+    pub fn product(&self) -> U256 {
+        self.product
+    }
+
+    /// Total bit size of `Q`.
+    #[inline]
+    pub fn total_bits(&self) -> u32 {
+        self.product.bits()
+    }
+
+    /// Decomposes a 128-bit value into its residues.
+    pub fn decompose_u128(&self, x: u128) -> Vec<u128> {
+        self.moduli.iter().map(|&q| x % q).collect()
+    }
+
+    /// Decomposes a 256-bit value into its residues.
+    pub fn decompose(&self, x: U256) -> Vec<u128> {
+        self.moduli.iter().map(|&q| u256_rem_u128(x, q)).collect()
+    }
+
+    /// Reconstructs the value in `[0, Q)` from its residues.
+    ///
+    /// Uses Garner's mixed-radix algorithm — per-modulus arithmetic plus a
+    /// handful of 256-bit multiply-adds, no wide divisions — because this
+    /// sits on the critical path of exact BFV ciphertext multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::InvalidRnsBasis`] if the residue count does
+    /// not match the basis, or [`ArithError::OperandOutOfRange`] if a
+    /// residue is not reduced.
+    pub fn compose(&self, residues: &[u128]) -> Result<U256> {
+        if residues.len() != self.moduli.len() {
+            return Err(ArithError::InvalidRnsBasis { reason: "residue count mismatch" });
+        }
+        for (&r, &q) in residues.iter().zip(&self.moduli) {
+            if r >= q {
+                return Err(ArithError::OperandOutOfRange { value: r, modulus: q });
+            }
+        }
+        // Mixed-radix digits: v_i = (r_i − (v₁ + p₁(v₂ + p₂(…)))) ·
+        // (p₁…p_{i−1})^{-1}  (mod p_i).
+        let k = self.moduli.len();
+        let mut digits = Vec::with_capacity(k);
+        for i in 0..k {
+            let ring = &self.rings[i];
+            // Evaluate the mixed-radix prefix at p_i by Horner's rule.
+            let mut acc = ring.zero();
+            for j in (0..i).rev() {
+                let vj = ring.from_u128(digits[j]);
+                let pj = ring.from_u128(self.moduli[j]);
+                acc = ring.add(ring.mul(acc, pj), vj);
+            }
+            let diff = ring.sub(ring.from_u128(residues[i]), acc);
+            digits.push(ring.mul(diff, self.garner_inv[i]));
+        }
+        // x = v₁ + p₁·(v₂ + p₂·(v₃ + …)), exact in 256 bits.
+        let mut x = U256::ZERO;
+        for i in (0..k).rev() {
+            x = x
+                .wrapping_mul(U256::from_u128(self.moduli[i]))
+                .wrapping_add(U256::from_u128(digits[i]));
+        }
+        debug_assert!(x < self.product);
+        Ok(x)
+    }
+
+    /// Centered reconstruction: values in `[Q/2, Q)` map to negatives,
+    /// returned as `(magnitude, is_negative)`.
+    ///
+    /// BFV decryption and noise analysis need the symmetric representative.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsBasis::compose`].
+    pub fn compose_centered(&self, residues: &[u128]) -> Result<(U256, bool)> {
+        let v = self.compose(residues)?;
+        let half = self.product.shr(1);
+        if v > half {
+            Ok((self.product.wrapping_sub(v), true))
+        } else {
+            Ok((v, false))
+        }
+    }
+}
+
+/// Remainder of a 256-bit value modulo a 128-bit modulus.
+pub(crate) fn u256_rem_u128(x: U256, q: u128) -> u128 {
+    x.rem(U256::from_u128(q)).low_u128()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis_2x54() -> RnsBasis {
+        RnsBasis::for_total_bits(109, 64, 1 << 12).unwrap()
+    }
+
+    #[test]
+    fn for_total_bits_matches_paper_plans() {
+        let cpu109 = basis_2x54();
+        assert_eq!(cpu109.len(), 2);
+        assert!(cpu109.total_bits() >= 108 && cpu109.total_bits() <= 110);
+
+        let cpu218 = RnsBasis::for_total_bits(218, 64, 1 << 13).unwrap();
+        assert_eq!(cpu218.len(), 4);
+
+        let chip218 = RnsBasis::for_total_bits(218, 128, 1 << 13).unwrap();
+        assert_eq!(chip218.len(), 2);
+        for &q in chip218.moduli() {
+            assert_eq!(128 - q.leading_zeros(), 109);
+        }
+    }
+
+    #[test]
+    fn compose_decompose_round_trip_u128() {
+        let basis = basis_2x54();
+        for x in [0u128, 1, 42, u64::MAX as u128, (1 << 100) + 12345] {
+            let residues = basis.decompose_u128(x);
+            let back = basis.compose(&residues).unwrap();
+            assert_eq!(back.to_u128(), Some(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn compose_decompose_round_trip_u256() {
+        let basis = RnsBasis::for_total_bits(218, 64, 1 << 13).unwrap();
+        let x = U256::from_halves(0xdeadbeef_12345678, 0xfeedface) // ~160 bits
+            .shl(40);
+        let residues = basis.decompose(x);
+        assert_eq!(basis.compose(&residues).unwrap(), x.rem(basis.product()));
+    }
+
+    #[test]
+    fn compose_validates_inputs() {
+        let basis = basis_2x54();
+        assert!(basis.compose(&[1]).is_err());
+        let q0 = basis.moduli()[0];
+        assert!(basis.compose(&[q0, 0]).is_err());
+    }
+
+    #[test]
+    fn centered_reconstruction_sees_negatives() {
+        let basis = basis_2x54();
+        // Encode -5 as Q - 5.
+        let minus5 = basis.product().wrapping_sub(U256::from_u64(5));
+        let residues = basis.decompose(minus5);
+        let (mag, neg) = basis.compose_centered(&residues).unwrap();
+        assert!(neg);
+        assert_eq!(mag.to_u128(), Some(5));
+        let (mag2, neg2) = basis.compose_centered(&basis.decompose_u128(7)).unwrap();
+        assert!(!neg2);
+        assert_eq!(mag2.to_u128(), Some(7));
+    }
+
+    #[test]
+    fn new_rejects_bad_bases() {
+        assert!(RnsBasis::new(vec![]).is_err());
+        assert!(RnsBasis::new(vec![4]).is_err()); // not prime
+        assert!(RnsBasis::new(vec![65537, 65537]).is_err()); // duplicate
+    }
+
+    #[test]
+    fn arithmetic_is_homomorphic_across_towers() {
+        // (a*b + c) computed per-tower equals the wide-integer result mod Q.
+        let basis = basis_2x54();
+        let (a, b, c) = (0xabcdef0123456789u128, 0x123456789abcdefu128, 99999u128);
+        let mut residues = Vec::new();
+        for &q in basis.moduli() {
+            let ring = Barrett128::new(q).unwrap();
+            let t = ring.add(ring.mul(a % q, b % q), c % q);
+            residues.push(t);
+        }
+        let got = basis.compose(&residues).unwrap();
+        let (lo, hi) = U256::from_u128(a).widening_mul(U256::from_u128(b));
+        let wide = lo.wrapping_add(U256::from_u128(c));
+        debug_assert!(hi.is_zero());
+        let expect = wide.rem(basis.product());
+        assert_eq!(got, expect);
+    }
+}

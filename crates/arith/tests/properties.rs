@@ -1,0 +1,168 @@
+//! Property-based tests for the arithmetic substrate.
+//!
+//! These exercise the algebraic laws every reduction engine must satisfy
+//! and cross-check the engines against each other and against primitive
+//! reference arithmetic.
+
+use cofhee_arith::{
+    primes, rns::RnsBasis, Barrett128, Barrett64, ModRing, Montgomery128, Montgomery64, U256,
+};
+use proptest::prelude::*;
+
+const Q54: u64 = 18014398509404161;
+const Q109: u128 = 324518553658426726783156020805633;
+
+fn u256_pair() -> impl Strategy<Value = (U256, U256)> {
+    (any::<[u64; 4]>(), any::<[u64; 4]>())
+        .prop_map(|(a, b)| (U256::from_limbs(a), U256::from_limbs(b)))
+}
+
+proptest! {
+    #[test]
+    fn u256_add_commutes((a, b) in u256_pair()) {
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    }
+
+    #[test]
+    fn u256_add_sub_round_trip((a, b) in u256_pair()) {
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn u256_mul_matches_u128_reference(a in any::<u128>(), b in any::<u128>()) {
+        let (lo, hi) = U256::from_u128(a).widening_mul(U256::from_u128(b));
+        // Reference via 64-bit limbs of the standard library.
+        let a_lo = a as u64 as u128;
+        let a_hi = a >> 64;
+        let b_lo = b as u64 as u128;
+        let b_hi = b >> 64;
+        let ll = a_lo * b_lo;
+        let lh = a_lo * b_hi;
+        let hl = a_hi * b_lo;
+        let hh = a_hi * b_hi;
+        let mid = (ll >> 64) + (lh & 0xFFFF_FFFF_FFFF_FFFF) + (hl & 0xFFFF_FFFF_FFFF_FFFF);
+        let low = (ll & 0xFFFF_FFFF_FFFF_FFFF) | ((mid & 0xFFFF_FFFF_FFFF_FFFF) << 64);
+        let high = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+        // The full 128×128 product fits in 256 bits: `lo` carries all of it.
+        prop_assert_eq!(lo, U256::from_halves(low, high));
+        prop_assert!(hi.is_zero());
+    }
+
+    #[test]
+    fn u256_div_rem_reconstructs((a, d) in u256_pair()) {
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.div_rem(d);
+        prop_assert!(r < d);
+        let (prod, overflow) = q.widening_mul(d);
+        prop_assert!(overflow.is_zero());
+        prop_assert_eq!(prod.wrapping_add(r), a);
+    }
+
+    #[test]
+    fn u256_shift_round_trip(a in any::<u128>(), s in 0u32..128) {
+        let v = U256::from_u128(a);
+        prop_assert_eq!(v.shl(s).shr(s), v);
+    }
+
+    #[test]
+    fn barrett64_mul_matches_naive(a in any::<u64>(), b in any::<u64>()) {
+        let ring = Barrett64::new(Q54).unwrap();
+        let (a, b) = (a % Q54, b % Q54);
+        let expect = ((a as u128 * b as u128) % Q54 as u128) as u64;
+        prop_assert_eq!(ring.mul(a, b), expect);
+    }
+
+    #[test]
+    fn barrett64_ring_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let ring = Barrett64::new(Q54).unwrap();
+        let (a, b, c) = (a % Q54, b % Q54, c % Q54);
+        // Associativity and commutativity of multiplication.
+        prop_assert_eq!(ring.mul(ring.mul(a, b), c), ring.mul(a, ring.mul(b, c)));
+        prop_assert_eq!(ring.mul(a, b), ring.mul(b, a));
+        // Distributivity.
+        prop_assert_eq!(ring.mul(a, ring.add(b, c)), ring.add(ring.mul(a, b), ring.mul(a, c)));
+        // Identities.
+        prop_assert_eq!(ring.mul(a, ring.one()), a);
+        prop_assert_eq!(ring.add(a, ring.zero()), a);
+    }
+
+    #[test]
+    fn barrett128_agrees_with_montgomery128(a in any::<u128>(), b in any::<u128>()) {
+        let bar = Barrett128::new(Q109).unwrap();
+        let mont = Montgomery128::new(Q109).unwrap();
+        let (a, b) = (a % Q109, b % Q109);
+        let via_bar = bar.mul(a, b);
+        let via_mont = mont.to_u128(mont.mul(mont.from_u128(a), mont.from_u128(b)));
+        prop_assert_eq!(via_bar, via_mont);
+    }
+
+    #[test]
+    fn barrett64_agrees_with_montgomery64(a in any::<u64>(), b in any::<u64>()) {
+        let bar = Barrett64::new(Q54).unwrap();
+        let mont = Montgomery64::new(Q54).unwrap();
+        let (a, b) = (a % Q54, b % Q54);
+        prop_assert_eq!(
+            bar.mul(a, b),
+            mont.to_u128(mont.mul(mont.from_u128(a as u128), mont.from_u128(b as u128))) as u64
+        );
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in 1u128..Q109) {
+        let ring = Barrett128::new(Q109).unwrap();
+        let inv = ring.inv(a).unwrap();
+        prop_assert_eq!(ring.mul(a, inv), 1);
+        prop_assert_eq!(ring.mul(inv, a), 1);
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in 1u128..Q109, e1 in 0u128..10_000, e2 in 0u128..10_000) {
+        let ring = Barrett128::new(Q109).unwrap();
+        let lhs = ring.mul(ring.pow(a, e1), ring.pow(a, e2));
+        let rhs = ring.pow(a, e1 + e2);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn shoup_equals_plain(a in any::<u64>(), w in any::<u64>()) {
+        let ring = Barrett64::new(Q54).unwrap();
+        let (a, w) = (a % Q54, w % Q54);
+        let ws = ring.shoup_precompute(w);
+        prop_assert_eq!(ring.mul_shoup(a, w, ws), ring.mul(a, w));
+    }
+
+    #[test]
+    fn rns_round_trip(x in any::<u128>()) {
+        let basis = RnsBasis::for_total_bits(218, 64, 1 << 10).unwrap();
+        let residues = basis.decompose_u128(x);
+        prop_assert_eq!(basis.compose(&residues).unwrap().to_u128(), Some(x));
+    }
+
+    #[test]
+    fn rns_addition_homomorphic(x in any::<u64>(), y in any::<u64>()) {
+        let basis = RnsBasis::for_total_bits(109, 64, 1 << 10).unwrap();
+        let rx = basis.decompose_u128(x as u128);
+        let ry = basis.decompose_u128(y as u128);
+        let sum: Vec<u128> = rx
+            .iter()
+            .zip(&ry)
+            .zip(basis.moduli())
+            .map(|((&a, &b), &q)| (a + b) % q)
+            .collect();
+        prop_assert_eq!(
+            basis.compose(&sum).unwrap().to_u128(),
+            Some(x as u128 + y as u128)
+        );
+    }
+}
+
+#[test]
+fn prime_chain_supports_roots() {
+    // Every generated tower prime must admit a primitive 2n-th root.
+    let n = 1 << 12;
+    for q in primes::ntt_primes(54, n, 3).unwrap() {
+        let ring = Barrett64::new(q as u64).unwrap();
+        let psi = cofhee_arith::roots::primitive_2n_root(&ring, n).unwrap();
+        assert_eq!(ring.pow(psi, n as u128), (q - 1) as u64);
+    }
+}

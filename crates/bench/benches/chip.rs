@@ -1,0 +1,30 @@
+//! Simulator throughput benches: how fast the cycle-accurate model
+//! itself runs (host seconds per simulated operation).
+
+use cofhee_arith::primes::ntt_prime;
+use cofhee_core::Device;
+use cofhee_sim::{ChipConfig, Slot};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simulated_ntt(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let q = ntt_prime(109, n).unwrap();
+    let mut dev = Device::connect(ChipConfig::silicon(), q, n).unwrap();
+    let plan = dev.bank_plan();
+    let poly: Vec<u128> = (0..n as u128).map(|i| i % q).collect();
+    dev.upload(Slot::new(plan.d0, 0), &poly).unwrap();
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    group.bench_function("ntt_command_n4096", |b| {
+        b.iter(|| dev.ntt(Slot::new(plan.d0, 0), Slot::new(plan.d1, 0)).unwrap())
+    });
+    group.bench_function("polymul_schedule_n4096", |b| {
+        let a: Vec<u128> = (0..n as u128).map(|i| i % q).collect();
+        let bb: Vec<u128> = (0..n as u128).map(|i| (i * 3 + 1) % q).collect();
+        b.iter(|| dev.poly_mul(&a, &bb).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_ntt);
+criterion_main!(benches);

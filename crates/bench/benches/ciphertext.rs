@@ -1,0 +1,50 @@
+//! Ciphertext-multiplication benches — the CPU side of Fig. 6.
+//!
+//! The tower path is the paper's accounting unit (per tower: 4 NTT +
+//! 4 Hadamard + 1 add + 3 iNTT); the thread sweep reproduces the Fig. 6a
+//! series including its diminishing returns.
+
+use cofhee_bfv::tower::TowerEvaluator;
+use cofhee_bfv::{BfvParams, Encryptor, Evaluator, KeyGenerator, Plaintext};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tower_multiply(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut group = c.benchmark_group("fig6a_ct_mul_towers");
+    group.sample_size(10);
+    for (log_n, log_q) in [(12u32, 109u32), (13, 218)] {
+        let n = 1usize << log_n;
+        let ev = TowerEvaluator::new(n, log_q, 64).unwrap();
+        let a = ev.random_ciphertext(&mut rng);
+        let b = ev.random_ciphertext(&mut rng);
+        for threads in [1usize, 4, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n2e{log_n}_q{log_q}"), threads),
+                &threads,
+                |bch, &t| bch.iter(|| ev.multiply_threaded(&a, &b, t).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact_bfv_multiply(c: &mut Criterion) {
+    // The functionally exact Eq. 4 path (integer tensor + t/q rounding).
+    let params = BfvParams::insecure_testing(1 << 10).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let kg = KeyGenerator::new(&params, &mut rng);
+    let pk = kg.public_key(&mut rng).unwrap();
+    let enc = Encryptor::new(&params, pk);
+    let eval = Evaluator::new(&params).unwrap();
+    let a = enc.encrypt(&Plaintext::constant(&params, 3).unwrap(), &mut rng).unwrap();
+    let b = enc.encrypt(&Plaintext::constant(&params, 5).unwrap(), &mut rng).unwrap();
+    let mut group = c.benchmark_group("bfv_exact_multiply");
+    group.sample_size(10);
+    group.bench_function("n1024", |bch| bch.iter(|| eval.multiply(&a, &b).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tower_multiply, bench_exact_bfv_multiply);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! NTT microbenches: the software substrate under the evaluation.
+//!
+//! Covers the Barrett-vs-Montgomery multiplier ablation (Section IV-A),
+//! both coefficient widths, and the naive `O(n²)` vs NTT `O(n log n)`
+//! crossover the paper's Section II-C motivates.
+
+use cofhee_arith::{primes::ntt_prime, Barrett128, Barrett64, ModRing, Montgomery64};
+use cofhee_poly::{naive, ntt, ntt::NttTables};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ntt_engines(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let mut group = c.benchmark_group("ntt_forward_n4096");
+
+    // 64-bit Barrett (the CPU-baseline tower engine, Shoup fast path).
+    let q64 = ntt_prime(55, n).unwrap() as u64;
+    let bar64 = Barrett64::new(q64).unwrap();
+    let t64 = NttTables::new(&bar64, n).unwrap();
+    let poly64: Vec<u64> = (0..n as u64).map(|i| i % q64).collect();
+    group.bench_function("barrett64", |b| {
+        b.iter(|| {
+            let mut p = poly64.clone();
+            ntt::forward_inplace(&bar64, &mut p, &t64).unwrap();
+            p
+        })
+    });
+
+    // 64-bit Montgomery (the related-work multiplier choice).
+    let mon64 = Montgomery64::new(q64).unwrap();
+    let tm64 = NttTables::new(&mon64, n).unwrap();
+    let polym: Vec<u64> = poly64.iter().map(|&x| mon64.from_u128(x as u128)).collect();
+    group.bench_function("montgomery64", |b| {
+        b.iter(|| {
+            let mut p = polym.clone();
+            ntt::forward_inplace(&mon64, &mut p, &tm64).unwrap();
+            p
+        })
+    });
+
+    // 128-bit Barrett (CoFHEE's native width).
+    let q128 = ntt_prime(109, n).unwrap();
+    let bar128 = Barrett128::new(q128).unwrap();
+    let t128 = NttTables::new(&bar128, n).unwrap();
+    let poly128: Vec<u128> = (0..n as u128).map(|i| i % q128).collect();
+    group.bench_function("barrett128", |b| {
+        b.iter(|| {
+            let mut p = poly128.clone();
+            ntt::forward_inplace(&bar128, &mut p, &t128).unwrap();
+            p
+        })
+    });
+    group.finish();
+}
+
+fn bench_naive_vs_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polymul_naive_vs_ntt");
+    group.sample_size(10);
+    for log_n in [6u32, 8, 10] {
+        let n = 1usize << log_n;
+        let q = ntt_prime(55, n).unwrap() as u64;
+        let ring = Barrett64::new(q).unwrap();
+        let tables = NttTables::new(&ring, n).unwrap();
+        let a: Vec<u64> = (0..n as u64).map(|i| i % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 7) % q).collect();
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| naive::negacyclic_mul(&ring, &a, &b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ntt", n), &n, |bch, _| {
+            bch.iter(|| ntt::negacyclic_mul(&ring, &a, &b, &tables).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt_engines, bench_naive_vs_ntt);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates the **Fig. 4** ADPLL dynamics: the SAR frequency
+//! acquisition followed by bang-bang phase lock, printed as a transient
+//! series (edge, frequency, phase error, loop state).
+
+use cofhee_adpll::{Adpll, LoopState};
+
+fn main() {
+    println!("Fig. 4 — ADPLL lock transient (10 MHz reference × 25 → 250 MHz)\n");
+    let mut pll = Adpll::cofhee_250mhz();
+    let trace = pll.run_to_lock(4000);
+
+    println!("{:>5} {:>12} {:>12} {:>10}  state", "edge", "freq (MHz)", "err (MHz)", "phase (cyc)");
+    let mut printed_states = 0;
+    let mut last_state = None;
+    for s in &trace {
+        // Print state transitions and a decimated sample of the rest.
+        let state_change = last_state != Some(s.state);
+        if state_change || s.edge % 25 == 0 {
+            println!(
+                "{:>5} {:>12.3} {:>12.3} {:>10.3}  {:?}",
+                s.edge,
+                s.frequency_hz / 1e6,
+                (s.frequency_hz - pll.target_hz()) / 1e6,
+                s.phase_error_cycles,
+                s.state
+            );
+            if state_change {
+                printed_states += 1;
+            }
+        }
+        last_state = Some(s.state);
+    }
+    let _ = printed_states;
+    let locked_at = trace.iter().find(|s| s.state == LoopState::Locked).map(|s| s.edge);
+    println!("\nLock declared at reference edge {:?} ({} edges total).", locked_at, trace.len());
+    println!(
+        "Final frequency: {:.3} MHz (target 250.000, residual {:+.3} MHz)",
+        pll.frequency_hz() / 1e6,
+        (pll.frequency_hz() - 250e6) / 1e6
+    );
+    println!("\nWide-range check (the paper's reuse-across-designs claim):");
+    for divider in [8u32, 15, 25, 40] {
+        let mut p = Adpll::new(cofhee_adpll::Dco::cofhee(), 10.0e6, divider);
+        let t = p.run_to_lock(4000);
+        println!(
+            "  ÷{divider:<3} target {:>6.1} MHz: locked = {}, settled at {:>7.2} MHz in {} edges",
+            divider as f64 * 10.0,
+            p.locked(),
+            p.frequency_hz() / 1e6,
+            t.len()
+        );
+    }
+    println!("\nSilicon figures (recorded in cofhee-physical): 0.05 mm², 350 µW @ 1.1 V.");
+}

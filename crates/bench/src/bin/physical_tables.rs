@@ -1,0 +1,74 @@
+//! Regenerates the physical-design tables: **III** (PnR statistics),
+//! **IV** (layout parameters), **VI** (EDA flow), **VII** (redundant
+//! vias), **VIII** (part areas/delays) and **IX** (clock tree).
+
+use cofhee_physical::{
+    flow_stages, via_stats, ClockTreeStats, LayoutParams, PartCatalogue, PnrStats,
+};
+
+fn main() {
+    println!("Table III — design statistics through PnR");
+    let pnr = PnrStats::cofhee();
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "Parameter", "Initial", "Place", "CTS", "Route"
+    );
+    let s = pnr.stages();
+    let row = |name: &str, f: &dyn Fn(&cofhee_physical::PnrStage) -> String| {
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            f(&s[0]),
+            f(&s[1]),
+            f(&s[2]),
+            f(&s[3])
+        );
+    };
+    row("Standard cells", &|x| x.std_cells.to_string());
+    row("Sequential cells", &|x| x.sequential_cells.to_string());
+    row("Buffer/Inverter", &|x| x.buffer_inverter_cells.to_string());
+    row("Utilization", &|x| format!("{:.1}%", x.utilization * 100.0));
+    row("Signal nets", &|x| x.signal_nets.to_string());
+    row("HVT cells", &|x| format!("{:.2}%", x.hvt_fraction * 100.0));
+    row("RVT cells", &|x| format!("{:.2}%", x.rvt_fraction * 100.0));
+    row("LVT cells", &|x| format!("{:.2}%", x.lvt_fraction * 100.0));
+
+    println!("\nTable IV — layout physical parameters");
+    let l = LayoutParams::cofhee();
+    println!("  IU/FU: {:.0}% → {:.0}%", l.initial_utilization * 100.0, l.final_utilization * 100.0);
+    println!("  Macro area: {:.0} µm²  Std-cell area: {:.0} µm²", l.macro_area_um2, l.std_cell_area_um2);
+    println!("  Core: {:.0} × {:.0} µm ({:.2} mm²)", l.core_width_um, l.core_height_um, l.core_area_mm2());
+    println!("  Die:  {:.0} × {:.0} µm ({:.2} mm²)", l.die_width_um, l.die_height_um, l.die_area_mm2());
+    println!("  Aspect ratio {:.2}, IO pad height {:.0} µm, core-to-IO {:.0} µm",
+        l.aspect_ratio, l.io_pad_height_um, l.core_to_io_um);
+
+    println!("\nTable VI — stages and EDA tools");
+    for stage in flow_stages() {
+        println!("  {:<38} {}", stage.stage, stage.tool);
+    }
+
+    println!("\nTable VII — redundant via statistics");
+    println!("  {:<6} {:>10} {:>10} {:>10}", "Layer", "multi-cut", "total", "%");
+    for v in via_stats() {
+        println!(
+            "  {:<6} {:>10} {:>10} {:>9.2}%",
+            v.layer,
+            v.multi_cut,
+            v.total,
+            v.multi_cut_percent()
+        );
+    }
+
+    println!("\nTable VIII — part estimations (post-synthesis)");
+    print!("{}", PartCatalogue::cofhee().to_table());
+
+    println!("\nTable IX — design and clock-tree statistics");
+    let c = ClockTreeStats::cofhee();
+    println!("  Die: {:.0} × {:.0} µm", c.width_um, c.height_um);
+    println!("  Pads: {} signal, {} PG, {} PLL bias", c.signal_pads, c.pg_pads, c.pll_bias_pads);
+    println!("  Memories: {} macro instances", c.memories);
+    println!("  Clock {}: {} levels, {} sinks, {} buffers (corner: {})",
+        c.clock_name, c.levels, c.sinks, c.buffers, c.cts_corner);
+    println!("  Skew {:.0} ps; insertion {:.3}–{:.3} ns",
+        c.global_skew_ps, c.shortest_insertion_ns, c.longest_insertion_ns);
+}

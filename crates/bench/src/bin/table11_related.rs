@@ -1,0 +1,43 @@
+//! Regenerates **Table XI**: the NTT comparison against F1, CraterLake,
+//! BTS, ARK, HEAX and Roy, including the technology-normalized
+//! efficiency metric and the headline speedup ratios.
+
+use cofhee_physical::{ComparisonTable, PartCatalogue, TechScaling};
+
+fn main() {
+    let table = ComparisonTable::table11();
+    println!("Table XI — NTT comparison against related work (n = 2^13)\n");
+    print!("{}", table.to_table());
+
+    println!("\nEfficiency derivation for CoFHEE (paper Section VII):");
+    let parts = PartCatalogue::cofhee();
+    let scaling = TechScaling::gf55_to_7nm();
+    println!(
+        "  compute area (PE + MDMC): {:.4} mm²  → scaled /{:.1}: {:.5} mm²",
+        parts.compute_area_mm2(),
+        scaling.area_factor,
+        scaling.scale_area_mm2(parts.compute_area_mm2())
+    );
+    let time_ns = table.cofhee.ntt_cycles as f64 / table.cofhee.freq_mhz * 1e3;
+    println!(
+        "  NTT time: {} cc @ {} MHz = {:.0} ns → scaled /{:.1}: {:.0} ns",
+        table.cofhee.ntt_cycles,
+        table.cofhee.freq_mhz,
+        time_ns,
+        scaling.delay_factor,
+        scaling.scale_time_ns(time_ns)
+    );
+    let derived = table.derive_cofhee_efficiency(&parts, &scaling);
+    println!(
+        "  derived efficiency: {:.3e} NTT/ns/mm² (paper: 4.54e-4, {})",
+        derived,
+        cofhee_bench::pct_err(derived, 4.54e-4)
+    );
+
+    println!("\nSpeedups (published efficiencies, the paper's quoted ratios):");
+    for (name, speedup) in table.speedups() {
+        println!("  vs {name:<11} {speedup:>6.2}x");
+    }
+    println!("\nFPGA rows (HEAX, Roy) carry cycle counts only: \"no information is");
+    println!("available to accurately map FPGA resources to silicon area\".");
+}

@@ -1,0 +1,66 @@
+//! # cofhee-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! CoFHEE paper. Report binaries (run with
+//! `cargo run -p cofhee-bench --release --bin <name>`):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1_isa` | Table I operation latencies on the simulated chip |
+//! | `table5_performance` | Table V latency + power, paper vs measured |
+//! | `fig6_cpu_comparison` | Fig. 6a/6b CPU-vs-CoFHEE time and power |
+//! | `table10_apps` | Table X end-to-end application estimates |
+//! | `table11_related` | Table XI related-work efficiency comparison |
+//! | `physical_tables` | Tables III, IV, VI, VII, VIII, IX |
+//! | `fig4_adpll_lock` | ADPLL lock transient (Fig. 4 dynamics) |
+//! | `ablation_scaling` | Section VIII-A scalability + multiplier ablations |
+//!
+//! Criterion microbenches (`cargo bench -p cofhee-bench`) cover the
+//! software substrate: NTT engines (Barrett vs Montgomery, 64 vs 128
+//! bit), naive-vs-NTT crossover, BFV tower multiplication with thread
+//! scaling, and simulator command throughput.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Times a closure, returning (result, seconds). Runs it `reps` times
+/// and reports the minimum — the standard low-noise estimator.
+pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(reps > 0);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+        out = Some(r);
+    }
+    (out.expect("reps > 0"), best)
+}
+
+/// Formats a relative error as a percentage string.
+pub fn pct_err(measured: f64, reference: f64) -> String {
+    format!("{:+.3}%", (measured - reference) / reference * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_best_returns_result_and_positive_time() {
+        let (v, t) = time_best(3, || 40 + 2);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn pct_err_formats() {
+        assert!(pct_err(101.0, 100.0).starts_with("+1.0"));
+        assert!(pct_err(99.0, 100.0).starts_with("-1.0"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for the BFV scheme implementation.
+
+use core::fmt;
+
+use cofhee_arith::ArithError;
+use cofhee_poly::PolyError;
+
+/// Errors produced by the BFV layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BfvError {
+    /// Parameter validation failed.
+    InvalidParams {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A plaintext value was not reduced modulo `t`.
+    PlaintextOutOfRange {
+        /// The offending value.
+        value: u64,
+        /// The plaintext modulus.
+        t: u64,
+    },
+    /// Ciphertexts from different parameter sets were combined.
+    ParamsMismatch,
+    /// An operation needed a size-2 ciphertext (e.g. after relinearization).
+    WrongCiphertextSize {
+        /// Expected number of polynomials.
+        expected: usize,
+        /// Actual number of polynomials.
+        found: usize,
+    },
+    /// Batching requested but the plaintext modulus does not support it.
+    BatchingUnsupported {
+        /// The plaintext modulus.
+        t: u64,
+        /// The degree it would need to split over.
+        n: usize,
+    },
+    /// Error from the polynomial layer.
+    Poly(PolyError),
+    /// Error from the arithmetic layer.
+    Arith(ArithError),
+}
+
+impl fmt::Display for BfvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParams { reason } => write!(f, "invalid BFV parameters: {reason}"),
+            Self::PlaintextOutOfRange { value, t } => {
+                write!(f, "plaintext value {value} is not reduced modulo t = {t}")
+            }
+            Self::ParamsMismatch => write!(f, "operands use different BFV parameter sets"),
+            Self::WrongCiphertextSize { expected, found } => {
+                write!(f, "ciphertext has {found} polynomials, expected {expected}")
+            }
+            Self::BatchingUnsupported { t, n } => {
+                write!(f, "plaintext modulus {t} does not support batching at degree {n}")
+            }
+            Self::Poly(e) => write!(f, "polynomial error: {e}"),
+            Self::Arith(e) => write!(f, "arithmetic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BfvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Poly(e) => Some(e),
+            Self::Arith(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PolyError> for BfvError {
+    fn from(e: PolyError) -> Self {
+        Self::Poly(e)
+    }
+}
+
+impl From<ArithError> for BfvError {
+    fn from(e: ArithError) -> Self {
+        Self::Arith(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, BfvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(BfvError::ParamsMismatch.to_string().contains("different"));
+        let e = BfvError::PlaintextOutOfRange { value: 10, t: 7 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error;
+        let e = BfvError::from(ArithError::InvalidModulus { modulus: 2 });
+        assert!(e.source().is_some());
+    }
+}

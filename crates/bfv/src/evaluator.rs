@@ -1,0 +1,477 @@
+//! Homomorphic evaluation: the operations of the paper's Section II-C.
+//!
+//! Ciphertext multiplication (`EvalMult`) evaluates the Eq. 4 tensor
+//!
+//! ```text
+//! (cc₁, cc₂, cc₃) = (⌊t(ca₁·cb₁)/q⌉, ⌊t(ca₁·cb₂ + ca₂·cb₁)/q⌉, ⌊t(ca₂·cb₂)/q⌉)
+//! ```
+//!
+//! *exactly*: the tensor products are computed over the integers (via a
+//! CRT computation basis of NTT-friendly word primes), then scaled by
+//! `t/q` with symmetric rounding. This is what makes the functional demos
+//! decrypt correctly, unlike per-tower approximations.
+
+use std::sync::Arc;
+
+use cofhee_arith::{Barrett128, Barrett64, ModRing, U256};
+use cofhee_poly::{ntt, ntt::NttTables, Polynomial};
+
+use crate::ciphertext::Ciphertext;
+use crate::error::{BfvError, Result};
+use crate::keys::RelinKey;
+use crate::params::BfvParams;
+use crate::plaintext::Plaintext;
+
+/// Evaluates homomorphic operations for one parameter set.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    params: BfvParams,
+    /// Per-computation-prime NTT machinery for the exact tensor.
+    mult_rings: Vec<Barrett64>,
+    mult_tables: Vec<Arc<NttTables<Barrett64>>>,
+}
+
+impl Evaluator {
+    /// Builds the evaluator, precomputing the computation-basis NTT
+    /// tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures (none for validated
+    /// parameter sets).
+    pub fn new(params: &BfvParams) -> Result<Self> {
+        let mut mult_rings = Vec::new();
+        let mut mult_tables = Vec::new();
+        for &p in params.mult_basis().moduli() {
+            let ring = Barrett64::new(p as u64)?;
+            let tables = Arc::new(NttTables::new(&ring, params.n())?);
+            mult_rings.push(ring);
+            mult_tables.push(tables);
+        }
+        Ok(Self { params: params.clone(), mult_rings, mult_tables })
+    }
+
+    /// The parameter set this evaluator serves.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    fn check_ct(&self, ct: &Ciphertext) -> Result<()> {
+        for p in ct.polys() {
+            if p.context().n() != self.params.n()
+                || p.context().modulus() != self.params.q()
+            {
+                return Err(BfvError::ParamsMismatch);
+            }
+        }
+        Ok(())
+    }
+
+    /// Homomorphic addition (`ct + ct`); mixed sizes are padded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::ParamsMismatch`] for foreign ciphertexts.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.check_ct(a)?;
+        self.check_ct(b)?;
+        let ctx = Arc::clone(self.params.poly_ring());
+        let len = a.len().max(b.len());
+        let zero = Polynomial::zero(ctx);
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let pa = a.polys().get(i).unwrap_or(&zero);
+            let pb = b.polys().get(i).unwrap_or(&zero);
+            out.push(pa.add(pb)?);
+        }
+        Ciphertext::new(out)
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::ParamsMismatch`] for foreign ciphertexts.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.check_ct(a)?;
+        self.check_ct(b)?;
+        let ctx = Arc::clone(self.params.poly_ring());
+        let len = a.len().max(b.len());
+        let zero = Polynomial::zero(ctx);
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let pa = a.polys().get(i).unwrap_or(&zero);
+            let pb = b.polys().get(i).unwrap_or(&zero);
+            out.push(pa.sub(pb)?);
+        }
+        Ciphertext::new(out)
+    }
+
+    /// Homomorphic negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::ParamsMismatch`] for foreign ciphertexts.
+    pub fn neg(&self, a: &Ciphertext) -> Result<Ciphertext> {
+        self.check_ct(a)?;
+        Ciphertext::new(a.polys().iter().map(|p| p.neg()).collect())
+    }
+
+    /// Plaintext addition (`ct + pt`): adds `Δ·m` to the first component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::ParamsMismatch`] / [`BfvError::InvalidParams`]
+    /// for mismatched operands.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
+        self.check_ct(a)?;
+        let ctx = Arc::clone(self.params.poly_ring());
+        let delta = self.params.delta();
+        let dm: Vec<u128> =
+            pt.coeffs().iter().map(|&m| delta.wrapping_mul(m as u128)).collect();
+        let dm = Polynomial::from_values(ctx, &dm)?;
+        let mut polys = a.polys().to_vec();
+        polys[0] = polys[0].add(&dm)?;
+        Ciphertext::new(polys)
+    }
+
+    /// Plaintext multiplication (`ct · pt`): multiplies every component by
+    /// the plaintext polynomial lifted to `R_q` (no `Δ` scaling).
+    ///
+    /// # Errors
+    ///
+    /// Returns mismatch errors for foreign operands.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
+        self.check_ct(a)?;
+        let ctx = Arc::clone(self.params.poly_ring());
+        let lifted: Vec<u128> = pt.coeffs().iter().map(|&m| m as u128).collect();
+        let m_poly = Polynomial::from_values(ctx, &lifted)?;
+        let polys = a
+            .polys()
+            .iter()
+            .map(|p| p.negacyclic_mul(&m_poly))
+            .collect::<cofhee_poly::Result<Vec<_>>>()?;
+        Ciphertext::new(polys)
+    }
+
+    /// Lifts a ciphertext polynomial to centered residues modulo
+    /// computation prime `i`.
+    fn lift_centered(&self, poly: &Polynomial<Barrett128>, i: usize) -> Vec<u64> {
+        let q = self.params.q();
+        let p = self.mult_rings[i].q() as u128;
+        let q_mod_p = q % p;
+        poly.coeffs()
+            .iter()
+            .map(|&c| {
+                let mut r = c % p;
+                if c > q / 2 {
+                    // centered value is c - q (negative): r ← r - q (mod p)
+                    r = (r + p - q_mod_p) % p;
+                }
+                r as u64
+            })
+            .collect()
+    }
+
+    /// Exact ciphertext multiplication: Eq. 4 with integer tensor and
+    /// `t/q` rounding. Returns a 3-component ciphertext; apply
+    /// [`Evaluator::relinearize`] to shrink it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::WrongCiphertextSize`] unless both inputs have
+    /// exactly two components, and mismatch errors for foreign operands.
+    pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        self.check_ct(a)?;
+        self.check_ct(b)?;
+        if a.len() != 2 {
+            return Err(BfvError::WrongCiphertextSize { expected: 2, found: a.len() });
+        }
+        if b.len() != 2 {
+            return Err(BfvError::WrongCiphertextSize { expected: 2, found: b.len() });
+        }
+        let n = self.params.n();
+        let k = self.mult_rings.len();
+
+        // Per-prime tensor in the NTT domain: 4 forward NTTs, pointwise
+        // combination, 3 inverse NTTs — the same dataflow as the paper's
+        // Algorithm 3 modulo the final scaling.
+        let mut tensor: [Vec<Vec<u64>>; 3] =
+            [Vec::with_capacity(k), Vec::with_capacity(k), Vec::with_capacity(k)];
+        for i in 0..k {
+            let ring = &self.mult_rings[i];
+            let tables = &self.mult_tables[i];
+            let mut a0 = self.lift_centered(&a.polys()[0], i);
+            let mut a1 = self.lift_centered(&a.polys()[1], i);
+            let mut b0 = self.lift_centered(&b.polys()[0], i);
+            let mut b1 = self.lift_centered(&b.polys()[1], i);
+            ntt::forward_inplace(ring, &mut a0, tables)?;
+            ntt::forward_inplace(ring, &mut a1, tables)?;
+            ntt::forward_inplace(ring, &mut b0, tables)?;
+            ntt::forward_inplace(ring, &mut b1, tables)?;
+            let mut t0 = vec![0u64; n];
+            let mut t1 = vec![0u64; n];
+            let mut t2 = vec![0u64; n];
+            for j in 0..n {
+                t0[j] = ring.mul(a0[j], b0[j]);
+                t1[j] = ring.add(ring.mul(a0[j], b1[j]), ring.mul(a1[j], b0[j]));
+                t2[j] = ring.mul(a1[j], b1[j]);
+            }
+            ntt::inverse_inplace(ring, &mut t0, tables)?;
+            ntt::inverse_inplace(ring, &mut t1, tables)?;
+            ntt::inverse_inplace(ring, &mut t2, tables)?;
+            tensor[0].push(t0);
+            tensor[1].push(t1);
+            tensor[2].push(t2);
+        }
+
+        // CRT-reconstruct each exact integer coefficient, center, and
+        // apply the ⌊t·x/q⌉ scaling.
+        let basis = self.params.mult_basis();
+        let half = self.params.mult_basis_half();
+        let q = self.params.q();
+        let t = self.params.t() as u128;
+        let ctx = Arc::clone(self.params.poly_ring());
+        let mut out_polys = Vec::with_capacity(3);
+        for part in &tensor {
+            let mut coeffs = Vec::with_capacity(n);
+            let mut residues = vec![0u128; k];
+            for j in 0..n {
+                for i in 0..k {
+                    residues[i] = part[i][j] as u128;
+                }
+                let x = basis.compose(&residues)?;
+                let (mag, neg) = if x > half {
+                    (basis.product().wrapping_sub(x), true)
+                } else {
+                    (x, false)
+                };
+                // y = ⌊(t·mag + q/2) / q⌋ — parameters guarantee t·mag
+                // fits 256 bits (see BfvParams validation).
+                let (num, hi) = mag.widening_mul(U256::from_u128(t));
+                debug_assert!(hi.is_zero());
+                let _ = hi;
+                let y = num
+                    .wrapping_add(U256::from_u128(q / 2))
+                    .div_rem(U256::from_u128(q))
+                    .0;
+                let r = y.rem(U256::from_u128(q)).low_u128();
+                coeffs.push(if neg && r != 0 { q - r } else if neg { 0 } else { r });
+            }
+            out_polys.push(Polynomial::from_values(Arc::clone(&ctx), &coeffs)?);
+        }
+        Ciphertext::new(out_polys)
+    }
+
+    /// Relinearization: folds the third component of a ciphertext product
+    /// back onto two components using digit-decomposition key switching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::WrongCiphertextSize`] unless the input has
+    /// three components.
+    pub fn relinearize(&self, ct: &Ciphertext, rlk: &RelinKey) -> Result<Ciphertext> {
+        self.check_ct(ct)?;
+        if ct.len() != 3 {
+            return Err(BfvError::WrongCiphertextSize { expected: 3, found: ct.len() });
+        }
+        let ctx = Arc::clone(self.params.poly_ring());
+        let n = self.params.n();
+        let w = rlk.base_bits;
+        let mask: u128 = (1u128 << w) - 1;
+        let mut c0 = ct.polys()[0].clone();
+        let mut c1 = ct.polys()[1].clone();
+        let c2 = &ct.polys()[2];
+        for (i, (k0, k1)) in rlk.parts.iter().enumerate() {
+            // Digit i of every coefficient of c2 (unsigned decomposition).
+            let digits: Vec<u128> = c2
+                .coeffs()
+                .iter()
+                .map(|&c| (c >> (w * i as u32)) & mask)
+                .collect();
+            debug_assert_eq!(digits.len(), n);
+            let d = Polynomial::from_values(Arc::clone(&ctx), &digits)?;
+            c0 = c0.add(&d.negacyclic_mul(k0)?)?;
+            c1 = c1.add(&d.negacyclic_mul(k1)?)?;
+        }
+        Ciphertext::new(vec![c0, c1])
+    }
+
+    /// Convenience: multiply then relinearize.
+    ///
+    /// # Errors
+    ///
+    /// Combines [`Evaluator::multiply`] and [`Evaluator::relinearize`]
+    /// error conditions.
+    pub fn multiply_relin(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        rlk: &RelinKey,
+    ) -> Result<Ciphertext> {
+        let prod = self.multiply(a, b)?;
+        self.relinearize(&prod, rlk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        params: BfvParams,
+        enc: Encryptor,
+        dec: Decryptor,
+        eval: Evaluator,
+        rlk: RelinKey,
+        rng: StdRng,
+    }
+
+    fn setup(n: usize, seed: u64) -> Fixture {
+        let params = BfvParams::insecure_testing(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = KeyGenerator::new(&params, &mut rng);
+        let pk = kg.public_key(&mut rng).unwrap();
+        let rlk = kg.relin_key(16, &mut rng).unwrap();
+        Fixture {
+            enc: Encryptor::new(&params, pk),
+            dec: Decryptor::new(&params, kg.secret_key().clone()),
+            eval: Evaluator::new(&params).unwrap(),
+            params,
+            rlk,
+            rng,
+        }
+    }
+
+    fn pt_of(f: &Fixture, vals: &[u64]) -> Plaintext {
+        let mut coeffs = vec![0u64; f.params.n()];
+        coeffs[..vals.len()].copy_from_slice(vals);
+        Plaintext::new(&f.params, coeffs).unwrap()
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let mut f = setup(32, 1);
+        let a = f.enc.encrypt(&pt_of(&f, &[3, 4]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[10, 20]), &mut f.rng).unwrap();
+        let sum = f.eval.add(&a, &b).unwrap();
+        let m = f.dec.decrypt(&sum).unwrap();
+        assert_eq!(&m.coeffs()[..2], &[13, 24]);
+    }
+
+    #[test]
+    fn homomorphic_subtraction_and_negation() {
+        let mut f = setup(32, 2);
+        let t = f.params.t();
+        let a = f.enc.encrypt(&pt_of(&f, &[5]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[8]), &mut f.rng).unwrap();
+        let diff = f.eval.sub(&a, &b).unwrap();
+        assert_eq!(f.dec.decrypt(&diff).unwrap().coeffs()[0], t - 3);
+        let neg = f.eval.neg(&a).unwrap();
+        assert_eq!(f.dec.decrypt(&neg).unwrap().coeffs()[0], t - 5);
+    }
+
+    #[test]
+    fn plaintext_operations() {
+        let mut f = setup(32, 3);
+        let a = f.enc.encrypt(&pt_of(&f, &[7]), &mut f.rng).unwrap();
+        let sum = f.eval.add_plain(&a, &pt_of(&f, &[30])).unwrap();
+        assert_eq!(f.dec.decrypt(&sum).unwrap().coeffs()[0], 37);
+        let prod = f.eval.mul_plain(&a, &pt_of(&f, &[6])).unwrap();
+        assert_eq!(f.dec.decrypt(&prod).unwrap().coeffs()[0], 42);
+    }
+
+    #[test]
+    fn ciphertext_multiplication_without_relinearization() {
+        // The exact operation the paper benchmarks in Fig. 6.
+        let mut f = setup(32, 4);
+        let a = f.enc.encrypt(&pt_of(&f, &[9]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[11]), &mut f.rng).unwrap();
+        let prod = f.eval.multiply(&a, &b).unwrap();
+        assert_eq!(prod.len(), 3);
+        assert_eq!(f.dec.decrypt(&prod).unwrap().coeffs()[0], 99);
+    }
+
+    #[test]
+    fn multiplication_of_polynomials_is_negacyclic() {
+        let mut f = setup(32, 5);
+        // a = x, b = x^31 → a·b = x^32 = -1 mod (x^32+1).
+        let t = f.params.t();
+        let mut av = vec![0u64; 32];
+        av[1] = 1;
+        let mut bv = vec![0u64; 32];
+        bv[31] = 1;
+        let a = f.enc.encrypt(&Plaintext::new(&f.params, av).unwrap(), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&Plaintext::new(&f.params, bv).unwrap(), &mut f.rng).unwrap();
+        let prod = f.eval.multiply(&a, &b).unwrap();
+        let m = f.dec.decrypt(&prod).unwrap();
+        assert_eq!(m.coeffs()[0], t - 1);
+        assert!(m.coeffs()[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn relinearization_preserves_the_product() {
+        let mut f = setup(32, 6);
+        let a = f.enc.encrypt(&pt_of(&f, &[12]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[13]), &mut f.rng).unwrap();
+        let prod3 = f.eval.multiply(&a, &b).unwrap();
+        let prod2 = f.eval.relinearize(&prod3, &f.rlk).unwrap();
+        assert_eq!(prod2.len(), 2);
+        assert_eq!(f.dec.decrypt(&prod2).unwrap().coeffs()[0], 156);
+    }
+
+    #[test]
+    fn multiply_consumes_noise_budget() {
+        let mut f = setup(32, 7);
+        let a = f.enc.encrypt(&pt_of(&f, &[2]), &mut f.rng).unwrap();
+        let fresh = f.dec.noise_budget(&a).unwrap();
+        let sq = f.eval.multiply_relin(&a, &a, &f.rlk).unwrap();
+        let after = f.dec.noise_budget(&sq).unwrap();
+        assert!(after < fresh, "budget must shrink: {fresh} -> {after}");
+        assert!(after > 0.0, "budget must remain positive for correctness");
+    }
+
+    #[test]
+    fn depth_two_circuit_decrypts() {
+        // ((a·b) + c) · d with relinearization between levels.
+        let mut f = setup(32, 8);
+        let enc = |f: &mut Fixture, v: u64| {
+            let pt = pt_of(f, &[v]);
+            f.enc.encrypt(&pt, &mut f.rng).unwrap()
+        };
+        let (a, b, c, d) = (enc(&mut f, 3), enc(&mut f, 5), enc(&mut f, 7), enc(&mut f, 2));
+        let ab = f.eval.multiply_relin(&a, &b, &f.rlk).unwrap();
+        let abc = f.eval.add(&ab, &c).unwrap();
+        let out = f.eval.multiply_relin(&abc, &d, &f.rlk).unwrap();
+        assert_eq!(f.dec.decrypt(&out).unwrap().coeffs()[0], (3 * 5 + 7) * 2);
+    }
+
+    #[test]
+    fn multiply_requires_two_component_inputs() {
+        let mut f = setup(32, 9);
+        let a = f.enc.encrypt(&pt_of(&f, &[1]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[1]), &mut f.rng).unwrap();
+        let prod3 = f.eval.multiply(&a, &b).unwrap();
+        assert!(f.eval.multiply(&prod3, &a).is_err());
+        assert!(f.eval.relinearize(&a, &f.rlk).is_err());
+    }
+
+    #[test]
+    fn slot_wise_products_with_batching() {
+        let mut f = setup(64, 10);
+        let encdr = crate::plaintext::BatchEncoder::new(&f.params).unwrap();
+        let sa: Vec<u64> = (0..64u64).collect();
+        let sb: Vec<u64> = (0..64u64).map(|i| i + 100).collect();
+        let ca = f.enc.encrypt(&encdr.encode(&sa).unwrap(), &mut f.rng).unwrap();
+        let cb = f.enc.encrypt(&encdr.encode(&sb).unwrap(), &mut f.rng).unwrap();
+        let prod = f.eval.multiply_relin(&ca, &cb, &f.rlk).unwrap();
+        let slots = encdr.decode(&f.dec.decrypt(&prod).unwrap());
+        for i in 0..64 {
+            assert_eq!(slots[i], (sa[i] * sb[i]) % f.params.t(), "slot {i}");
+        }
+    }
+}

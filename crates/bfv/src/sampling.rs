@@ -1,0 +1,150 @@
+//! Random samplers for BFV key material and noise.
+//!
+//! Eq. 2/3 of the paper: encryption uses "a random polynomial `u` from the
+//! set {−1, 0, 1}" and "small random polynomials from a discrete Gaussian
+//! distribution". The ternary sampler covers `u` and the secret key; the
+//! error sampler uses a centered binomial distribution with standard
+//! deviation ≈3.2 (the Homomorphic Encryption Standard's recommendation,
+//! and indistinguishable from the rounded Gaussian at these widths).
+
+use cofhee_arith::ModRing;
+use rand::Rng;
+
+/// Centered-binomial parameter giving σ = √(20/2) ≈ 3.16, matching the
+/// standard's σ ≈ 3.2 error width.
+const CBD_K: u32 = 20;
+
+/// Samples a uniformly random ring element vector (a public `a` poly).
+pub fn uniform<R: ModRing, G: Rng + ?Sized>(ring: &R, n: usize, rng: &mut G) -> Vec<R::Elem> {
+    let q = ring.modulus();
+    (0..n).map(|_| ring.from_u128(rng.gen::<u128>() % q)).collect()
+}
+
+/// Samples a ternary polynomial with coefficients in `{−1, 0, 1}`,
+/// represented in `[0, q)`.
+pub fn ternary<R: ModRing, G: Rng + ?Sized>(ring: &R, n: usize, rng: &mut G) -> Vec<R::Elem> {
+    let minus_one = ring.from_u128(ring.modulus() - 1);
+    let one = ring.one();
+    let zero = ring.zero();
+    (0..n)
+        .map(|_| match rng.gen_range(0u8..3) {
+            0 => minus_one,
+            1 => zero,
+            _ => one,
+        })
+        .collect()
+}
+
+/// Samples an error polynomial from the centered binomial distribution
+/// `CBD(20)` (σ ≈ 3.16), represented in `[0, q)`.
+pub fn error_poly<R: ModRing, G: Rng + ?Sized>(ring: &R, n: usize, rng: &mut G) -> Vec<R::Elem> {
+    (0..n)
+        .map(|_| {
+            let a = (rng.gen::<u32>() & ((1 << CBD_K) - 1)).count_ones() as i64;
+            let b = (rng.gen::<u32>() & ((1 << CBD_K) - 1)).count_ones() as i64;
+            signed_to_elem(ring, a - b)
+        })
+        .collect()
+}
+
+/// Maps a small signed integer into the ring.
+pub fn signed_to_elem<R: ModRing>(ring: &R, v: i64) -> R::Elem {
+    if v >= 0 {
+        ring.from_u128(v as u128)
+    } else {
+        ring.from_u128(ring.modulus() - v.unsigned_abs() as u128)
+    }
+}
+
+/// Interprets a ring element as a centered signed value in
+/// `(−q/2, q/2]`, returned as `(magnitude, is_negative)`.
+pub fn elem_to_centered<R: ModRing>(ring: &R, e: R::Elem) -> (u128, bool) {
+    let v = ring.to_u128(e);
+    let q = ring.modulus();
+    if v > q / 2 {
+        (q - v, true)
+    } else {
+        (v, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofhee_arith::Barrett128;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const Q: u128 = 324518553658426726783156020805633;
+
+    fn ring() -> Barrett128 {
+        Barrett128::new(Q).unwrap()
+    }
+
+    #[test]
+    fn ternary_values_are_ternary() {
+        let r = ring();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = ternary(&r, 4096, &mut rng);
+        for &c in &s {
+            assert!(c == 0 || c == 1 || c == Q - 1, "non-ternary coefficient {c}");
+        }
+        // All three values appear with roughly equal frequency.
+        let zeros = s.iter().filter(|&&c| c == 0).count();
+        assert!((1100..1650).contains(&zeros), "zeros = {zeros}");
+    }
+
+    #[test]
+    fn error_is_small_and_centered() {
+        let r = ring();
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = error_poly(&r, 8192, &mut rng);
+        let mut sum: i128 = 0;
+        for &c in &e {
+            let (mag, neg) = elem_to_centered(&r, c);
+            assert!(mag <= 20, "CBD(20) is bounded by ±20, got {mag}");
+            sum += if neg { -(mag as i128) } else { mag as i128 };
+        }
+        let mean = sum as f64 / 8192.0;
+        assert!(mean.abs() < 0.5, "sample mean {mean} too far from 0");
+    }
+
+    #[test]
+    fn error_variance_matches_cbd20() {
+        let r = ring();
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = error_poly(&r, 1 << 14, &mut rng);
+        let var: f64 = e
+            .iter()
+            .map(|&c| {
+                let (mag, _) = elem_to_centered(&r, c);
+                (mag as f64).powi(2)
+            })
+            .sum::<f64>()
+            / (1 << 14) as f64;
+        // Var[CBD(20)] = 20/2 = 10; allow generous sampling slack.
+        assert!((8.0..12.0).contains(&var), "variance = {var}");
+    }
+
+    #[test]
+    fn signed_round_trips() {
+        let r = ring();
+        for v in [-5i64, -1, 0, 1, 17] {
+            let e = signed_to_elem(&r, v);
+            let (mag, neg) = elem_to_centered(&r, e);
+            assert_eq!(mag as i64, v.abs());
+            assert_eq!(neg, v < 0);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let r = ring();
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = uniform(&r, 1000, &mut rng);
+        assert!(u.iter().all(|&x| x < Q));
+        // Values should span the range widely.
+        let max = u.iter().max().unwrap();
+        assert!(*max > Q / 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for BFV: the homomorphism laws over random
+//! plaintexts, noise-budget monotonicity, and batching linearity.
+
+use cofhee_bfv::{
+    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator,
+    Plaintext, RelinKey,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    params: BfvParams,
+    enc: Encryptor,
+    dec: Decryptor,
+    eval: Evaluator,
+    rlk: RelinKey,
+    rng: StdRng,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let params = BfvParams::insecure_testing(32).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kg = KeyGenerator::new(&params, &mut rng);
+    let pk = kg.public_key(&mut rng).unwrap();
+    let rlk = kg.relin_key(16, &mut rng).unwrap();
+    Fixture {
+        enc: Encryptor::new(&params, pk),
+        dec: Decryptor::new(&params, kg.secret_key().clone()),
+        eval: Evaluator::new(&params).unwrap(),
+        params,
+        rlk,
+        rng,
+    }
+}
+
+impl Fixture {
+    fn encrypt_value(&mut self, v: u64) -> Ciphertext {
+        let pt = Plaintext::constant(&self.params, v % self.params.t()).unwrap();
+        self.enc.encrypt(&pt, &mut self.rng).unwrap()
+    }
+
+    fn decrypt_value(&self, ct: &Ciphertext) -> u64 {
+        self.dec.decrypt(ct).unwrap().coeffs()[0]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn addition_is_homomorphic(a in any::<u64>(), b in any::<u64>(), seed in any::<u64>()) {
+        let mut f = fixture(seed);
+        let t = f.params.t();
+        let (a, b) = (a % t, b % t);
+        let ca = f.encrypt_value(a);
+        let cb = f.encrypt_value(b);
+        let ct = f.eval.add(&ca, &cb).unwrap();
+        prop_assert_eq!(f.decrypt_value(&ct), (a + b) % t);
+    }
+
+    #[test]
+    fn multiplication_is_homomorphic(a in any::<u64>(), b in any::<u64>(), seed in any::<u64>()) {
+        let mut f = fixture(seed);
+        let t = f.params.t();
+        let (a, b) = (a % t, b % t);
+        let ca = f.encrypt_value(a);
+        let cb = f.encrypt_value(b);
+        let prod = f.eval.multiply_relin(&ca, &cb, &f.rlk).unwrap();
+        prop_assert_eq!(
+            f.decrypt_value(&prod) as u128,
+            (a as u128 * b as u128) % t as u128
+        );
+    }
+
+    #[test]
+    fn mixed_circuit_identity(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), seed in any::<u64>()) {
+        // (a + b)·c = a·c + b·c homomorphically.
+        let mut f = fixture(seed);
+        let t = f.params.t() as u128;
+        let (a, b, c) = (a % t as u64, b % t as u64, c % t as u64);
+        let (ca, cb, cc) = (f.encrypt_value(a), f.encrypt_value(b), f.encrypt_value(c));
+        let a_plus_b = f.eval.add(&ca, &cb).unwrap();
+        let lhs = f.eval.multiply_relin(&a_plus_b, &cc, &f.rlk).unwrap();
+        let ac = f.eval.multiply_relin(&ca, &cc, &f.rlk).unwrap();
+        let bc = f.eval.multiply_relin(&cb, &cc, &f.rlk).unwrap();
+        let rhs = f.eval.add(&ac, &bc).unwrap();
+        prop_assert_eq!(f.decrypt_value(&lhs), f.decrypt_value(&rhs));
+        prop_assert_eq!(f.decrypt_value(&lhs) as u128, (a as u128 + b as u128) * c as u128 % t);
+    }
+
+    #[test]
+    fn plaintext_ops_are_homomorphic(a in any::<u64>(), m in any::<u64>(), seed in any::<u64>()) {
+        let mut f = fixture(seed);
+        let t = f.params.t();
+        let (a, m) = (a % t, m % t);
+        let ct = f.encrypt_value(a);
+        let pt = Plaintext::constant(&f.params, m).unwrap();
+        let sum = f.eval.add_plain(&ct, &pt).unwrap();
+        prop_assert_eq!(f.decrypt_value(&sum), (a + m) % t);
+        let prod = f.eval.mul_plain(&ct, &pt).unwrap();
+        prop_assert_eq!(f.decrypt_value(&prod) as u128, a as u128 * m as u128 % t as u128);
+    }
+
+    #[test]
+    fn noise_budget_decreases_monotonically(seed in any::<u64>()) {
+        let mut f = fixture(seed);
+        let ct = f.encrypt_value(2);
+        let fresh = f.dec.noise_budget(&ct).unwrap();
+        let sq = f.eval.multiply_relin(&ct, &ct, &f.rlk).unwrap();
+        let after_one = f.dec.noise_budget(&sq).unwrap();
+        prop_assert!(after_one < fresh);
+        let sq2 = f.eval.multiply_relin(&sq, &sq, &f.rlk).unwrap();
+        let after_two = f.dec.noise_budget(&sq2).unwrap();
+        prop_assert!(after_two < after_one);
+    }
+}
+
+#[test]
+fn batching_is_linear_over_slots() {
+    let params = BfvParams::insecure_testing(64).unwrap();
+    let encoder = BatchEncoder::new(&params).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let kg = KeyGenerator::new(&params, &mut rng);
+    let pk = kg.public_key(&mut rng).unwrap();
+    let enc = Encryptor::new(&params, pk);
+    let dec = Decryptor::new(&params, kg.secret_key().clone());
+    let eval = Evaluator::new(&params).unwrap();
+
+    let sa: Vec<u64> = (0..64u64).map(|i| (i * 13) % params.t()).collect();
+    let sb: Vec<u64> = (0..64u64).map(|i| (i * i) % params.t()).collect();
+    let ca = enc.encrypt(&encoder.encode(&sa).unwrap(), &mut rng).unwrap();
+    let cb = enc.encrypt(&encoder.encode(&sb).unwrap(), &mut rng).unwrap();
+    let sum = eval.add(&ca, &cb).unwrap();
+    let slots = encoder.decode(&dec.decrypt(&sum).unwrap());
+    for i in 0..64 {
+        assert_eq!(slots[i], (sa[i] + sb[i]) % params.t(), "slot {i}");
+    }
+}

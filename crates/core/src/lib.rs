@@ -1,0 +1,51 @@
+//! # cofhee-core
+//!
+//! The CoFHEE driver — the public API a host uses to compute on the
+//! (simulated) co-processor, mirroring the paper's "CoFHEE API"
+//! (Section III-C):
+//!
+//! * [`Device`] — bring-up over a [`Link`] (UART/SPI/backdoor), register
+//!   programming, twiddle loading, polynomial upload/download with wire
+//!   accounting, and the Table I command wrappers.
+//! * Algorithm 2 ([`Device::poly_mul`]) and Algorithm 3
+//!   ([`Device::ciphertext_mul`]) as bank-choreographed schedules: every
+//!   NTT runs on a dual-port pair at II = 1 while DMA staging hides
+//!   behind compute where the banks allow (Section III-F).
+//! * [`RnsDevice`] — tower dispatch for moduli wider than 128 bits
+//!   (the 218-bit point runs as two sequential 109-bit towers).
+//! * [`ExecutionMode`] — the three command-delivery modes of
+//!   Section III-I, with measured host-side overheads.
+//!
+//! # Examples
+//!
+//! ```
+//! use cofhee_core::Device;
+//! use cofhee_sim::ChipConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 1 << 10;
+//! let q = cofhee_arith::primes::ntt_prime(109, n)?;
+//! let mut device = Device::connect(ChipConfig::silicon(), q, n)?;
+//! let a: Vec<u128> = (0..n as u128).collect();
+//! let b: Vec<u128> = (0..n as u128).map(|i| i + 7).collect();
+//! let product = device.poly_mul(&a, &b)?;
+//! assert_eq!(product.result.len(), n);
+//! println!("PolyMul took {} cycles", product.compute_cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod modes;
+mod ops;
+mod rns;
+
+pub use device::{BankPlan, CommStats, Device, Link};
+pub use error::{CoreError, Result};
+pub use modes::{standard_links, ExecutionMode, ModeOutcome};
+pub use ops::{CiphertextMulOutcome, PolyMulOutcome};
+pub use rns::{RnsDevice, RnsMulOutcome};

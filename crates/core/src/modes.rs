@@ -1,0 +1,209 @@
+//! The three execution modes of Section III-I, made measurable.
+//!
+//! 1. **Direct register writes**: "the external host directly trigger[s]
+//!    the MDMC … This mode is slow as there are delays imposed by the
+//!    communication interface when writing to the configuration
+//!    register" — every command costs a wire round trip.
+//! 2. **Command FIFO**: the host preloads up to 32 commands and waits
+//!    for one drain interrupt.
+//! 3. **Cortex-M0**: a preloaded Thumb program sequences the commands
+//!    on-chip; the host only starts it and collects the result.
+//!
+//! [`Device::poly_mul_with_mode`] runs the same Algorithm 2 schedule
+//! under each mode and reports the host-side overhead separately, so the
+//! mode comparison the paper describes qualitatively becomes a
+//! measurement.
+
+use cofhee_sim::cm0::{Asm, Cm0};
+use cofhee_sim::{HostLink, Slot, Spi, Uart, GPCFG_BASE, Register, COMMAND_WORDS};
+
+use crate::device::{Device, Link};
+use crate::error::Result;
+use crate::ops::PolyMulOutcome;
+
+/// The execution mode selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Mode 1: per-command configuration-register triggers.
+    DirectRegister,
+    /// Mode 2: preloaded command FIFO + drain interrupt.
+    CommandFifo,
+    /// Mode 3: on-chip Cortex-M0 sequencing.
+    Cm0,
+}
+
+/// A mode-annotated outcome.
+#[derive(Debug, Clone)]
+pub struct ModeOutcome {
+    /// The computation result and chip-side report.
+    pub outcome: PolyMulOutcome,
+    /// Host-side wire seconds spent on command delivery (excludes
+    /// polynomial upload/download, which are identical across modes).
+    pub command_overhead_s: f64,
+    /// The mode that produced this outcome.
+    pub mode: ExecutionMode,
+}
+
+fn link_seconds(link: &Link, bytes: u64) -> f64 {
+    match link {
+        Link::Backdoor => Uart::new(921_600).transfer_seconds(bytes), // mode study needs a wire
+        Link::Uart(u) => u.transfer_seconds(bytes),
+        Link::Spi(s) => s.transfer_seconds(bytes),
+    }
+}
+
+impl Device {
+    /// Runs Algorithm 2 under the chosen execution mode, measuring the
+    /// host-side command-delivery overhead.
+    ///
+    /// # Errors
+    ///
+    /// Operand and chip execution failures.
+    pub fn poly_mul_with_mode(
+        &mut self,
+        a: &[u128],
+        b: &[u128],
+        mode: ExecutionMode,
+        link: &Link,
+    ) -> Result<ModeOutcome> {
+        let p = self.bank_plan();
+        self.upload(Slot::new(p.d2, 0), a)?;
+        self.upload(Slot::new(p.d0, 0), b)?;
+        let commands = self.poly_mul_commands();
+        let history_start = self.chip().history().len();
+        let cmd_bytes = (COMMAND_WORDS * 4) as u64;
+
+        let command_overhead_s = match mode {
+            ExecutionMode::DirectRegister => {
+                // Each command: write its words, then poll a status read
+                // until the completion interrupt (modeled as one 4-byte
+                // register read after completion).
+                let mut total = 0.0;
+                for cmd in &commands {
+                    self.chip_mut().execute_now(*cmd)?;
+                    total += link_seconds(link, cmd_bytes + 4);
+                }
+                total
+            }
+            ExecutionMode::CommandFifo => {
+                // One burst of command words up front, one interrupt.
+                for cmd in &commands {
+                    self.chip_mut().submit(*cmd)?;
+                }
+                self.chip_mut().run_until_idle()?;
+                link_seconds(link, cmd_bytes * commands.len() as u64 + 4)
+            }
+            ExecutionMode::Cm0 => {
+                // Program upload once + a single 4-byte start trigger.
+                let mut asm = Asm::new();
+                asm.ldr_const(0, GPCFG_BASE + Register::COMMANDFIFO.offset());
+                for cmd in &commands {
+                    for w in cmd.encode() {
+                        asm.ldr_const(1, w);
+                        asm.str(1, 0, 0);
+                    }
+                }
+                asm.bkpt();
+                let program = asm.assemble()?;
+                let program_bytes = program.len() as u64 * 2;
+                let mut cpu = Cm0::new(program);
+                self.chip_mut().run_program(&mut cpu, 1_000_000)?;
+                link_seconds(link, program_bytes + 4)
+            }
+        };
+
+        let compute_cycles = self.chip().history()[history_start..]
+            .iter()
+            .filter(|(op, _)| !op.is_memory_op())
+            .map(|(_, r)| r.cycles)
+            .sum();
+        let mut report = cofhee_sim::OpReport::default();
+        for (_, r) in &self.chip().history()[history_start..] {
+            report.absorb(r);
+        }
+        let result = self.download(Slot::new(p.d1, 0))?;
+        Ok(ModeOutcome {
+            outcome: PolyMulOutcome { result, report, compute_cycles },
+            command_overhead_s,
+            mode,
+        })
+    }
+}
+
+/// Builds the standard measurement links for the mode study.
+pub fn standard_links() -> Vec<(&'static str, Link)> {
+    vec![
+        ("UART 921600", Link::Uart(Uart::new(921_600))),
+        ("SPI 50MHz", Link::Spi(Spi::new(50_000_000))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofhee_arith::{Barrett128, ModRing};
+    use cofhee_sim::ChipConfig;
+
+    const Q109: u128 = 324518553658426726783156020805633;
+
+    fn rand_poly(ring: &Barrett128, n: usize, seed: u128) -> Vec<u128> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x1357);
+                ring.from_u128(state)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_modes_compute_the_same_product() {
+        let n = 1 << 8;
+        let link = Link::Uart(Uart::new(921_600));
+        let mut results = Vec::new();
+        for mode in [ExecutionMode::DirectRegister, ExecutionMode::CommandFifo, ExecutionMode::Cm0]
+        {
+            let mut dev = Device::connect(ChipConfig::silicon(), Q109, n).unwrap();
+            let ring = dev.ring().clone();
+            let a = rand_poly(&ring, n, 1);
+            let b = rand_poly(&ring, n, 2);
+            let out = dev.poly_mul_with_mode(&a, &b, mode, &link).unwrap();
+            results.push(out.outcome.result.clone());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn direct_mode_pays_per_command_overhead() {
+        let n = 1 << 8;
+        let link = Link::Uart(Uart::new(115_200));
+        let run = |mode| {
+            let mut dev = Device::connect(ChipConfig::silicon(), Q109, n).unwrap();
+            let ring = dev.ring().clone();
+            let a = rand_poly(&ring, n, 1);
+            let b = rand_poly(&ring, n, 2);
+            dev.poly_mul_with_mode(&a, &b, mode, &link).unwrap().command_overhead_s
+        };
+        let direct = run(ExecutionMode::DirectRegister);
+        let fifo = run(ExecutionMode::CommandFifo);
+        // Direct pays 4 polls and 4 framings; FIFO pays one.
+        assert!(direct > fifo, "direct {direct} vs fifo {fifo}");
+    }
+
+    #[test]
+    fn cm0_amortizes_for_repeated_execution() {
+        // The CM0 program costs more upfront (program bytes > command
+        // bytes) but is the only mode with a constant-size trigger for
+        // arbitrarily long command sequences.
+        let n = 1 << 8;
+        let link = Link::Spi(Spi::new(50_000_000));
+        let mut dev = Device::connect(ChipConfig::silicon(), Q109, n).unwrap();
+        let ring = dev.ring().clone();
+        let a = rand_poly(&ring, n, 1);
+        let b = rand_poly(&ring, n, 2);
+        let out = dev.poly_mul_with_mode(&a, &b, ExecutionMode::Cm0, &link).unwrap();
+        assert!(out.command_overhead_s > 0.0);
+        assert_eq!(out.mode, ExecutionMode::Cm0);
+    }
+}

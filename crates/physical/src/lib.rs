@@ -1,0 +1,45 @@
+//! # cofhee-physical
+//!
+//! Physical-design models for the CoFHEE reproduction. The paper's
+//! Tables III, IV, VI, VII, VIII and IX are EDA *reports* from the
+//! fabricated chip's flow; this crate holds them as typed data with the
+//! derived quantities the evaluation actually consumes:
+//!
+//! * [`PartCatalogue`] — Table VIII post-synthesis areas/delays, with
+//!   roll-ups (total 9.8345 mm², PE+MDMC compute area, the ≈1.9 mm² cost
+//!   of three extra PEs from Section VIII-A).
+//! * [`LayoutParams`] / [`ClockTreeStats`] — Tables IV and IX.
+//! * [`PnrStats`] / [`via_stats`] / [`flow_stages`] — Tables III, VII, VI.
+//! * [`TechScaling`] — the measured 55 nm → 7 nm Barrett-synthesis
+//!   factors (area 16.7×, delay 3.7×) behind the Table XI normalization.
+//! * [`ComparisonTable`] — Table XI: the F1 / CraterLake / BTS / ARK /
+//!   HEAX / Roy comparator records, the efficiency derivation, and the
+//!   6.3× / 1.39× / 46.19× / 4.72× speedup ratios.
+//!
+//! # Examples
+//!
+//! ```
+//! use cofhee_physical::{ComparisonTable, PartCatalogue, TechScaling};
+//!
+//! let table = ComparisonTable::table11();
+//! let eff = table.derive_cofhee_efficiency(
+//!     &PartCatalogue::cofhee(),
+//!     &TechScaling::gf55_to_7nm(),
+//! );
+//! assert!((eff - 4.54e-4).abs() / 4.54e-4 < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layout;
+mod parts;
+mod pnr;
+mod related;
+mod scaling;
+
+pub use layout::{ClockTreeStats, LayoutParams};
+pub use parts::{Part, PartCatalogue};
+pub use pnr::{flow_stages, via_stats, FlowStage, PnrStage, PnrStats, ViaLayer};
+pub use related::{ComparisonTable, Platform, RelatedDesign};
+pub use scaling::{ideal_area_factor, TechScaling};

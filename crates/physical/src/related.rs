@@ -1,0 +1,312 @@
+//! The related-work comparison — Table XI of the paper.
+//!
+//! Comparator records hold each design's *published* figures (technology,
+//! polynomial degree, modulus width, area, power, frequency, NTT clock
+//! cycles at `n = 2^13`); the efficiency derivation implements the
+//! paper's normalization:
+//!
+//! 1. Adjust the NTT time for RNS: a design with `w`-bit words needs
+//!    `⌈128/w⌉` tower passes to cover CoFHEE's 128-bit coefficients.
+//! 2. Normalize CoFHEE's compute area (PE + MDMC) and cycle time to the
+//!    comparison node using the measured Barrett-synthesis factors
+//!    (16.7× area, 3.7× delay).
+//! 3. Efficiency = NTT operations per nanosecond per mm².
+//!
+//! The headline ratios — 6.3× vs F1, 1.39× vs CraterLake, 46.19× vs BTS,
+//! 4.72× vs ARK — come out of [`ComparisonTable::speedups`].
+
+use serde::Serialize;
+
+use crate::parts::PartCatalogue;
+use crate::scaling::TechScaling;
+
+/// Implementation style of a related design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Platform {
+    /// Fabricated or synthesized ASIC.
+    Asic,
+    /// FPGA prototype.
+    Fpga,
+}
+
+/// One row of Table XI.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RelatedDesign {
+    /// Design name.
+    pub name: &'static str,
+    /// Platform.
+    pub platform: Platform,
+    /// Technology description.
+    pub technology: &'static str,
+    /// Largest supported polynomial degree.
+    pub max_n: usize,
+    /// Native modulus width in bits.
+    pub log_q_bits: u32,
+    /// Die/design area in mm² (ASICs only).
+    pub area_mm2: Option<f64>,
+    /// Power in watts, when published.
+    pub power_w: Option<f64>,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// Clock cycles for one `n = 2^13` NTT.
+    pub ntt_cycles: u64,
+    /// Published efficiency (NTT/ns/mm²), when given in Table XI.
+    pub published_efficiency: Option<f64>,
+    /// Whether the design is silicon-proven.
+    pub silicon_proven: bool,
+}
+
+impl RelatedDesign {
+    /// Number of RNS tower passes this design needs to process a
+    /// 128-bit coefficient (the paper: "F1 has to do RNS to split
+    /// 128-bit coefficients into 32-bit towers").
+    pub fn rns_towers_for_128bit(&self) -> u64 {
+        (128u32).div_ceil(self.log_q_bits) as u64
+    }
+
+    /// Wall time of one 128-bit-equivalent `n = 2^13` NTT, in ns.
+    pub fn ntt_time_128bit_ns(&self) -> f64 {
+        self.ntt_cycles as f64 / self.freq_mhz * 1e3 * self.rns_towers_for_128bit() as f64
+    }
+}
+
+/// The full Table XI.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ComparisonTable {
+    /// CoFHEE's row.
+    pub cofhee: RelatedDesign,
+    /// The other designs.
+    pub others: Vec<RelatedDesign>,
+}
+
+impl ComparisonTable {
+    /// The published Table XI.
+    pub fn table11() -> Self {
+        let cofhee = RelatedDesign {
+            name: "CoFHEE",
+            platform: Platform::Asic,
+            technology: "ASIC - GF 55nm",
+            max_n: 1 << 14,
+            log_q_bits: 128,
+            area_mm2: Some(12.0),
+            power_w: Some(2.3e-2),
+            freq_mhz: 250.0,
+            ntt_cycles: 53_248,
+            published_efficiency: Some(4.54e-4),
+            silicon_proven: true,
+        };
+        let others = vec![
+            RelatedDesign {
+                name: "F1",
+                platform: Platform::Asic,
+                technology: "ASIC - GF 14/12nm",
+                max_n: 1 << 14,
+                log_q_bits: 32,
+                area_mm2: Some(151.4),
+                power_w: Some(1.8e2),
+                freq_mhz: 1000.0,
+                ntt_cycles: 476,
+                published_efficiency: Some(7.21e-5),
+                silicon_proven: false,
+            },
+            RelatedDesign {
+                name: "CraterLake",
+                platform: Platform::Asic,
+                technology: "ASIC - 14/12nm",
+                max_n: 1 << 16,
+                log_q_bits: 28,
+                area_mm2: Some(472.3),
+                power_w: Some(3.2e2),
+                freq_mhz: 1000.0,
+                ntt_cycles: 22,
+                published_efficiency: Some(3.26e-4),
+                silicon_proven: false,
+            },
+            RelatedDesign {
+                name: "BTS",
+                platform: Platform::Asic,
+                technology: "ASIC - 7nm",
+                max_n: 1 << 17,
+                log_q_bits: 64,
+                area_mm2: Some(373.6),
+                power_w: Some(1.6e2),
+                freq_mhz: 1200.0,
+                ntt_cycles: 554,
+                published_efficiency: Some(9.83e-6),
+                silicon_proven: false,
+            },
+            RelatedDesign {
+                name: "ARK",
+                platform: Platform::Asic,
+                technology: "ASIC - 7nm",
+                max_n: 1 << 16,
+                log_q_bits: 64,
+                area_mm2: Some(418.3),
+                power_w: Some(2.8e2),
+                freq_mhz: 1000.0,
+                ntt_cycles: 104,
+                published_efficiency: Some(9.62e-5),
+                silicon_proven: false,
+            },
+            RelatedDesign {
+                name: "HEAX",
+                platform: Platform::Fpga,
+                technology: "FPGA - Intel Arria10 GX 1150",
+                max_n: 1 << 14,
+                log_q_bits: 27,
+                area_mm2: None,
+                power_w: None,
+                freq_mhz: 300.0,
+                ntt_cycles: 1536,
+                published_efficiency: None,
+                silicon_proven: false,
+            },
+            RelatedDesign {
+                name: "Roy",
+                platform: Platform::Fpga,
+                technology: "FPGA - Xilinx Zynq UltraScale+ ZCU102",
+                max_n: 1 << 12,
+                log_q_bits: 30,
+                area_mm2: None,
+                power_w: None,
+                freq_mhz: 200.0,
+                ntt_cycles: 16_425,
+                published_efficiency: None,
+                silicon_proven: false,
+            },
+        ];
+        Self { cofhee, others }
+    }
+
+    /// Derives CoFHEE's efficiency from first principles: the PE + MDMC
+    /// compute area and one NTT's cycle count, normalized to the 7 nm
+    /// class with the measured Barrett scaling factors.
+    ///
+    /// Returns NTT/ns/mm². The published 4.54·10⁻⁴ is reproduced within
+    /// the rounding of the paper's quoted scaling factors (≈4 %).
+    pub fn derive_cofhee_efficiency(&self, parts: &PartCatalogue, scaling: &TechScaling) -> f64 {
+        let area = scaling.scale_area_mm2(parts.compute_area_mm2());
+        let time_ns = self.cofhee.ntt_cycles as f64 / self.cofhee.freq_mhz * 1e3;
+        let time_scaled = scaling.scale_time_ns(time_ns);
+        1.0 / (time_scaled * area)
+    }
+
+    /// The Table XI speedup column: CoFHEE's published efficiency over
+    /// each ASIC comparator's.
+    pub fn speedups(&self) -> Vec<(&'static str, f64)> {
+        let base = self.cofhee.published_efficiency.expect("CoFHEE row carries efficiency");
+        self.others
+            .iter()
+            .filter_map(|d| d.published_efficiency.map(|e| (d.name, base / e)))
+            .collect()
+    }
+
+    /// Renders the comparison as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "Design      Technology                    n_max  logq  Area(mm2)  Power(W)  MHz   Cycles  Eff(NTT/ns/mm2)  Si\n",
+        );
+        let mut row = |d: &RelatedDesign| {
+            out.push_str(&format!(
+                "{:<11} {:<29} 2^{:<4} {:<5} {:<10} {:<9} {:<5} {:<7} {:<16} {}\n",
+                d.name,
+                d.technology,
+                d.max_n.trailing_zeros(),
+                d.log_q_bits,
+                d.area_mm2.map_or("-".into(), |a| format!("{a:.1}")),
+                d.power_w.map_or("-".into(), |p| format!("{p:.1e}")),
+                d.freq_mhz,
+                d.ntt_cycles,
+                d.published_efficiency.map_or("-".into(), |e| format!("{e:.2e}")),
+                if d.silicon_proven { "yes" } else { "no" },
+            ));
+        };
+        row(&self.cofhee);
+        for d in &self.others {
+            row(d);
+        }
+        out
+    }
+}
+
+impl Default for ComparisonTable {
+    fn default() -> Self {
+        Self::table11()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_match_section7() {
+        let t = ComparisonTable::table11();
+        let speedups = t.speedups();
+        let lookup = |name: &str| {
+            speedups.iter().find(|(n, _)| *n == name).map(|(_, s)| *s).unwrap()
+        };
+        assert!((lookup("F1") - 6.3).abs() < 0.05, "F1: {}", lookup("F1"));
+        assert!((lookup("CraterLake") - 1.39).abs() < 0.01);
+        assert!((lookup("BTS") - 46.19).abs() < 0.05);
+        assert!((lookup("ARK") - 4.72).abs() < 0.01);
+    }
+
+    #[test]
+    fn cofhee_efficiency_derivation_reproduces_table11() {
+        let t = ComparisonTable::table11();
+        let eff = t.derive_cofhee_efficiency(
+            &PartCatalogue::cofhee(),
+            &TechScaling::gf55_to_7nm(),
+        );
+        let published = 4.54e-4;
+        let rel_err = (eff - published).abs() / published;
+        assert!(
+            rel_err < 0.05,
+            "derived {eff:.3e} vs published {published:.3e} ({rel_err:.3} rel err)"
+        );
+    }
+
+    #[test]
+    fn rns_tower_adjustment() {
+        let t = ComparisonTable::table11();
+        assert_eq!(t.cofhee.rns_towers_for_128bit(), 1);
+        let f1 = &t.others[0];
+        assert_eq!(f1.rns_towers_for_128bit(), 4, "F1 splits 128 bits into 32-bit towers");
+        // F1's 128-bit NTT time: 4 × 476 cycles at 1 GHz = 1904 ns.
+        assert!((f1.ntt_time_128bit_ns() - 1904.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cofhee_is_the_only_silicon_proven_design() {
+        let t = ComparisonTable::table11();
+        assert!(t.cofhee.silicon_proven);
+        assert!(t.others.iter().all(|d| !d.silicon_proven));
+    }
+
+    #[test]
+    fn cofhee_area_is_smallest_asic() {
+        // The manufacturability argument of Section VII.
+        let t = ComparisonTable::table11();
+        let cofhee_area = t.cofhee.area_mm2.unwrap();
+        for d in t.others.iter().filter(|d| d.platform == Platform::Asic) {
+            assert!(d.area_mm2.unwrap() > 10.0 * cofhee_area, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn ntt_cycles_match_butterfly_count() {
+        // CoFHEE's Table XI cycle count is exactly (n/2)·log₂ n at 2^13.
+        let t = ComparisonTable::table11();
+        assert_eq!(t.cofhee.ntt_cycles, (8192 / 2) * 13);
+    }
+
+    #[test]
+    fn table_renders_every_design() {
+        let t = ComparisonTable::table11();
+        let s = t.to_table();
+        for name in ["CoFHEE", "F1", "CraterLake", "BTS", "ARK", "HEAX", "Roy"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Golden test-vector generation — the paper's pre-silicon verification
+//! flow (Section III-J) in Rust.
+//!
+//! The original flow: "A python script is used to calculate the modulus
+//! following the equation q = 2k·n + 1 … the script finds twiddle factors,
+//! generate random input polynomial coefficients, and calculate expected
+//! results. … These values are then ported to the verilog testbench."
+//!
+//! [`GoldenVectors`] produces the same artifacts — modulus, twiddle
+//! factors, random stimulus, and independently-computed expected results
+//! (naive `O(n²)` arithmetic, never the NTT under test) — for use by the
+//! simulator's testbenches.
+
+use cofhee_arith::{primes, roots::RootSet, Barrett128, ModRing};
+use rand::Rng;
+
+use crate::error::Result;
+use crate::naive;
+use crate::ntt::NttTables;
+
+/// A complete stimulus/expectation bundle for one verification run.
+#[derive(Debug, Clone)]
+pub struct GoldenVectors {
+    /// Polynomial degree.
+    pub n: usize,
+    /// The NTT-friendly modulus `q = 2k·n + 1`.
+    pub q: u128,
+    /// Random input polynomial `a` (natural order, reduced mod `q`).
+    pub a: Vec<u128>,
+    /// Random input polynomial `b`.
+    pub b: Vec<u128>,
+    /// Expected negacyclic product `a·b mod (x^n+1, q)` from the naive
+    /// oracle.
+    pub product: Vec<u128>,
+    /// Expected pointwise sum `a + b`.
+    pub sum: Vec<u128>,
+    /// Expected pointwise difference `a - b`.
+    pub difference: Vec<u128>,
+    /// The forward twiddle table (`ψ^{brv(i)}`) the chip's twiddle SRAM
+    /// must be loaded with.
+    pub forward_twiddles: Vec<u128>,
+    /// The inverse twiddle table (`ψ^{-brv(i)}`).
+    pub inverse_twiddles: Vec<u128>,
+    /// `n^{-1} mod q` (the INV_POLYDEG register value).
+    pub n_inv: u128,
+}
+
+impl GoldenVectors {
+    /// Generates vectors for degree `n` with a modulus of `q_bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-search and root-finding failures.
+    pub fn generate<G: Rng + ?Sized>(n: usize, q_bits: u32, rng: &mut G) -> Result<Self> {
+        let q = primes::ntt_prime(q_bits, n)?;
+        Self::generate_with_modulus(n, q, rng)
+    }
+
+    /// Generates vectors for a caller-chosen modulus (must satisfy
+    /// `q ≡ 1 (mod 2n)` and be prime).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-construction and root-finding failures.
+    pub fn generate_with_modulus<G: Rng + ?Sized>(n: usize, q: u128, rng: &mut G) -> Result<Self> {
+        let ring = Barrett128::new(q)?;
+        let roots = RootSet::new(&ring, n)?;
+        let tables = NttTables::from_roots(&ring, &roots);
+        let mut sample = || -> Vec<u128> {
+            (0..n).map(|_| rng.gen::<u128>() % q).collect()
+        };
+        let a = sample();
+        let b = sample();
+        let product = naive::negacyclic_mul(&ring, &a, &b)?;
+        let sum: Vec<u128> = a.iter().zip(&b).map(|(&x, &y)| ring.add(x, y)).collect();
+        let difference: Vec<u128> = a.iter().zip(&b).map(|(&x, &y)| ring.sub(x, y)).collect();
+        Ok(Self {
+            n,
+            q,
+            a,
+            b,
+            product,
+            sum,
+            difference,
+            forward_twiddles: tables.forward_twiddles().to_vec(),
+            inverse_twiddles: tables.inverse_twiddles().to_vec(),
+            n_inv: tables.n_inv(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vectors_are_internally_consistent() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let gv = GoldenVectors::generate(64, 60, &mut rng).unwrap();
+        assert_eq!(gv.a.len(), 64);
+        assert!(gv.a.iter().all(|&x| x < gv.q));
+        assert_eq!(gv.q % 128, 1); // q ≡ 1 mod 2n
+        // The NTT path must reproduce the naive expected product.
+        let ring = Barrett128::new(gv.q).unwrap();
+        let tables = NttTables::new(&ring, gv.n).unwrap();
+        let got = ntt::negacyclic_mul(&ring, &gv.a, &gv.b, &tables).unwrap();
+        assert_eq!(got, gv.product);
+    }
+
+    #[test]
+    fn twiddle_tables_match_ntt_tables() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let gv = GoldenVectors::generate(16, 54, &mut rng).unwrap();
+        let ring = Barrett128::new(gv.q).unwrap();
+        let tables = NttTables::new(&ring, 16).unwrap();
+        assert_eq!(gv.forward_twiddles, tables.forward_twiddles());
+        assert_eq!(gv.inverse_twiddles, tables.inverse_twiddles());
+        assert_eq!(gv.n_inv, tables.n_inv());
+    }
+
+    #[test]
+    fn different_seeds_give_different_stimulus() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let g1 = GoldenVectors::generate(32, 54, &mut r1).unwrap();
+        let g2 = GoldenVectors::generate(32, 54, &mut r2).unwrap();
+        assert_ne!(g1.a, g2.a);
+        assert_eq!(g1.q, g2.q, "modulus search is deterministic");
+    }
+}

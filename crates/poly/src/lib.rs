@@ -1,0 +1,55 @@
+//! # cofhee-poly
+//!
+//! Polynomial substrate for the CoFHEE reproduction: the ring
+//! `Z_q[x]/(x^n + 1)` that RLWE-based FHE (and therefore the entire CoFHEE
+//! chip) computes in.
+//!
+//! * [`ntt`] — the Number Theoretic Transform: the paper's Algorithm 1
+//!   (iterative Cooley–Tukey, sequential twiddle consumption), the
+//!   Gentleman–Sande inverse, the merged negacyclic path the chip
+//!   executes, and the explicit Algorithm 2 reference path.
+//! * [`naive`] — `O(n²)` schoolbook multiplication: the correctness oracle
+//!   and the complexity baseline the paper motivates against.
+//! * [`pointwise`] — the PMOD*/CMODMUL/PMUL command semantics of Table I.
+//! * [`bitrev`] — bit-reversal permutation (the MEMCPYR command).
+//! * [`Polynomial`] / [`PolyRing`] — owned values with domain tracking.
+//! * [`golden`] — the pre-silicon verification vector generator
+//!   (Section III-J of the paper).
+//!
+//! # Examples
+//!
+//! Multiply two polynomials the way CoFHEE does — 2 NTTs, a Hadamard pass,
+//! one inverse NTT — and check against the naive oracle:
+//!
+//! ```
+//! use cofhee_arith::{primes::ntt_prime, Barrett64};
+//! use cofhee_poly::{naive, ntt, ntt::NttTables};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 256;
+//! let q = ntt_prime(55, n)? as u64;
+//! let ring = Barrett64::new(q)?;
+//! let tables = NttTables::new(&ring, n)?;
+//! let a: Vec<u64> = (0..n as u64).collect();
+//! let b: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+//! let fast = ntt::negacyclic_mul(&ring, &a, &b, &tables)?;
+//! let slow = naive::negacyclic_mul(&ring, &a, &b)?;
+//! assert_eq!(fast, slow);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod polynomial;
+
+pub mod bitrev;
+pub mod golden;
+pub mod naive;
+pub mod ntt;
+pub mod pointwise;
+
+pub use error::{PolyError, Result};
+pub use polynomial::{Domain, PolyRing, Polynomial};

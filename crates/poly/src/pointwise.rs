@@ -1,0 +1,189 @@
+//! Pointwise (coefficient-wise) operations — the PMOD* commands of the
+//! CoFHEE ISA (Table I).
+//!
+//! Each function is the software semantics of one chip command, operating
+//! on raw coefficient slices exactly as the MDMC streams them through the
+//! processing element:
+//!
+//! | chip command | function |
+//! |---|---|
+//! | `PMODADD` | [`add_assign`] |
+//! | `PMODSUB` | [`sub_assign`] |
+//! | `PMODMUL` | [`mul_assign`] (Hadamard product) |
+//! | `PMODSQR` | [`sqr_assign`] |
+//! | `CMODMUL` | [`scalar_mul_assign`] |
+//! | `PMUL`    | [`widening_mul`] (non-modular pointwise multiply) |
+
+use cofhee_arith::{ModRing, U256};
+
+use crate::error::{PolyError, Result};
+
+fn check_same_len(a: usize, b: usize) -> Result<()> {
+    if a != b {
+        return Err(PolyError::LengthMismatch { expected: a, found: b });
+    }
+    Ok(())
+}
+
+/// `a[i] += b[i] (mod q)` — the `PMODADD` command.
+///
+/// # Errors
+///
+/// Returns [`PolyError::LengthMismatch`] when slice lengths differ.
+pub fn add_assign<R: ModRing>(ring: &R, a: &mut [R::Elem], b: &[R::Elem]) -> Result<()> {
+    check_same_len(a.len(), b.len())?;
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = ring.add(*x, y);
+    }
+    Ok(())
+}
+
+/// `a[i] -= b[i] (mod q)` — the `PMODSUB` command.
+///
+/// # Errors
+///
+/// Returns [`PolyError::LengthMismatch`] when slice lengths differ.
+pub fn sub_assign<R: ModRing>(ring: &R, a: &mut [R::Elem], b: &[R::Elem]) -> Result<()> {
+    check_same_len(a.len(), b.len())?;
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = ring.sub(*x, y);
+    }
+    Ok(())
+}
+
+/// `a[i] *= b[i] (mod q)` — the `PMODMUL` command (Hadamard product).
+///
+/// # Errors
+///
+/// Returns [`PolyError::LengthMismatch`] when slice lengths differ.
+pub fn mul_assign<R: ModRing>(ring: &R, a: &mut [R::Elem], b: &[R::Elem]) -> Result<()> {
+    check_same_len(a.len(), b.len())?;
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = ring.mul(*x, y);
+    }
+    Ok(())
+}
+
+/// `a[i] = a[i]² (mod q)` — the `PMODSQR` command.
+pub fn sqr_assign<R: ModRing>(ring: &R, a: &mut [R::Elem]) {
+    for x in a.iter_mut() {
+        *x = ring.sqr(*x);
+    }
+}
+
+/// `a[i] *= c (mod q)` — the `CMODMUL` command (constant multiplication,
+/// e.g. the `n⁻¹` pass closing an inverse NTT).
+pub fn scalar_mul_assign<R: ModRing>(ring: &R, a: &mut [R::Elem], c: R::Elem) {
+    let aux = ring.prepare(c);
+    for x in a.iter_mut() {
+        *x = ring.mul_prepared(*x, c, aux);
+    }
+}
+
+/// Negates every coefficient: `a[i] = -a[i] (mod q)`.
+pub fn neg_assign<R: ModRing>(ring: &R, a: &mut [R::Elem]) {
+    for x in a.iter_mut() {
+        *x = ring.neg(*x);
+    }
+}
+
+/// Non-modular pointwise multiplication — the `PMUL` command, which
+/// returns full double-width products (the PE's multiplier output before
+/// the Barrett reduction stages).
+///
+/// # Errors
+///
+/// Returns [`PolyError::LengthMismatch`] when slice lengths differ.
+pub fn widening_mul<R: ModRing>(ring: &R, a: &[R::Elem], b: &[R::Elem]) -> Result<Vec<U256>> {
+    check_same_len(a.len(), b.len())?;
+    Ok(a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let (lo, hi) = U256::from_u128(ring.to_u128(x)).widening_mul(U256::from_u128(ring.to_u128(y)));
+            debug_assert!(hi.is_zero());
+            let _ = hi;
+            lo
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofhee_arith::Barrett64;
+
+    const Q: u64 = 0x3_0001;
+
+    fn ring() -> Barrett64 {
+        Barrett64::new(Q).unwrap()
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let r = ring();
+        let orig = vec![1u64, 2, 3, Q - 1];
+        let b = vec![5u64, Q - 2, 0, 1];
+        let mut a = orig.clone();
+        add_assign(&r, &mut a, &b).unwrap();
+        sub_assign(&r, &mut a, &b).unwrap();
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn mul_is_hadamard() {
+        let r = ring();
+        let mut a = vec![2u64, 3, 4];
+        let b = vec![10u64, 20, 30];
+        mul_assign(&r, &mut a, &b).unwrap();
+        assert_eq!(a, vec![20, 60, 120]);
+    }
+
+    #[test]
+    fn sqr_matches_self_mul() {
+        let r = ring();
+        let mut a = vec![7u64, Q - 3, 12345];
+        let mut b = a.clone();
+        let copy = a.clone();
+        sqr_assign(&r, &mut a);
+        mul_assign(&r, &mut b, &copy).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scalar_mul_applies_constant() {
+        let r = ring();
+        let mut a = vec![1u64, 2, 3];
+        scalar_mul_assign(&r, &mut a, 100);
+        assert_eq!(a, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn neg_then_add_gives_zero() {
+        let r = ring();
+        let orig = vec![5u64, Q - 7, 0];
+        let mut a = orig.clone();
+        neg_assign(&r, &mut a);
+        add_assign(&r, &mut a, &orig).unwrap();
+        assert_eq!(a, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn widening_mul_keeps_full_product() {
+        let r = Barrett64::new((1 << 61) - 1).unwrap(); // large odd modulus
+        let a = vec![(1u64 << 60) + 5];
+        let b = vec![(1u64 << 60) + 7];
+        let wide = widening_mul(&r, &a, &b).unwrap();
+        let expect = U256::from_u128((a[0] as u128) * (b[0] as u128));
+        assert_eq!(wide[0], expect);
+    }
+
+    #[test]
+    fn length_mismatches_error() {
+        let r = ring();
+        let mut a = vec![1u64, 2];
+        assert!(add_assign(&r, &mut a, &[1]).is_err());
+        assert!(sub_assign(&r, &mut a, &[1, 2, 3]).is_err());
+        assert!(mul_assign(&r, &mut a, &[]).is_err());
+        assert!(widening_mul(&r, &a, &[1]).is_err());
+    }
+}

@@ -1,0 +1,602 @@
+//! The top-level chip: Figure 1 of the paper wired together.
+//!
+//! One [`Chip`] owns the SRAM complement, the processing element, the
+//! MDMC, the command FIFO, the configuration registers, and the engine
+//! timelines. It exposes the three execution modes of Section III-I:
+//!
+//! 1. **Direct register writes** — [`Chip::execute_now`], one command at
+//!    a time (host-link latency is accounted by the driver layer).
+//! 2. **Command FIFO** — [`Chip::submit`] + [`Chip::run_until_idle`]:
+//!    compute commands run sequentially on the MDMC while memory
+//!    commands dispatch to the DMA engine and overlap, exactly the
+//!    concurrency Section III-B describes; a host interrupt fires when
+//!    the queue drains.
+//! 3. **Cortex-M0** — [`Chip::run_program`]: a Thumb program sequences
+//!    commands through the memory-mapped COMMANDFIFO port.
+
+use cofhee_arith::{ModRing, U256};
+
+use crate::cm0::{Cm0, Cm0Bus, Halt};
+use crate::cmdfifo::CommandFifo;
+use crate::commands::{Command, Opcode, COMMAND_WORDS};
+use crate::config::ChipConfig;
+use crate::error::{Result, SimError};
+use crate::gpcfg::{GpCfg, Register, GPCFG_BASE, GPCFG_SPAN};
+use crate::mdmc::{Mdmc, OpReport};
+use crate::mem::{BankId, BankRoles, Memory, Slot};
+use crate::pe::ProcessingElement;
+use crate::power::PowerModel;
+
+/// One engine's in-flight transaction: which banks it holds, until when.
+#[derive(Debug, Clone, Default)]
+struct EngineState {
+    banks: Vec<BankId>,
+    free_at: u64,
+}
+
+impl EngineState {
+    fn conflicts_with(&self, banks: &[BankId], at: u64) -> bool {
+        at < self.free_at && banks.iter().any(|b| self.banks.contains(b))
+    }
+}
+
+/// The CoFHEE chip model.
+#[derive(Debug)]
+pub struct Chip {
+    config: ChipConfig,
+    mem: Memory,
+    pe: ProcessingElement,
+    mdmc: Mdmc,
+    gpcfg: GpCfg,
+    fifo: CommandFifo,
+    power: PowerModel,
+    now: u64,
+    compute: EngineState,
+    dma: EngineState,
+    host_irq: bool,
+    ledger: OpReport,
+    history: Vec<(Opcode, OpReport)>,
+    /// Staging buffer for the word-serial COMMANDFIFO port.
+    cmd_staging: Vec<u32>,
+}
+
+impl Chip {
+    /// Powers up a chip with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration-validation failures.
+    pub fn new(config: ChipConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            mem: Memory::from_config(&config),
+            pe: ProcessingElement::new(config.mult_latency, config.addsub_latency),
+            mdmc: Mdmc::new(config.clone()),
+            gpcfg: GpCfg::new(),
+            fifo: CommandFifo::new(),
+            power: PowerModel::silicon(),
+            now: 0,
+            compute: EngineState::default(),
+            dma: EngineState::default(),
+            host_irq: false,
+            ledger: OpReport::default(),
+            history: Vec::new(),
+            cmd_staging: Vec::with_capacity(COMMAND_WORDS),
+            config,
+        })
+    }
+
+    /// The silicon configuration chip.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in configuration.
+    pub fn silicon() -> Result<Self> {
+        Self::new(ChipConfig::silicon())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// The memory system (for inspection).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The configuration registers.
+    pub fn gpcfg(&self) -> &GpCfg {
+        &self.gpcfg
+    }
+
+    /// The standard bank role assignment.
+    pub fn roles(&self) -> BankRoles {
+        self.mem.roles()
+    }
+
+    /// Current simulation time in cycles.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.now.max(self.compute.free_at).max(self.dma.free_at)
+    }
+
+    /// Current simulation time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.config.cycles_to_seconds(self.elapsed_cycles())
+    }
+
+    /// Cumulative execution statistics since power-up.
+    pub fn ledger(&self) -> &OpReport {
+        &self.ledger
+    }
+
+    /// Per-command execution history.
+    pub fn history(&self) -> &[(Opcode, OpReport)] {
+        &self.history
+    }
+
+    /// The power model in force.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Reads and clears the host interrupt line.
+    pub fn take_interrupt(&mut self) -> bool {
+        std::mem::take(&mut self.host_irq)
+    }
+
+    /// Loads the FHE parameter registers (`Q`, `N`, `INV_POLYDEG` and the
+    /// derived Barrett constants) — what a host does before any compute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates modulus validation failures.
+    pub fn load_parameters(&mut self, q: u128, n: usize, n_inv: u128) -> Result<()> {
+        if n > self.config.bank_words {
+            return Err(SimError::LengthUnsupported { n, max: self.config.bank_words });
+        }
+        self.gpcfg.set_q(q);
+        self.gpcfg.set_n(n);
+        self.gpcfg.set_inv_polydeg(n_inv);
+        self.pe.load_modulus(q)?;
+        Ok(())
+    }
+
+    /// Derives and loads parameters from a ring and degree, including the
+    /// twiddle tables into the designated banks. Returns the slots where
+    /// forward and inverse twiddles were placed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finding and capacity failures.
+    pub fn load_ring<R: ModRing>(&mut self, ring: &R, n: usize) -> Result<(Slot, Slot)> {
+        let roots = cofhee_arith::roots::RootSet::new(ring, n)
+            .map_err(SimError::from)?;
+        let tables = cofhee_poly::ntt::NttTables::from_roots(ring, &roots);
+        self.load_parameters(ring.modulus(), n, ring.to_u128(roots.n_inv))?;
+        let roles = self.mem.roles();
+        let fwd = Slot::new(roles.twiddle, 0);
+        let inv = Slot::new(BankId(roles.twiddle.0 + 1), 0);
+        let fwd_tw: Vec<u128> =
+            tables.forward_twiddles().iter().map(|&w| ring.to_u128(w)).collect();
+        let inv_tw: Vec<u128> =
+            tables.inverse_twiddles().iter().map(|&w| ring.to_u128(w)).collect();
+        self.mem.write_slice(fwd, &fwd_tw)?;
+        self.mem.write_slice(inv, &inv_tw)?;
+        Ok((fwd, inv))
+    }
+
+    /// Writes polynomial coefficients into a bank (host-side upload; wire
+    /// time is accounted by the driver layer).
+    ///
+    /// # Errors
+    ///
+    /// Bounds failures.
+    pub fn write_polynomial(&mut self, slot: Slot, coeffs: &[u128]) -> Result<()> {
+        self.mem.write_slice(slot, coeffs)
+    }
+
+    /// Reads polynomial coefficients back from a bank.
+    ///
+    /// # Errors
+    ///
+    /// Bounds failures.
+    pub fn read_polynomial(&self, slot: Slot, n: usize) -> Result<Vec<u128>> {
+        self.mem.read_slice(slot, n)
+    }
+
+    fn banks_of(cmd: &Command) -> Vec<BankId> {
+        let mut banks = vec![cmd.x.bank, cmd.dst.bank];
+        if let Some(y) = cmd.y {
+            banks.push(y.bank);
+        }
+        if let Some(t) = cmd.twiddle {
+            banks.push(t.bank);
+        }
+        banks
+    }
+
+    fn record(&mut self, op: Opcode, report: OpReport) {
+        self.ledger.absorb(&report);
+        self.history.push((op, report));
+    }
+
+    /// Executes one command immediately (execution mode 1: direct
+    /// register trigger). The command runs on the appropriate engine;
+    /// time advances past any in-flight conflicting work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates MDMC execution failures.
+    pub fn execute_now(&mut self, cmd: Command) -> Result<OpReport> {
+        let banks = Self::banks_of(&cmd);
+        let report = self.mdmc.execute(&cmd, &mut self.mem, &mut self.pe, &self.gpcfg)?;
+        if cmd.op.is_memory_op() {
+            let mut start = self.now.max(self.dma.free_at);
+            if self.compute.conflicts_with(&banks, start) {
+                start = self.compute.free_at;
+            }
+            self.dma = EngineState { banks, free_at: start + report.cycles };
+        } else {
+            let mut start = self.now.max(self.compute.free_at);
+            if self.dma.conflicts_with(&banks, start) {
+                start = start.max(self.dma.free_at);
+            }
+            self.compute = EngineState { banks, free_at: start + report.cycles };
+        }
+        self.record(cmd.op, report);
+        Ok(report)
+    }
+
+    /// Enqueues a command into the 32-deep FIFO (execution mode 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FifoFull`] when the queue is full.
+    pub fn submit(&mut self, cmd: Command) -> Result<()> {
+        self.fifo.push(cmd)
+    }
+
+    /// Free slots in the command FIFO.
+    pub fn fifo_space(&self) -> usize {
+        self.fifo.space()
+    }
+
+    /// Drains the command FIFO: compute commands serialize on the MDMC,
+    /// memory commands dispatch to the DMA and overlap when their banks
+    /// are disjoint (Section III-B). Returns the aggregate report with
+    /// `cycles` = wall-clock cycles from start to full drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures; already-executed commands keep
+    /// their effects.
+    pub fn run_until_idle(&mut self) -> Result<OpReport> {
+        let start = self.elapsed_cycles();
+        let mut aggregate = OpReport::default();
+        while let Some(cmd) = self.fifo.pop() {
+            let report = self.execute_now(cmd)?;
+            aggregate.absorb(&report);
+        }
+        // Wall clock spans both engines.
+        let end = self.elapsed_cycles();
+        self.now = end;
+        aggregate.cycles = end - start;
+        if self.fifo.take_interrupt() {
+            self.host_irq = true;
+        }
+        Ok(aggregate)
+    }
+
+    /// Runs a Cortex-M0 program that drives the chip through the
+    /// memory-mapped command port (execution mode 3). Returns the final
+    /// halt reason and the aggregate report of all work the program
+    /// issued.
+    ///
+    /// On `WFI`, pending FIFO commands are drained (the completion
+    /// interrupt then wakes the core, which continues).
+    ///
+    /// # Errors
+    ///
+    /// CPU faults, timeout, or command-execution failures.
+    pub fn run_program(&mut self, cpu: &mut Cm0, budget: u64) -> Result<OpReport> {
+        let start = self.elapsed_cycles();
+        let mut aggregate = OpReport::default();
+        loop {
+            let halt = {
+                let mut bus = ChipBus { chip: self };
+                cpu.run(&mut bus, budget)?
+            };
+            match halt {
+                Halt::Breakpoint => {
+                    aggregate.absorb(&self.run_until_idle()?);
+                    break;
+                }
+                Halt::WaitForInterrupt => {
+                    aggregate.absorb(&self.run_until_idle()?);
+                    // Interrupt delivered; the core resumes.
+                }
+            }
+        }
+        let end = self.elapsed_cycles();
+        aggregate.cycles = end - start;
+        Ok(aggregate)
+    }
+
+    /// Average power over a report window, in mW.
+    pub fn average_power_mw(&self, report: &OpReport) -> f64 {
+        self.power.average_mw(&report.phases)
+    }
+
+    /// Peak power over a report window, in mW.
+    pub fn peak_power_mw(&self, report: &OpReport) -> f64 {
+        self.power.peak_mw(&report.phases)
+    }
+
+    /// Bus write used by the CM0 and host bridges.
+    fn bus_write_u32(&mut self, address: u32, value: u32) -> Result<()> {
+        if (GPCFG_BASE..GPCFG_BASE + GPCFG_SPAN).contains(&address) {
+            let offset = address - GPCFG_BASE;
+            if offset == Register::COMMANDFIFO.offset() {
+                // Word-serial command port: every COMMAND_WORDS-th write
+                // commits a command into the FIFO.
+                self.cmd_staging.push(value);
+                if self.cmd_staging.len() == COMMAND_WORDS {
+                    let mut words = [0u32; COMMAND_WORDS];
+                    words.copy_from_slice(&self.cmd_staging);
+                    self.cmd_staging.clear();
+                    let cmd = Command::decode(&words)?;
+                    self.fifo.push(cmd)?;
+                }
+                return Ok(());
+            }
+            return self.gpcfg.write_word(offset, value);
+        }
+        // SRAM: 32-bit lane writes into 128-bit words.
+        let (bank, word, _port_b) = self.mem.decode(address & !0xF)?;
+        let lane = (address & 0xF) / 4;
+        let slot = Slot::new(bank, word);
+        let mut current = self.mem.read_word(slot, 0)?;
+        let shift = lane * 32;
+        current &= !(0xFFFF_FFFFu128 << shift);
+        current |= (value as u128) << shift;
+        self.mem.write_word(slot, 0, current)
+    }
+
+    /// Bus read used by the CM0 and host bridges.
+    fn bus_read_u32(&mut self, address: u32) -> Result<u32> {
+        if (GPCFG_BASE..GPCFG_BASE + GPCFG_SPAN).contains(&address) {
+            return self.gpcfg.read_word(address - GPCFG_BASE);
+        }
+        let (bank, word, _port_b) = self.mem.decode(address & !0xF)?;
+        let lane = (address & 0xF) / 4;
+        let value = self.mem.read_word(Slot::new(bank, word), 0)?;
+        Ok((value >> (lane * 32)) as u32)
+    }
+
+    /// Reads a configuration register over the bus-style interface.
+    ///
+    /// # Errors
+    ///
+    /// Address-decode failures.
+    pub fn read_register(&mut self, reg: Register) -> Result<u32> {
+        self.bus_read_u32(GPCFG_BASE + reg.offset())
+    }
+
+    /// Barrett constants currently visible to the PE (for verification).
+    pub fn barrett_view(&self) -> (u32, U256) {
+        (self.gpcfg.barrett_k(), self.gpcfg.barrett_mu())
+    }
+}
+
+/// Borrowed bus adapter handing the chip's address space to the CM0.
+struct ChipBus<'a> {
+    chip: &'a mut Chip,
+}
+
+impl Cm0Bus for ChipBus<'_> {
+    fn read_u32(&mut self, address: u32) -> Result<u32> {
+        self.chip.bus_read_u32(address)
+    }
+
+    fn write_u32(&mut self, address: u32, value: u32) -> Result<()> {
+        self.chip.bus_write_u32(address, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cm0::Asm;
+    use cofhee_arith::{Barrett128, ModRing};
+    use cofhee_poly::ntt::{self, NttTables};
+
+    const Q109: u128 = 324518553658426726783156020805633;
+
+    fn chip_with_ring(n: usize) -> (Chip, Barrett128, NttTables<Barrett128>, Slot, Slot) {
+        let mut chip = Chip::silicon().unwrap();
+        let ring = Barrett128::new(Q109).unwrap();
+        let (fwd, inv) = chip.load_ring(&ring, n).unwrap();
+        let tables = NttTables::new(&ring, n).unwrap();
+        (chip, ring, tables, fwd, inv)
+    }
+
+    fn rand_poly(ring: &Barrett128, n: usize, seed: u128) -> Vec<u128> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x7777);
+                ring.from_u128(state)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_mode_runs_an_ntt() {
+        let n = 1 << 10;
+        let (mut chip, ring, tables, fwd, _) = chip_with_ring(n);
+        let poly = rand_poly(&ring, n, 1);
+        let x = Slot::new(BankId(0), 0);
+        let dst = Slot::new(BankId(1), 0);
+        chip.write_polynomial(x, &poly).unwrap();
+        let report = chip.execute_now(Command::ntt(x, fwd, dst)).unwrap();
+        assert!(report.cycles > 0);
+        let mut expect = poly;
+        ntt::forward_inplace(&ring, &mut expect, &tables).unwrap();
+        assert_eq!(chip.read_polynomial(dst, n).unwrap(), expect);
+        assert_eq!(chip.elapsed_cycles(), report.cycles);
+    }
+
+    #[test]
+    fn fifo_mode_raises_interrupt_on_drain() {
+        let n = 1 << 8;
+        let (mut chip, ring, _, fwd, inv) = chip_with_ring(n);
+        let poly = rand_poly(&ring, n, 2);
+        let x = Slot::new(BankId(0), 0);
+        let mid = Slot::new(BankId(1), 0);
+        let back = Slot::new(BankId(0), n);
+        chip.write_polynomial(x, &poly).unwrap();
+        chip.submit(Command::ntt(x, fwd, mid)).unwrap();
+        chip.submit(Command::intt(mid, inv, back)).unwrap();
+        assert!(!chip.take_interrupt());
+        let report = chip.run_until_idle().unwrap();
+        assert!(chip.take_interrupt(), "drain interrupt");
+        assert_eq!(chip.read_polynomial(back, n).unwrap(), poly, "NTT→iNTT round trip");
+        assert_eq!(report.butterflies, 2 * (n as u64 / 2) * 8);
+    }
+
+    #[test]
+    fn dma_overlaps_disjoint_compute() {
+        let n = 1 << 12;
+        let (mut chip, ring, _, fwd, _) = chip_with_ring(n);
+        let poly = rand_poly(&ring, n, 3);
+        chip.write_polynomial(Slot::new(BankId(0), 0), &poly).unwrap();
+        chip.write_polynomial(Slot::new(BankId(5), 0), &poly).unwrap();
+
+        // NTT on banks 0→1 while DMA stages bank 5 → bank 2 (prefetch):
+        // disjoint, so wall time should equal the NTT alone.
+        chip.submit(Command::ntt(Slot::new(BankId(0), 0), fwd, Slot::new(BankId(1), 0)))
+            .unwrap();
+        chip.submit(Command::memcpy(Slot::new(BankId(5), 0), Slot::new(BankId(2), 0), n))
+            .unwrap();
+        let report = chip.run_until_idle().unwrap();
+        assert_eq!(report.cycles, 24_841, "DMA hidden behind compute");
+        assert_eq!(chip.read_polynomial(Slot::new(BankId(2), 0), n).unwrap(), poly);
+    }
+
+    #[test]
+    fn conflicting_dma_serializes() {
+        let n = 1 << 12;
+        let (mut chip, ring, _, fwd, _) = chip_with_ring(n);
+        let poly = rand_poly(&ring, n, 4);
+        chip.write_polynomial(Slot::new(BankId(0), 0), &poly).unwrap();
+        // DMA wants the NTT's destination bank: must wait.
+        chip.submit(Command::ntt(Slot::new(BankId(0), 0), fwd, Slot::new(BankId(1), 0)))
+            .unwrap();
+        chip.submit(Command::memcpy(Slot::new(BankId(1), 0), Slot::new(BankId(4), 0), n))
+            .unwrap();
+        let report = chip.run_until_idle().unwrap();
+        assert!(report.cycles > 24_841 + n as u64, "serialized: {}", report.cycles);
+    }
+
+    #[test]
+    fn polymul_composite_matches_table5_within_one_cycle() {
+        // Table V PolyMul: 83,777 cc (n=2^12) / 179,045 cc (n=2^13).
+        for (log_n, expect) in [(12u32, 83_777u64), (13, 179_045)] {
+            let n = 1usize << log_n;
+            let (mut chip, ring, _, fwd, inv) = chip_with_ring(n);
+            let a = rand_poly(&ring, n, 5);
+            let b = rand_poly(&ring, n, 6);
+            let sa = Slot::new(BankId(0), 0);
+            let sb = Slot::new(BankId(2), 0);
+            let ta = Slot::new(BankId(1), 0);
+            chip.write_polynomial(sa, &a).unwrap();
+            chip.write_polynomial(sb, &b).unwrap();
+            // NTT(a): 0→1, NTT(b): 2→0, Hadamard: 1∘0→2, iNTT: 2→1.
+            chip.submit(Command::ntt(sa, fwd, ta)).unwrap();
+            chip.submit(Command::ntt(sb, fwd, sa)).unwrap();
+            chip.submit(Command::pmodmul(ta, sa, sb)).unwrap();
+            chip.submit(Command::intt(sb, inv, ta)).unwrap();
+            let report = chip.run_until_idle().unwrap();
+            // n=2^12 composes within 1 cycle; at n=2^13 the silicon
+            // measurement is 30 cycles below the sum of its parts
+            // (sub-command pipelining) — we accept ≤0.02 % error and
+            // record the exact deltas in EXPERIMENTS.md.
+            let err = report.cycles.abs_diff(expect) as f64 / expect as f64;
+            assert!(err < 2e-4, "PolyMul n=2^{log_n}: {} vs {expect}", report.cycles);
+
+            // Functional check against the software oracle.
+            let tables = NttTables::new(&ring, n).unwrap();
+            let oracle = ntt::negacyclic_mul(&ring, &a, &b, &tables).unwrap();
+            assert_eq!(chip.read_polynomial(ta, n).unwrap(), oracle);
+        }
+    }
+
+    #[test]
+    fn cm0_program_sequences_commands() {
+        // A Thumb program that writes one PMODADD command word-by-word
+        // into the COMMANDFIFO port, then halts.
+        let n = 1 << 8;
+        let (mut chip, ring, _, _, _) = chip_with_ring(n);
+        let a = rand_poly(&ring, n, 7);
+        let b = rand_poly(&ring, n, 8);
+        chip.write_polynomial(Slot::new(BankId(0), 0), &a).unwrap();
+        chip.write_polynomial(Slot::new(BankId(1), 0), &b).unwrap();
+
+        let cmd =
+            Command::pmodadd(Slot::new(BankId(0), 0), Slot::new(BankId(1), 0), Slot::new(BankId(2), 0));
+        let words = cmd.encode();
+        let mut asm = Asm::new();
+        asm.ldr_const(0, GPCFG_BASE + Register::COMMANDFIFO.offset());
+        for w in words {
+            asm.ldr_const(1, w);
+            asm.str(1, 0, 0);
+        }
+        asm.bkpt();
+        let mut cpu = Cm0::new(asm.assemble().unwrap());
+        let report = chip.run_program(&mut cpu, 10_000).unwrap();
+        assert!(report.addsubs == n as u64, "command executed via CM0");
+        let expect: Vec<u128> = a.iter().zip(&b).map(|(&x, &y)| ring.add(x, y)).collect();
+        assert_eq!(chip.read_polynomial(Slot::new(BankId(2), 0), n).unwrap(), expect);
+    }
+
+    #[test]
+    fn register_reads_over_bus() {
+        let mut chip = Chip::silicon().unwrap();
+        assert_eq!(chip.read_register(Register::SIGNATURE).unwrap(), crate::SIGNATURE_VALUE);
+        chip.load_parameters(Q109, 1 << 12, 1).unwrap();
+        assert_eq!(chip.gpcfg().q(), Q109);
+        assert_eq!(chip.gpcfg().n(), 1 << 12);
+    }
+
+    #[test]
+    fn sram_bus_lane_access() {
+        let mut chip = Chip::silicon().unwrap();
+        let base = chip.memory().bank(BankId(0)).unwrap().base_a();
+        // Write 4 lanes of one 128-bit word.
+        for lane in 0..4u32 {
+            chip.bus_write_u32(base + lane * 4, 0x1111_0000 + lane).unwrap();
+        }
+        let word = chip.read_polynomial(Slot::new(BankId(0), 0), 1).unwrap()[0];
+        for lane in 0..4u32 {
+            assert_eq!((word >> (32 * lane)) as u32, 0x1111_0000 + lane);
+            assert_eq!(chip.bus_read_u32(base + lane * 4).unwrap(), 0x1111_0000 + lane);
+        }
+    }
+
+    #[test]
+    fn power_reporting_for_operations() {
+        let n = 1 << 12;
+        let (mut chip, ring, _, fwd, _) = chip_with_ring(n);
+        let poly = rand_poly(&ring, n, 9);
+        chip.write_polynomial(Slot::new(BankId(0), 0), &poly).unwrap();
+        let report = chip
+            .execute_now(Command::ntt(Slot::new(BankId(0), 0), fwd, Slot::new(BankId(1), 0)))
+            .unwrap();
+        let avg = chip.average_power_mw(&report);
+        let peak = chip.peak_power_mw(&report);
+        // Table V: 24.5 avg / 30.4 peak.
+        assert!((avg - 24.5).abs() < 1.3, "avg = {avg}");
+        assert!((peak - 30.4).abs() < 1.0, "peak = {peak}");
+    }
+}

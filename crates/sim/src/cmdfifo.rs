@@ -1,0 +1,139 @@
+//! The 32-deep command FIFO — execution mode 2 of Section III-I.
+//!
+//! "The command FIFO guarantees the execution of a single command at a
+//! time in a predefined order. … We define the length of the queue to be
+//! 32 commands, as it is more than sufficient for our target
+//! applications." An interrupt is raised when the queue drains.
+
+use std::collections::VecDeque;
+
+use crate::commands::Command;
+use crate::error::{Result, SimError};
+
+/// Queue depth chosen in the paper.
+pub const FIFO_DEPTH: usize = 32;
+
+/// The command FIFO.
+#[derive(Debug, Clone, Default)]
+pub struct CommandFifo {
+    queue: VecDeque<Command>,
+    /// Set when the queue transitions to empty after executing commands;
+    /// cleared by [`CommandFifo::take_interrupt`].
+    interrupt: bool,
+    executed: u64,
+}
+
+impl CommandFifo {
+    /// An empty FIFO.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FifoFull`] at depth 32 — the host must wait
+    /// for space, exactly as on silicon.
+    pub fn push(&mut self, cmd: Command) -> Result<()> {
+        if self.queue.len() >= FIFO_DEPTH {
+            return Err(SimError::FifoFull);
+        }
+        self.queue.push_back(cmd);
+        Ok(())
+    }
+
+    /// Pops the next command for the MDMC; raises the drain interrupt
+    /// when this empties the queue.
+    pub fn pop(&mut self) -> Option<Command> {
+        let cmd = self.queue.pop_front();
+        if cmd.is_some() {
+            self.executed += 1;
+            if self.queue.is_empty() {
+                self.interrupt = true;
+            }
+        }
+        cmd
+    }
+
+    /// Current queue occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Free slots remaining.
+    pub fn space(&self) -> usize {
+        FIFO_DEPTH - self.queue.len()
+    }
+
+    /// Total commands executed since reset.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Reads and clears the queue-empty interrupt.
+    pub fn take_interrupt(&mut self) -> bool {
+        std::mem::take(&mut self.interrupt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::Command;
+    use crate::mem::{BankId, Slot};
+
+    fn cmd() -> Command {
+        Command::memcpy(Slot::new(BankId(0), 0), Slot::new(BankId(1), 0), 16)
+    }
+
+    #[test]
+    fn depth_is_32() {
+        let mut f = CommandFifo::new();
+        for _ in 0..FIFO_DEPTH {
+            f.push(cmd()).unwrap();
+        }
+        assert_eq!(f.space(), 0);
+        assert!(matches!(f.push(cmd()), Err(SimError::FifoFull)));
+    }
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut f = CommandFifo::new();
+        let a = Command::memcpy(Slot::new(BankId(0), 0), Slot::new(BankId(1), 0), 1);
+        let b = Command::memcpy(Slot::new(BankId(0), 0), Slot::new(BankId(1), 0), 2);
+        f.push(a).unwrap();
+        f.push(b).unwrap();
+        assert_eq!(f.pop().unwrap().len, Some(1));
+        assert_eq!(f.pop().unwrap().len, Some(2));
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn interrupt_fires_on_drain_only() {
+        let mut f = CommandFifo::new();
+        assert!(!f.take_interrupt(), "no interrupt before any execution");
+        f.push(cmd()).unwrap();
+        f.push(cmd()).unwrap();
+        f.pop();
+        assert!(!f.take_interrupt(), "queue not yet empty");
+        f.pop();
+        assert!(f.take_interrupt(), "interrupt on drain");
+        assert!(!f.take_interrupt(), "interrupt is cleared by reading");
+    }
+
+    #[test]
+    fn executed_counter_accumulates() {
+        let mut f = CommandFifo::new();
+        f.push(cmd()).unwrap();
+        f.push(cmd()).unwrap();
+        f.pop();
+        f.pop();
+        assert_eq!(f.executed(), 2);
+    }
+}

@@ -1,0 +1,321 @@
+//! The CoFHEE instruction set — Table I of the paper.
+//!
+//! Ten assembly-like commands split into compute operations (which run
+//! sequentially through the PE) and memory operations (which the DMA can
+//! run concurrently with compute — Section III-B).
+
+use crate::mem::Slot;
+
+/// Operation codes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Forward NTT.
+    Ntt,
+    /// Inverse NTT (includes the n⁻¹ scaling pass).
+    Intt,
+    /// Pointwise modular addition.
+    PModAdd,
+    /// Pointwise modular multiplication (Hadamard product).
+    PModMul,
+    /// Pointwise modular squaring.
+    PModSqr,
+    /// Pointwise modular subtraction.
+    PModSub,
+    /// Modular multiplication by a constant.
+    CModMul,
+    /// Pointwise (non-modular) multiplication.
+    PMul,
+    /// Memory-to-memory copy.
+    MemCpy,
+    /// Memory-to-memory copy in bit-reversed order.
+    MemCpyR,
+}
+
+impl Opcode {
+    /// Whether this is a memory operation (runs on the DMA engine and may
+    /// overlap compute) rather than a compute operation.
+    pub fn is_memory_op(self) -> bool {
+        matches!(self, Opcode::MemCpy | Opcode::MemCpyR)
+    }
+
+    /// The command mnemonic as printed in Table I.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Ntt => "NTT",
+            Opcode::Intt => "iNTT",
+            Opcode::PModAdd => "PMODADD",
+            Opcode::PModMul => "PMODMUL",
+            Opcode::PModSqr => "PMODSQR",
+            Opcode::PModSub => "PMODSUB",
+            Opcode::CModMul => "CMODMUL",
+            Opcode::PMul => "PMUL",
+            Opcode::MemCpy => "MEMCPY",
+            Opcode::MemCpyR => "MEMCPYR",
+        }
+    }
+}
+
+/// A fully-operand-resolved command, as the command FIFO stores it.
+///
+/// Polynomial degree `n`, modulus `q` and `n⁻¹` come from the
+/// configuration registers at execution time (Table I's `n`, `q`, `n⁻¹`
+/// columns); the memory-address operands (`[x]`, `[y]`, `[ω]`, `↣`) are
+/// explicit [`Slot`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Command {
+    /// The operation.
+    pub op: Opcode,
+    /// `[x]` — first source operand.
+    pub x: Slot,
+    /// `[y]` — second source operand, for two-input pointwise ops.
+    pub y: Option<Slot>,
+    /// `[ω]` — twiddle-factor table, for NTT/iNTT.
+    pub twiddle: Option<Slot>,
+    /// `↣` — destination.
+    pub dst: Slot,
+    /// `δ` — transfer length in words, for memory operations (compute
+    /// operations take their length from the `N` register).
+    pub len: Option<usize>,
+    /// The constant for CMODMUL.
+    pub constant: Option<u128>,
+}
+
+impl Command {
+    /// Forward NTT of the polynomial at `x` using twiddles at `twiddle`,
+    /// result to `dst`.
+    pub fn ntt(x: Slot, twiddle: Slot, dst: Slot) -> Self {
+        Self { op: Opcode::Ntt, x, y: None, twiddle: Some(twiddle), dst, len: None, constant: None }
+    }
+
+    /// Inverse NTT.
+    pub fn intt(x: Slot, twiddle: Slot, dst: Slot) -> Self {
+        Self {
+            op: Opcode::Intt,
+            x,
+            y: None,
+            twiddle: Some(twiddle),
+            dst,
+            len: None,
+            constant: None,
+        }
+    }
+
+    /// Pointwise modular addition `dst ← x + y`.
+    pub fn pmodadd(x: Slot, y: Slot, dst: Slot) -> Self {
+        Self { op: Opcode::PModAdd, x, y: Some(y), twiddle: None, dst, len: None, constant: None }
+    }
+
+    /// Pointwise modular subtraction `dst ← x − y`.
+    pub fn pmodsub(x: Slot, y: Slot, dst: Slot) -> Self {
+        Self { op: Opcode::PModSub, x, y: Some(y), twiddle: None, dst, len: None, constant: None }
+    }
+
+    /// Hadamard product `dst ← x ∘ y`.
+    pub fn pmodmul(x: Slot, y: Slot, dst: Slot) -> Self {
+        Self { op: Opcode::PModMul, x, y: Some(y), twiddle: None, dst, len: None, constant: None }
+    }
+
+    /// Pointwise squaring `dst ← x ∘ x`.
+    pub fn pmodsqr(x: Slot, dst: Slot) -> Self {
+        Self { op: Opcode::PModSqr, x, y: None, twiddle: None, dst, len: None, constant: None }
+    }
+
+    /// Constant multiplication `dst ← c · x`.
+    pub fn cmodmul(x: Slot, constant: u128, dst: Slot) -> Self {
+        Self {
+            op: Opcode::CModMul,
+            x,
+            y: None,
+            twiddle: None,
+            dst,
+            len: None,
+            constant: Some(constant),
+        }
+    }
+
+    /// Non-modular pointwise multiply (low halves of the wide products).
+    pub fn pmul(x: Slot, y: Slot, dst: Slot) -> Self {
+        Self { op: Opcode::PMul, x, y: Some(y), twiddle: None, dst, len: None, constant: None }
+    }
+
+    /// Memory copy of `len` words.
+    pub fn memcpy(src: Slot, dst: Slot, len: usize) -> Self {
+        Self {
+            op: Opcode::MemCpy,
+            x: src,
+            y: None,
+            twiddle: None,
+            dst,
+            len: Some(len),
+            constant: None,
+        }
+    }
+
+    /// Bit-reversed memory copy of `len` words (`len` must be a power of
+    /// two; validated at execution).
+    pub fn memcpyr(src: Slot, dst: Slot, len: usize) -> Self {
+        Self {
+            op: Opcode::MemCpyR,
+            x: src,
+            y: None,
+            twiddle: None,
+            dst,
+            len: Some(len),
+            constant: None,
+        }
+    }
+}
+
+/// Number of 32-bit words in the packed wire format of a command.
+pub const COMMAND_WORDS: usize = 10;
+
+impl Command {
+    /// Packs the command into its 10-word wire format — what a host or
+    /// the on-chip Cortex-M0 writes to the COMMANDFIFO port, word by
+    /// word.
+    ///
+    /// Layout: `[op|flags, x, y, twiddle, dst, len, const₀, const₁,
+    /// const₂, const₃]`, with slots packed as `bank << 24 | offset`.
+    pub fn encode(&self) -> [u32; COMMAND_WORDS] {
+        let pack = |s: Slot| (s.bank.0 as u32) << 24 | (s.offset as u32 & 0x00FF_FFFF);
+        let op = match self.op {
+            Opcode::Ntt => 0u32,
+            Opcode::Intt => 1,
+            Opcode::PModAdd => 2,
+            Opcode::PModMul => 3,
+            Opcode::PModSqr => 4,
+            Opcode::PModSub => 5,
+            Opcode::CModMul => 6,
+            Opcode::PMul => 7,
+            Opcode::MemCpy => 8,
+            Opcode::MemCpyR => 9,
+        };
+        let flags = (self.y.is_some() as u32) << 8
+            | (self.twiddle.is_some() as u32) << 9
+            | (self.len.is_some() as u32) << 10
+            | (self.constant.is_some() as u32) << 11;
+        let c = self.constant.unwrap_or(0);
+        [
+            op | flags,
+            pack(self.x),
+            self.y.map(pack).unwrap_or(0),
+            self.twiddle.map(pack).unwrap_or(0),
+            pack(self.dst),
+            self.len.unwrap_or(0) as u32,
+            c as u32,
+            (c >> 32) as u32,
+            (c >> 64) as u32,
+            (c >> 96) as u32,
+        ]
+    }
+
+    /// Decodes the 10-word wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::BadConfiguration`] for unknown opcodes.
+    pub fn decode(words: &[u32; COMMAND_WORDS]) -> crate::Result<Self> {
+        let unpack = |w: u32| Slot::new(
+            crate::mem::BankId((w >> 24) as usize),
+            (w & 0x00FF_FFFF) as usize,
+        );
+        let op = match words[0] & 0xFF {
+            0 => Opcode::Ntt,
+            1 => Opcode::Intt,
+            2 => Opcode::PModAdd,
+            3 => Opcode::PModMul,
+            4 => Opcode::PModSqr,
+            5 => Opcode::PModSub,
+            6 => Opcode::CModMul,
+            7 => Opcode::PMul,
+            8 => Opcode::MemCpy,
+            9 => Opcode::MemCpyR,
+            other => {
+                return Err(crate::SimError::BadConfiguration {
+                    reason: format!("unknown opcode {other} in command word"),
+                })
+            }
+        };
+        let flags = words[0];
+        let constant = (words[6] as u128)
+            | (words[7] as u128) << 32
+            | (words[8] as u128) << 64
+            | (words[9] as u128) << 96;
+        Ok(Self {
+            op,
+            x: unpack(words[1]),
+            y: (flags >> 8 & 1 == 1).then(|| unpack(words[2])),
+            twiddle: (flags >> 9 & 1 == 1).then(|| unpack(words[3])),
+            dst: unpack(words[4]),
+            len: (flags >> 10 & 1 == 1).then_some(words[5] as usize),
+            constant: (flags >> 11 & 1 == 1).then_some(constant),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::BankId;
+
+    fn s(b: usize) -> Slot {
+        Slot::new(BankId(b), 0)
+    }
+
+    #[test]
+    fn memory_ops_are_classified() {
+        assert!(Opcode::MemCpy.is_memory_op());
+        assert!(Opcode::MemCpyR.is_memory_op());
+        assert!(!Opcode::Ntt.is_memory_op());
+        assert!(!Opcode::PModAdd.is_memory_op());
+    }
+
+    #[test]
+    fn constructors_fill_the_right_operands() {
+        let c = Command::ntt(s(0), s(3), s(1));
+        assert_eq!(c.op, Opcode::Ntt);
+        assert!(c.twiddle.is_some() && c.y.is_none());
+        let c = Command::pmodadd(s(0), s(1), s(2));
+        assert!(c.y.is_some() && c.twiddle.is_none());
+        let c = Command::cmodmul(s(0), 42, s(1));
+        assert_eq!(c.constant, Some(42));
+        let c = Command::memcpy(s(0), s(1), 4096);
+        assert_eq!(c.len, Some(4096));
+    }
+
+    #[test]
+    fn mnemonics_match_table1() {
+        assert_eq!(Opcode::Ntt.mnemonic(), "NTT");
+        assert_eq!(Opcode::Intt.mnemonic(), "iNTT");
+        assert_eq!(Opcode::PModSqr.mnemonic(), "PMODSQR");
+        assert_eq!(Opcode::MemCpyR.mnemonic(), "MEMCPYR");
+    }
+
+    #[test]
+    fn wire_format_round_trips_every_opcode() {
+        let commands = [
+            Command::ntt(Slot::new(BankId(0), 5), Slot::new(BankId(3), 0), Slot::new(BankId(1), 7)),
+            Command::intt(s(1), s(4), s(0)),
+            Command::pmodadd(s(0), s(1), s(2)),
+            Command::pmodsub(s(2), s(1), s(0)),
+            Command::pmodmul(s(0), s(2), s(1)),
+            Command::pmodsqr(s(0), s(1)),
+            Command::cmodmul(s(0), u128::MAX - 99, s(1)),
+            Command::pmul(s(0), s(1), s(2)),
+            Command::memcpy(s(3), s(4), 8192),
+            Command::memcpyr(s(4), s(3), 4096),
+        ];
+        for cmd in commands {
+            let words = cmd.encode();
+            let back = Command::decode(&words).unwrap();
+            assert_eq!(back, cmd, "{} wire round trip", cmd.op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        let mut words = Command::memcpy(s(0), s(1), 4).encode();
+        words[0] = (words[0] & !0xFF) | 0x55;
+        assert!(Command::decode(&words).is_err());
+    }
+}

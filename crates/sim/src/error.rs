@@ -1,0 +1,123 @@
+//! Error types for the chip simulator.
+
+use core::fmt;
+
+use cofhee_arith::ArithError;
+
+/// Errors raised by the CoFHEE chip model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An address did not decode to any memory bank or register.
+    UnmappedAddress {
+        /// The offending byte address.
+        address: u32,
+    },
+    /// An access crossed the end of a memory bank.
+    OutOfBounds {
+        /// Bank the access targeted.
+        bank: &'static str,
+        /// First out-of-range word index.
+        word: usize,
+        /// Bank capacity in words.
+        capacity: usize,
+    },
+    /// A command referenced a polynomial length the chip cannot hold.
+    LengthUnsupported {
+        /// Requested length in coefficients.
+        n: usize,
+        /// Maximum supported by the configuration.
+        max: usize,
+    },
+    /// The command FIFO was full (depth 32).
+    FifoFull,
+    /// A register write targeted a read-only register.
+    ReadOnlyRegister {
+        /// Register name.
+        name: &'static str,
+    },
+    /// Configuration registers held invalid values for the operation.
+    BadConfiguration {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Two engines tried to use the same SRAM bank in the same window.
+    PortConflict {
+        /// Bank name.
+        bank: &'static str,
+    },
+    /// The Cortex-M0 model hit an undefined or unsupported instruction.
+    UndefinedInstruction {
+        /// Program counter of the fault.
+        pc: u32,
+        /// Raw halfword.
+        opcode: u16,
+    },
+    /// The Cortex-M0 ran past its cycle budget without halting.
+    CpuTimeout {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// Error from the arithmetic layer.
+    Arith(ArithError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnmappedAddress { address } => {
+                write!(f, "address {address:#010x} does not decode to any target")
+            }
+            Self::OutOfBounds { bank, word, capacity } => {
+                write!(f, "access to word {word} exceeds bank {bank} ({capacity} words)")
+            }
+            Self::LengthUnsupported { n, max } => {
+                write!(f, "polynomial length {n} exceeds the configured maximum {max}")
+            }
+            Self::FifoFull => write!(f, "command FIFO is full"),
+            Self::ReadOnlyRegister { name } => write!(f, "register {name} is read-only"),
+            Self::BadConfiguration { reason } => write!(f, "bad configuration: {reason}"),
+            Self::PortConflict { bank } => {
+                write!(f, "concurrent engines contend for SRAM bank {bank}")
+            }
+            Self::UndefinedInstruction { pc, opcode } => {
+                write!(f, "undefined instruction {opcode:#06x} at pc {pc:#010x}")
+            }
+            Self::CpuTimeout { budget } => {
+                write!(f, "cortex-m0 exceeded its {budget}-cycle budget")
+            }
+            Self::Arith(e) => write!(f, "arithmetic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Arith(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArithError> for SimError {
+    fn from(e: ArithError) -> Self {
+        Self::Arith(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::UnmappedAddress { address: 0x4002_0000 };
+        assert!(e.to_string().contains("0x40020000"));
+        let e = SimError::FifoFull;
+        assert!(!e.to_string().is_empty());
+    }
+}

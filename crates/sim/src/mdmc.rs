@@ -1,0 +1,765 @@
+//! The Multiplier Data Mover and Controller (MDMC).
+//!
+//! Section III-G2 of the paper: the MDMC decodes commands, streams
+//! operands from the SRAMs into the PE every cycle, and writes results
+//! back, with an internal state machine sequencing NTT stages and an
+//! address-generation unit producing operand and twiddle addresses.
+//!
+//! # Cycle model
+//!
+//! Timing is derived from the microarchitecture, with two constants
+//! calibrated once against Table V (see [`ChipConfig`]):
+//!
+//! * **NTT**: `log₂ n` stages of `n/2` butterflies at `II` each, plus
+//!   `stage_overhead` (pipeline fill/drain + stage turnaround) per stage,
+//!   plus the command-trigger cycle. `II = 1` when input and output live
+//!   in distinct dual-port banks (the silicon's normal schedule);
+//!   `II = 2` when single-port banks must be used (`n ≥ 2^14`,
+//!   Section III-C).
+//! * **iNTT**: the same stage body plus the `n⁻¹` constant-multiplication
+//!   pass (a burst-streamed pointwise pass).
+//! * **Pointwise passes**: `n·II + (n/burst)·gap + pass_setup` — the
+//!   MDMC streams bursts of 16 words with a 2-cycle address-generator
+//!   turnaround between bursts.
+//!
+//! With the silicon configuration this reproduces Table V exactly for NTT
+//! (24,841 / 53,535 cycles) and iNTT (29,468 / 62,770), and PolyMul to
+//! within 1 cycle in 83,777 (see the tests and EXPERIMENTS.md).
+
+use cofhee_poly::bitrev::bit_reverse;
+
+use crate::commands::{Command, Opcode};
+use crate::config::ChipConfig;
+use crate::error::{Result, SimError};
+use crate::gpcfg::GpCfg;
+use crate::mem::Memory;
+use crate::pe::ProcessingElement;
+
+/// Cycles spent in each activity phase — the power model's input.
+///
+/// Phases are distinguished because the silicon measurements (Table V)
+/// show distinct power levels for Cooley–Tukey butterfly streaming,
+/// Gentleman–Sande streaming, constant-multiplication passes, and
+/// Hadamard passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    /// Forward (Cooley–Tukey) butterfly streaming.
+    pub ct_butterfly: u64,
+    /// Inverse (Gentleman–Sande) butterfly streaming.
+    pub gs_butterfly: u64,
+    /// Constant-multiplication pass (n⁻¹ scaling, CMODMUL).
+    pub scale_pass: u64,
+    /// Hadamard / squaring pass (PMODMUL, PMODSQR).
+    pub hadamard_pass: u64,
+    /// Add/sub pass (PMODADD, PMODSUB).
+    pub addsub_pass: u64,
+    /// Non-modular multiply pass (PMUL).
+    pub raw_mul_pass: u64,
+    /// DMA word movement (MEMCPY/MEMCPYR, prefetch).
+    pub dma: u64,
+    /// Pipeline fill/drain, burst gaps, setup, triggers.
+    pub overhead: u64,
+}
+
+impl PhaseCycles {
+    /// Total cycles across all phases.
+    pub fn total(&self) -> u64 {
+        self.ct_butterfly
+            + self.gs_butterfly
+            + self.scale_pass
+            + self.hadamard_pass
+            + self.addsub_pass
+            + self.raw_mul_pass
+            + self.dma
+            + self.overhead
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn absorb(&mut self, other: &PhaseCycles) {
+        self.ct_butterfly += other.ct_butterfly;
+        self.gs_butterfly += other.gs_butterfly;
+        self.scale_pass += other.scale_pass;
+        self.hadamard_pass += other.hadamard_pass;
+        self.addsub_pass += other.addsub_pass;
+        self.raw_mul_pass += other.raw_mul_pass;
+        self.dma += other.dma;
+        self.overhead += other.overhead;
+    }
+}
+
+/// Execution statistics for one command — the input to the power model
+/// and the latency ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpReport {
+    /// Total cycles the command occupied the MDMC (or DMA).
+    pub cycles: u64,
+    /// Butterflies retired.
+    pub butterflies: u64,
+    /// Standalone modular multiplies (pointwise passes).
+    pub mults: u64,
+    /// Standalone modular adds/subs.
+    pub addsubs: u64,
+    /// SRAM words read.
+    pub mem_reads: u64,
+    /// SRAM words written.
+    pub mem_writes: u64,
+    /// Words moved by DMA.
+    pub dma_words: u64,
+    /// Per-phase cycle breakdown.
+    pub phases: PhaseCycles,
+}
+
+impl OpReport {
+    /// Merges another report into this one (sequential composition).
+    pub fn absorb(&mut self, other: &OpReport) {
+        self.cycles += other.cycles;
+        self.butterflies += other.butterflies;
+        self.mults += other.mults;
+        self.addsubs += other.addsubs;
+        self.mem_reads += other.mem_reads;
+        self.mem_writes += other.mem_writes;
+        self.dma_words += other.dma_words;
+        self.phases.absorb(&other.phases);
+    }
+}
+
+/// The MDMC engine.
+#[derive(Debug, Clone)]
+pub struct Mdmc {
+    config: ChipConfig,
+}
+
+impl Mdmc {
+    /// Builds an MDMC for the given chip configuration.
+    pub fn new(config: ChipConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Initiation interval for NTT butterflies given the operand banks.
+    fn ntt_ii(&self, mem: &Memory, cmd: &Command, n: usize) -> Result<u64> {
+        let src_dual = mem.bank(cmd.x.bank)?.is_dual_port();
+        let dst_dual = mem.bank(cmd.dst.bank)?.is_dual_port();
+        let fits = n <= self.config.max_onchip_n;
+        // II = 1 needs both compute banks dual-ported, distinct, and the
+        // polynomial within the on-chip optimum (Section III-C).
+        if fits && src_dual && dst_dual && cmd.x.bank != cmd.dst.bank {
+            Ok(1)
+        } else {
+            Ok(2)
+        }
+    }
+
+    /// Initiation interval for streamed pointwise passes.
+    fn pass_ii(&self, mem: &Memory, cmd: &Command) -> Result<u64> {
+        let src_dual = mem.bank(cmd.x.bank)?.is_dual_port();
+        let two_src_ok = match cmd.y {
+            // Two sources stream at II=1 when they sit in different banks
+            // or share a dual-port bank.
+            Some(y) => y.bank != cmd.x.bank || src_dual,
+            None => true,
+        };
+        if two_src_ok {
+            Ok(1)
+        } else {
+            Ok(2)
+        }
+    }
+
+    /// Cycle cost of a burst-streamed pointwise pass over `n` words.
+    fn pass_cycles(&self, n: usize, ii: u64) -> u64 {
+        let bursts = (n as u64).div_ceil(self.config.stream_burst as u64);
+        n as u64 * ii + bursts * self.config.burst_gap as u64 + self.config.pass_setup as u64
+    }
+
+    /// Cycle cost of an NTT/iNTT stage body over `log₂ n` stages.
+    fn stage_cycles(&self, n: usize, ii: u64) -> u64 {
+        let stages = n.trailing_zeros() as u64;
+        let per_pe = (n as u64 / 2).div_ceil(self.config.pe_count as u64);
+        stages * (per_pe * ii + self.config.stage_overhead as u64)
+    }
+
+    /// Executes one command: functional effect on memory plus the cycle
+    /// and activity report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, bounds and conflict errors; the memory
+    /// state is unspecified only if an error is returned mid-write (the
+    /// silicon offers no stronger guarantee).
+    pub fn execute(
+        &self,
+        cmd: &Command,
+        mem: &mut Memory,
+        pe: &mut ProcessingElement,
+        gpcfg: &GpCfg,
+    ) -> Result<OpReport> {
+        match cmd.op {
+            Opcode::Ntt => self.exec_ntt(cmd, mem, pe, gpcfg, false),
+            Opcode::Intt => self.exec_ntt(cmd, mem, pe, gpcfg, true),
+            Opcode::PModAdd | Opcode::PModSub | Opcode::PModMul | Opcode::PMul => {
+                self.exec_two_input(cmd, mem, pe, gpcfg)
+            }
+            Opcode::PModSqr => self.exec_sqr(cmd, mem, pe, gpcfg),
+            Opcode::CModMul => self.exec_cmodmul(cmd, mem, pe, gpcfg),
+            Opcode::MemCpy | Opcode::MemCpyR => self.exec_memcpy(cmd, mem),
+        }
+    }
+
+    fn operand_n(&self, gpcfg: &GpCfg) -> Result<usize> {
+        let n = gpcfg.n();
+        if n < 2 || !n.is_power_of_two() {
+            return Err(SimError::BadConfiguration {
+                reason: format!("N register holds invalid degree {n}"),
+            });
+        }
+        Ok(n)
+    }
+
+    fn load_modulus(&self, pe: &mut ProcessingElement, gpcfg: &GpCfg) -> Result<()> {
+        let q = gpcfg.q();
+        if pe.modulus() != Some(q) {
+            pe.load_modulus(q)?;
+        }
+        Ok(())
+    }
+
+    fn exec_ntt(
+        &self,
+        cmd: &Command,
+        mem: &mut Memory,
+        pe: &mut ProcessingElement,
+        gpcfg: &GpCfg,
+        inverse: bool,
+    ) -> Result<OpReport> {
+        let n = self.operand_n(gpcfg)?;
+        self.load_modulus(pe, gpcfg)?;
+        let twiddle = cmd.twiddle.ok_or(SimError::BadConfiguration {
+            reason: "NTT requires a twiddle operand".into(),
+        })?;
+        if twiddle.bank == cmd.x.bank || twiddle.bank == cmd.dst.bank {
+            // Operands and twiddles are fetched in the same cycle from
+            // different memories (Section III-G2).
+            return Err(SimError::PortConflict { bank: mem.bank(twiddle.bank)?.name() });
+        }
+        let mut data = mem.read_slice(cmd.x, n)?;
+        let tw = mem.read_slice(twiddle, n)?;
+        let ii = self.ntt_ii(mem, cmd, n)?;
+
+        let stages = n.trailing_zeros() as u64;
+        let per_pe = (n as u64 / 2).div_ceil(self.config.pe_count as u64);
+        let stage_active = stages * per_pe * ii;
+        let stage_overhead = stages * self.config.stage_overhead as u64;
+        let mut report = OpReport {
+            cycles: self.stage_cycles(n, ii),
+            butterflies: (n as u64 / 2) * stages,
+            // Each butterfly reads 2 operands + 1 twiddle, writes 2.
+            mem_reads: 3 * (n as u64 / 2) * stages,
+            mem_writes: 2 * (n as u64 / 2) * stages,
+            ..OpReport::default()
+        };
+        report.phases.overhead = stage_overhead;
+
+        if inverse {
+            // Gentleman–Sande stages, then the n⁻¹ scaling pass.
+            let mut t = 1;
+            let mut m = n;
+            while m > 1 {
+                let h = m / 2;
+                let mut j1 = 0;
+                for i in 0..h {
+                    let w = tw[h + i];
+                    for j in j1..j1 + t {
+                        let u = data[j];
+                        let v = data[j + t];
+                        data[j] = pe.mod_add(u, v)?;
+                        let diff = pe.mod_sub(u, v)?;
+                        data[j + t] = pe.mod_mul(diff, w)?;
+                    }
+                    j1 += 2 * t;
+                }
+                t *= 2;
+                m = h;
+            }
+            let n_inv = gpcfg.inv_polydeg();
+            for x in data.iter_mut() {
+                *x = pe.mod_mul(*x, n_inv)?;
+            }
+            let pass_ii = 1; // scaling reads/writes through one dual-port bank
+            report.cycles += self.pass_cycles(n, pass_ii);
+            report.mults += n as u64;
+            report.mem_reads += n as u64;
+            report.mem_writes += n as u64;
+            report.phases.gs_butterfly = stage_active;
+            report.phases.scale_pass = n as u64;
+            report.phases.overhead += report.cycles - stage_active - stage_overhead - n as u64;
+        } else {
+            // Cooley–Tukey stages with sequential twiddle consumption.
+            let mut t = n;
+            let mut m = 1;
+            while m < n {
+                t /= 2;
+                for i in 0..m {
+                    let w = tw[m + i];
+                    let j1 = 2 * i * t;
+                    for j in j1..j1 + t {
+                        let (hi, lo) = pe.butterfly(data[j], data[j + t], w)?;
+                        data[j] = hi;
+                        data[j + t] = lo;
+                    }
+                }
+                m *= 2;
+            }
+            report.cycles += self.config.cmd_trigger as u64;
+            report.phases.ct_butterfly = stage_active;
+            report.phases.overhead += self.config.cmd_trigger as u64;
+        }
+        debug_assert_eq!(report.phases.total(), report.cycles);
+        mem.write_slice(cmd.dst, &data)?;
+        Ok(report)
+    }
+
+    fn exec_two_input(
+        &self,
+        cmd: &Command,
+        mem: &mut Memory,
+        pe: &mut ProcessingElement,
+        gpcfg: &GpCfg,
+    ) -> Result<OpReport> {
+        let n = self.operand_n(gpcfg)?;
+        self.load_modulus(pe, gpcfg)?;
+        let y_slot = cmd.y.ok_or(SimError::BadConfiguration {
+            reason: format!("{} requires a second operand", cmd.op.mnemonic()),
+        })?;
+        let a = mem.read_slice(cmd.x, n)?;
+        let b = mem.read_slice(y_slot, n)?;
+        let mut out = Vec::with_capacity(n);
+        for j in 0..n {
+            let v = match cmd.op {
+                Opcode::PModAdd => pe.mod_add(a[j], b[j])?,
+                Opcode::PModSub => pe.mod_sub(a[j], b[j])?,
+                Opcode::PModMul => pe.mod_mul(a[j], b[j])?,
+                // PMUL bypasses the reduction stages: the low 128 bits of
+                // the raw product leave the multiplier array.
+                Opcode::PMul => a[j].wrapping_mul(b[j]),
+                _ => unreachable!("dispatcher guarantees a two-input opcode"),
+            };
+            out.push(v);
+        }
+        mem.write_slice(cmd.dst, &out)?;
+        let ii = self.pass_ii(mem, cmd)?;
+        let mut report = OpReport {
+            cycles: self.pass_cycles(n, ii),
+            mem_reads: 2 * n as u64,
+            mem_writes: n as u64,
+            ..OpReport::default()
+        };
+        let active = n as u64 * ii;
+        match cmd.op {
+            Opcode::PModAdd | Opcode::PModSub => {
+                report.addsubs = n as u64;
+                report.phases.addsub_pass = active;
+            }
+            Opcode::PMul => {
+                report.mults = n as u64;
+                report.phases.raw_mul_pass = active;
+            }
+            _ => {
+                report.mults = n as u64;
+                report.phases.hadamard_pass = active;
+            }
+        }
+        report.phases.overhead = report.cycles - active;
+        Ok(report)
+    }
+
+    fn exec_sqr(
+        &self,
+        cmd: &Command,
+        mem: &mut Memory,
+        pe: &mut ProcessingElement,
+        gpcfg: &GpCfg,
+    ) -> Result<OpReport> {
+        let n = self.operand_n(gpcfg)?;
+        self.load_modulus(pe, gpcfg)?;
+        let a = mem.read_slice(cmd.x, n)?;
+        let mut out = Vec::with_capacity(n);
+        for &v in &a {
+            out.push(pe.mod_mul(v, v)?);
+        }
+        mem.write_slice(cmd.dst, &out)?;
+        let cycles = self.pass_cycles(n, 1);
+        Ok(OpReport {
+            cycles,
+            mults: n as u64,
+            mem_reads: n as u64,
+            mem_writes: n as u64,
+            phases: PhaseCycles {
+                hadamard_pass: n as u64,
+                overhead: cycles - n as u64,
+                ..PhaseCycles::default()
+            },
+            ..OpReport::default()
+        })
+    }
+
+    fn exec_cmodmul(
+        &self,
+        cmd: &Command,
+        mem: &mut Memory,
+        pe: &mut ProcessingElement,
+        gpcfg: &GpCfg,
+    ) -> Result<OpReport> {
+        let n = self.operand_n(gpcfg)?;
+        self.load_modulus(pe, gpcfg)?;
+        let c = cmd.constant.ok_or(SimError::BadConfiguration {
+            reason: "CMODMUL requires a constant".into(),
+        })?;
+        let a = mem.read_slice(cmd.x, n)?;
+        let mut out = Vec::with_capacity(n);
+        for &v in &a {
+            out.push(pe.mod_mul(v, c)?);
+        }
+        mem.write_slice(cmd.dst, &out)?;
+        let cycles = self.pass_cycles(n, 1);
+        Ok(OpReport {
+            cycles,
+            mults: n as u64,
+            mem_reads: n as u64,
+            mem_writes: n as u64,
+            phases: PhaseCycles {
+                scale_pass: n as u64,
+                overhead: cycles - n as u64,
+                ..PhaseCycles::default()
+            },
+            ..OpReport::default()
+        })
+    }
+
+    fn exec_memcpy(&self, cmd: &Command, mem: &mut Memory) -> Result<OpReport> {
+        let len = cmd.len.ok_or(SimError::BadConfiguration {
+            reason: "memory operations require a length".into(),
+        })?;
+        let data = mem.read_slice(cmd.x, len)?;
+        let out = if cmd.op == Opcode::MemCpyR {
+            if !len.is_power_of_two() {
+                return Err(SimError::BadConfiguration {
+                    reason: format!("MEMCPYR length {len} must be a power of two"),
+                });
+            }
+            let bits = len.trailing_zeros();
+            let mut o = vec![0u128; len];
+            for (i, &v) in data.iter().enumerate() {
+                o[bit_reverse(i, bits)] = v;
+            }
+            o
+        } else {
+            data
+        };
+        mem.write_slice(cmd.dst, &out)?;
+        Ok(OpReport {
+            cycles: len as u64 + self.config.dma_setup as u64,
+            mem_reads: len as u64,
+            mem_writes: len as u64,
+            dma_words: len as u64,
+            phases: PhaseCycles {
+                dma: len as u64,
+                overhead: self.config.dma_setup as u64,
+                ..PhaseCycles::default()
+            },
+            ..OpReport::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{BankId, Slot};
+    use cofhee_arith::{primes::ntt_prime, roots::RootSet, Barrett128, ModRing};
+    use cofhee_poly::ntt::{self, NttTables};
+
+    const Q109: u128 = 324518553658426726783156020805633;
+
+    struct Rig {
+        mdmc: Mdmc,
+        mem: Memory,
+        pe: ProcessingElement,
+        gpcfg: GpCfg,
+        tables: NttTables<Barrett128>,
+        ring: Barrett128,
+        n: usize,
+    }
+
+    fn rig(n: usize) -> Rig {
+        rig_with_q(n, Q109)
+    }
+
+    fn rig_with_q(n: usize, q: u128) -> Rig {
+        let config = ChipConfig::silicon();
+        let mem = Memory::from_config(&config);
+        let pe = ProcessingElement::new(config.mult_latency, config.addsub_latency);
+        let mut gpcfg = GpCfg::new();
+        let ring = Barrett128::new(q).unwrap();
+        let roots = RootSet::new(&ring, n).unwrap();
+        let tables = NttTables::from_roots(&ring, &roots);
+        gpcfg.set_q(q);
+        gpcfg.set_n(n);
+        gpcfg.set_inv_polydeg(roots.n_inv);
+        Rig { mdmc: Mdmc::new(config), mem, pe, gpcfg, tables, ring, n }
+    }
+
+    fn load_twiddles(r: &mut Rig, forward: bool) -> Slot {
+        // Forward twiddles in the designated twiddle bank; inverse in the
+        // next single-port bank (the driver in cofhee-core does the same).
+        let roles = r.mem.roles();
+        let slot = if forward {
+            Slot::new(roles.twiddle, 0)
+        } else {
+            Slot::new(BankId(roles.twiddle.0 + 1), 0)
+        };
+        let tw: Vec<u128> = if forward {
+            r.tables.forward_twiddles().to_vec()
+        } else {
+            r.tables.inverse_twiddles().to_vec()
+        };
+        r.mem.write_slice(slot, &tw).unwrap();
+        slot
+    }
+
+    fn rand_poly(r: &Rig, seed: u128) -> Vec<u128> {
+        let mut state = seed | 1;
+        (0..r.n)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x1405);
+                r.ring.from_u128(state)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ntt_cycle_counts_match_table5() {
+        // Table V: 24,841 cc (n=2^12) and 53,535 cc (n=2^13).
+        for (log_n, expect) in [(12u32, 24_841u64), (13, 53_535)] {
+            let n = 1usize << log_n;
+            let q = if n <= 1 << 13 { Q109 } else { ntt_prime(109, n).unwrap() };
+            let mut r = rig_with_q(n, q);
+            let tw = load_twiddles(&mut r, true);
+            let x = Slot::new(BankId(0), 0);
+            let dst = Slot::new(BankId(1), 0);
+            let poly = rand_poly(&r, 3);
+            r.mem.write_slice(x, &poly).unwrap();
+            let cmd = Command::ntt(x, tw, dst);
+            let rep = r.mdmc.execute(&cmd, &mut r.mem, &mut r.pe, &r.gpcfg).unwrap();
+            assert_eq!(rep.cycles, expect, "NTT cycles for n = 2^{log_n}");
+        }
+    }
+
+    #[test]
+    fn intt_cycle_counts_match_table5() {
+        // Table V: 29,468 cc (n=2^12) and 62,770 cc (n=2^13).
+        for (log_n, expect) in [(12u32, 29_468u64), (13, 62_770)] {
+            let n = 1usize << log_n;
+            let mut r = rig(n);
+            let tw = load_twiddles(&mut r, false);
+            let x = Slot::new(BankId(0), 0);
+            let dst = Slot::new(BankId(1), 0);
+            let poly = rand_poly(&r, 5);
+            r.mem.write_slice(x, &poly).unwrap();
+            let cmd = Command::intt(x, tw, dst);
+            let rep = r.mdmc.execute(&cmd, &mut r.mem, &mut r.pe, &r.gpcfg).unwrap();
+            assert_eq!(rep.cycles, expect, "iNTT cycles for n = 2^{log_n}");
+        }
+    }
+
+    #[test]
+    fn ntt_matches_golden_model_and_inverts() {
+        let n = 1 << 10;
+        let mut r = rig(n);
+        let tw_f = load_twiddles(&mut r, true);
+        let tw_i = load_twiddles(&mut r, false);
+        let x = Slot::new(BankId(0), 0);
+        let mid = Slot::new(BankId(1), 0);
+        let back = Slot::new(BankId(0), 0);
+        let poly = rand_poly(&r, 7);
+        r.mem.write_slice(x, &poly).unwrap();
+
+        r.mdmc
+            .execute(&Command::ntt(x, tw_f, mid), &mut r.mem, &mut r.pe, &r.gpcfg)
+            .unwrap();
+        // Against the software golden model.
+        let mut expect = poly.clone();
+        ntt::forward_inplace(&r.ring, &mut expect, &r.tables).unwrap();
+        assert_eq!(r.mem.read_slice(mid, n).unwrap(), expect);
+
+        r.mdmc
+            .execute(&Command::intt(mid, tw_i, back), &mut r.mem, &mut r.pe, &r.gpcfg)
+            .unwrap();
+        assert_eq!(r.mem.read_slice(back, n).unwrap(), poly, "round trip");
+    }
+
+    #[test]
+    fn single_port_destination_doubles_ii() {
+        let n = 1 << 10;
+        let mut r = rig(n);
+        let tw = load_twiddles(&mut r, true);
+        let poly = rand_poly(&r, 9);
+        let x = Slot::new(BankId(0), 0);
+        r.mem.write_slice(x, &poly).unwrap();
+        let dual = r
+            .mdmc
+            .execute(&Command::ntt(x, tw, Slot::new(BankId(1), 0)), &mut r.mem, &mut r.pe, &r.gpcfg)
+            .unwrap();
+        r.mem.write_slice(x, &poly).unwrap();
+        let single = r
+            .mdmc
+            .execute(
+                &Command::ntt(x, tw, Slot::new(BankId(4), 0)),
+                &mut r.mem,
+                &mut r.pe,
+                &r.gpcfg,
+            )
+            .unwrap();
+        let stages = n.trailing_zeros() as u64;
+        assert_eq!(single.cycles - dual.cycles, stages * (n as u64 / 2), "II 1 → 2");
+    }
+
+    #[test]
+    fn twiddle_bank_conflict_is_rejected() {
+        let n = 1 << 8;
+        let mut r = rig(n);
+        let x = Slot::new(BankId(0), 0);
+        // Twiddles in the same bank as the source: operand and twiddle
+        // fetches would collide.
+        let cmd = Command::ntt(x, Slot::new(BankId(0), n), Slot::new(BankId(1), 0));
+        assert!(matches!(
+            r.mdmc.execute(&cmd, &mut r.mem, &mut r.pe, &r.gpcfg),
+            Err(SimError::PortConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn pointwise_ops_compute_correctly() {
+        let n = 1 << 8;
+        let mut r = rig(n);
+        let a = rand_poly(&r, 11);
+        let b = rand_poly(&r, 13);
+        let sa = Slot::new(BankId(0), 0);
+        let sb = Slot::new(BankId(1), 0);
+        let dst = Slot::new(BankId(2), 0);
+        r.mem.write_slice(sa, &a).unwrap();
+        r.mem.write_slice(sb, &b).unwrap();
+
+        for (cmd, expect) in [
+            (
+                Command::pmodadd(sa, sb, dst),
+                a.iter().zip(&b).map(|(&x, &y)| r.ring.add(x, y)).collect::<Vec<_>>(),
+            ),
+            (
+                Command::pmodsub(sa, sb, dst),
+                a.iter().zip(&b).map(|(&x, &y)| r.ring.sub(x, y)).collect(),
+            ),
+            (
+                Command::pmodmul(sa, sb, dst),
+                a.iter().zip(&b).map(|(&x, &y)| r.ring.mul(x, y)).collect(),
+            ),
+            (
+                Command::pmul(sa, sb, dst),
+                a.iter().zip(&b).map(|(&x, &y)| x.wrapping_mul(y)).collect(),
+            ),
+            (Command::pmodsqr(sa, dst), a.iter().map(|&x| r.ring.sqr(x)).collect()),
+            (Command::cmodmul(sa, 12345, dst), a.iter().map(|&x| r.ring.mul(x, 12345)).collect()),
+        ] {
+            r.mdmc.execute(&cmd, &mut r.mem, &mut r.pe, &r.gpcfg).unwrap();
+            assert_eq!(
+                r.mem.read_slice(dst, n).unwrap(),
+                expect,
+                "{} output",
+                cmd.op.mnemonic()
+            );
+        }
+    }
+
+    #[test]
+    fn hadamard_pass_cost_matches_calibration() {
+        // PolyMul(2^12) = 2·NTT + Hadamard + iNTT = 83,777 in Table V;
+        // the Hadamard residual is 4,627 ≈ n + n/8 + 19. Our model gives
+        // n + n/8 + 20 = 4,628 (composite PolyMul lands within 1 cycle).
+        let n = 1 << 12;
+        let mut r = rig(n);
+        let a = rand_poly(&r, 1);
+        let sa = Slot::new(BankId(0), 0);
+        let sb = Slot::new(BankId(1), 0);
+        r.mem.write_slice(sa, &a).unwrap();
+        r.mem.write_slice(sb, &a).unwrap();
+        let rep = r
+            .mdmc
+            .execute(&Command::pmodmul(sa, sb, Slot::new(BankId(2), 0)), &mut r.mem, &mut r.pe, &r.gpcfg)
+            .unwrap();
+        let bursts = (n as u64).div_ceil(16);
+        assert_eq!(rep.cycles, n as u64 + bursts * 2 + 20);
+    }
+
+    #[test]
+    fn memcpy_and_memcpyr_move_data() {
+        let n = 1 << 6;
+        let mut r = rig(n);
+        let data: Vec<u128> = (0..n as u128).collect();
+        let src = Slot::new(BankId(3), 0);
+        let dst = Slot::new(BankId(4), 0);
+        r.mem.write_slice(src, &data).unwrap();
+        let rep = r
+            .mdmc
+            .execute(&Command::memcpy(src, dst, n), &mut r.mem, &mut r.pe, &r.gpcfg)
+            .unwrap();
+        assert_eq!(r.mem.read_slice(dst, n).unwrap(), data);
+        assert_eq!(rep.cycles, n as u64 + 4);
+        assert_eq!(rep.dma_words, n as u64);
+
+        r.mdmc
+            .execute(&Command::memcpyr(src, dst, n), &mut r.mem, &mut r.pe, &r.gpcfg)
+            .unwrap();
+        let got = r.mem.read_slice(dst, n).unwrap();
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            assert_eq!(got[bit_reverse(i, bits)], data[i]);
+        }
+    }
+
+    #[test]
+    fn memcpyr_requires_power_of_two() {
+        let mut r = rig(1 << 6);
+        let cmd = Command::memcpyr(Slot::new(BankId(3), 0), Slot::new(BankId(4), 0), 48);
+        assert!(r.mdmc.execute(&cmd, &mut r.mem, &mut r.pe, &r.gpcfg).is_err());
+    }
+
+    #[test]
+    fn bad_n_register_is_rejected() {
+        let mut r = rig(1 << 6);
+        r.gpcfg.set_n(100); // not a power of two
+        let tw = Slot::new(BankId(3), 0);
+        let cmd = Command::ntt(Slot::new(BankId(0), 0), tw, Slot::new(BankId(1), 0));
+        assert!(matches!(
+            r.mdmc.execute(&cmd, &mut r.mem, &mut r.pe, &r.gpcfg),
+            Err(SimError::BadConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_pe_configuration_speeds_up_ntt() {
+        // Section VIII-A: 4 PEs ≈ 4× butterfly throughput.
+        let n = 1 << 12;
+        let cfg4 = ChipConfig::with_pe_count(4);
+        cfg4.validate().unwrap();
+        let r1 = Mdmc::new(ChipConfig::silicon());
+        let r4 = Mdmc::new(cfg4);
+        let c1 = r1.stage_cycles(n, 1);
+        let c4 = r4.stage_cycles(n, 1);
+        let ratio = c1 as f64 / c4 as f64;
+        assert!(ratio > 3.5 && ratio <= 4.0, "4-PE speedup ratio = {ratio}");
+    }
+}

@@ -1,0 +1,354 @@
+//! The on-chip SRAM system.
+//!
+//! CoFHEE's floorplan carries 68 SRAM macro instances composed into 3
+//! dual-port and 5 single-port *logical* banks (Sections III-A and V-A).
+//! Dual-port banks let the MDMC fetch two butterfly operands — or fetch
+//! one and store one — in a single cycle, which is what gives the NTT its
+//! initiation interval of 1; the paper notes dual-port macros cost 2× the
+//! area of single-port ones, which is why there are only three
+//! (Section VIII-B).
+//!
+//! Following the paper, each dual-port bank is "managed by assigning
+//! different base addresses to each port, treating them as two distinct
+//! address spaces at the bus level".
+
+use crate::error::{Result, SimError};
+
+/// Identifies a logical SRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BankId(pub usize);
+
+/// A location inside a bank, in 128-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// The bank holding the data.
+    pub bank: BankId,
+    /// Word offset of the first coefficient.
+    pub offset: usize,
+}
+
+impl Slot {
+    /// Convenience constructor.
+    pub fn new(bank: BankId, offset: usize) -> Self {
+        Self { bank: BankId(bank.0), offset }
+    }
+}
+
+/// One logical SRAM bank.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    name: &'static str,
+    words: Vec<u128>,
+    dual_port: bool,
+    /// Bus base address of port A.
+    base_a: u32,
+    /// Bus base address of port B (dual-port banks only).
+    base_b: Option<u32>,
+}
+
+impl Bank {
+    /// Capacity in 128-bit words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether both ports exist.
+    pub fn is_dual_port(&self) -> bool {
+        self.dual_port
+    }
+
+    /// Bank name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Port-A bus base address.
+    pub fn base_a(&self) -> u32 {
+        self.base_a
+    }
+
+    /// Port-B bus base address, if dual-ported.
+    pub fn base_b(&self) -> Option<u32> {
+        self.base_b
+    }
+}
+
+/// Byte span each bank occupies in the bus address map (1 MiB).
+const BANK_SPAN: u32 = 0x10_0000;
+/// Port-A region for dual-port banks.
+const DP_A_BASE: u32 = 0x2000_0000;
+/// Port-B alias region for dual-port banks.
+const DP_B_BASE: u32 = 0x2100_0000;
+/// Single-port bank region.
+const SP_BASE: u32 = 0x2200_0000;
+
+/// The full SRAM complement of one chip.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    banks: Vec<Bank>,
+    dual_count: usize,
+}
+
+impl Memory {
+    /// Builds the memory system: `dual` dual-port banks followed by
+    /// `single` single-port banks, each of `words` 128-bit words.
+    pub fn new(dual: usize, single: usize, words: usize) -> Self {
+        let mut banks = Vec::with_capacity(dual + single);
+        for i in 0..dual {
+            banks.push(Bank {
+                name: dp_name(i),
+                words: vec![0; words],
+                dual_port: true,
+                base_a: DP_A_BASE + (i as u32) * BANK_SPAN,
+                base_b: Some(DP_B_BASE + (i as u32) * BANK_SPAN),
+            });
+        }
+        for i in 0..single {
+            banks.push(Bank {
+                name: sp_name(i),
+                words: vec![0; words],
+                dual_port: false,
+                base_a: SP_BASE + (i as u32) * BANK_SPAN,
+                base_b: None,
+            });
+        }
+        Self { banks, dual_count: dual }
+    }
+
+    /// Builds the silicon complement from a [`ChipConfig`](crate::ChipConfig).
+    pub fn from_config(config: &crate::ChipConfig) -> Self {
+        Self::new(config.dual_port_banks, config.single_port_banks, config.bank_words)
+    }
+
+    /// Number of logical banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Number of dual-port banks (they occupy the low bank indices).
+    pub fn dual_port_count(&self) -> usize {
+        self.dual_count
+    }
+
+    /// The bank metadata.
+    pub fn bank(&self, id: BankId) -> Result<&Bank> {
+        self.banks.get(id.0).ok_or(SimError::UnmappedAddress { address: 0 })
+    }
+
+    /// Designated bank roles for the MDMC's standard schedule: two
+    /// dual-port compute banks, one dual-port prefetch bank, and the
+    /// single-port twiddle bank.
+    pub fn roles(&self) -> BankRoles {
+        BankRoles {
+            compute_a: BankId(0),
+            compute_b: BankId(1),
+            prefetch: BankId(2.min(self.dual_count.saturating_sub(1))),
+            twiddle: BankId(self.dual_count),
+        }
+    }
+
+    /// Reads one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] past the bank end.
+    pub fn read_word(&self, slot: Slot, index: usize) -> Result<u128> {
+        let bank = self.bank(slot.bank)?;
+        let w = slot.offset + index;
+        bank.words.get(w).copied().ok_or(SimError::OutOfBounds {
+            bank: bank.name,
+            word: w,
+            capacity: bank.words.len(),
+        })
+    }
+
+    /// Writes one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] past the bank end.
+    pub fn write_word(&mut self, slot: Slot, index: usize, value: u128) -> Result<()> {
+        let (name, cap);
+        {
+            let bank = self.bank(slot.bank)?;
+            name = bank.name;
+            cap = bank.words.len();
+        }
+        let w = slot.offset + index;
+        if w >= cap {
+            return Err(SimError::OutOfBounds { bank: name, word: w, capacity: cap });
+        }
+        self.banks[slot.bank.0].words[w] = value;
+        Ok(())
+    }
+
+    /// Reads `len` consecutive words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range exceeds the bank.
+    pub fn read_slice(&self, slot: Slot, len: usize) -> Result<Vec<u128>> {
+        let bank = self.bank(slot.bank)?;
+        let end = slot.offset + len;
+        if end > bank.words.len() {
+            return Err(SimError::OutOfBounds {
+                bank: bank.name,
+                word: end - 1,
+                capacity: bank.words.len(),
+            });
+        }
+        Ok(bank.words[slot.offset..end].to_vec())
+    }
+
+    /// Writes a slice of words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range exceeds the bank.
+    pub fn write_slice(&mut self, slot: Slot, data: &[u128]) -> Result<()> {
+        let (name, cap);
+        {
+            let bank = self.bank(slot.bank)?;
+            name = bank.name;
+            cap = bank.words.len();
+        }
+        let end = slot.offset + data.len();
+        if end > cap {
+            return Err(SimError::OutOfBounds { bank: name, word: end - 1, capacity: cap });
+        }
+        self.banks[slot.bank.0].words[slot.offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Decodes a bus byte address into `(bank, word index, port B?)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedAddress`] outside every bank window.
+    pub fn decode(&self, address: u32) -> Result<(BankId, usize, bool)> {
+        for (i, bank) in self.banks.iter().enumerate() {
+            let within = |base: u32| {
+                address >= base && (address - base) as usize / 16 < bank.words.len()
+            };
+            if within(bank.base_a) {
+                return Ok((BankId(i), (address - bank.base_a) as usize / 16, false));
+            }
+            if let Some(b) = bank.base_b {
+                if within(b) {
+                    return Ok((BankId(i), (address - b) as usize / 16, true));
+                }
+            }
+        }
+        Err(SimError::UnmappedAddress { address })
+    }
+}
+
+/// The MDMC's standard bank assignment (Section III-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankRoles {
+    /// Dual-port bank holding the NTT input (ping).
+    pub compute_a: BankId,
+    /// Dual-port bank holding the NTT output (pong).
+    pub compute_b: BankId,
+    /// Dual-port bank the DMA preloads the next polynomial into.
+    pub prefetch: BankId,
+    /// Single-port bank holding twiddle factors.
+    pub twiddle: BankId,
+}
+
+fn dp_name(i: usize) -> &'static str {
+    const NAMES: [&str; 12] = [
+        "DP0", "DP1", "DP2", "DP3", "DP4", "DP5", "DP6", "DP7", "DP8", "DP9", "DP10", "DP11",
+    ];
+    NAMES.get(i).copied().unwrap_or("DPx")
+}
+
+fn sp_name(i: usize) -> &'static str {
+    const NAMES: [&str; 8] = ["SP0", "SP1", "SP2", "SP3", "SP4", "SP5", "SP6", "SP7"];
+    NAMES.get(i).copied().unwrap_or("SPx")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChipConfig;
+
+    fn memory() -> Memory {
+        Memory::from_config(&ChipConfig::silicon())
+    }
+
+    #[test]
+    fn silicon_complement_matches_paper() {
+        let m = memory();
+        assert_eq!(m.bank_count(), 8, "3 dual-port + 5 single-port");
+        assert_eq!(m.dual_port_count(), 3);
+        for i in 0..3 {
+            assert!(m.bank(BankId(i)).unwrap().is_dual_port());
+            assert!(m.bank(BankId(i)).unwrap().base_b().is_some());
+        }
+        for i in 3..8 {
+            assert!(!m.bank(BankId(i)).unwrap().is_dual_port());
+            assert!(m.bank(BankId(i)).unwrap().base_b().is_none());
+        }
+    }
+
+    #[test]
+    fn words_hold_full_polynomials() {
+        let m = memory();
+        assert!(m.bank(BankId(0)).unwrap().capacity() >= 1 << 13);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = memory();
+        let slot = Slot::new(BankId(1), 100);
+        m.write_word(slot, 0, u128::MAX - 5).unwrap();
+        assert_eq!(m.read_word(slot, 0).unwrap(), u128::MAX - 5);
+        let data: Vec<u128> = (0..64).map(|i| i * 31).collect();
+        m.write_slice(slot, &data).unwrap();
+        assert_eq!(m.read_slice(slot, 64).unwrap(), data);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = memory();
+        let cap = m.bank(BankId(0)).unwrap().capacity();
+        let slot = Slot::new(BankId(0), cap - 1);
+        assert!(m.write_word(slot, 0, 1).is_ok());
+        assert!(m.write_word(slot, 1, 1).is_err());
+        assert!(m.read_slice(Slot::new(BankId(0), 0), cap + 1).is_err());
+    }
+
+    #[test]
+    fn dual_port_banks_decode_on_both_ports() {
+        let m = memory();
+        let a = m.bank(BankId(0)).unwrap().base_a();
+        let b = m.bank(BankId(0)).unwrap().base_b().unwrap();
+        let (id_a, w_a, port_b_a) = m.decode(a + 32).unwrap();
+        let (id_b, w_b, port_b_b) = m.decode(b + 32).unwrap();
+        assert_eq!(id_a, id_b);
+        assert_eq!(w_a, 2);
+        assert_eq!(w_b, 2);
+        assert!(!port_b_a);
+        assert!(port_b_b);
+    }
+
+    #[test]
+    fn unmapped_addresses_are_rejected() {
+        let m = memory();
+        assert!(m.decode(0x0000_1000).is_err());
+        assert!(m.decode(0xffff_0000).is_err());
+    }
+
+    #[test]
+    fn roles_pick_distinct_banks() {
+        let m = memory();
+        let r = m.roles();
+        assert_ne!(r.compute_a, r.compute_b);
+        assert_ne!(r.compute_b, r.prefetch);
+        assert!(m.bank(r.compute_a).unwrap().is_dual_port());
+        assert!(m.bank(r.compute_b).unwrap().is_dual_port());
+        assert!(m.bank(r.prefetch).unwrap().is_dual_port());
+        assert!(!m.bank(r.twiddle).unwrap().is_dual_port());
+    }
+}

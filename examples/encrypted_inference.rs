@@ -1,0 +1,72 @@
+//! End-to-end encrypted inference — the workloads behind Table X,
+//! actually computed under encryption.
+//!
+//! Runs a CryptoNets-style dense layer with square activation and a
+//! logistic-regression scorer on batched encrypted data, verifies both
+//! against plaintext reference models, and prints the Table X runtime
+//! estimates for the full-size workloads.
+//!
+//! ```sh
+//! cargo run --release --example encrypted_inference
+//! ```
+
+use cofhee::apps::{
+    decrypt_slots, encrypt_features, measure_cofhee, LogisticScorer, SquareLayerNet, Workload,
+};
+use cofhee::bfv::{BfvParams, Decryptor, Encryptor, KeyGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = BfvParams::insecure_testing(1 << 8)?;
+    let mut rng = StdRng::seed_from_u64(42);
+    let keygen = KeyGenerator::new(&params, &mut rng);
+    let pk = keygen.public_key(&mut rng)?;
+    let encryptor = Encryptor::new(&params, pk);
+    let decryptor = Decryptor::new(&params, keygen.secret_key().clone());
+
+    // ---- CryptoNets-style layer: z = (Wx + b)², batched over slots ----
+    println!("== encrypted square-activation layer (CryptoNets style) ==");
+    let weights = vec![vec![2, 1, 3], vec![1, 4, 0]];
+    let biases = vec![5, 2];
+    let net = SquareLayerNet::new(&params, weights, biases, &keygen, &mut rng)?;
+    // 8 inferences batched in slots, 3 features each.
+    let features = vec![
+        vec![1, 2, 3, 4, 5, 6, 7, 8],
+        vec![8, 7, 6, 5, 4, 3, 2, 1],
+        vec![1, 1, 2, 2, 3, 3, 4, 4],
+    ];
+    let cts = encrypt_features(&params, &encryptor, &features, &mut rng)?;
+    let out = net.infer(&cts)?;
+    let got = decrypt_slots(&params, &decryptor, &out)?;
+    let expect = net.infer_plain(&features);
+    for (k, row) in expect.iter().enumerate() {
+        assert_eq!(&got[k][..8], &row[..], "neuron {k}");
+        println!("  neuron {k}: batch outputs {:?} ✓", &got[k][..8]);
+    }
+    let budget = decryptor.noise_budget(&out[0])?;
+    println!("  remaining noise budget: {budget:.1} bits\n");
+
+    // ---- logistic-regression scorer ----
+    println!("== encrypted logistic-regression scoring ==");
+    let scorer = LogisticScorer::new(&params, vec![3, 1, 4], 10)?;
+    let score_ct = scorer.score(&cts)?;
+    let scores = decrypt_slots(&params, &decryptor, &[score_ct])?;
+    let expect_scores = scorer.score_plain(&features);
+    assert_eq!(&scores[0][..8], &expect_scores[..]);
+    println!("  scores: {:?} ✓ (thresholding happens client-side after decryption)\n", &scores[0][..8]);
+
+    // ---- Table X scale estimates on the accelerator ----
+    println!("== Table X workload estimates on simulated CoFHEE (2^12, 109) ==");
+    let costs = measure_cofhee(1 << 12, 109)?;
+    for w in [Workload::cryptonets(), Workload::logistic_regression()] {
+        println!(
+            "  {:<20} {:>10} ops → {:>8.1} s on CoFHEE (paper: {})",
+            w.name,
+            w.total_ops(),
+            costs.total_seconds(&w),
+            if w.name == "CryptoNets" { "88.35 s" } else { "377.6 s" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # cofhee
+//!
+//! A from-scratch Rust reproduction of **"CoFHEE: A Co-processor for
+//! Fully Homomorphic Encryption Execution"** (DATE 2023) — the fabricated
+//! 12 mm² / 55 nm ASIC accelerating the low-level polynomial operations
+//! of RLWE FHE, rebuilt as a cycle-accurate simulator with its complete
+//! software stack.
+//!
+//! This meta-crate re-exports the member crates:
+//!
+//! * [`arith`] — 256-bit integers, Barrett/Montgomery modular arithmetic,
+//!   NTT-friendly primes, roots of unity, RNS.
+//! * [`poly`] — `Z_q[x]/(x^n+1)`, the paper's NTT algorithms, naive
+//!   oracles, golden test vectors.
+//! * [`bfv`] — the BFV scheme (the SEAL-equivalent CPU baseline) with
+//!   exact ciphertext multiplication and RNS tower execution.
+//! * [`sim`] — the chip: SRAM banks, AHB addressing, Barrett PE, MDMC
+//!   with the calibrated cycle model, command FIFO, Cortex-M0, power.
+//! * [`adpll`] — the all-digital PLL's behavioral model.
+//! * [`physical`] — the paper's physical-design tables and the Table XI
+//!   comparison machinery.
+//! * [`core`] — the device driver: Algorithm 2/3 schedules, execution
+//!   modes, RNS dispatch, host-link accounting.
+//! * [`apps`] — CryptoNets and logistic regression, as op-count models
+//!   and as functional encrypted demos.
+//!
+//! See the `examples/` directory for runnable entry points and
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use cofhee_adpll as adpll;
+pub use cofhee_apps as apps;
+pub use cofhee_arith as arith;
+pub use cofhee_bfv as bfv;
+pub use cofhee_core as core;
+pub use cofhee_physical as physical;
+pub use cofhee_poly as poly;
+pub use cofhee_sim as sim;
