@@ -125,16 +125,10 @@ impl Adpll {
                 // Alexander detector: is the DCO late (behind in phase)?
                 let late = self.phase_acc < 0.0;
                 let correction = self.pll.feed(late);
-                self.code = self
-                    .code
-                    .saturating_add_signed(correction)
-                    .min(self.dco.max_code());
+                self.code = self.code.saturating_add_signed(correction).min(self.dco.max_code());
                 self.lock.feed(self.phase_acc);
-                self.state = if self.lock.locked() {
-                    LoopState::Locked
-                } else {
-                    LoopState::PhaseTracking
-                };
+                self.state =
+                    if self.lock.locked() { LoopState::Locked } else { LoopState::PhaseTracking };
             }
         }
         AdpllSample {

@@ -84,8 +84,7 @@ impl Dco {
         // Unary segment: sum of the first `coarse` elements (thermometer),
         // each worth 2^fine_bits LSBs with its own mismatch.
         let lsb_per_element = (1u32 << self.fine_bits) as f64;
-        let coarse_current: f64 =
-            self.mismatch[..coarse].iter().map(|m| m * lsb_per_element).sum();
+        let coarse_current: f64 = self.mismatch[..coarse].iter().map(|m| m * lsb_per_element).sum();
         self.f_min_hz + self.step_hz * (coarse_current + fine)
     }
 

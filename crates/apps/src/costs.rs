@@ -100,12 +100,7 @@ pub fn measure_cofhee(n: usize, total_log_q: u32) -> Result<OpCosts> {
 /// `t_ntt_s`/`t_pass_s` are the measured single-tower NTT and pointwise
 /// pass times; the same op-composition as the chip model is applied, so
 /// the comparison is apples-to-apples.
-pub fn cpu_from_primitives(
-    towers: u64,
-    t_ntt_s: f64,
-    t_intt_s: f64,
-    t_pass_s: f64,
-) -> OpCosts {
+pub fn cpu_from_primitives(towers: u64, t_ntt_s: f64, t_intt_s: f64, t_pass_s: f64) -> OpCosts {
     let towers = towers as f64;
     let ct_add = 2.0 * t_pass_s;
     let ct_pt = 2.0 * t_pass_s;
@@ -129,8 +124,11 @@ mod tests {
         // n = 2^12, one 109-bit tower: ct·ct alone is 0.84 ms; with our
         // relin model the combined op lands near 2 ms.
         let c = measure_cofhee(1 << 12, 109).unwrap();
-        assert!(c.ct_ct_mul_relin_s > 1.5e-3 && c.ct_ct_mul_relin_s < 2.5e-3,
-            "mul+relin = {}", c.ct_ct_mul_relin_s);
+        assert!(
+            c.ct_ct_mul_relin_s > 1.5e-3 && c.ct_ct_mul_relin_s < 2.5e-3,
+            "mul+relin = {}",
+            c.ct_ct_mul_relin_s
+        );
         // Adds are tens of microseconds.
         assert!(c.ct_ct_add_s > 1e-5 && c.ct_ct_add_s < 1e-4);
         // Multiplication dominates single-op cost by ~50×.

@@ -13,8 +13,8 @@
 //!   reference application.
 
 use cofhee_bfv::{
-    BatchEncoder, BfvError, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator,
-    KeyGenerator, Plaintext, RelinKey,
+    BatchEncoder, BfvError, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator,
+    Plaintext, RelinKey,
 };
 use rand::Rng;
 
@@ -100,12 +100,9 @@ impl SquareLayerNet {
             .map(|(w_row, &b)| {
                 (0..batch)
                     .map(|i| {
-                        let z = w_row
-                            .iter()
-                            .zip(features)
-                            .fold(0u128, |acc, (&w, x)| {
-                                (acc + (w as u128) * (x[i] as u128)) % t as u128
-                            });
+                        let z = w_row.iter().zip(features).fold(0u128, |acc, (&w, x)| {
+                            (acc + (w as u128) * (x[i] as u128)) % t as u128
+                        });
                         let z = (z + b as u128) % t as u128;
                         ((z * z) % t as u128) as u64
                     })
@@ -248,11 +245,7 @@ mod tests {
         let biases = vec![5, 7];
         let net = SquareLayerNet::new(&params, weights, biases, &kg, &mut rng).unwrap();
         // Batch of 4 inferences across slots, 3 features each.
-        let features = vec![
-            vec![1, 2, 3, 4],
-            vec![5, 6, 7, 8],
-            vec![9, 10, 11, 12],
-        ];
+        let features = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8], vec![9, 10, 11, 12]];
         let cts = encrypt_features(&params, &enc, &features, &mut rng).unwrap();
         let out = net.infer(&cts).unwrap();
         let got = decrypt_slots(&params, &dec, &out).unwrap();
@@ -266,12 +259,7 @@ mod tests {
     fn logistic_scorer_matches_plaintext_model() {
         let (params, _kg, enc, dec, mut rng) = setup();
         let scorer = LogisticScorer::new(&params, vec![3, 1, 4, 1], 59).unwrap();
-        let features = vec![
-            vec![10, 20],
-            vec![30, 40],
-            vec![50, 60],
-            vec![70, 80],
-        ];
+        let features = vec![vec![10, 20], vec![30, 40], vec![50, 60], vec![70, 80]];
         let cts = encrypt_features(&params, &enc, &features, &mut rng).unwrap();
         let score_ct = scorer.score(&cts).unwrap();
         let got = decrypt_slots(&params, &dec, &[score_ct]).unwrap();

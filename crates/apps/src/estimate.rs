@@ -42,9 +42,8 @@ pub fn render_table10(estimates: &[AppEstimate]) -> String {
     );
     for e in estimates {
         let r = refs.iter().find(|r| r.name == e.name);
-        let (pc, pf, ps) = r.map_or((f64::NAN, f64::NAN, f64::NAN), |r| {
-            (r.cpu_s, r.cofhee_s, r.speedup())
-        });
+        let (pc, pf, ps) =
+            r.map_or((f64::NAN, f64::NAN, f64::NAN), |r| (r.cpu_s, r.cofhee_s, r.speedup()));
         out.push_str(&format!(
             "{:<21} {:>7.2}  {:>9.2}  {:>6.2}x |       {:>7.2}  {:>9.2}  {:>6.2}x\n",
             e.name,

@@ -25,12 +25,7 @@ impl Workload {
     /// "457,550 ct-ct additions, 449,000 ct-pt multiplications, and
     /// 10,200 ct-ct multiplications … 10,200 relinearization operations".
     pub fn cryptonets() -> Self {
-        Self {
-            name: "CryptoNets",
-            ct_ct_add: 457_550,
-            ct_pt_mul: 449_000,
-            ct_ct_mul_relin: 10_200,
-        }
+        Self { name: "CryptoNets", ct_ct_add: 457_550, ct_pt_mul: 449_000, ct_ct_mul_relin: 10_200 }
     }
 
     /// Privacy-preserving logistic-regression inference (the paper's

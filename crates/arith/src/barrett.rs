@@ -120,9 +120,7 @@ impl Barrett64 {
     #[inline]
     pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
         let qhat = (((a as u128) * (w_shoup as u128)) >> 64) as u64;
-        let r = a
-            .wrapping_mul(w)
-            .wrapping_sub(qhat.wrapping_mul(self.q));
+        let r = a.wrapping_mul(w).wrapping_sub(qhat.wrapping_mul(self.q));
         if r >= self.q {
             r - self.q
         } else {
@@ -273,11 +271,7 @@ impl Barrett128 {
             qq_hi.is_zero() && x < qq_lo || !qq_hi.is_zero()
         });
         let (lo, hi) = x.widening_mul(self.mu);
-        let t = if self.k == 256 {
-            hi
-        } else {
-            lo.shr(self.k) | hi.shl(256 - self.k)
-        };
+        let t = if self.k == 256 { hi } else { lo.shr(self.k) | hi.shl(256 - self.k) };
         let tq = t.wrapping_mul(U256::from_u128(self.q));
         let mut r = x.wrapping_sub(tq);
         let q = U256::from_u128(self.q);

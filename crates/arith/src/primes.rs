@@ -84,9 +84,7 @@ pub fn is_prime(n: u128) -> bool {
         // SplitMix-derived witnesses.
         let mut state = 0x9e37_79b9_7f4a_7c15_u128 ^ n;
         for _ in 0..WIDE_WITNESS_ROUNDS {
-            state = state
-                .wrapping_mul(0x2545_f491_4f6c_dd1d)
-                .wrapping_add(0x6a09_e667_f3bc_c909);
+            state = state.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(0x6a09_e667_f3bc_c909);
             let a = 2 + state % (n - 3);
             if witness(a) {
                 return false;
@@ -134,7 +132,7 @@ pub fn ntt_primes(bits: u32, n: usize, count: usize) -> Result<Vec<u128>> {
     if !n.is_power_of_two() || n < 2 {
         return Err(ArithError::InvalidDegree { n });
     }
-    if bits < 2 || bits > 128 {
+    if !(2..=128).contains(&bits) {
         return Err(ArithError::ModulusTooLarge { modulus: 0, max_bits: 128 });
     }
     let two_n = 2 * n as u128;
@@ -203,9 +201,9 @@ mod tests {
     fn is_prime_agrees_with_small_table() {
         let primes: Vec<u128> = (2u128..200).filter(|&n| is_prime(n)).collect();
         let expect: Vec<u128> = vec![
-            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
-            83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
-            173, 179, 181, 191, 193, 197, 199,
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+            89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179,
+            181, 191, 193, 197, 199,
         ];
         assert_eq!(primes, expect);
     }

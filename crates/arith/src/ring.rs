@@ -49,6 +49,7 @@ pub trait ModRing: Clone + Send + Sync + fmt::Debug {
     fn one(&self) -> Self::Elem;
 
     /// Brings an arbitrary `u128` into the ring by reducing modulo `q`.
+    #[allow(clippy::wrong_self_convention)] // `self` is the ring, not the value
     fn from_u128(&self, value: u128) -> Self::Elem;
 
     /// Returns the canonical representative in `[0, q)` as a `u128`.

@@ -175,6 +175,7 @@ impl RnsBasis {
         // (p₁…p_{i−1})^{-1}  (mod p_i).
         let k = self.moduli.len();
         let mut digits = Vec::with_capacity(k);
+        #[allow(clippy::needless_range_loop)] // digit i folds over digits[0..i]
         for i in 0..k {
             let ring = &self.rings[i];
             // Evaluate the mixed-radix prefix at p_i by Horner's rule.

@@ -70,9 +70,7 @@ impl U256 {
     /// Builds a value from 128-bit low and high halves.
     #[inline]
     pub const fn from_halves(lo: u128, hi: u128) -> Self {
-        Self {
-            limbs: [lo as u64, (lo >> 64) as u64, hi as u64, (hi >> 64) as u64],
-        }
+        Self { limbs: [lo as u64, (lo >> 64) as u64, hi as u64, (hi >> 64) as u64] }
     }
 
     /// Returns the low 128 bits, discarding the rest.
@@ -132,6 +130,7 @@ impl U256 {
 
     /// Addition reporting overflow.
     #[inline]
+    #[allow(clippy::needless_range_loop)] // carry chain is sequential by limb index
     pub fn overflowing_add(self, rhs: Self) -> (Self, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
@@ -161,6 +160,7 @@ impl U256 {
 
     /// Subtraction reporting borrow.
     #[inline]
+    #[allow(clippy::needless_range_loop)] // borrow chain is sequential by limb index
     pub fn overflowing_sub(self, rhs: Self) -> (Self, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
@@ -226,6 +226,7 @@ impl U256 {
     }
 
     /// Wrapping left shift; shifts of 256 or more produce zero.
+    #[allow(clippy::should_implement_trait)] // u32 shift amount, unlike ops::Shl<Self>
     pub fn shl(self, shift: u32) -> Self {
         if shift >= 256 {
             return Self::ZERO;
@@ -244,6 +245,8 @@ impl U256 {
     }
 
     /// Wrapping right shift; shifts of 256 or more produce zero.
+    #[allow(clippy::should_implement_trait)] // u32 shift amount, unlike ops::Shr<Self>
+    #[allow(clippy::needless_range_loop)] // limbs cross-reference at i + limb_shift
     pub fn shr(self, shift: u32) -> Self {
         if shift >= 256 {
             return Self::ZERO;
@@ -296,6 +299,7 @@ impl U256 {
     ///
     /// Panics if `divisor` is zero.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // panics on zero, unlike ops::Rem contract
     pub fn rem(self, divisor: Self) -> Self {
         self.div_rem(divisor).1
     }
@@ -424,11 +428,7 @@ impl BitAnd for U256 {
     type Output = Self;
     #[inline]
     fn bitand(self, rhs: Self) -> Self {
-        let mut out = [0u64; 4];
-        for i in 0..4 {
-            out[i] = self.limbs[i] & rhs.limbs[i];
-        }
-        Self { limbs: out }
+        Self { limbs: core::array::from_fn(|i| self.limbs[i] & rhs.limbs[i]) }
     }
 }
 
@@ -436,11 +436,7 @@ impl BitOr for U256 {
     type Output = Self;
     #[inline]
     fn bitor(self, rhs: Self) -> Self {
-        let mut out = [0u64; 4];
-        for i in 0..4 {
-            out[i] = self.limbs[i] | rhs.limbs[i];
-        }
-        Self { limbs: out }
+        Self { limbs: core::array::from_fn(|i| self.limbs[i] | rhs.limbs[i]) }
     }
 }
 
@@ -448,11 +444,7 @@ impl BitXor for U256 {
     type Output = Self;
     #[inline]
     fn bitxor(self, rhs: Self) -> Self {
-        let mut out = [0u64; 4];
-        for i in 0..4 {
-            out[i] = self.limbs[i] ^ rhs.limbs[i];
-        }
-        Self { limbs: out }
+        Self { limbs: core::array::from_fn(|i| self.limbs[i] ^ rhs.limbs[i]) }
     }
 }
 
@@ -562,7 +554,10 @@ mod tests {
         let a = U256::from_u128(u128::MAX);
         let (lo, hi) = a.widening_mul(a);
         // (2^128 - 1)^2 = 2^256 - 2^129 + 1.
-        assert_eq!(lo, U256::MAX.wrapping_sub(U256::from_u128(2).shl(128)).wrapping_add(U256::from_u64(2)));
+        assert_eq!(
+            lo,
+            U256::MAX.wrapping_sub(U256::from_u128(2).shl(128)).wrapping_add(U256::from_u64(2))
+        );
         assert!(hi.is_zero());
         let (lo2, hi2) = U256::MAX.widening_mul(U256::MAX);
         assert_eq!(lo2, U256::ONE);

@@ -9,7 +9,9 @@
 //! * **Host link** costs: UART vs SPI polynomial transfer and the
 //!   off-chip round trips for n > 2^13.
 
-use cofhee_arith::{primes::ntt_prime, Barrett128, Barrett64, ModRing, Montgomery128, Montgomery64};
+use cofhee_arith::{
+    primes::ntt_prime, Barrett128, Barrett64, ModRing, Montgomery128, Montgomery64,
+};
 use cofhee_bench::time_best;
 use cofhee_core::Device;
 use cofhee_physical::PartCatalogue;
@@ -17,11 +19,13 @@ use cofhee_poly::ntt::{self, NttTables};
 use cofhee_sim::{offchip_round_trips, ChipConfig, HostLink, Slot, Spi, Uart};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 1usize << 13;
+    let smoke = cofhee_bench::smoke_mode();
+    let log_n = cofhee_bench::sized(13u32, 9);
+    let n = 1usize << log_n;
     let q = ntt_prime(109, n)?;
 
     // ---- PE count sweep (Section VIII-A) ----
-    println!("== Multi-PE scalability (n = 2^13 NTT) ==");
+    println!("== Multi-PE scalability (n = 2^{log_n} NTT) ==");
     let parts = PartCatalogue::cofhee();
     let mut base_cycles = 0;
     for pe in [1usize, 2, 4] {
@@ -56,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  dual-port pair (II=1):   {:>7} cycles", dual.cycles);
         println!("  single-port dest (II=2): {:>7} cycles", single.cycles);
     }
-    {
+    if smoke {
+        // The forced-II=2 regime only exists for n > 2^13; nothing to
+        // reduce, so the smoke run skips it.
+        println!();
+    } else {
         let n14 = 1usize << 14;
         let q14 = ntt_prime(109, n14)?;
         let mut dev = Device::connect(ChipConfig::silicon(), q14, n14)?;
@@ -64,15 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let poly: Vec<u128> = (0..n14 as u128).map(|i| i % q14).collect();
         dev.upload(Slot::new(plan.d0, 0), &poly)?;
         let report = dev.ntt(Slot::new(plan.d0, 0), Slot::new(plan.d1, 0))?;
-        println!(
-            "  n = 2^14 (forced II=2 per Section III-C): {:>7} cycles\n",
-            report.cycles
-        );
+        println!("  n = 2^14 (forced II=2 per Section III-C): {:>7} cycles\n", report.cycles);
     }
 
     // ---- Barrett vs Montgomery (Section IV-A) ----
     println!("== Multiplier ablation: same NTT, different reduction engine ==");
-    let n_sw = 1usize << 12;
+    let n_sw = 1usize << cofhee_bench::sized(12u32, 8);
+    let reps64 = cofhee_bench::sized(9, 2);
+    let reps128 = cofhee_bench::sized(5, 2);
     {
         let q64 = ntt_prime(55, n_sw)? as u64;
         let bar = Barrett64::new(q64)?;
@@ -80,13 +87,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tb = NttTables::new(&bar, n_sw)?;
         let tm = NttTables::new(&mon, n_sw)?;
         let poly: Vec<u64> = (0..n_sw as u64).map(|i| i % q64).collect();
-        let (_, t_b) = time_best(9, || {
+        let (_, t_b) = time_best(reps64, || {
             let mut p = poly.clone();
             ntt::forward_inplace(&bar, &mut p, &tb).unwrap();
             p
         });
         let polym: Vec<u64> = poly.iter().map(|&x| mon.from_u128(x as u128)).collect();
-        let (_, t_m) = time_best(9, || {
+        let (_, t_m) = time_best(reps64, || {
             let mut p = polym.clone();
             ntt::forward_inplace(&mon, &mut p, &tm).unwrap();
             p
@@ -100,22 +107,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tb = NttTables::new(&bar, n_sw)?;
         let tm = NttTables::new(&mon, n_sw)?;
         let poly: Vec<u128> = (0..n_sw as u128).map(|i| i % q128).collect();
-        let (_, t_b) = time_best(5, || {
+        let (_, t_b) = time_best(reps128, || {
             let mut p = poly.clone();
             ntt::forward_inplace(&bar, &mut p, &tb).unwrap();
             p
         });
         let polym: Vec<u128> = poly.iter().map(|&x| mon.from_u128(x)).collect();
-        let (_, t_m) = time_best(5, || {
+        let (_, t_m) = time_best(reps128, || {
             let mut p = polym.clone();
             ntt::forward_inplace(&mon, &mut p, &tm).unwrap();
             p
         });
-        println!(
-            "  128-bit native: Barrett {:.3} ms vs Montgomery {:.3} ms",
-            t_b * 1e3,
-            t_m * 1e3
-        );
+        println!("  128-bit native: Barrett {:.3} ms vs Montgomery {:.3} ms", t_b * 1e3, t_m * 1e3);
         println!("  (hardware argument: Barrett needs no operand transform and pipelines");
         println!("   to match the SRAM read path — Section IV-A)\n");
     }
@@ -124,7 +127,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Host communication (128-bit coefficients) ==");
     let uart = Uart::new(921_600);
     let spi = Spi::new(50_000_000);
-    for log_n in [12u32, 13, 14, 15] {
+    for log_n in cofhee_bench::sized(vec![12u32, 13, 14, 15], vec![12]) {
         let nn = 1usize << log_n;
         let trips = offchip_round_trips(nn, 1 << 13);
         println!(

@@ -6,8 +6,9 @@ use cofhee_adpll::{Adpll, LoopState};
 
 fn main() {
     println!("Fig. 4 — ADPLL lock transient (10 MHz reference × 25 → 250 MHz)\n");
+    let horizon = cofhee_bench::sized(4000, 1000);
     let mut pll = Adpll::cofhee_250mhz();
-    let trace = pll.run_to_lock(4000);
+    let trace = pll.run_to_lock(horizon);
 
     println!("{:>5} {:>12} {:>12} {:>10}  state", "edge", "freq (MHz)", "err (MHz)", "phase (cyc)");
     let mut printed_states = 0;
@@ -39,9 +40,9 @@ fn main() {
         (pll.frequency_hz() - 250e6) / 1e6
     );
     println!("\nWide-range check (the paper's reuse-across-designs claim):");
-    for divider in [8u32, 15, 25, 40] {
+    for divider in cofhee_bench::sized(vec![8u32, 15, 25, 40], vec![25]) {
         let mut p = Adpll::new(cofhee_adpll::Dco::cofhee(), 10.0e6, divider);
-        let t = p.run_to_lock(4000);
+        let t = p.run_to_lock(horizon);
         println!(
             "  ÷{divider:<3} target {:>6.1} MHz: locked = {}, settled at {:>7.2} MHz in {} edges",
             divider as f64 * 10.0,

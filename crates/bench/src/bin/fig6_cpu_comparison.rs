@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Fig. 6 — ciphertext multiplication: CPU (this machine) vs CoFHEE (simulated)\n");
     let mut rng = StdRng::seed_from_u64(0xF16);
 
-    for (log_n, log_q, paper_cpu_ms, paper_chip_ms, paper_cpu_w, paper_chip_mw) in PAPER {
+    let points = cofhee_bench::sized(PAPER.to_vec(), PAPER[..1].to_vec());
+    let reps = cofhee_bench::sized(5, 1);
+    let thread_sweep = cofhee_bench::sized(vec![1usize, 2, 4, 8, 16], vec![1, 2]);
+    for (log_n, log_q, paper_cpu_ms, paper_chip_ms, paper_cpu_w, paper_chip_mw) in points {
         let n = 1usize << log_n;
         println!("== (n, log q) = (2^{log_n}, {log_q}) ==");
 
@@ -29,8 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let b = ev.random_ciphertext(&mut rng);
         println!("CPU towers: {}", ev.tower_count());
         let mut one_thread_ms = 0.0;
-        for threads in [1usize, 2, 4, 8, 16] {
-            let (_, secs) = time_best(5, || ev.multiply_threaded(&a, &b, threads).unwrap());
+        for &threads in &thread_sweep {
+            let (_, secs) = time_best(reps, || ev.multiply_threaded(&a, &b, threads).unwrap());
             let ms = secs * 1e3;
             if threads == 1 {
                 one_thread_ms = ms;

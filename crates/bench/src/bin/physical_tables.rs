@@ -9,10 +9,7 @@ use cofhee_physical::{
 fn main() {
     println!("Table III — design statistics through PnR");
     let pnr = PnrStats::cofhee();
-    println!(
-        "{:<22} {:>10} {:>10} {:>10} {:>10}",
-        "Parameter", "Initial", "Place", "CTS", "Route"
-    );
+    println!("{:<22} {:>10} {:>10} {:>10} {:>10}", "Parameter", "Initial", "Place", "CTS", "Route");
     let s = pnr.stages();
     let row = |name: &str, f: &dyn Fn(&cofhee_physical::PnrStage) -> String| {
         println!(
@@ -35,12 +32,31 @@ fn main() {
 
     println!("\nTable IV — layout physical parameters");
     let l = LayoutParams::cofhee();
-    println!("  IU/FU: {:.0}% → {:.0}%", l.initial_utilization * 100.0, l.final_utilization * 100.0);
-    println!("  Macro area: {:.0} µm²  Std-cell area: {:.0} µm²", l.macro_area_um2, l.std_cell_area_um2);
-    println!("  Core: {:.0} × {:.0} µm ({:.2} mm²)", l.core_width_um, l.core_height_um, l.core_area_mm2());
-    println!("  Die:  {:.0} × {:.0} µm ({:.2} mm²)", l.die_width_um, l.die_height_um, l.die_area_mm2());
-    println!("  Aspect ratio {:.2}, IO pad height {:.0} µm, core-to-IO {:.0} µm",
-        l.aspect_ratio, l.io_pad_height_um, l.core_to_io_um);
+    println!(
+        "  IU/FU: {:.0}% → {:.0}%",
+        l.initial_utilization * 100.0,
+        l.final_utilization * 100.0
+    );
+    println!(
+        "  Macro area: {:.0} µm²  Std-cell area: {:.0} µm²",
+        l.macro_area_um2, l.std_cell_area_um2
+    );
+    println!(
+        "  Core: {:.0} × {:.0} µm ({:.2} mm²)",
+        l.core_width_um,
+        l.core_height_um,
+        l.core_area_mm2()
+    );
+    println!(
+        "  Die:  {:.0} × {:.0} µm ({:.2} mm²)",
+        l.die_width_um,
+        l.die_height_um,
+        l.die_area_mm2()
+    );
+    println!(
+        "  Aspect ratio {:.2}, IO pad height {:.0} µm, core-to-IO {:.0} µm",
+        l.aspect_ratio, l.io_pad_height_um, l.core_to_io_um
+    );
 
     println!("\nTable VI — stages and EDA tools");
     for stage in flow_stages() {
@@ -67,8 +83,12 @@ fn main() {
     println!("  Die: {:.0} × {:.0} µm", c.width_um, c.height_um);
     println!("  Pads: {} signal, {} PG, {} PLL bias", c.signal_pads, c.pg_pads, c.pll_bias_pads);
     println!("  Memories: {} macro instances", c.memories);
-    println!("  Clock {}: {} levels, {} sinks, {} buffers (corner: {})",
-        c.clock_name, c.levels, c.sinks, c.buffers, c.cts_corner);
-    println!("  Skew {:.0} ps; insertion {:.3}–{:.3} ns",
-        c.global_skew_ps, c.shortest_insertion_ns, c.longest_insertion_ns);
+    println!(
+        "  Clock {}: {} levels, {} sinks, {} buffers (corner: {})",
+        c.clock_name, c.levels, c.sinks, c.buffers, c.cts_corner
+    );
+    println!(
+        "  Skew {:.0} ps; insertion {:.3}–{:.3} ns",
+        c.global_skew_ps, c.shortest_insertion_ns, c.longest_insertion_ns
+    );
 }

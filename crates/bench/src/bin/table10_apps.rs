@@ -28,30 +28,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- CPU per-op costs measured from cofhee-bfv on this machine ----
     let ev = TowerEvaluator::new(n, log_q, 64)?;
     let towers = ev.tower_count() as u64;
-    let ring = ev.towers()[0].ring().clone();
+    let ring = *ev.towers()[0].ring();
     let tables = NttTables::new(&ring, n)?;
+    let reps = cofhee_bench::sized(7, 2);
     let mut rng = StdRng::seed_from_u64(10);
     let q = ev.towers()[0].modulus();
     let poly: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q).collect();
 
-    let (_, t_ntt) = time_best(7, || {
+    let (_, t_ntt) = time_best(reps, || {
         let mut p = poly.clone();
         ntt::forward_inplace(&ring, &mut p, &tables).unwrap();
         p
     });
-    let (_, t_intt) = time_best(7, || {
+    let (_, t_intt) = time_best(reps, || {
         let mut p = poly.clone();
         ntt::inverse_inplace(&ring, &mut p, &tables).unwrap();
         p
     });
     let other: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() % q).collect();
-    let (_, t_pass) = time_best(7, || {
+    let (_, t_pass) = time_best(reps, || {
         let mut p = poly.clone();
         cofhee_poly::pointwise::mul_assign(&ring, &mut p, &other).unwrap();
         p
     });
     // Subtract the clone cost approximation: measure a bare clone.
-    let (_, t_clone) = time_best(7, || poly.clone());
+    let (_, t_clone) = time_best(reps, || poly.clone());
     let cpu = cpu_from_primitives(
         towers,
         (t_ntt - t_clone).max(1e-9),
@@ -67,10 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let est = estimate::table10(&cpu, &cofhee);
     print!("{}", estimate::render_table10(&est));
     println!();
-    println!("Per-op advantage (CPU/CoFHEE): add {:.2}x, ct·pt {:.2}x, ct·ct+relin {:.2}x",
+    println!(
+        "Per-op advantage (CPU/CoFHEE): add {:.2}x, ct·pt {:.2}x, ct·ct+relin {:.2}x",
         cpu.ct_ct_add_s / cofhee.ct_ct_add_s,
         cpu.ct_pt_mul_s / cofhee.ct_pt_mul_s,
-        cpu.ct_ct_mul_relin_s / cofhee.ct_ct_mul_relin_s);
+        cpu.ct_ct_mul_relin_s / cofhee.ct_ct_mul_relin_s
+    );
     println!();
     println!("Notes: absolute CPU seconds differ from the paper's Ryzen 7 5800h, so the");
     println!("speedup split between the two apps shifts with the host's add-vs-mul cost");

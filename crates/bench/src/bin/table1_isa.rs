@@ -7,7 +7,8 @@ use cofhee_core::Device;
 use cofhee_sim::{ChipConfig, Command, Slot};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 1usize << 12;
+    let log_n = cofhee_bench::sized(12u32, 8);
+    let n = 1usize << log_n;
     let q = ntt_prime(109, n)?;
     let mut dev = Device::connect(ChipConfig::silicon(), q, n)?;
     let plan = dev.bank_plan();
@@ -19,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dev.upload(d0, &poly)?;
     dev.upload(d1, &poly)?;
 
-    println!("Table I — the CoFHEE operation set, executed (n = 2^12, log q = 109)\n");
+    println!("Table I — the CoFHEE operation set, executed (n = 2^{log_n}, log q = 109)\n");
     println!("{:<9} {:>9} {:>9}  operands", "command", "cycles", "µs");
 
     let fwd = dev.forward_twiddles();

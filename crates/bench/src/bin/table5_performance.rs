@@ -20,11 +20,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(measured = this simulator; paper = silicon measurement)\n");
     println!(
         "{:<8} {:>4} | {:>9} {:>9} {:>8} | {:>9} {:>8} {:>8} | {:>9} {:>8} {:>8}",
-        "op", "n", "cycles", "paper cc", "err", "µs", "avg mW", "peak mW", "paper µs",
-        "p.avg", "p.peak"
+        "op",
+        "n",
+        "cycles",
+        "paper cc",
+        "err",
+        "µs",
+        "avg mW",
+        "peak mW",
+        "paper µs",
+        "p.avg",
+        "p.peak"
     );
 
-    for log_n in [12u32, 13] {
+    for log_n in cofhee_bench::sized(vec![12u32, 13], vec![12]) {
         let n = 1usize << log_n;
         let q = ntt_prime(109, n)?;
         let config = ChipConfig::silicon();

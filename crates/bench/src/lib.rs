@@ -2,7 +2,7 @@
 //!
 //! The benchmark harness regenerating every table and figure of the
 //! CoFHEE paper. Report binaries (run with
-//! `cargo run -p cofhee-bench --release --bin <name>`):
+//! `cargo run -p cofhee_bench --release --bin <name>`):
 //!
 //! | binary | regenerates |
 //! |---|---|
@@ -15,14 +15,36 @@
 //! | `fig4_adpll_lock` | ADPLL lock transient (Fig. 4 dynamics) |
 //! | `ablation_scaling` | Section VIII-A scalability + multiplier ablations |
 //!
-//! Criterion microbenches (`cargo bench -p cofhee-bench`) cover the
+//! Criterion microbenches (`cargo bench -p cofhee_bench`) cover the
 //! software substrate: NTT engines (Barrett vs Montgomery, 64 vs 128
 //! bit), naive-vs-NTT crossover, BFV tower multiplication with thread
 //! scaling, and simulator command throughput.
+//!
+//! Every report binary accepts `--smoke`: a reduced-size run (smaller
+//! polynomial degrees, shorter sweeps, fewer timing repetitions) that
+//! exercises the whole table/figure pipeline in well under a second.
+//! CI runs one binary in smoke mode so the reproduction path cannot
+//! silently rot.
 
 #![forbid(unsafe_code)]
 
 use std::time::Instant;
+
+/// True when `--smoke` is among the process arguments: report binaries
+/// switch to reduced problem sizes so CI can exercise the full pipeline
+/// cheaply. Paper-accuracy comparisons only hold in full-size runs.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Selects the full-size or reduced value based on [`smoke_mode`].
+pub fn sized<T>(full: T, smoke: T) -> T {
+    if smoke_mode() {
+        smoke
+    } else {
+        full
+    }
+}
 
 /// Times a closure, returning (result, seconds). Runs it `reps` times
 /// and reports the minimum — the standard low-noise estimator.

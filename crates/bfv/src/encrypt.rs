@@ -42,7 +42,7 @@ impl Encryptor {
             });
         }
         let ctx = Arc::clone(self.params.poly_ring());
-        let ring = ctx.ring().clone();
+        let ring = *ctx.ring();
         let n = self.params.n();
         let u = Polynomial::from_elems(
             Arc::clone(&ctx),
@@ -120,10 +120,8 @@ impl Decryptor {
                 let (mag, neg) = sampling::elem_to_centered(ring, c);
                 let (num, hi) = U256::from_u128(mag).widening_mul(U256::from_u128(t as u128));
                 debug_assert!(hi.is_zero());
-                let rounded = num
-                    .wrapping_add(U256::from_u128(q / 2))
-                    .div_rem(U256::from_u128(q))
-                    .0;
+                let rounded =
+                    num.wrapping_add(U256::from_u128(q / 2)).div_rem(U256::from_u128(q)).0;
                 let m = rounded.rem(U256::from_u128(t as u128)).low_u128() as u64;
                 if neg && m != 0 {
                     t - m
@@ -153,10 +151,8 @@ impl Decryptor {
             let (mag, _) = sampling::elem_to_centered(ring, noise);
             worst = worst.max(mag);
         }
-        let budget = (q as f64).log2()
-            - 1.0
-            - ((worst + 1) as f64).log2()
-            - (self.params.t() as f64).log2();
+        let budget =
+            (q as f64).log2() - 1.0 - ((worst + 1) as f64).log2() - (self.params.t() as f64).log2();
         Ok(budget.max(0.0))
     }
 }

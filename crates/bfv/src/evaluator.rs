@@ -58,9 +58,7 @@ impl Evaluator {
 
     fn check_ct(&self, ct: &Ciphertext) -> Result<()> {
         for p in ct.polys() {
-            if p.context().n() != self.params.n()
-                || p.context().modulus() != self.params.q()
-            {
+            if p.context().n() != self.params.n() || p.context().modulus() != self.params.q() {
                 return Err(BfvError::ParamsMismatch);
             }
         }
@@ -127,8 +125,7 @@ impl Evaluator {
         self.check_ct(a)?;
         let ctx = Arc::clone(self.params.poly_ring());
         let delta = self.params.delta();
-        let dm: Vec<u128> =
-            pt.coeffs().iter().map(|&m| delta.wrapping_mul(m as u128)).collect();
+        let dm: Vec<u128> = pt.coeffs().iter().map(|&m| delta.wrapping_mul(m as u128)).collect();
         let dm = Polynomial::from_values(ctx, &dm)?;
         let mut polys = a.polys().to_vec();
         polys[0] = polys[0].add(&dm)?;
@@ -237,26 +234,26 @@ impl Evaluator {
             let mut coeffs = Vec::with_capacity(n);
             let mut residues = vec![0u128; k];
             for j in 0..n {
-                for i in 0..k {
-                    residues[i] = part[i][j] as u128;
+                for (r, tower) in residues.iter_mut().zip(part.iter()) {
+                    *r = tower[j] as u128;
                 }
                 let x = basis.compose(&residues)?;
-                let (mag, neg) = if x > half {
-                    (basis.product().wrapping_sub(x), true)
-                } else {
-                    (x, false)
-                };
+                let (mag, neg) =
+                    if x > half { (basis.product().wrapping_sub(x), true) } else { (x, false) };
                 // y = ⌊(t·mag + q/2) / q⌋ — parameters guarantee t·mag
                 // fits 256 bits (see BfvParams validation).
                 let (num, hi) = mag.widening_mul(U256::from_u128(t));
                 debug_assert!(hi.is_zero());
                 let _ = hi;
-                let y = num
-                    .wrapping_add(U256::from_u128(q / 2))
-                    .div_rem(U256::from_u128(q))
-                    .0;
+                let y = num.wrapping_add(U256::from_u128(q / 2)).div_rem(U256::from_u128(q)).0;
                 let r = y.rem(U256::from_u128(q)).low_u128();
-                coeffs.push(if neg && r != 0 { q - r } else if neg { 0 } else { r });
+                coeffs.push(if neg && r != 0 {
+                    q - r
+                } else if neg {
+                    0
+                } else {
+                    r
+                });
             }
             out_polys.push(Polynomial::from_values(Arc::clone(&ctx), &coeffs)?);
         }
@@ -284,11 +281,8 @@ impl Evaluator {
         let c2 = &ct.polys()[2];
         for (i, (k0, k1)) in rlk.parts.iter().enumerate() {
             // Digit i of every coefficient of c2 (unsigned decomposition).
-            let digits: Vec<u128> = c2
-                .coeffs()
-                .iter()
-                .map(|&c| (c >> (w * i as u32)) & mask)
-                .collect();
+            let digits: Vec<u128> =
+                c2.coeffs().iter().map(|&c| (c >> (w * i as u32)) & mask).collect();
             debug_assert_eq!(digits.len(), n);
             let d = Polynomial::from_values(Arc::clone(&ctx), &digits)?;
             c0 = c0.add(&d.negacyclic_mul(k0)?)?;

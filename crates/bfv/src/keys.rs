@@ -111,7 +111,7 @@ impl KeyGenerator {
     /// Propagates polynomial-arithmetic failures (none in practice).
     pub fn relin_key<G: Rng + ?Sized>(&self, base_bits: u32, rng: &mut G) -> Result<RelinKey> {
         let ctx = Arc::clone(self.params.poly_ring());
-        let ring = ctx.ring().clone();
+        let ring = *ctx.ring();
         let n = self.params.n();
         let digits = self.params.log_q().div_ceil(base_bits) as usize;
         let s_sq = self.sk.s.negacyclic_mul(&self.sk.s)?;
@@ -129,11 +129,7 @@ impl KeyGenerator {
                 sampling::error_poly(&ring, n, rng),
                 Domain::Coefficient,
             )?;
-            let k0 = a
-                .negacyclic_mul(&self.sk.s)?
-                .add(&e)?
-                .neg()
-                .add(&s_sq.scalar_mul(t_pow))?;
+            let k0 = a.negacyclic_mul(&self.sk.s)?.add(&e)?.neg().add(&s_sq.scalar_mul(t_pow))?;
             parts.push((k0, a));
             t_pow = ring.mul(t_pow, base);
         }

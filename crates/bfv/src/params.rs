@@ -94,8 +94,8 @@ impl BfvParams {
         // 2·n·q² (sign headroom included).
         let needed_bits = 1 + n.trailing_zeros() + 2 * q_bits + 2;
         let count = needed_bits.div_ceil(59) as usize;
-        let mult_basis = RnsBasis::for_total_bits((count as u32) * 59, 64, n)
-            .map_err(BfvError::from)?;
+        let mult_basis =
+            RnsBasis::for_total_bits((count as u32) * 59, 64, n).map_err(BfvError::from)?;
         debug_assert!(mult_basis.total_bits() >= needed_bits);
         Ok(Self { n, t, q, poly_ring, delta: q / t as u128, mult_basis })
     }

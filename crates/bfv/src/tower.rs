@@ -137,8 +137,7 @@ impl TowerEvaluator {
             .iter()
             .map(|t| {
                 let q = t.ring.q();
-                let mut sample =
-                    || (0..self.n).map(|_| rng.gen::<u64>() % q).collect::<Vec<u64>>();
+                let mut sample = || (0..self.n).map(|_| rng.gen::<u64>() % q).collect::<Vec<u64>>();
                 [sample(), sample()]
             })
             .collect();
@@ -250,17 +249,16 @@ impl TowerEvaluator {
             return;
         }
         let chunk = units.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for chunk_units in units.chunks_mut(chunk) {
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (tower, data) in chunk_units.iter_mut() {
                         f(*tower, data);
                     }
                 });
             }
-        })
-        .expect("worker threads do not panic");
+        });
     }
 }
 

@@ -2,8 +2,8 @@
 //! plaintexts, noise-budget monotonicity, and batching linearity.
 
 use cofhee_bfv::{
-    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator,
-    Plaintext, RelinKey,
+    BatchEncoder, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator, Plaintext,
+    RelinKey,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -1,0 +1,26 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for fixed-length vectors of `element` draws.
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+/// Creates a strategy yielding `Vec`s of exactly `len` elements.
+///
+/// Real proptest accepts any size range here; the CoFHEE suites only use
+/// exact lengths, so that is what the stand-in models.
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        (0..self.len).map(|_| self.element.generate(rng)).collect()
+    }
+}

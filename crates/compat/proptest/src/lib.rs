@@ -1,0 +1,168 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! this API-compatible subset of `proptest` as a path dependency. It
+//! covers the surface the CoFHEE property suites use — the [`proptest!`]
+//! macro, [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`],
+//! `any::<T>()`, integer-range and tuple strategies, `prop_map`, and
+//! `proptest::collection::vec` — running each property over N
+//! deterministically seeded random cases.
+//!
+//! Differences from real proptest, by design: failing cases are reported
+//! by panic (with the case index) but are **not shrunk** to minimal
+//! counterexamples, and generation is a plain seeded PRNG rather than
+//! proptest's bias-aware value trees. Swap the workspace manifest to the
+//! real `proptest` for shrinking; the test sources run unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude` equivalent: everything the test files import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $config;
+            // Deterministic per-test seed: hash of the test name, so
+            // every property explores a distinct, reproducible stream.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in stringify!($name).bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut rng = $crate::test_runner::rng_from_seed(seed);
+            for case in 0..config.cases {
+                $(let $pat = ($strat).generate(&mut rng);)+
+                let outcome = (move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("property '{}' failed at case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+/// Asserts two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec as pvec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose((a, b) in (any::<u32>(), any::<u32>()).prop_map(|(x, y)| (x / 2, y / 2))) {
+            prop_assert!(a <= u32::MAX / 2);
+            prop_assert!(b <= u32::MAX / 2);
+        }
+
+        #[test]
+        fn vec_strategy_has_exact_len(v in pvec(0u64..100, 7)) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in any::<u64>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn assertion_macros_produce_the_right_outcomes() {
+        use crate::test_runner::{TestCaseError, TestCaseResult};
+
+        fn inner(x: u32) -> TestCaseResult {
+            prop_assume!(x != 1);
+            prop_assert!(x < 5, "x too big: {}", x);
+            prop_assert_ne!(x, 3);
+            Ok(())
+        }
+        assert!(matches!(inner(1), Err(TestCaseError::Reject)));
+        assert!(matches!(inner(9), Err(TestCaseError::Fail(_))));
+        assert!(matches!(inner(3), Err(TestCaseError::Fail(_))));
+        assert!(inner(2).is_ok());
+    }
+}

@@ -1,0 +1,47 @@
+//! Test-execution plumbing: configuration, case outcomes, and the
+//! deterministic RNG handed to strategies.
+
+use rand::SeedableRng;
+
+/// The RNG driving value generation (deterministic per test).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Builds the case RNG from a 64-bit seed. Called by the [`proptest!`]
+/// macro expansion so user crates need no direct `rand` dependency.
+///
+/// [`proptest!`]: crate::proptest
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns a config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed; the whole property fails.
+    Fail(String),
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;

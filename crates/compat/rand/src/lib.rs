@@ -1,0 +1,177 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! this API-compatible subset of `rand` 0.8 as a path dependency. It
+//! covers exactly the surface the CoFHEE reproduction uses — [`Rng`]
+//! (`gen`, `gen_range`, `fill`), [`SeedableRng::seed_from_u64`], and a
+//! deterministic [`rngs::StdRng`] — so swapping in the real crate later
+//! is a one-line change in the workspace manifest.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64: statistically
+//! solid for test-vector generation and benchmarking, NOT a CSPRNG. The
+//! cryptographic sampling in `cofhee-bfv` is for reproduction purposes
+//! only, exactly like the rest of this research codebase.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness (the `rand_core::RngCore` subset).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random-value interface, blanket-implemented for every
+/// [`RngCore`] exactly as in `rand` 0.8.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (half-open `lo..hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Fills `dest` with random data.
+    fn fill<T: FillableSlice + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (via SplitMix64 expansion,
+    /// matching `rand 0.8` semantics in spirit, not bit-for-bit).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end - self.start;
+                // Rejection sampling: reject the `extra` values that would
+                // bias the modulo, so the draw is exactly uniform.
+                let extra = ((<$t>::MAX % span) + 1) % span;
+                loop {
+                    let v: $t = Standard.sample(rng);
+                    if v <= <$t>::MAX - extra {
+                        return self.start + v % span;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize, u128);
+
+impl SampleRange<i64> for core::ops::Range<i64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        let off = (0u64..span).sample_single(rng);
+        self.start.wrapping_add(off as i64)
+    }
+}
+
+/// Slices that [`Rng::fill`] can populate.
+pub trait FillableSlice {
+    /// Fills `self` from `rng`.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl FillableSlice for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self)
+    }
+}
+
+macro_rules! impl_fillable {
+    ($($t:ty),* $(,)?) => {$(
+        impl FillableSlice for [$t] {
+            fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+                for v in self.iter_mut() {
+                    *v = Standard.sample(rng);
+                }
+            }
+        }
+    )*};
+}
+
+impl_fillable!(u16, u32, u64, u128, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(43);
+        let zs: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = rng.gen_range(0u8..3);
+            assert!(v < 3);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn wide_types_cover_their_width() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // A handful of u128 draws should exercise the top 64 bits.
+        assert!((0..8).any(|_| rng.gen::<u128>() >> 64 != 0));
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! this minimal facade as a path dependency. It provides the
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` attributes that
+//! `cofhee-physical` annotates its report types with; the derives are
+//! markers (no generated code) because nothing in the workspace
+//! serializes through serde yet. When a future PR adds JSON/bincode
+//! output, point the workspace manifest at the real `serde` and these
+//! annotations light up unchanged.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Proc-macro half of the offline `serde` stand-in: `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` as inert markers. See the `serde` compat
+//! crate for the rationale.
+
+use proc_macro::TokenStream;
+
+/// Marker derive: accepted and discarded (no trait impl is generated).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Marker derive: accepted and discarded (no trait impl is generated).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -8,9 +8,7 @@
 //! turns on.
 
 use cofhee_arith::{Barrett128, ModRing};
-use cofhee_sim::{
-    BankId, Chip, ChipConfig, Command, HostLink, OpReport, Slot, Spi, Uart,
-};
+use cofhee_sim::{BankId, Chip, ChipConfig, Command, HostLink, OpReport, Slot, Spi, Uart};
 
 use crate::error::{CoreError, Result};
 
@@ -104,8 +102,7 @@ impl Device {
         let mut chip = Chip::new(config)?;
         let ring = Barrett128::new(q)?;
         let (fwd_tw, inv_tw) = chip.load_ring(&ring, n)?;
-        let mut device =
-            Self { chip, ring, n, fwd_tw, inv_tw, link, comm: CommStats::default() };
+        let mut device = Self { chip, ring, n, fwd_tw, inv_tw, link, comm: CommStats::default() };
         // Bring-up traffic: register programming (Q, N, INV_POLYDEG,
         // BARRETTCTL1/2 ≈ 14 words) plus two twiddle tables.
         device.account_bytes(14 * 4);
@@ -289,13 +286,8 @@ mod tests {
     #[test]
     fn link_time_is_accounted() {
         let spi = Spi::new(50_000_000);
-        let mut d = Device::connect_via(
-            ChipConfig::silicon(),
-            Q109,
-            1 << 12,
-            Link::Spi(spi),
-        )
-        .unwrap();
+        let mut d =
+            Device::connect_via(ChipConfig::silicon(), Q109, 1 << 12, Link::Spi(spi)).unwrap();
         let at_bringup = d.comm_stats();
         assert!(at_bringup.seconds > 0.0, "twiddle upload costs wire time");
         let plan = d.bank_plan();

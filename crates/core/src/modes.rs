@@ -15,7 +15,7 @@
 //! measurement.
 
 use cofhee_sim::cm0::{Asm, Cm0};
-use cofhee_sim::{HostLink, Slot, Spi, Uart, GPCFG_BASE, Register, COMMAND_WORDS};
+use cofhee_sim::{HostLink, Register, Slot, Spi, Uart, COMMAND_WORDS, GPCFG_BASE};
 
 use crate::device::{Device, Link};
 use crate::error::Result;
@@ -164,7 +164,7 @@ mod tests {
         for mode in [ExecutionMode::DirectRegister, ExecutionMode::CommandFifo, ExecutionMode::Cm0]
         {
             let mut dev = Device::connect(ChipConfig::silicon(), Q109, n).unwrap();
-            let ring = dev.ring().clone();
+            let ring = *dev.ring();
             let a = rand_poly(&ring, n, 1);
             let b = rand_poly(&ring, n, 2);
             let out = dev.poly_mul_with_mode(&a, &b, mode, &link).unwrap();
@@ -180,7 +180,7 @@ mod tests {
         let link = Link::Uart(Uart::new(115_200));
         let run = |mode| {
             let mut dev = Device::connect(ChipConfig::silicon(), Q109, n).unwrap();
-            let ring = dev.ring().clone();
+            let ring = *dev.ring();
             let a = rand_poly(&ring, n, 1);
             let b = rand_poly(&ring, n, 2);
             dev.poly_mul_with_mode(&a, &b, mode, &link).unwrap().command_overhead_s
@@ -199,7 +199,7 @@ mod tests {
         let n = 1 << 8;
         let link = Link::Spi(Spi::new(50_000_000));
         let mut dev = Device::connect(ChipConfig::silicon(), Q109, n).unwrap();
-        let ring = dev.ring().clone();
+        let ring = *dev.ring();
         let a = rand_poly(&ring, n, 1);
         let b = rand_poly(&ring, n, 2);
         let out = dev.poly_mul_with_mode(&a, &b, ExecutionMode::Cm0, &link).unwrap();

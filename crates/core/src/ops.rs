@@ -57,9 +57,9 @@ impl Device {
         let d1 = Slot::new(p.d1, 0);
         let d2 = Slot::new(p.d2, 0);
         vec![
-            Command::ntt(d0, self.forward_twiddles(), d1), // B′
-            Command::ntt(d2, self.forward_twiddles(), d0), // A′
-            Command::pmodmul(d0, d1, d2),                  // Y′ = A′ ∘ B′
+            Command::ntt(d0, self.forward_twiddles(), d1),  // B′
+            Command::ntt(d2, self.forward_twiddles(), d0),  // A′
+            Command::pmodmul(d0, d1, d2),                   // Y′ = A′ ∘ B′
             Command::intt(d2, self.inverse_twiddles(), d1), // Y
         ]
     }
@@ -116,23 +116,23 @@ impl Device {
 
         let history_start = self.chip().history().len();
         let schedule = [
-            Command::ntt(d0, fwd, d1),     // 1: B₀′ → d1
-            Command::memcpy(d1, s2, n),    // 2: stage B₀′ → s2 (hides under 3)
-            Command::ntt(d2, fwd, d0),     // 3: A₀′ → d0
-            Command::pmodmul(d0, s2, d1),  // 4: Y₀′ = A₀′∘B₀′ → d1
-            Command::intt(d1, inv, d2),    // 5: Y₀ → d2
-            Command::memcpy(s1, d1, n),    // 6: B₁ → d1
-            Command::memcpy(d2, s1, n),    // 7: Y₀ → s1 (frees d2)
-            Command::ntt(d1, fwd, d2),     // 8: B₁′ → d2
-            Command::pmodmul(d0, d2, d1),  // 9: Y₀₁′ = A₀′∘B₁′ → d1
-            Command::memcpy(s0, d0, n),    // 10: A₁ → d0
-            Command::memcpy(d2, s0, n),    // 11: stage B₁′ → s0
-            Command::ntt(d0, fwd, d2),     // 12: A₁′ → d2
-            Command::pmodmul(d2, s0, d0),  // 13: Y₂′ = A₁′∘B₁′ → d0
-            Command::pmodmul(d2, s2, s0),  // 14: Y₁₀′ = A₁′∘B₀′ → s0
-            Command::pmodadd(d1, s0, d1),  // 15: Y₁′ = Y₀₁′ + Y₁₀′ → d1
-            Command::intt(d0, inv, d2),    // 16: Y₂ → d2
-            Command::intt(d1, inv, d0),    // 17: Y₁ → d0
+            Command::ntt(d0, fwd, d1),    // 1: B₀′ → d1
+            Command::memcpy(d1, s2, n),   // 2: stage B₀′ → s2 (hides under 3)
+            Command::ntt(d2, fwd, d0),    // 3: A₀′ → d0
+            Command::pmodmul(d0, s2, d1), // 4: Y₀′ = A₀′∘B₀′ → d1
+            Command::intt(d1, inv, d2),   // 5: Y₀ → d2
+            Command::memcpy(s1, d1, n),   // 6: B₁ → d1
+            Command::memcpy(d2, s1, n),   // 7: Y₀ → s1 (frees d2)
+            Command::ntt(d1, fwd, d2),    // 8: B₁′ → d2
+            Command::pmodmul(d0, d2, d1), // 9: Y₀₁′ = A₀′∘B₁′ → d1
+            Command::memcpy(s0, d0, n),   // 10: A₁ → d0
+            Command::memcpy(d2, s0, n),   // 11: stage B₁′ → s0
+            Command::ntt(d0, fwd, d2),    // 12: A₁′ → d2
+            Command::pmodmul(d2, s0, d0), // 13: Y₂′ = A₁′∘B₁′ → d0
+            Command::pmodmul(d2, s2, s0), // 14: Y₁₀′ = A₁′∘B₀′ → s0
+            Command::pmodadd(d1, s0, d1), // 15: Y₁′ = Y₀₁′ + Y₁₀′ → d1
+            Command::intt(d0, inv, d2),   // 16: Y₂ → d2
+            Command::intt(d1, inv, d0),   // 17: Y₁ → d0
         ];
         for cmd in schedule {
             self.chip_mut().submit(cmd)?;
@@ -181,7 +181,7 @@ mod tests {
         for (log_n, expect_compute) in [(12u32, 83_777u64), (13, 179_045)] {
             let n = 1usize << log_n;
             let mut dev = Device::connect(ChipConfig::silicon(), Q109, n).unwrap();
-            let ring = dev.ring().clone();
+            let ring = *dev.ring();
             let a = rand_poly(&ring, n, 1);
             let b = rand_poly(&ring, n, 2);
             let out = dev.poly_mul(&a, &b).unwrap();
@@ -204,7 +204,7 @@ mod tests {
         let n = 1 << 10;
         let q = ntt_prime(109, n).unwrap();
         let mut dev = Device::connect(ChipConfig::silicon(), q, n).unwrap();
-        let ring = dev.ring().clone();
+        let ring = *dev.ring();
         let a0 = rand_poly(&ring, n, 3);
         let a1 = rand_poly(&ring, n, 4);
         let b0 = rand_poly(&ring, n, 5);
@@ -217,8 +217,7 @@ mod tests {
         let y2 = mul(&a1, &b1);
         let x01 = mul(&a0, &b1);
         let x10 = mul(&a1, &b0);
-        let y1: Vec<u128> =
-            x01.iter().zip(&x10).map(|(&u, &v)| ring.add(u, v)).collect();
+        let y1: Vec<u128> = x01.iter().zip(&x10).map(|(&u, &v)| ring.add(u, v)).collect();
         assert_eq!(out.y0, y0, "Y0");
         assert_eq!(out.y1, y1, "Y1");
         assert_eq!(out.y2, y2, "Y2");
@@ -231,12 +230,10 @@ mod tests {
         for (log_n, expect) in [(12u32, 210_908u64), (13, 448_630)] {
             let n = 1usize << log_n;
             let mut dev = Device::connect(ChipConfig::silicon(), Q109, n).unwrap();
-            let ring = dev.ring().clone();
+            let ring = *dev.ring();
             let polys: Vec<Vec<u128>> =
                 (0..4).map(|i| rand_poly(&ring, n, 10 + i as u128)).collect();
-            let out = dev
-                .ciphertext_mul(&polys[0], &polys[1], &polys[2], &polys[3])
-                .unwrap();
+            let out = dev.ciphertext_mul(&polys[0], &polys[1], &polys[2], &polys[3]).unwrap();
             let err = out.compute_cycles.abs_diff(expect) as f64 / expect as f64;
             assert!(
                 err < 2e-4,
@@ -256,7 +253,7 @@ mod tests {
         // The headline Fig. 6 numbers: 0.84 ms (n=2^12, one 109-bit tower).
         let n = 1 << 12;
         let mut dev = Device::connect(ChipConfig::silicon(), Q109, n).unwrap();
-        let ring = dev.ring().clone();
+        let ring = *dev.ring();
         let a0 = rand_poly(&ring, n, 21);
         let a1 = rand_poly(&ring, n, 22);
         let b0 = rand_poly(&ring, n, 23);

@@ -94,10 +94,7 @@ impl RnsDevice {
     ///
     /// Returns [`CoreError::BadOperandLength`] if the operand set does
     /// not match the tower count, plus per-tower execution failures.
-    pub fn ciphertext_mul(
-        &mut self,
-        operands: &[[Vec<u128>; 4]],
-    ) -> Result<RnsMulOutcome> {
+    pub fn ciphertext_mul(&mut self, operands: &[[Vec<u128>; 4]]) -> Result<RnsMulOutcome> {
         if operands.len() != self.towers.len() {
             return Err(CoreError::BadOperandLength {
                 expected: self.towers.len(),
@@ -154,7 +151,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, d)| {
-                let ring = d.ring().clone();
+                let ring = *d.ring();
                 [
                     rand_poly(&ring, n, 4 * i as u128 + 1),
                     rand_poly(&ring, n, 4 * i as u128 + 2),

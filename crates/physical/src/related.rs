@@ -243,9 +243,8 @@ mod tests {
     fn speedups_match_section7() {
         let t = ComparisonTable::table11();
         let speedups = t.speedups();
-        let lookup = |name: &str| {
-            speedups.iter().find(|(n, _)| *n == name).map(|(_, s)| *s).unwrap()
-        };
+        let lookup =
+            |name: &str| speedups.iter().find(|(n, _)| *n == name).map(|(_, s)| *s).unwrap();
         assert!((lookup("F1") - 6.3).abs() < 0.05, "F1: {}", lookup("F1"));
         assert!((lookup("CraterLake") - 1.39).abs() < 0.01);
         assert!((lookup("BTS") - 46.19).abs() < 0.05);
@@ -255,10 +254,7 @@ mod tests {
     #[test]
     fn cofhee_efficiency_derivation_reproduces_table11() {
         let t = ComparisonTable::table11();
-        let eff = t.derive_cofhee_efficiency(
-            &PartCatalogue::cofhee(),
-            &TechScaling::gf55_to_7nm(),
-        );
+        let eff = t.derive_cofhee_efficiency(&PartCatalogue::cofhee(), &TechScaling::gf55_to_7nm());
         let published = 4.54e-4;
         let rel_err = (eff - published).abs() / published;
         assert!(

@@ -66,9 +66,7 @@ impl GoldenVectors {
         let ring = Barrett128::new(q)?;
         let roots = RootSet::new(&ring, n)?;
         let tables = NttTables::from_roots(&ring, &roots);
-        let mut sample = || -> Vec<u128> {
-            (0..n).map(|_| rng.gen::<u128>() % q).collect()
-        };
+        let mut sample = || -> Vec<u128> { (0..n).map(|_| rng.gen::<u128>() % q).collect() };
         let a = sample();
         let b = sample();
         let product = naive::negacyclic_mul(&ring, &a, &b)?;
@@ -103,7 +101,7 @@ mod tests {
         assert_eq!(gv.a.len(), 64);
         assert!(gv.a.iter().all(|&x| x < gv.q));
         assert_eq!(gv.q % 128, 1); // q ≡ 1 mod 2n
-        // The NTT path must reproduce the naive expected product.
+                                   // The NTT path must reproduce the naive expected product.
         let ring = Barrett128::new(gv.q).unwrap();
         let tables = NttTables::new(&ring, gv.n).unwrap();
         let got = ntt::negacyclic_mul(&ring, &gv.a, &gv.b, &tables).unwrap();

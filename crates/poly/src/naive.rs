@@ -18,6 +18,7 @@ use crate::error::{PolyError, Result};
 /// # Errors
 ///
 /// Returns [`PolyError::DegreeMismatch`] when operand lengths differ.
+#[allow(clippy::needless_range_loop)] // i + j drives the wraparound index k
 pub fn negacyclic_mul<R: ModRing>(ring: &R, a: &[R::Elem], b: &[R::Elem]) -> Result<Vec<R::Elem>> {
     if a.len() != b.len() {
         return Err(PolyError::DegreeMismatch { left: a.len(), right: b.len() });
@@ -43,6 +44,7 @@ pub fn negacyclic_mul<R: ModRing>(ring: &R, a: &[R::Elem], b: &[R::Elem]) -> Res
 /// # Errors
 ///
 /// Returns [`PolyError::DegreeMismatch`] when operand lengths differ.
+#[allow(clippy::needless_range_loop)] // i + j drives the wraparound index k
 pub fn cyclic_mul<R: ModRing>(ring: &R, a: &[R::Elem], b: &[R::Elem]) -> Result<Vec<R::Elem>> {
     if a.len() != b.len() {
         return Err(PolyError::DegreeMismatch { left: a.len(), right: b.len() });

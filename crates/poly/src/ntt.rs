@@ -153,7 +153,11 @@ fn check_len<R: ModRing>(tables: &NttTables<R>, len: usize) -> Result<()> {
 ///
 /// Returns [`PolyError::LengthMismatch`](crate::PolyError) if `a.len()`
 /// differs from the tables' degree.
-pub fn forward_inplace<R: ModRing>(ring: &R, a: &mut [R::Elem], tables: &NttTables<R>) -> Result<()> {
+pub fn forward_inplace<R: ModRing>(
+    ring: &R,
+    a: &mut [R::Elem],
+    tables: &NttTables<R>,
+) -> Result<()> {
     check_len(tables, a.len())?;
     let n = tables.n;
     let mut t = n;
@@ -189,7 +193,11 @@ pub fn forward_inplace<R: ModRing>(ring: &R, a: &mut [R::Elem], tables: &NttTabl
 ///
 /// Returns [`PolyError::LengthMismatch`](crate::PolyError) on length
 /// mismatch.
-pub fn inverse_inplace<R: ModRing>(ring: &R, a: &mut [R::Elem], tables: &NttTables<R>) -> Result<()> {
+pub fn inverse_inplace<R: ModRing>(
+    ring: &R,
+    a: &mut [R::Elem],
+    tables: &NttTables<R>,
+) -> Result<()> {
     check_len(tables, a.len())?;
     let n = tables.n;
     let mut t = 1;
@@ -227,7 +235,11 @@ pub fn inverse_inplace<R: ModRing>(ring: &R, a: &mut [R::Elem], tables: &NttTabl
 ///
 /// Returns [`PolyError::LengthMismatch`](crate::PolyError) on length
 /// mismatch.
-pub fn cyclic_forward<R: ModRing>(ring: &R, a: &mut [R::Elem], tables: &NttTables<R>) -> Result<()> {
+pub fn cyclic_forward<R: ModRing>(
+    ring: &R,
+    a: &mut [R::Elem],
+    tables: &NttTables<R>,
+) -> Result<()> {
     check_len(tables, a.len())?;
     cyclic_transform(ring, a, &tables.omega_pows);
     Ok(())
@@ -239,7 +251,11 @@ pub fn cyclic_forward<R: ModRing>(ring: &R, a: &mut [R::Elem], tables: &NttTable
 ///
 /// Returns [`PolyError::LengthMismatch`](crate::PolyError) on length
 /// mismatch.
-pub fn cyclic_inverse<R: ModRing>(ring: &R, a: &mut [R::Elem], tables: &NttTables<R>) -> Result<()> {
+pub fn cyclic_inverse<R: ModRing>(
+    ring: &R,
+    a: &mut [R::Elem],
+    tables: &NttTables<R>,
+) -> Result<()> {
     check_len(tables, a.len())?;
     cyclic_transform(ring, a, &tables.omega_inv_pows);
     for x in a.iter_mut() {
@@ -454,8 +470,7 @@ mod tests {
         let bm: Vec<u64> = b_plain.iter().map(|&x| mont.from_u128(x as u128)).collect();
         let via_bar = negacyclic_mul(&bar, &a_plain, &b_plain, &tb).unwrap();
         let via_mont = negacyclic_mul(&mont, &am, &bm, &tm).unwrap();
-        let via_mont_plain: Vec<u64> =
-            via_mont.iter().map(|&x| mont.to_u128(x) as u64).collect();
+        let via_mont_plain: Vec<u64> = via_mont.iter().map(|&x| mont.to_u128(x) as u64).collect();
         assert_eq!(via_bar, via_mont_plain);
     }
 

@@ -99,7 +99,8 @@ pub fn widening_mul<R: ModRing>(ring: &R, a: &[R::Elem], b: &[R::Elem]) -> Resul
     Ok(a.iter()
         .zip(b)
         .map(|(&x, &y)| {
-            let (lo, hi) = U256::from_u128(ring.to_u128(x)).widening_mul(U256::from_u128(ring.to_u128(y)));
+            let (lo, hi) =
+                U256::from_u128(ring.to_u128(x)).widening_mul(U256::from_u128(ring.to_u128(y)));
             debug_assert!(hi.is_zero());
             let _ = hi;
             lo

@@ -305,12 +305,8 @@ impl<R: ModRing> Polynomial<R> {
     pub fn negacyclic_mul(&self, other: &Self) -> Result<Self> {
         self.expect_domain(Domain::Coefficient)?;
         self.check_compatible(other)?;
-        let coeffs = ntt::negacyclic_mul(
-            self.ctx.ring(),
-            &self.coeffs,
-            &other.coeffs,
-            self.ctx.tables(),
-        )?;
+        let coeffs =
+            ntt::negacyclic_mul(self.ctx.ring(), &self.coeffs, &other.coeffs, self.ctx.tables())?;
         Ok(Self { ctx: Arc::clone(&self.ctx), coeffs, domain: Domain::Coefficient })
     }
 }

@@ -170,8 +170,7 @@ impl Chip {
     ///
     /// Propagates root-finding and capacity failures.
     pub fn load_ring<R: ModRing>(&mut self, ring: &R, n: usize) -> Result<(Slot, Slot)> {
-        let roots = cofhee_arith::roots::RootSet::new(ring, n)
-            .map_err(SimError::from)?;
+        let roots = cofhee_arith::roots::RootSet::new(ring, n).map_err(SimError::from)?;
         let tables = cofhee_poly::ntt::NttTables::from_roots(ring, &roots);
         self.load_parameters(ring.modulus(), n, ring.to_u128(roots.n_inv))?;
         let roles = self.mem.roles();
@@ -475,10 +474,8 @@ mod tests {
 
         // NTT on banks 0→1 while DMA stages bank 5 → bank 2 (prefetch):
         // disjoint, so wall time should equal the NTT alone.
-        chip.submit(Command::ntt(Slot::new(BankId(0), 0), fwd, Slot::new(BankId(1), 0)))
-            .unwrap();
-        chip.submit(Command::memcpy(Slot::new(BankId(5), 0), Slot::new(BankId(2), 0), n))
-            .unwrap();
+        chip.submit(Command::ntt(Slot::new(BankId(0), 0), fwd, Slot::new(BankId(1), 0))).unwrap();
+        chip.submit(Command::memcpy(Slot::new(BankId(5), 0), Slot::new(BankId(2), 0), n)).unwrap();
         let report = chip.run_until_idle().unwrap();
         assert_eq!(report.cycles, 24_841, "DMA hidden behind compute");
         assert_eq!(chip.read_polynomial(Slot::new(BankId(2), 0), n).unwrap(), poly);
@@ -491,10 +488,8 @@ mod tests {
         let poly = rand_poly(&ring, n, 4);
         chip.write_polynomial(Slot::new(BankId(0), 0), &poly).unwrap();
         // DMA wants the NTT's destination bank: must wait.
-        chip.submit(Command::ntt(Slot::new(BankId(0), 0), fwd, Slot::new(BankId(1), 0)))
-            .unwrap();
-        chip.submit(Command::memcpy(Slot::new(BankId(1), 0), Slot::new(BankId(4), 0), n))
-            .unwrap();
+        chip.submit(Command::ntt(Slot::new(BankId(0), 0), fwd, Slot::new(BankId(1), 0))).unwrap();
+        chip.submit(Command::memcpy(Slot::new(BankId(1), 0), Slot::new(BankId(4), 0), n)).unwrap();
         let report = chip.run_until_idle().unwrap();
         assert!(report.cycles > 24_841 + n as u64, "serialized: {}", report.cycles);
     }
@@ -543,8 +538,11 @@ mod tests {
         chip.write_polynomial(Slot::new(BankId(0), 0), &a).unwrap();
         chip.write_polynomial(Slot::new(BankId(1), 0), &b).unwrap();
 
-        let cmd =
-            Command::pmodadd(Slot::new(BankId(0), 0), Slot::new(BankId(1), 0), Slot::new(BankId(2), 0));
+        let cmd = Command::pmodadd(
+            Slot::new(BankId(0), 0),
+            Slot::new(BankId(1), 0),
+            Slot::new(BankId(2), 0),
+        );
         let words = cmd.encode();
         let mut asm = Asm::new();
         asm.ldr_const(0, GPCFG_BASE + Register::COMMANDFIFO.offset());

@@ -15,6 +15,10 @@
 //! memory-mapped loads/stores, compares, conditional branches, and
 //! `BKPT`/`WFI` for completion and interrupt waits.
 
+// Thumb opcode literals below are grouped by instruction field (opcode |
+// register | immediate), not by uniform nibbles.
+#![allow(clippy::unusual_byte_groupings)]
+
 use crate::error::{Result, SimError};
 
 /// Condition codes for `B<cond>`.
@@ -171,10 +175,8 @@ impl Cm0 {
     pub fn step<B: Cm0Bus + ?Sized>(&mut self, bus: &mut B) -> Result<Option<Halt>> {
         let pc = self.regs[PC];
         let idx = (pc / 2) as usize;
-        let op = *self.imem.get(idx).ok_or(SimError::UndefinedInstruction {
-            pc,
-            opcode: 0xFFFF,
-        })?;
+        let op =
+            *self.imem.get(idx).ok_or(SimError::UndefinedInstruction { pc, opcode: 0xFFFF })?;
         self.regs[PC] = pc.wrapping_add(2);
         self.cycles += 1;
 
@@ -741,10 +743,7 @@ mod tests {
         asm.label("spin");
         asm.b("spin");
         let mut cpu = Cm0::new(asm.assemble().unwrap());
-        assert!(matches!(
-            cpu.run(&mut MapBus::default(), 1000),
-            Err(SimError::CpuTimeout { .. })
-        ));
+        assert!(matches!(cpu.run(&mut MapBus::default(), 1000), Err(SimError::CpuTimeout { .. })));
     }
 
     #[test]

@@ -215,10 +215,8 @@ impl Command {
     ///
     /// Returns [`crate::SimError::BadConfiguration`] for unknown opcodes.
     pub fn decode(words: &[u32; COMMAND_WORDS]) -> crate::Result<Self> {
-        let unpack = |w: u32| Slot::new(
-            crate::mem::BankId((w >> 24) as usize),
-            (w & 0x00FF_FFFF) as usize,
-        );
+        let unpack =
+            |w: u32| Slot::new(crate::mem::BankId((w >> 24) as usize), (w & 0x00FF_FFFF) as usize);
         let op = match words[0] & 0xFF {
             0 => Opcode::Ntt,
             1 => Opcode::Intt,

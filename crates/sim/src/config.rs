@@ -82,22 +82,13 @@ impl ChipConfig {
     /// The scaled-down FPGA validation build: `n = 2^12` at 10 MHz on a
     /// Digilent Nexys 4 (Section III-J).
     pub fn fpga_nexys4() -> Self {
-        Self {
-            freq_hz: 10_000_000,
-            max_onchip_n: 1 << 12,
-            bank_words: 1 << 12,
-            ..Self::silicon()
-        }
+        Self { freq_hz: 10_000_000, max_onchip_n: 1 << 12, bank_words: 1 << 12, ..Self::silicon() }
     }
 
     /// A scalability variant with `pe_count` processing elements and a
     /// proportionally enlarged memory system (Section VIII-A).
     pub fn with_pe_count(pe_count: usize) -> Self {
-        Self {
-            pe_count,
-            dual_port_banks: 3 * pe_count.max(1),
-            ..Self::silicon()
-        }
+        Self { pe_count, dual_port_banks: 3 * pe_count.max(1), ..Self::silicon() }
     }
 
     /// Validates internal consistency.

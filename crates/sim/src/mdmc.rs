@@ -416,9 +416,9 @@ impl Mdmc {
     ) -> Result<OpReport> {
         let n = self.operand_n(gpcfg)?;
         self.load_modulus(pe, gpcfg)?;
-        let c = cmd.constant.ok_or(SimError::BadConfiguration {
-            reason: "CMODMUL requires a constant".into(),
-        })?;
+        let c = cmd
+            .constant
+            .ok_or(SimError::BadConfiguration { reason: "CMODMUL requires a constant".into() })?;
         let a = mem.read_slice(cmd.x, n)?;
         let mut out = Vec::with_capacity(n);
         for &v in &a {
@@ -588,17 +588,13 @@ mod tests {
         let poly = rand_poly(&r, 7);
         r.mem.write_slice(x, &poly).unwrap();
 
-        r.mdmc
-            .execute(&Command::ntt(x, tw_f, mid), &mut r.mem, &mut r.pe, &r.gpcfg)
-            .unwrap();
+        r.mdmc.execute(&Command::ntt(x, tw_f, mid), &mut r.mem, &mut r.pe, &r.gpcfg).unwrap();
         // Against the software golden model.
         let mut expect = poly.clone();
         ntt::forward_inplace(&r.ring, &mut expect, &r.tables).unwrap();
         assert_eq!(r.mem.read_slice(mid, n).unwrap(), expect);
 
-        r.mdmc
-            .execute(&Command::intt(mid, tw_i, back), &mut r.mem, &mut r.pe, &r.gpcfg)
-            .unwrap();
+        r.mdmc.execute(&Command::intt(mid, tw_i, back), &mut r.mem, &mut r.pe, &r.gpcfg).unwrap();
         assert_eq!(r.mem.read_slice(back, n).unwrap(), poly, "round trip");
     }
 
@@ -617,12 +613,7 @@ mod tests {
         r.mem.write_slice(x, &poly).unwrap();
         let single = r
             .mdmc
-            .execute(
-                &Command::ntt(x, tw, Slot::new(BankId(4), 0)),
-                &mut r.mem,
-                &mut r.pe,
-                &r.gpcfg,
-            )
+            .execute(&Command::ntt(x, tw, Slot::new(BankId(4), 0)), &mut r.mem, &mut r.pe, &r.gpcfg)
             .unwrap();
         let stages = n.trailing_zeros() as u64;
         assert_eq!(single.cycles - dual.cycles, stages * (n as u64 / 2), "II 1 → 2");
@@ -675,12 +666,7 @@ mod tests {
             (Command::cmodmul(sa, 12345, dst), a.iter().map(|&x| r.ring.mul(x, 12345)).collect()),
         ] {
             r.mdmc.execute(&cmd, &mut r.mem, &mut r.pe, &r.gpcfg).unwrap();
-            assert_eq!(
-                r.mem.read_slice(dst, n).unwrap(),
-                expect,
-                "{} output",
-                cmd.op.mnemonic()
-            );
+            assert_eq!(r.mem.read_slice(dst, n).unwrap(), expect, "{} output", cmd.op.mnemonic());
         }
     }
 
@@ -698,7 +684,12 @@ mod tests {
         r.mem.write_slice(sb, &a).unwrap();
         let rep = r
             .mdmc
-            .execute(&Command::pmodmul(sa, sb, Slot::new(BankId(2), 0)), &mut r.mem, &mut r.pe, &r.gpcfg)
+            .execute(
+                &Command::pmodmul(sa, sb, Slot::new(BankId(2), 0)),
+                &mut r.mem,
+                &mut r.pe,
+                &r.gpcfg,
+            )
             .unwrap();
         let bursts = (n as u64).div_ceil(16);
         assert_eq!(rep.cycles, n as u64 + bursts * 2 + 20);
@@ -712,17 +703,13 @@ mod tests {
         let src = Slot::new(BankId(3), 0);
         let dst = Slot::new(BankId(4), 0);
         r.mem.write_slice(src, &data).unwrap();
-        let rep = r
-            .mdmc
-            .execute(&Command::memcpy(src, dst, n), &mut r.mem, &mut r.pe, &r.gpcfg)
-            .unwrap();
+        let rep =
+            r.mdmc.execute(&Command::memcpy(src, dst, n), &mut r.mem, &mut r.pe, &r.gpcfg).unwrap();
         assert_eq!(r.mem.read_slice(dst, n).unwrap(), data);
         assert_eq!(rep.cycles, n as u64 + 4);
         assert_eq!(rep.dma_words, n as u64);
 
-        r.mdmc
-            .execute(&Command::memcpyr(src, dst, n), &mut r.mem, &mut r.pe, &r.gpcfg)
-            .unwrap();
+        r.mdmc.execute(&Command::memcpyr(src, dst, n), &mut r.mem, &mut r.pe, &r.gpcfg).unwrap();
         let got = r.mem.read_slice(dst, n).unwrap();
         let bits = n.trailing_zeros();
         for i in 0..n {

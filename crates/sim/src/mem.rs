@@ -227,9 +227,8 @@ impl Memory {
     /// Returns [`SimError::UnmappedAddress`] outside every bank window.
     pub fn decode(&self, address: u32) -> Result<(BankId, usize, bool)> {
         for (i, bank) in self.banks.iter().enumerate() {
-            let within = |base: u32| {
-                address >= base && (address - base) as usize / 16 < bank.words.len()
-            };
+            let within =
+                |base: u32| address >= base && (address - base) as usize / 16 < bank.words.len();
             if within(bank.base_a) {
                 return Ok((BankId(i), (address - bank.base_a) as usize / 16, false));
             }
@@ -257,9 +256,8 @@ pub struct BankRoles {
 }
 
 fn dp_name(i: usize) -> &'static str {
-    const NAMES: [&str; 12] = [
-        "DP0", "DP1", "DP2", "DP3", "DP4", "DP5", "DP6", "DP7", "DP8", "DP9", "DP10", "DP11",
-    ];
+    const NAMES: [&str; 12] =
+        ["DP0", "DP1", "DP2", "DP3", "DP4", "DP5", "DP6", "DP7", "DP8", "DP9", "DP10", "DP11"];
     NAMES.get(i).copied().unwrap_or("DPx")
 }
 

@@ -101,7 +101,7 @@ impl ProcessingElement {
     ///
     /// Fails when no modulus is loaded.
     pub fn mod_mul(&mut self, a: u128, b: u128) -> Result<u128> {
-        let r = self.ring()?.clone();
+        let r = *self.ring()?;
         self.activity.mults += 1;
         Ok(r.mul(a, b))
     }
@@ -112,7 +112,7 @@ impl ProcessingElement {
     ///
     /// Fails when no modulus is loaded.
     pub fn mod_add(&mut self, a: u128, b: u128) -> Result<u128> {
-        let r = self.ring()?.clone();
+        let r = *self.ring()?;
         self.activity.adds += 1;
         Ok(r.add(a, b))
     }
@@ -123,7 +123,7 @@ impl ProcessingElement {
     ///
     /// Fails when no modulus is loaded.
     pub fn mod_sub(&mut self, a: u128, b: u128) -> Result<u128> {
-        let r = self.ring()?.clone();
+        let r = *self.ring()?;
         self.activity.subs += 1;
         Ok(r.sub(a, b))
     }
@@ -135,7 +135,7 @@ impl ProcessingElement {
     ///
     /// Fails when no modulus is loaded.
     pub fn butterfly(&mut self, u: u128, v: u128, w: u128) -> Result<(u128, u128)> {
-        let r = self.ring()?.clone();
+        let r = *self.ring()?;
         self.activity.butterflies += 1;
         self.activity.mults += 1;
         self.activity.adds += 1;

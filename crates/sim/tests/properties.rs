@@ -123,7 +123,8 @@ fn cycle_model_is_monotone_in_n() {
         let poly: Vec<u128> = (0..n as u128).collect();
         chip.write_polynomial(x, &poly).unwrap();
         let ntt_c = chip.execute_now(Command::ntt(x, fwd, y)).unwrap().cycles;
-        let pass_c = chip.execute_now(Command::pmodadd(x, y, Slot::new(BankId(2), 0))).unwrap().cycles;
+        let pass_c =
+            chip.execute_now(Command::pmodadd(x, y, Slot::new(BankId(2), 0))).unwrap().cycles;
         assert!(ntt_c > last_ntt, "NTT cycles must grow with n");
         assert!(pass_c > last_pass, "pass cycles must grow with n");
         last_ntt = ntt_c;

@@ -16,8 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== CoFHEE bring-up (UMFT230XA-style host over UART) ==");
     let uart = Uart::new(921_600);
-    let mut device =
-        Device::connect_via(ChipConfig::silicon(), q, n, Link::Uart(uart))?;
+    let mut device = Device::connect_via(ChipConfig::silicon(), q, n, Link::Uart(uart))?;
 
     // 1. Sanity: read the SIGNATURE register (chip ID).
     let signature = device.chip_mut().read_register(Register::SIGNATURE)?;

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Cross-check the tensor against the software oracle.
-    let ring = device.ring().clone();
+    let ring = *device.ring();
     let tables = NttTables::new(&ring, n)?;
     let mul = |x: &[u128], y: &[u128]| ntt::negacyclic_mul(&ring, x, y, &tables).unwrap();
     assert_eq!(out.y0, mul(&a[0], &b[0]), "Y0");

@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scores = decrypt_slots(&params, &decryptor, &[score_ct])?;
     let expect_scores = scorer.score_plain(&features);
     assert_eq!(&scores[0][..8], &expect_scores[..]);
-    println!("  scores: {:?} ✓ (thresholding happens client-side after decryption)\n", &scores[0][..8]);
+    println!(
+        "  scores: {:?} ✓ (thresholding happens client-side after decryption)\n",
+        &scores[0][..8]
+    );
 
     // ---- Table X scale estimates on the accelerator ----
     println!("== Table X workload estimates on simulated CoFHEE (2^12, 109) ==");

@@ -39,9 +39,7 @@ fn chip_offloaded_plaintext_mul_and_add_decrypt_exactly() {
     let rebuild = |coeffs: Vec<Vec<u128>>| {
         let polys: Vec<_> = coeffs
             .iter()
-            .map(|c| {
-                cofhee::poly::Polynomial::from_values(std::sync::Arc::clone(ctx), c).unwrap()
-            })
+            .map(|c| cofhee::poly::Polynomial::from_values(std::sync::Arc::clone(ctx), c).unwrap())
             .collect();
         cofhee::bfv::Ciphertext::new(polys).unwrap()
     };
@@ -69,9 +67,7 @@ fn chip_offloaded_plaintext_mul_and_add_decrypt_exactly() {
     };
     let mut scaled = Vec::new();
     for i in 0..2 {
-        let out = device
-            .poly_mul(&ct_a.polys()[i].to_u128_vec(), &m_poly)
-            .unwrap();
+        let out = device.poly_mul(&ct_a.polys()[i].to_u128_vec(), &m_poly).unwrap();
         scaled.push(out.result);
     }
     let prod_ct = rebuild(scaled);
@@ -101,10 +97,8 @@ fn software_evaluator_and_chip_tensor_agree_mod_q() {
     let mut device = Device::connect(ChipConfig::silicon(), q, n).unwrap();
     let out = device.ciphertext_mul(&a[0], &a[1], &b[0], &b[1]).unwrap();
 
-    let ring = device.ring().clone();
-    let naive = |x: &[u128], y: &[u128]| {
-        cofhee::poly::naive::negacyclic_mul(&ring, x, y).unwrap()
-    };
+    let ring = *device.ring();
+    let naive = |x: &[u128], y: &[u128]| cofhee::poly::naive::negacyclic_mul(&ring, x, y).unwrap();
     assert_eq!(out.y0, naive(&a[0], &b[0]));
     assert_eq!(out.y2, naive(&a[1], &b[1]));
     let x01 = naive(&a[0], &b[1]);
