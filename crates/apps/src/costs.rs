@@ -15,10 +15,26 @@
 //! work (Section III-C), so this mapping is ours and is documented here
 //! and in EXPERIMENTS.md.
 
-use cofhee_core::{Device, Result, RnsDevice};
+use cofhee_core::{CommStats, Device, OpReport, Result, RnsDevice};
 use cofhee_sim::ChipConfig;
 
 use crate::workloads::Workload;
+
+/// Measured (not modeled) operation accounting: the cumulative
+/// [`OpReport`] the evaluator's execution backends collected while
+/// running *actual* encrypted workloads — butterflies, pointwise
+/// multiplies and add/subs on every backend, plus real cycles when the
+/// backend is the simulated chip. This is the ground truth the modeled
+/// [`OpCosts`] compositions can be checked against.
+pub fn measured_op_report(eval: &cofhee_bfv::Evaluator) -> OpReport {
+    eval.backend_report()
+}
+
+/// Measured host-communication totals for the same evaluator (zero on
+/// the CPU backend; bring-up plus staged transfers on the chip).
+pub fn measured_comm_stats(eval: &cofhee_bfv::Evaluator) -> CommStats {
+    eval.backend_comm_stats()
+}
 
 /// Seconds per primitive encrypted operation on one backend.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,6 +168,38 @@ mod tests {
         // cost more in total despite fewer adds.
         assert!(lr > cn, "logreg {lr} vs cryptonets {cn}");
         assert!(cn > 10.0, "CryptoNets should take tens of seconds: {cn}");
+    }
+
+    #[test]
+    fn measured_telemetry_reflects_real_encrypted_work() {
+        use crate::demos::{encrypt_features, LogisticScorer};
+        use cofhee_bfv::{BfvParams, Encryptor, KeyGenerator};
+        use cofhee_core::ChipBackendFactory;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let params = BfvParams::insecure_testing(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let kg = KeyGenerator::new(&params, &mut rng);
+        let pk = kg.public_key(&mut rng).unwrap();
+        let enc = Encryptor::new(&params, pk);
+        let scorer =
+            LogisticScorer::with_backend(&params, vec![2, 5], 1, &ChipBackendFactory::silicon())
+                .unwrap();
+        assert_eq!(measured_op_report(scorer.evaluator()), OpReport::default());
+
+        let features = vec![vec![3, 4], vec![5, 6]];
+        let cts = encrypt_features(&params, &enc, &features, &mut rng).unwrap();
+        let _ = scorer.score(&cts).unwrap();
+
+        // Two ct·pt products (3 transforms each on the PolyMul schedule)
+        // plus the accumulating additions, measured on real silicon
+        // cycles — not the composed model.
+        let r = measured_op_report(scorer.evaluator());
+        assert!(r.cycles > 0, "chip backend measures real cycles");
+        assert!(r.butterflies >= 6 * (64 / 2) * 6, "PolyMul transforms retired");
+        assert!(r.addsubs > 0, "accumulation adds retired");
+        assert!(measured_comm_stats(scorer.evaluator()).bytes > 0);
     }
 
     #[test]

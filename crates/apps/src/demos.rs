@@ -16,6 +16,7 @@ use cofhee_bfv::{
     BatchEncoder, BfvError, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator,
     Plaintext, RelinKey,
 };
+use cofhee_core::{BackendFactory, CpuBackendFactory};
 use rand::Rng;
 
 /// A dense layer with square activation over encrypted, batched inputs.
@@ -47,10 +48,28 @@ impl SquareLayerNet {
         keygen: &KeyGenerator,
         rng: &mut G,
     ) -> Result<Self, BfvError> {
+        Self::with_backend(params, weights, biases, keygen, &CpuBackendFactory, rng)
+    }
+
+    /// Same layer, but with the homomorphic evaluation dispatched
+    /// through an explicit execution backend (CPU or simulated CoFHEE
+    /// chip) — the one-line swap of the unified `PolyBackend` API.
+    ///
+    /// # Errors
+    ///
+    /// Parameter, key-generation, or backend bring-up failures.
+    pub fn with_backend<G: Rng + ?Sized>(
+        params: &BfvParams,
+        weights: Vec<Vec<u64>>,
+        biases: Vec<u64>,
+        keygen: &KeyGenerator,
+        factory: &dyn BackendFactory,
+        rng: &mut G,
+    ) -> Result<Self, BfvError> {
         Ok(Self {
             params: params.clone(),
             encoder: BatchEncoder::new(params)?,
-            eval: Evaluator::new(params)?,
+            eval: Evaluator::with_backend(params, factory)?,
             rlk: keygen.relin_key(20, rng)?,
             weights,
             biases,
@@ -60,6 +79,11 @@ impl SquareLayerNet {
     /// Number of neurons.
     pub fn neurons(&self) -> usize {
         self.weights.len()
+    }
+
+    /// The evaluator driving the encrypted math (telemetry inspection).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.eval
     }
 
     /// Evaluates `(Σ_j w_kj·x_j + b_k)²` per neuron over encrypted
@@ -132,13 +156,33 @@ impl LogisticScorer {
     ///
     /// Parameter failures.
     pub fn new(params: &BfvParams, weights: Vec<u64>, bias: u64) -> Result<Self, BfvError> {
+        Self::with_backend(params, weights, bias, &CpuBackendFactory)
+    }
+
+    /// Same scorer on an explicit execution backend (CPU or simulated
+    /// CoFHEE chip).
+    ///
+    /// # Errors
+    ///
+    /// Parameter or backend bring-up failures.
+    pub fn with_backend(
+        params: &BfvParams,
+        weights: Vec<u64>,
+        bias: u64,
+        factory: &dyn BackendFactory,
+    ) -> Result<Self, BfvError> {
         Ok(Self {
             params: params.clone(),
             encoder: BatchEncoder::new(params)?,
-            eval: Evaluator::new(params)?,
+            eval: Evaluator::with_backend(params, factory)?,
             weights,
             bias,
         })
+    }
+
+    /// The evaluator driving the encrypted math (telemetry inspection).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.eval
     }
 
     /// Computes the encrypted linear score for feature ciphertexts.

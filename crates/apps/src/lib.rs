@@ -23,7 +23,10 @@ pub mod demos;
 pub mod estimate;
 pub mod workloads;
 
-pub use costs::{cpu_from_primitives, measure_cofhee, OpCosts, RELIN_DIGITS};
+pub use costs::{
+    cpu_from_primitives, measure_cofhee, measured_comm_stats, measured_op_report, OpCosts,
+    RELIN_DIGITS,
+};
 pub use demos::{
     constant_plaintext, decrypt_slots, encrypt_features, LogisticScorer, SquareLayerNet,
 };

@@ -1,0 +1,97 @@
+//! CPU-vs-chip comparison through the unified `PolyBackend` API: one
+//! driver loop, two execution targets, per-op cycles and latency.
+//!
+//! Complements the Table V path (`table5_performance`, which drives the
+//! `Device` directly): here every operation goes through the same
+//! backend abstraction the BFV evaluator uses, so the numbers cover the
+//! full staged pipeline (upload → command → download) a host actually
+//! pays.
+//!
+//! ```sh
+//! cargo run --release -p cofhee_bench --bin backend_compare            # n = 2^12
+//! cargo run --release -p cofhee_bench --bin backend_compare -- --smoke # n = 2^8
+//! ```
+
+use cofhee_arith::primes::ntt_prime;
+use cofhee_core::{ChipBackend, CpuBackend, PolyBackend, PolyHandle};
+use cofhee_sim::ChipConfig;
+
+/// The op set of the unified API, as (label, runner) pairs.
+type OpRunner = fn(&mut dyn PolyBackend, PolyHandle, PolyHandle) -> PolyHandle;
+
+const OPS: [(&str, OpRunner); 7] = [
+    ("NTT", |be, a, _| be.ntt(a).unwrap()),
+    ("iNTT", |be, a, _| be.intt(a).unwrap()),
+    ("Hadamard", |be, a, b| be.hadamard(a, b).unwrap()),
+    ("PMODADD", |be, a, b| be.pointwise_add(a, b).unwrap()),
+    ("PMODSUB", |be, a, b| be.pointwise_sub(a, b).unwrap()),
+    ("CMODMUL", |be, a, _| be.scalar_mul(a, 0x1234_5678).unwrap()),
+    ("PolyMul", |be, a, b| be.poly_mul(a, b).unwrap()),
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let log_n = cofhee_bench::sized(12u32, 8);
+    let reps = cofhee_bench::sized(10, 3);
+    let n = 1usize << log_n;
+    let q = ntt_prime(109, n)?;
+    let config = ChipConfig::silicon();
+    let freq = config.freq_hz as f64;
+
+    let mut cpu = CpuBackend::new(q, n)?;
+    let mut chip = ChipBackend::connect(config, q, n)?;
+
+    println!("Backend comparison via the unified PolyBackend API");
+    println!("(n = 2^{log_n}, log q = 109, chip = simulated silicon at 250 MHz)\n");
+    println!(
+        "{:<9} | {:>12} {:>10} | {:>12} | {:>9}",
+        "op", "chip cycles", "chip µs", "cpu wall µs", "speedup"
+    );
+
+    let a: Vec<u128> = (0..n as u128).map(|i| i.wrapping_mul(0x9e3779b9) % q).collect();
+    let b: Vec<u128> = (0..n as u128).map(|i| (i * 31 + 7) % q).collect();
+
+    for (label, run) in OPS {
+        // Chip: cycle-accurate, measured as the cumulative-report delta.
+        let ha = chip.upload(&a)?;
+        let hb = chip.upload(&b)?;
+        let before = chip.report().cycles;
+        let hr = run(&mut chip, ha, hb);
+        let cycles = chip.report().cycles - before;
+        for h in [ha, hb, hr] {
+            chip.free(h);
+        }
+        let chip_us = cycles as f64 / freq * 1e6;
+
+        // CPU: wall-clock through the same API (best of `reps`); each
+        // rep frees its result so the pool stays flat across reps.
+        let ha = cpu.upload(&a)?;
+        let hb = cpu.upload(&b)?;
+        let (_, cpu_s) = cofhee_bench::time_best(reps, || {
+            let hr = run(&mut cpu, ha, hb);
+            cpu.free(hr);
+        });
+        for h in [ha, hb] {
+            cpu.free(h);
+        }
+        let cpu_us = cpu_s * 1e6;
+
+        println!(
+            "{label:<9} | {cycles:>12} {chip_us:>10.1} | {cpu_us:>12.1} | {:>8.2}×",
+            cpu_us / chip_us
+        );
+    }
+
+    let report = chip.report();
+    let comm = chip.comm_stats();
+    println!("\nchip cumulative telemetry (the PolyBackend OpReport/CommStats query):");
+    println!(
+        "  {} cycles, {} butterflies, {} mults, {} add/subs",
+        report.cycles, report.butterflies, report.mults, report.addsubs
+    );
+    println!("  host link: {} bytes staged (backdoor link: 0.0 s wire time)", comm.bytes);
+    println!(
+        "\n(cycles here include each op's staged upload/download choreography; \
+         the bare-command Table V path lives in table5_performance)"
+    );
+    Ok(())
+}

@@ -3,6 +3,7 @@
 use core::fmt;
 
 use cofhee_arith::ArithError;
+use cofhee_core::CoreError;
 use cofhee_poly::PolyError;
 
 /// Errors produced by the BFV layer.
@@ -41,6 +42,8 @@ pub enum BfvError {
     Poly(PolyError),
     /// Error from the arithmetic layer.
     Arith(ArithError),
+    /// Error from the execution backend (CPU or chip driver).
+    Backend(CoreError),
 }
 
 impl fmt::Display for BfvError {
@@ -59,6 +62,7 @@ impl fmt::Display for BfvError {
             }
             Self::Poly(e) => write!(f, "polynomial error: {e}"),
             Self::Arith(e) => write!(f, "arithmetic error: {e}"),
+            Self::Backend(e) => write!(f, "backend error: {e}"),
         }
     }
 }
@@ -68,6 +72,7 @@ impl std::error::Error for BfvError {
         match self {
             Self::Poly(e) => Some(e),
             Self::Arith(e) => Some(e),
+            Self::Backend(e) => Some(e),
             _ => None,
         }
     }
@@ -82,6 +87,12 @@ impl From<PolyError> for BfvError {
 impl From<ArithError> for BfvError {
     fn from(e: ArithError) -> Self {
         Self::Arith(e)
+    }
+}
+
+impl From<CoreError> for BfvError {
+    fn from(e: CoreError) -> Self {
+        Self::Backend(e)
     }
 }
 

@@ -1,4 +1,5 @@
-//! Homomorphic evaluation: the operations of the paper's Section II-C.
+//! Homomorphic evaluation: the operations of the paper's Section II-C,
+//! dispatched through the unified [`PolyBackend`] execution API.
 //!
 //! Ciphertext multiplication (`EvalMult`) evaluates the Eq. 4 tensor
 //!
@@ -10,11 +11,27 @@
 //! CRT computation basis of NTT-friendly word primes), then scaled by
 //! `t/q` with symmetric rounding. This is what makes the functional demos
 //! decrypt correctly, unlike per-tower approximations.
+//!
+//! # Division of labor
+//!
+//! Every mod-q polynomial pass — the pointwise ops behind `add`/`sub`/
+//! `neg`/`add_plain`, the negacyclic products behind `mul_plain`, and the
+//! per-prime NTT/Hadamard dataflow of the unscaled tensor inside
+//! `multiply` — runs on a pluggable [`PolyBackend`] (software CPU by
+//! default, the cycle-accurate simulated CoFHEE chip on request; both
+//! bit-identical). The `⌊t·x/q⌉` rounding of Eq. 4 (a CRT base extension)
+//! and digit-decomposition key switching stay host-side, exactly as the
+//! paper divides the work (Section III-C defers key switching to future
+//! silicon, and scaling needs cross-modulus carries the Table I command
+//! set cannot express).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use cofhee_arith::{Barrett128, Barrett64, ModRing, U256};
-use cofhee_poly::{ntt, ntt::NttTables, Polynomial};
+use cofhee_arith::U256;
+use cofhee_core::{
+    BackendFactory, CommStats, CpuBackendFactory, OpReport, PolyBackend, PolyHandle,
+};
+use cofhee_poly::{Domain, Polynomial};
 
 use crate::ciphertext::Ciphertext;
 use crate::error::{BfvError, Result};
@@ -22,38 +39,163 @@ use crate::keys::RelinKey;
 use crate::params::BfvParams;
 use crate::plaintext::Plaintext;
 
-/// Evaluates homomorphic operations for one parameter set.
+/// A shared, lockable backend (the evaluator is `Clone` + `Sync`; clones
+/// share the backend and its telemetry).
+type SharedBackend = Arc<Mutex<Box<dyn PolyBackend>>>;
+
+/// Evaluates homomorphic operations for one parameter set on a pluggable
+/// execution backend.
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     params: BfvParams,
-    /// Per-computation-prime NTT machinery for the exact tensor.
-    mult_rings: Vec<Barrett64>,
-    mult_tables: Vec<Arc<NttTables<Barrett64>>>,
+    /// Backend family label (from the factory that built the backends).
+    backend_name: &'static str,
+    /// The mod-q backend running every linear ciphertext operation.
+    q_backend: SharedBackend,
+    /// The computation-basis primes of the exact tensor.
+    mult_primes: Vec<u128>,
+    /// One backend per computation prime (the per-prime NTT machinery).
+    mult_backends: Vec<SharedBackend>,
+}
+
+fn lock(be: &SharedBackend) -> std::sync::MutexGuard<'_, Box<dyn PolyBackend>> {
+    be.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Uploads both operands, applies a binary op, downloads, and frees —
+/// including on the failure path, so errors never leak pool entries into
+/// the long-lived shared backend.
+fn binary_through(
+    be: &mut dyn PolyBackend,
+    a: &[u128],
+    b: &[u128],
+    op: impl FnOnce(&mut dyn PolyBackend, PolyHandle, PolyHandle) -> cofhee_core::Result<PolyHandle>,
+) -> cofhee_core::Result<Vec<u128>> {
+    let ha = be.upload(a)?;
+    let hb = match be.upload(b) {
+        Ok(h) => h,
+        Err(e) => {
+            be.free(ha);
+            return Err(e);
+        }
+    };
+    let hr = op(be, ha, hb);
+    be.free(ha);
+    be.free(hb);
+    let hr = hr?;
+    let out = be.download(hr);
+    be.free(hr);
+    out
+}
+
+/// The unary analogue of [`binary_through`].
+fn unary_through(
+    be: &mut dyn PolyBackend,
+    a: &[u128],
+    op: impl FnOnce(&mut dyn PolyBackend, PolyHandle) -> cofhee_core::Result<PolyHandle>,
+) -> cofhee_core::Result<Vec<u128>> {
+    let ha = be.upload(a)?;
+    let hr = op(be, ha);
+    be.free(ha);
+    let hr = hr?;
+    let out = be.download(hr);
+    be.free(hr);
+    out
 }
 
 impl Evaluator {
-    /// Builds the evaluator, precomputing the computation-basis NTT
-    /// tables.
+    /// Builds the evaluator on the default [`CpuBackendFactory`] — the
+    /// software path every existing call site gets.
     ///
     /// # Errors
     ///
-    /// Propagates table-construction failures (none for validated
+    /// Propagates backend bring-up failures (none for validated
     /// parameter sets).
     pub fn new(params: &BfvParams) -> Result<Self> {
-        let mut mult_rings = Vec::new();
-        let mut mult_tables = Vec::new();
-        for &p in params.mult_basis().moduli() {
-            let ring = Barrett64::new(p as u64)?;
-            let tables = Arc::new(NttTables::new(&ring, params.n())?);
-            mult_rings.push(ring);
-            mult_tables.push(tables);
+        Self::with_backend(params, &CpuBackendFactory)
+    }
+
+    /// Builds the evaluator on an explicit backend family — the one-line
+    /// swap between software execution and the simulated CoFHEE chip:
+    ///
+    /// ```
+    /// use cofhee_bfv::{BfvParams, Evaluator};
+    /// use cofhee_core::ChipBackendFactory;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let params = BfvParams::insecure_testing(64)?;
+    /// let on_chip = Evaluator::with_backend(&params, &ChipBackendFactory::silicon())?;
+    /// assert_eq!(on_chip.backend_name(), "cofhee-chip");
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// One backend instance is brought up for the ciphertext modulus `q`
+    /// (linear ops) and one per CRT computation prime (the exact-tensor
+    /// dataflow inside [`Evaluator::multiply`]) — mirroring how the
+    /// paper's host drives one logical chip per RNS modulus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend bring-up failures.
+    pub fn with_backend(params: &BfvParams, factory: &dyn BackendFactory) -> Result<Self> {
+        let n = params.n();
+        let q_backend = factory.make(params.q(), n)?;
+        let mult_primes: Vec<u128> = params.mult_basis().moduli().to_vec();
+        let mut mult_backends = Vec::with_capacity(mult_primes.len());
+        for &p in &mult_primes {
+            mult_backends.push(Arc::new(Mutex::new(factory.make(p, n)?)));
         }
-        Ok(Self { params: params.clone(), mult_rings, mult_tables })
+        Ok(Self {
+            params: params.clone(),
+            backend_name: factory.name(),
+            q_backend: Arc::new(Mutex::new(q_backend)),
+            mult_primes,
+            mult_backends,
+        })
     }
 
     /// The parameter set this evaluator serves.
     pub fn params(&self) -> &BfvParams {
         &self.params
+    }
+
+    /// The backend family executing the polynomial ops ("cpu",
+    /// "cofhee-chip", ...).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    /// Cumulative execution telemetry across every backend this
+    /// evaluator drives (the mod-q backend plus the per-prime tensor
+    /// backends): measured op counts on all backends, real cycles on the
+    /// chip.
+    pub fn backend_report(&self) -> OpReport {
+        let mut total = lock(&self.q_backend).report();
+        for be in &self.mult_backends {
+            total.absorb(&lock(be).report());
+        }
+        total
+    }
+
+    /// Cumulative host-communication accounting across all backends
+    /// (zero on the CPU path; bring-up plus staged transfers on the
+    /// chip).
+    pub fn backend_comm_stats(&self) -> CommStats {
+        let mut total = CommStats::default();
+        for be in std::iter::once(&self.q_backend).chain(&self.mult_backends) {
+            let s = lock(be).comm_stats();
+            total.bytes += s.bytes;
+            total.seconds += s.seconds;
+        }
+        total
+    }
+
+    /// Clears accumulated telemetry on every backend.
+    pub fn reset_backend_telemetry(&self) {
+        for be in std::iter::once(&self.q_backend).chain(&self.mult_backends) {
+            lock(be).reset_telemetry();
+        }
     }
 
     fn check_ct(&self, ct: &Ciphertext) -> Result<()> {
@@ -65,24 +207,48 @@ impl Evaluator {
         Ok(())
     }
 
+    /// Rebuilds a component polynomial from backend residues. Downloads
+    /// are canonical `[0, q)` values already, so this wraps them without
+    /// a second reduction pass.
+    fn poly_from(&self, values: Vec<u128>) -> Result<Polynomial<cofhee_arith::Barrett128>> {
+        Ok(Polynomial::from_elems(
+            Arc::clone(self.params.poly_ring()),
+            values,
+            Domain::Coefficient,
+        )?)
+    }
+
+    /// Runs one pointwise op componentwise over two (padded) ciphertexts
+    /// on the mod-q backend.
+    fn linear_componentwise(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        op: fn(&mut dyn PolyBackend, PolyHandle, PolyHandle) -> cofhee_core::Result<PolyHandle>,
+    ) -> Result<Ciphertext> {
+        self.check_ct(a)?;
+        self.check_ct(b)?;
+        let len = a.len().max(b.len());
+        let zero = vec![0u128; self.params.n()];
+        let mut be = lock(&self.q_backend);
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let pa = a.polys().get(i).map(|p| p.to_u128_vec()).unwrap_or_else(|| zero.clone());
+            let pb = b.polys().get(i).map(|p| p.to_u128_vec()).unwrap_or_else(|| zero.clone());
+            let v = binary_through(be.as_mut(), &pa, &pb, op)?;
+            out.push(self.poly_from(v)?);
+        }
+        drop(be);
+        Ciphertext::new(out)
+    }
+
     /// Homomorphic addition (`ct + ct`); mixed sizes are padded.
     ///
     /// # Errors
     ///
     /// Returns [`BfvError::ParamsMismatch`] for foreign ciphertexts.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
-        self.check_ct(a)?;
-        self.check_ct(b)?;
-        let ctx = Arc::clone(self.params.poly_ring());
-        let len = a.len().max(b.len());
-        let zero = Polynomial::zero(ctx);
-        let mut out = Vec::with_capacity(len);
-        for i in 0..len {
-            let pa = a.polys().get(i).unwrap_or(&zero);
-            let pb = b.polys().get(i).unwrap_or(&zero);
-            out.push(pa.add(pb)?);
-        }
-        Ciphertext::new(out)
+        self.linear_componentwise(a, b, |be, x, y| be.pointwise_add(x, y))
     }
 
     /// Homomorphic subtraction.
@@ -91,28 +257,26 @@ impl Evaluator {
     ///
     /// Returns [`BfvError::ParamsMismatch`] for foreign ciphertexts.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
-        self.check_ct(a)?;
-        self.check_ct(b)?;
-        let ctx = Arc::clone(self.params.poly_ring());
-        let len = a.len().max(b.len());
-        let zero = Polynomial::zero(ctx);
-        let mut out = Vec::with_capacity(len);
-        for i in 0..len {
-            let pa = a.polys().get(i).unwrap_or(&zero);
-            let pb = b.polys().get(i).unwrap_or(&zero);
-            out.push(pa.sub(pb)?);
-        }
-        Ciphertext::new(out)
+        self.linear_componentwise(a, b, |be, x, y| be.pointwise_sub(x, y))
     }
 
-    /// Homomorphic negation.
+    /// Homomorphic negation (CMODMUL by `q − 1`).
     ///
     /// # Errors
     ///
     /// Returns [`BfvError::ParamsMismatch`] for foreign ciphertexts.
     pub fn neg(&self, a: &Ciphertext) -> Result<Ciphertext> {
         self.check_ct(a)?;
-        Ciphertext::new(a.polys().iter().map(|p| p.neg()).collect())
+        let minus_one = self.params.q() - 1;
+        let mut be = lock(&self.q_backend);
+        let mut out = Vec::with_capacity(a.len());
+        for p in a.polys() {
+            let v =
+                unary_through(be.as_mut(), &p.to_u128_vec(), |b, h| b.scalar_mul(h, minus_one))?;
+            out.push(self.poly_from(v)?);
+        }
+        drop(be);
+        Ciphertext::new(out)
     }
 
     /// Plaintext addition (`ct + pt`): adds `Δ·m` to the first component.
@@ -123,39 +287,53 @@ impl Evaluator {
     /// for mismatched operands.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
         self.check_ct(a)?;
-        let ctx = Arc::clone(self.params.poly_ring());
         let delta = self.params.delta();
+        // Host-side lift of Δ·m; the backend reduces mod q on upload.
         let dm: Vec<u128> = pt.coeffs().iter().map(|&m| delta.wrapping_mul(m as u128)).collect();
-        let dm = Polynomial::from_values(ctx, &dm)?;
         let mut polys = a.polys().to_vec();
-        polys[0] = polys[0].add(&dm)?;
+        let mut be = lock(&self.q_backend);
+        let v = binary_through(be.as_mut(), &polys[0].to_u128_vec(), &dm, |b, x, y| {
+            b.pointwise_add(x, y)
+        })?;
+        drop(be);
+        polys[0] = self.poly_from(v)?;
         Ciphertext::new(polys)
     }
 
     /// Plaintext multiplication (`ct · pt`): multiplies every component by
-    /// the plaintext polynomial lifted to `R_q` (no `Δ` scaling).
+    /// the plaintext polynomial lifted to `R_q` (no `Δ` scaling) — one
+    /// backend PolyMul (Algorithm 2) per component.
     ///
     /// # Errors
     ///
     /// Returns mismatch errors for foreign operands.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext> {
         self.check_ct(a)?;
-        let ctx = Arc::clone(self.params.poly_ring());
         let lifted: Vec<u128> = pt.coeffs().iter().map(|&m| m as u128).collect();
-        let m_poly = Polynomial::from_values(ctx, &lifted)?;
-        let polys = a
-            .polys()
-            .iter()
-            .map(|p| p.negacyclic_mul(&m_poly))
-            .collect::<cofhee_poly::Result<Vec<_>>>()?;
-        Ciphertext::new(polys)
+        let mut be = lock(&self.q_backend);
+        let hm = be.upload(&lifted)?;
+        // The plaintext stays resident across components; free it even
+        // when a component fails.
+        let mut out = Vec::with_capacity(a.len());
+        let mut run = || -> Result<()> {
+            for p in a.polys() {
+                let v = unary_through(be.as_mut(), &p.to_u128_vec(), |b, hp| b.poly_mul(hp, hm))?;
+                out.push(self.poly_from(v)?);
+            }
+            Ok(())
+        };
+        let result = run();
+        be.free(hm);
+        drop(be);
+        result?;
+        Ciphertext::new(out)
     }
 
     /// Lifts a ciphertext polynomial to centered residues modulo
     /// computation prime `i`.
-    fn lift_centered(&self, poly: &Polynomial<Barrett128>, i: usize) -> Vec<u64> {
+    fn lift_centered(&self, poly: &Polynomial<cofhee_arith::Barrett128>, i: usize) -> Vec<u128> {
         let q = self.params.q();
-        let p = self.mult_rings[i].q() as u128;
+        let p = self.mult_primes[i];
         let q_mod_p = q % p;
         poly.coeffs()
             .iter()
@@ -165,13 +343,72 @@ impl Evaluator {
                     // centered value is c - q (negative): r ← r - q (mod p)
                     r = (r + p - q_mod_p) % p;
                 }
-                r as u64
+                r
             })
             .collect()
     }
 
+    /// The per-prime unscaled tensor on the backend: 4 forward NTTs,
+    /// 4 Hadamard products, 1 pointwise addition, 3 inverse NTTs — the
+    /// same dataflow as the paper's Algorithm 3 modulo the final scaling.
+    fn tensor_mod_prime(&self, i: usize, a: &Ciphertext, b: &Ciphertext) -> Result<[Vec<u128>; 3]> {
+        let lifted: Vec<Vec<u128>> = [&a.polys()[0], &a.polys()[1], &b.polys()[0], &b.polys()[1]]
+            .into_iter()
+            .map(|p| self.lift_centered(p, i))
+            .collect();
+        let mut be = lock(&self.mult_backends[i]);
+        let be = be.as_mut();
+        // Every handle is tracked in `live` and freed on success *and*
+        // failure, so errors never leak pool entries into the shared
+        // backend (same contract as binary_through/unary_through).
+        let mut live = Vec::with_capacity(12);
+        let result = Self::tensor_ops(be, &lifted, &mut live);
+        for h in live {
+            be.free(h);
+        }
+        Ok(result?)
+    }
+
+    /// The raw op sequence of [`Evaluator::tensor_mod_prime`]; every
+    /// allocated handle is pushed onto `live` before any fallible call
+    /// can exit.
+    fn tensor_ops(
+        be: &mut dyn PolyBackend,
+        lifted: &[Vec<u128>],
+        live: &mut Vec<PolyHandle>,
+    ) -> cofhee_core::Result<[Vec<u128>; 3]> {
+        let mut ntts = Vec::with_capacity(4);
+        for v in lifted {
+            let h = be.upload(v)?;
+            live.push(h);
+            let f = be.ntt(h)?;
+            live.push(f);
+            ntts.push(f);
+        }
+        let (a0, a1, b0, b1) = (ntts[0], ntts[1], ntts[2], ntts[3]);
+        let t0 = be.hadamard(a0, b0)?;
+        live.push(t0);
+        let x01 = be.hadamard(a0, b1)?;
+        live.push(x01);
+        let x10 = be.hadamard(a1, b0)?;
+        live.push(x10);
+        let t1 = be.pointwise_add(x01, x10)?;
+        live.push(t1);
+        let t2 = be.hadamard(a1, b1)?;
+        live.push(t2);
+        let mut parts = Vec::with_capacity(3);
+        for t in [t0, t1, t2] {
+            let r = be.intt(t)?;
+            live.push(r);
+            parts.push(be.download(r)?);
+        }
+        Ok([parts.remove(0), parts.remove(0), parts.remove(0)])
+    }
+
     /// Exact ciphertext multiplication: Eq. 4 with integer tensor and
-    /// `t/q` rounding. Returns a 3-component ciphertext; apply
+    /// `t/q` rounding. The unscaled per-prime tensor runs on the
+    /// configured backend; the CRT reconstruction and rounding are
+    /// host-side. Returns a 3-component ciphertext; apply
     /// [`Evaluator::relinearize`] to shrink it.
     ///
     /// # Errors
@@ -188,35 +425,12 @@ impl Evaluator {
             return Err(BfvError::WrongCiphertextSize { expected: 2, found: b.len() });
         }
         let n = self.params.n();
-        let k = self.mult_rings.len();
+        let k = self.mult_primes.len();
 
-        // Per-prime tensor in the NTT domain: 4 forward NTTs, pointwise
-        // combination, 3 inverse NTTs — the same dataflow as the paper's
-        // Algorithm 3 modulo the final scaling.
-        let mut tensor: [Vec<Vec<u64>>; 3] =
+        let mut tensor: [Vec<Vec<u128>>; 3] =
             [Vec::with_capacity(k), Vec::with_capacity(k), Vec::with_capacity(k)];
         for i in 0..k {
-            let ring = &self.mult_rings[i];
-            let tables = &self.mult_tables[i];
-            let mut a0 = self.lift_centered(&a.polys()[0], i);
-            let mut a1 = self.lift_centered(&a.polys()[1], i);
-            let mut b0 = self.lift_centered(&b.polys()[0], i);
-            let mut b1 = self.lift_centered(&b.polys()[1], i);
-            ntt::forward_inplace(ring, &mut a0, tables)?;
-            ntt::forward_inplace(ring, &mut a1, tables)?;
-            ntt::forward_inplace(ring, &mut b0, tables)?;
-            ntt::forward_inplace(ring, &mut b1, tables)?;
-            let mut t0 = vec![0u64; n];
-            let mut t1 = vec![0u64; n];
-            let mut t2 = vec![0u64; n];
-            for j in 0..n {
-                t0[j] = ring.mul(a0[j], b0[j]);
-                t1[j] = ring.add(ring.mul(a0[j], b1[j]), ring.mul(a1[j], b0[j]));
-                t2[j] = ring.mul(a1[j], b1[j]);
-            }
-            ntt::inverse_inplace(ring, &mut t0, tables)?;
-            ntt::inverse_inplace(ring, &mut t1, tables)?;
-            ntt::inverse_inplace(ring, &mut t2, tables)?;
+            let [t0, t1, t2] = self.tensor_mod_prime(i, a, b)?;
             tensor[0].push(t0);
             tensor[1].push(t1);
             tensor[2].push(t2);
@@ -228,14 +442,13 @@ impl Evaluator {
         let half = self.params.mult_basis_half();
         let q = self.params.q();
         let t = self.params.t() as u128;
-        let ctx = Arc::clone(self.params.poly_ring());
         let mut out_polys = Vec::with_capacity(3);
         for part in &tensor {
             let mut coeffs = Vec::with_capacity(n);
             let mut residues = vec![0u128; k];
             for j in 0..n {
                 for (r, tower) in residues.iter_mut().zip(part.iter()) {
-                    *r = tower[j] as u128;
+                    *r = tower[j];
                 }
                 let x = basis.compose(&residues)?;
                 let (mag, neg) =
@@ -255,13 +468,16 @@ impl Evaluator {
                     r
                 });
             }
-            out_polys.push(Polynomial::from_values(Arc::clone(&ctx), &coeffs)?);
+            out_polys.push(self.poly_from(coeffs)?);
         }
         Ciphertext::new(out_polys)
     }
 
     /// Relinearization: folds the third component of a ciphertext product
     /// back onto two components using digit-decomposition key switching.
+    /// Host-side by design: digit decomposition needs full-width
+    /// coefficient access (the paper defers key switching to future
+    /// silicon, Section III-C).
     ///
     /// # Errors
     ///
@@ -467,5 +683,35 @@ mod tests {
         for i in 0..64 {
             assert_eq!(slots[i], (sa[i] * sb[i]) % f.params.t(), "slot {i}");
         }
+    }
+
+    #[test]
+    fn default_backend_is_cpu_with_measured_op_counts() {
+        let mut f = setup(32, 11);
+        assert_eq!(f.eval.backend_name(), "cpu");
+        assert_eq!(f.eval.backend_report(), OpReport::default());
+        let a = f.enc.encrypt(&pt_of(&f, &[2]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[3]), &mut f.rng).unwrap();
+        let _ = f.eval.add(&a, &b).unwrap();
+        let after_add = f.eval.backend_report();
+        assert_eq!(after_add.addsubs, 2 * 32, "one PMODADD per component");
+        assert_eq!(after_add.cycles, 0, "CPU reference is zero-cost");
+        let _ = f.eval.multiply(&a, &b).unwrap();
+        let after_mul = f.eval.backend_report();
+        assert!(after_mul.butterflies > 0, "the tensor NTTs are counted");
+        assert!(after_mul.mults > after_add.mults);
+        f.eval.reset_backend_telemetry();
+        assert_eq!(f.eval.backend_report(), OpReport::default());
+        assert_eq!(f.eval.backend_comm_stats(), CommStats::default());
+    }
+
+    #[test]
+    fn clones_share_the_backend_and_its_telemetry() {
+        let mut f = setup(32, 12);
+        let clone = f.eval.clone();
+        let a = f.enc.encrypt(&pt_of(&f, &[1]), &mut f.rng).unwrap();
+        let _ = clone.add(&a, &a).unwrap();
+        assert_eq!(f.eval.backend_report(), clone.backend_report());
+        assert!(f.eval.backend_report().addsubs > 0);
     }
 }

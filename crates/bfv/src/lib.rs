@@ -14,7 +14,11 @@
 //!   budget measurement.
 //! * [`Evaluator`] — homomorphic add/sub/plain ops and the *exact* Eq. 4
 //!   ciphertext multiplication (integer tensor via CRT + `t/q` rounding),
-//!   with relinearization.
+//!   with relinearization. Every mod-q polynomial pass dispatches through
+//!   a pluggable `cofhee_core::PolyBackend`: software CPU by default,
+//!   the cycle-accurate simulated CoFHEE chip via
+//!   [`Evaluator::with_backend`] — same results bit-for-bit, selected by
+//!   one constructor argument.
 //! * [`BatchEncoder`] — SIMD slot packing for CryptoNets-style inference.
 //! * [`tower`] — the RNS tower execution path with multithreading: the
 //!   workload shape of the paper's Fig. 6 CPU measurements.

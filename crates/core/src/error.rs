@@ -29,6 +29,11 @@ pub enum CoreError {
         /// Requested modulus bits.
         bits: u32,
     },
+    /// A backend was handed a foreign or already-freed polynomial handle.
+    BadHandle {
+        /// The offending handle id.
+        id: u64,
+    },
     /// Error from the chip simulator.
     Sim(SimError),
     /// Error from the polynomial layer.
@@ -48,6 +53,9 @@ impl fmt::Display for CoreError {
             }
             Self::ModulusTooWide { bits } => {
                 write!(f, "modulus of {bits} bits exceeds the native width and RNS plans")
+            }
+            Self::BadHandle { id } => {
+                write!(f, "polynomial handle {id} is foreign to this backend or already freed")
             }
             Self::Sim(e) => write!(f, "chip error: {e}"),
             Self::Poly(e) => write!(f, "polynomial error: {e}"),

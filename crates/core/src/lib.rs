@@ -15,6 +15,10 @@
 //!   (the 218-bit point runs as two sequential 109-bit towers).
 //! * [`ExecutionMode`] — the three command-delivery modes of
 //!   Section III-I, with measured host-side overheads.
+//! * [`PolyBackend`] — the unified execution API over the mod-q op set
+//!   the paper offloads, with [`CpuBackend`] (software reference) and
+//!   [`ChipBackend`] (cycle-accurate simulated silicon) as pluggable,
+//!   bit-identical implementations selected by constructor argument.
 //!
 //! # Examples
 //!
@@ -38,14 +42,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod device;
 mod error;
 mod modes;
 mod ops;
 mod rns;
 
+pub use backend::{
+    BackendFactory, ChipBackend, ChipBackendFactory, CpuBackend, CpuBackendFactory, PolyBackend,
+    PolyHandle,
+};
 pub use device::{BankPlan, CommStats, Device, Link};
 pub use error::{CoreError, Result};
 pub use modes::{standard_links, ExecutionMode, ModeOutcome};
 pub use ops::{CiphertextMulOutcome, PolyMulOutcome};
 pub use rns::{RnsDevice, RnsMulOutcome};
+
+// Telemetry types surfaced through the backend API, re-exported so
+// backend consumers need not depend on `cofhee_sim` directly.
+pub use cofhee_sim::OpReport;

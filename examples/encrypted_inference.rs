@@ -1,19 +1,23 @@
 //! End-to-end encrypted inference — the workloads behind Table X,
-//! actually computed under encryption.
+//! actually computed under encryption, on pluggable execution backends.
 //!
 //! Runs a CryptoNets-style dense layer with square activation and a
 //! logistic-regression scorer on batched encrypted data, verifies both
-//! against plaintext reference models, and prints the Table X runtime
-//! estimates for the full-size workloads.
+//! against plaintext reference models, re-runs the scorer with every
+//! polynomial pass offloaded to the simulated CoFHEE chip (same results,
+//! measured cycles), and prints the Table X runtime estimates for the
+//! full-size workloads.
 //!
 //! ```sh
 //! cargo run --release --example encrypted_inference
 //! ```
 
 use cofhee::apps::{
-    decrypt_slots, encrypt_features, measure_cofhee, LogisticScorer, SquareLayerNet, Workload,
+    decrypt_slots, encrypt_features, measure_cofhee, measured_comm_stats, measured_op_report,
+    LogisticScorer, SquareLayerNet, Workload,
 };
 use cofhee::bfv::{BfvParams, Decryptor, Encryptor, KeyGenerator};
+use cofhee::core::ChipBackendFactory;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,17 +51,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = decryptor.noise_budget(&out[0])?;
     println!("  remaining noise budget: {budget:.1} bits\n");
 
-    // ---- logistic-regression scorer ----
-    println!("== encrypted logistic-regression scoring ==");
+    // ---- logistic-regression scorer, CPU vs chip backend ----
+    println!("== encrypted logistic-regression scoring (backend swap) ==");
     let scorer = LogisticScorer::new(&params, vec![3, 1, 4], 10)?;
     let score_ct = scorer.score(&cts)?;
     let scores = decrypt_slots(&params, &decryptor, &[score_ct])?;
     let expect_scores = scorer.score_plain(&features);
     assert_eq!(&scores[0][..8], &expect_scores[..]);
+    println!("  [cpu        ] scores: {:?} ✓", &scores[0][..8]);
+
+    // Same scorer, every polynomial pass on the simulated silicon — the
+    // one-line `PolyBackend` swap.
+    let on_chip =
+        LogisticScorer::with_backend(&params, vec![3, 1, 4], 10, &ChipBackendFactory::silicon())?;
+    let chip_score_ct = on_chip.score(&cts)?;
+    let chip_scores = decrypt_slots(&params, &decryptor, &[chip_score_ct])?;
+    assert_eq!(&chip_scores[0][..8], &expect_scores[..]);
+    let report = measured_op_report(on_chip.evaluator());
+    let comm = measured_comm_stats(on_chip.evaluator());
+    println!("  [cofhee-chip] scores: {:?} ✓", &chip_scores[0][..8]);
     println!(
-        "  scores: {:?} ✓ (thresholding happens client-side after decryption)\n",
-        &scores[0][..8]
+        "  measured on chip: {} cycles ({:.1} µs at 250 MHz), {} butterflies, {} bytes staged",
+        report.cycles,
+        report.cycles as f64 / 250.0,
+        report.butterflies,
+        comm.bytes
     );
+    println!("  (thresholding happens client-side after decryption)\n");
 
     // ---- Table X scale estimates on the accelerator ----
     println!("== Table X workload estimates on simulated CoFHEE (2^12, 109) ==");

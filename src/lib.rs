@@ -20,7 +20,8 @@
 //! * [`physical`] — the paper's physical-design tables and the Table XI
 //!   comparison machinery.
 //! * [`core`] — the device driver: Algorithm 2/3 schedules, execution
-//!   modes, RNS dispatch, host-link accounting.
+//!   modes, RNS dispatch, host-link accounting, and the unified
+//!   `PolyBackend` execution API (pluggable CPU / chip backends).
 //! * [`apps`] — CryptoNets and logistic regression, as op-count models
 //!   and as functional encrypted demos.
 //!

@@ -1,117 +1,124 @@
-//! Full-stack integration: real BFV ciphertexts offloaded to the chip.
+//! Full-stack integration: real BFV ciphertexts offloaded to the chip
+//! through the unified `PolyBackend` API.
 //!
 //! The paper's division of labor: CoFHEE accelerates the low-level
 //! polynomial operations; the host finishes the high-level primitives
 //! (the exact Eq. 4 rounding needs the integer tensor, i.e. base
 //! extension, which stays in software — as in the paper, where key
-//! switching and scaling are host-side). These tests drive that split:
-//! mod-q operations (ct+ct, ct·pt, the unscaled tensor) offload to the
-//! chip bit-exactly; the software evaluator completes EvalMult.
+//! switching and scaling are host-side). These tests drive that split
+//! end to end: the same `Evaluator` runs encrypt→evaluate→decrypt on
+//! the software `CpuBackend` and on the cycle-accurate `ChipBackend`,
+//! selected only by the backend constructor argument, and the results
+//! are bit-identical.
 
-use cofhee::arith::ModRing;
-use cofhee::bfv::{BfvParams, Decryptor, Encryptor, Evaluator, KeyGenerator, Plaintext};
-use cofhee::core::Device;
-use cofhee::sim::{ChipConfig, Slot};
+use cofhee::bfv::{
+    BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator, Plaintext,
+};
+use cofhee::core::{BackendFactory, ChipBackendFactory, CpuBackendFactory};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-#[test]
-fn chip_offloaded_plaintext_mul_and_add_decrypt_exactly() {
-    // ct·pt and ct+ct are *pure mod-q polynomial operations*, so the chip
-    // completes them exactly (no t/q rounding involved): encrypt in
-    // software, run PMODADD / PolyMul on the simulated chip against the
-    // ciphertext components, rebuild the ciphertext, decrypt.
-    let n = 1usize << 8;
+struct Fixture {
+    params: BfvParams,
+    enc: Encryptor,
+    dec: Decryptor,
+    rng: StdRng,
+}
+
+fn fixture(n: usize, seed: u64) -> Fixture {
     let q = cofhee::arith::primes::ntt_prime(60, n).unwrap();
     let t = cofhee::arith::primes::ntt_prime(16, n).unwrap() as u64;
     let params = BfvParams::new(n, t, q).unwrap();
-
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = StdRng::seed_from_u64(seed);
     let kg = KeyGenerator::new(&params, &mut rng);
     let pk = kg.public_key(&mut rng).unwrap();
-    let enc = Encryptor::new(&params, pk);
-    let dec = Decryptor::new(&params, kg.secret_key().clone());
-
-    let ct_a = enc.encrypt(&Plaintext::constant(&params, 9).unwrap(), &mut rng).unwrap();
-    let ct_b = enc.encrypt(&Plaintext::constant(&params, 13).unwrap(), &mut rng).unwrap();
-    let mut device = Device::connect(ChipConfig::silicon(), q, n).unwrap();
-    let ctx = params.poly_ring();
-    let rebuild = |coeffs: Vec<Vec<u128>>| {
-        let polys: Vec<_> = coeffs
-            .iter()
-            .map(|c| cofhee::poly::Polynomial::from_values(std::sync::Arc::clone(ctx), c).unwrap())
-            .collect();
-        cofhee::bfv::Ciphertext::new(polys).unwrap()
-    };
-
-    // ---- ct + ct on the chip (PMODADD per component) ----
-    let plan = device.bank_plan();
-    let mut summed = Vec::new();
-    for i in 0..2 {
-        let x = Slot::new(plan.d0, 0);
-        let y = Slot::new(plan.d1, 0);
-        let dst = Slot::new(plan.d2, 0);
-        device.upload(x, &ct_a.polys()[i].to_u128_vec()).unwrap();
-        device.upload(y, &ct_b.polys()[i].to_u128_vec()).unwrap();
-        device.pointwise_add(x, y, dst).unwrap();
-        summed.push(device.download(dst).unwrap());
+    Fixture {
+        enc: Encryptor::new(&params, pk),
+        dec: Decryptor::new(&params, kg.secret_key().clone()),
+        params,
+        rng,
     }
-    let sum_ct = rebuild(summed);
-    assert_eq!(dec.decrypt(&sum_ct).unwrap().coeffs()[0], 9 + 13, "chip ct+ct");
+}
 
-    // ---- ct · pt on the chip (Algorithm 2 per component) ----
-    let m_poly: Vec<u128> = {
-        let mut v = vec![0u128; n];
-        v[0] = 5; // multiply by the constant plaintext 5
-        v
-    };
-    let mut scaled = Vec::new();
-    for i in 0..2 {
-        let out = device.poly_mul(&ct_a.polys()[i].to_u128_vec(), &m_poly).unwrap();
-        scaled.push(out.result);
-    }
-    let prod_ct = rebuild(scaled);
-    assert_eq!(dec.decrypt(&prod_ct).unwrap().coeffs()[0], 9 * 5, "chip ct·pt");
+fn encrypt(f: &mut Fixture, v: u64) -> Ciphertext {
+    let pt = Plaintext::constant(&f.params, v).unwrap();
+    f.enc.encrypt(&pt, &mut f.rng).unwrap()
 }
 
 #[test]
-fn software_evaluator_and_chip_tensor_agree_mod_q() {
-    // The unscaled tensor computed by the chip must match the per-prime
-    // tensor the software evaluator computes, reduced mod q. We check
-    // via the polynomial oracle on the ciphertext components.
-    let n = 1usize << 8;
-    let q = cofhee::arith::primes::ntt_prime(60, n).unwrap();
-    let t = cofhee::arith::primes::ntt_prime(16, n).unwrap() as u64;
-    let params = BfvParams::new(n, t, q).unwrap();
-    let mut rng = StdRng::seed_from_u64(78);
-    let kg = KeyGenerator::new(&params, &mut rng);
-    let pk = kg.public_key(&mut rng).unwrap();
-    let enc = Encryptor::new(&params, pk);
-    let _eval = Evaluator::new(&params).unwrap();
+fn chip_offloaded_linear_ops_decrypt_exactly() {
+    // ct+ct, ct−ct, −ct, ct+pt and ct·pt are *pure mod-q polynomial
+    // operations*, so the chip completes them exactly (no t/q rounding
+    // involved): the evaluator stages every pass through the simulated
+    // silicon and the decryptions come out right.
+    let mut f = fixture(1 << 8, 77);
+    let eval = Evaluator::with_backend(&f.params, &ChipBackendFactory::silicon()).unwrap();
+    assert_eq!(eval.backend_name(), "cofhee-chip");
 
-    let ct_a = enc.encrypt(&Plaintext::constant(&params, 3).unwrap(), &mut rng).unwrap();
-    let ct_b = enc.encrypt(&Plaintext::constant(&params, 4).unwrap(), &mut rng).unwrap();
-    let a: Vec<Vec<u128>> = ct_a.polys().iter().map(|p| p.to_u128_vec()).collect();
-    let b: Vec<Vec<u128>> = ct_b.polys().iter().map(|p| p.to_u128_vec()).collect();
+    let ct_a = encrypt(&mut f, 9);
+    let ct_b = encrypt(&mut f, 13);
 
-    let mut device = Device::connect(ChipConfig::silicon(), q, n).unwrap();
-    let out = device.ciphertext_mul(&a[0], &a[1], &b[0], &b[1]).unwrap();
+    let sum = eval.add(&ct_a, &ct_b).unwrap();
+    assert_eq!(f.dec.decrypt(&sum).unwrap().coeffs()[0], 9 + 13, "chip ct+ct");
 
-    let ring = *device.ring();
-    let naive = |x: &[u128], y: &[u128]| cofhee::poly::naive::negacyclic_mul(&ring, x, y).unwrap();
-    assert_eq!(out.y0, naive(&a[0], &b[0]));
-    assert_eq!(out.y2, naive(&a[1], &b[1]));
-    let x01 = naive(&a[0], &b[1]);
-    let x10 = naive(&a[1], &b[0]);
-    let y1: Vec<u128> = x01.iter().zip(&x10).map(|(&u, &v)| ring.add(u, v)).collect();
-    assert_eq!(out.y1, y1);
+    let diff = eval.sub(&ct_b, &ct_a).unwrap();
+    assert_eq!(f.dec.decrypt(&diff).unwrap().coeffs()[0], 13 - 9, "chip ct−ct");
+
+    let neg = eval.neg(&ct_a).unwrap();
+    assert_eq!(f.dec.decrypt(&neg).unwrap().coeffs()[0], f.params.t() - 9, "chip −ct");
+
+    let plus = eval.add_plain(&ct_a, &Plaintext::constant(&f.params, 4).unwrap()).unwrap();
+    assert_eq!(f.dec.decrypt(&plus).unwrap().coeffs()[0], 9 + 4, "chip ct+pt");
+
+    let scaled = eval.mul_plain(&ct_a, &Plaintext::constant(&f.params, 5).unwrap()).unwrap();
+    assert_eq!(f.dec.decrypt(&scaled).unwrap().coeffs()[0], 9 * 5, "chip ct·pt");
+
+    // The offload is cycle-accurate and wire-accounted, not a shortcut.
+    let report = eval.backend_report();
+    assert!(report.cycles > 0, "chip commands cost cycles");
+    assert!(report.butterflies > 0, "ct·pt ran real NTTs");
+    assert!(eval.backend_comm_stats().bytes > 0, "staging traffic is accounted");
+}
+
+#[test]
+fn cpu_and_chip_evaluators_agree_bit_exactly() {
+    // The acceptance gate for the backend abstraction: the same
+    // encrypt→evaluate→decrypt flow, selected only by the constructor
+    // argument, produces bit-identical ciphertexts on both backends —
+    // including the unscaled tensor inside `multiply`, which runs
+    // per-prime on the chip and is scaled host-side.
+    let mut f = fixture(1 << 6, 78);
+    let backends: [&dyn BackendFactory; 2] = [&CpuBackendFactory, &ChipBackendFactory::silicon()];
+    let [cpu, chip] = backends.map(|b| Evaluator::with_backend(&f.params, b).unwrap());
+
+    let ct_a = encrypt(&mut f, 3);
+    let ct_b = encrypt(&mut f, 4);
+
+    type EvalOp<'a> = Box<dyn Fn(&Evaluator) -> Ciphertext + 'a>;
+    let ops: [(&str, EvalOp<'_>); 4] = [
+        ("add", Box::new(|e: &Evaluator| e.add(&ct_a, &ct_b).unwrap())),
+        ("sub", Box::new(|e: &Evaluator| e.sub(&ct_a, &ct_b).unwrap())),
+        ("mul_plain", {
+            let pt = Plaintext::constant(&f.params, 7).unwrap();
+            let ct = ct_a.clone();
+            Box::new(move |e: &Evaluator| e.mul_plain(&ct, &pt).unwrap())
+        }),
+        ("multiply", Box::new(|e: &Evaluator| e.multiply(&ct_a, &ct_b).unwrap())),
+    ];
+    for (name, op) in &ops {
+        assert_eq!(op(&cpu), op(&chip), "{name} must be bit-identical across backends");
+    }
+
+    let prod = chip.multiply(&ct_a, &ct_b).unwrap();
+    assert_eq!(f.dec.decrypt(&prod).unwrap().coeffs()[0], 12, "chip EvalMult decrypts");
 }
 
 #[test]
 fn relinearization_after_chip_offload() {
-    // Software relinearization applied to a software product whose tensor
-    // was cross-validated against the chip above: the full pipeline the
-    // paper sketches for future key-switching integration.
+    // Host-side key switching applied to a chip-produced product: the
+    // full pipeline the paper sketches for future key-switching
+    // integration. The tensor runs on silicon, the digit decomposition
+    // stays on the host, and the relinearized pair still decrypts.
     let params = BfvParams::insecure_testing(1 << 6).unwrap();
     let mut rng = StdRng::seed_from_u64(79);
     let kg = KeyGenerator::new(&params, &mut rng);
@@ -119,11 +126,14 @@ fn relinearization_after_chip_offload() {
     let rlk = kg.relin_key(16, &mut rng).unwrap();
     let enc = Encryptor::new(&params, pk);
     let dec = Decryptor::new(&params, kg.secret_key().clone());
-    let eval = Evaluator::new(&params).unwrap();
+    let eval = Evaluator::with_backend(&params, &ChipBackendFactory::silicon()).unwrap();
 
     let ct_a = enc.encrypt(&Plaintext::constant(&params, 11).unwrap(), &mut rng).unwrap();
     let ct_b = enc.encrypt(&Plaintext::constant(&params, 12).unwrap(), &mut rng).unwrap();
     let product = eval.multiply_relin(&ct_a, &ct_b, &rlk).unwrap();
     assert_eq!(product.len(), 2);
     assert_eq!(dec.decrypt(&product).unwrap().coeffs()[0], 132);
+
+    // One chip per modulus ran the tensor: telemetry saw all of them.
+    assert!(eval.backend_report().cycles > 0);
 }
