@@ -24,8 +24,8 @@ pub mod estimate;
 pub mod workloads;
 
 pub use costs::{
-    cpu_from_primitives, measure_cofhee, measured_comm_stats, measured_op_report, OpCosts,
-    RELIN_DIGITS,
+    cpu_from_primitives, measure_cofhee, measured_comm_stats, measured_op_report,
+    measured_stream_report, OpCosts, RELIN_DIGITS,
 };
 pub use demos::{
     constant_plaintext, decrypt_slots, encrypt_features, LogisticScorer, SquareLayerNet,

@@ -20,16 +20,35 @@
 //! `multiply` — runs on a pluggable [`PolyBackend`] (software CPU by
 //! default, the cycle-accurate simulated CoFHEE chip on request; both
 //! bit-identical). The `⌊t·x/q⌉` rounding of Eq. 4 (a CRT base extension)
-//! and digit-decomposition key switching stay host-side, exactly as the
-//! paper divides the work (Section III-C defers key switching to future
-//! silicon, and scaling needs cross-modulus carries the Table I command
-//! set cannot express).
+//! and the digit *decomposition* of key switching stay host-side,
+//! exactly as the paper divides the work (scaling and decomposition need
+//! cross-modulus carries the Table I command set cannot express).
+//!
+//! # Streamed execution
+//!
+//! The heavy operations record their dataflow into [`OpStream`]s and
+//! execute each stream in **one submit** instead of one round trip per
+//! op: [`Evaluator::multiply`] records one tensor stream per CRT
+//! computation prime and fans the independent limbs out across threads
+//! ([`StreamExecutor::run_parallel`]), and [`Evaluator::relinearize`]
+//! records the key-switch *inner products* (per-digit NTT → Hadamard →
+//! accumulate → two iNTTs) as a stream on the mod-q backend. On the
+//! chip backend each stream flows through the simulated 32-deep command
+//! FIFO in depth-sized batches with interrupt-driven drains, with
+//! upload/download DMA overlapped against PE compute; the accumulated
+//! serial-vs-overlapped telemetry is queryable via
+//! [`Evaluator::backend_stream_report`]. The single-op paths
+//! (`add`/`sub`/`neg`/...) keep the plain synchronous calls — a
+//! degenerate one-op stream buys nothing there.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use cofhee_arith::U256;
 use cofhee_core::{
-    BackendFactory, CommStats, CpuBackendFactory, OpReport, PolyBackend, PolyHandle,
+    BackendFactory, CommStats, CpuBackendFactory, OpReport, OpStream, PolyBackend, PolyHandle,
+    StreamExecutor, StreamHandle, StreamJob, StreamReport,
 };
 use cofhee_poly::{Domain, Polynomial};
 
@@ -42,6 +61,10 @@ use crate::plaintext::Plaintext;
 /// A shared, lockable backend (the evaluator is `Clone` + `Sync`; clones
 /// share the backend and its telemetry).
 type SharedBackend = Arc<Mutex<Box<dyn PolyBackend>>>;
+
+/// NTT-domain `(k0, k1)` handle pairs for one relin key, resident on the
+/// mod-q backend (see `Evaluator::relin_key_handles`).
+type RelinNttCache = Arc<Mutex<HashMap<u64, Vec<(PolyHandle, PolyHandle)>>>>;
 
 /// Evaluates homomorphic operations for one parameter set on a pluggable
 /// execution backend.
@@ -56,6 +79,15 @@ pub struct Evaluator {
     mult_primes: Vec<u128>,
     /// One backend per computation prime (the per-prime NTT machinery).
     mult_backends: Vec<SharedBackend>,
+    /// Accumulated stream-execution telemetry (serial vs overlapped)
+    /// across every submit this evaluator (and its clones) issued.
+    stream_totals: Arc<Mutex<StreamReport>>,
+    /// NTT-domain relin-key polynomials, resident on the mod-q backend
+    /// and keyed by [`RelinKey::tag`] — transformed once per key, then
+    /// referenced by every key-switch stream (the inference-server
+    /// pattern: invariant key material never pays rework). Handles live
+    /// for the evaluator's lifetime.
+    relin_ntt_cache: RelinNttCache,
 }
 
 fn lock(be: &SharedBackend) -> std::sync::MutexGuard<'_, Box<dyn PolyBackend>> {
@@ -152,6 +184,8 @@ impl Evaluator {
             q_backend: Arc::new(Mutex::new(q_backend)),
             mult_primes,
             mult_backends,
+            stream_totals: Arc::new(Mutex::new(StreamReport::default())),
+            relin_ntt_cache: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -191,11 +225,27 @@ impl Evaluator {
         total
     }
 
+    /// Accumulated stream-execution telemetry across every
+    /// [`Evaluator::multiply`] / [`Evaluator::relinearize`] submit this
+    /// evaluator issued: commands, FIFO batches, drain interrupts, and
+    /// the serial-vs-overlapped cycle and latency totals (equal on the
+    /// CPU reference; overlapped strictly tighter on the chip whenever
+    /// DMA hid behind compute).
+    pub fn backend_stream_report(&self) -> StreamReport {
+        *self.stream_totals.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn absorb_stream(&self, report: &StreamReport) {
+        self.stream_totals.lock().unwrap_or_else(std::sync::PoisonError::into_inner).absorb(report);
+    }
+
     /// Clears accumulated telemetry on every backend.
     pub fn reset_backend_telemetry(&self) {
         for be in std::iter::once(&self.q_backend).chain(&self.mult_backends) {
             lock(be).reset_telemetry();
         }
+        *self.stream_totals.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            StreamReport::default();
     }
 
     fn check_ct(&self, ct: &Ciphertext) -> Result<()> {
@@ -348,66 +398,35 @@ impl Evaluator {
             .collect()
     }
 
-    /// The per-prime unscaled tensor on the backend: 4 forward NTTs,
-    /// 4 Hadamard products, 1 pointwise addition, 3 inverse NTTs — the
-    /// same dataflow as the paper's Algorithm 3 modulo the final scaling.
-    fn tensor_mod_prime(&self, i: usize, a: &Ciphertext, b: &Ciphertext) -> Result<[Vec<u128>; 3]> {
-        let lifted: Vec<Vec<u128>> = [&a.polys()[0], &a.polys()[1], &b.polys()[0], &b.polys()[1]]
-            .into_iter()
-            .map(|p| self.lift_centered(p, i))
-            .collect();
-        let mut be = lock(&self.mult_backends[i]);
-        let be = be.as_mut();
-        // Every handle is tracked in `live` and freed on success *and*
-        // failure, so errors never leak pool entries into the shared
-        // backend (same contract as binary_through/unary_through).
-        let mut live = Vec::with_capacity(12);
-        let result = Self::tensor_ops(be, &lifted, &mut live);
-        for h in live {
-            be.free(h);
-        }
-        Ok(result?)
-    }
-
-    /// The raw op sequence of [`Evaluator::tensor_mod_prime`]; every
-    /// allocated handle is pushed onto `live` before any fallible call
-    /// can exit.
-    fn tensor_ops(
-        be: &mut dyn PolyBackend,
-        lifted: &[Vec<u128>],
-        live: &mut Vec<PolyHandle>,
-    ) -> cofhee_core::Result<[Vec<u128>; 3]> {
+    /// Records the per-prime unscaled tensor as a stream: 4 forward
+    /// NTTs, 4 Hadamard products, 1 pointwise addition, 3 inverse NTTs
+    /// — the same dataflow as the paper's Algorithm 3 modulo the final
+    /// scaling — with the three tensor components marked as outputs.
+    fn tensor_stream(&self, i: usize, a: &Ciphertext, b: &Ciphertext) -> Result<OpStream> {
+        let mut st = OpStream::new(self.params.n());
         let mut ntts = Vec::with_capacity(4);
-        for v in lifted {
-            let h = be.upload(v)?;
-            live.push(h);
-            let f = be.ntt(h)?;
-            live.push(f);
-            ntts.push(f);
+        for p in [&a.polys()[0], &a.polys()[1], &b.polys()[0], &b.polys()[1]] {
+            let up = st.upload(self.lift_centered(p, i))?;
+            ntts.push(st.ntt(up)?);
         }
         let (a0, a1, b0, b1) = (ntts[0], ntts[1], ntts[2], ntts[3]);
-        let t0 = be.hadamard(a0, b0)?;
-        live.push(t0);
-        let x01 = be.hadamard(a0, b1)?;
-        live.push(x01);
-        let x10 = be.hadamard(a1, b0)?;
-        live.push(x10);
-        let t1 = be.pointwise_add(x01, x10)?;
-        live.push(t1);
-        let t2 = be.hadamard(a1, b1)?;
-        live.push(t2);
-        let mut parts = Vec::with_capacity(3);
+        let t0 = st.hadamard(a0, b0)?;
+        let x01 = st.hadamard(a0, b1)?;
+        let x10 = st.hadamard(a1, b0)?;
+        let t1 = st.pointwise_add(x01, x10)?;
+        let t2 = st.hadamard(a1, b1)?;
         for t in [t0, t1, t2] {
-            let r = be.intt(t)?;
-            live.push(r);
-            parts.push(be.download(r)?);
+            let r = st.intt(t)?;
+            st.output(r)?;
         }
-        Ok([parts.remove(0), parts.remove(0), parts.remove(0)])
+        Ok(st)
     }
 
     /// Exact ciphertext multiplication: Eq. 4 with integer tensor and
-    /// `t/q` rounding. The unscaled per-prime tensor runs on the
-    /// configured backend; the CRT reconstruction and rounding are
+    /// `t/q` rounding. The unscaled tensor is recorded as one
+    /// [`OpStream`] per CRT computation prime and the independent limbs
+    /// execute in parallel, one thread and one backend each, each limb
+    /// a single batched submit; the CRT reconstruction and rounding are
     /// host-side. Returns a 3-component ciphertext; apply
     /// [`Evaluator::relinearize`] to shrink it.
     ///
@@ -427,14 +446,39 @@ impl Evaluator {
         let n = self.params.n();
         let k = self.mult_primes.len();
 
+        let mut streams = Vec::with_capacity(k);
+        for i in 0..k {
+            streams.push(self.tensor_stream(i, a, b)?);
+        }
+        let mut guards: Vec<_> = self.mult_backends.iter().map(lock).collect();
+        let jobs: Vec<StreamJob<'_>> = guards
+            .iter_mut()
+            .zip(&streams)
+            .map(|(g, stream)| StreamJob { backend: (**g).as_mut(), stream })
+            .collect();
+        let outcomes = StreamExecutor::run_parallel(jobs)?;
+        drop(guards);
+
         let mut tensor: [Vec<Vec<u128>>; 3] =
             [Vec::with_capacity(k), Vec::with_capacity(k), Vec::with_capacity(k)];
-        for i in 0..k {
-            let [t0, t1, t2] = self.tensor_mod_prime(i, a, b)?;
-            tensor[0].push(t0);
-            tensor[1].push(t1);
-            tensor[2].push(t2);
+        // The limbs ran concurrently (one thread, one backend each): the
+        // group's overlapped wall clock is the slowest limb, not the
+        // sum. Serial totals do sum — the baseline really is one limb
+        // after another, one op at a time.
+        let mut group = StreamReport::default();
+        let (mut wall_cycles, mut wall_seconds) = (0u64, 0.0f64);
+        for outcome in outcomes {
+            wall_cycles = wall_cycles.max(outcome.report.overlapped_cycles);
+            wall_seconds = wall_seconds.max(outcome.report.overlapped_seconds);
+            group.absorb(&outcome.report);
+            let mut outputs = outcome.outputs.into_iter();
+            for part in &mut tensor {
+                part.push(outputs.next().expect("tensor streams mark three outputs"));
+            }
         }
+        group.overlapped_cycles = wall_cycles;
+        group.overlapped_seconds = wall_seconds;
+        self.absorb_stream(&group);
 
         // CRT-reconstruct each exact integer coefficient, center, and
         // apply the ⌊t·x/q⌉ scaling.
@@ -473,11 +517,62 @@ impl Evaluator {
         Ciphertext::new(out_polys)
     }
 
+    /// NTT-domain relin-key handles on the mod-q backend, transformed on
+    /// first use of each [`RelinKey`] and resident thereafter (keyed by
+    /// the key's process-unique tag; the caller holds the backend lock).
+    fn relin_key_handles(
+        &self,
+        be: &mut dyn PolyBackend,
+        rlk: &RelinKey,
+    ) -> Result<Vec<(PolyHandle, PolyHandle)>> {
+        let mut cache =
+            self.relin_ntt_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match cache.entry(rlk.tag) {
+            Entry::Occupied(e) => Ok(e.get().clone()),
+            Entry::Vacant(slot) => {
+                let mut handles = Vec::with_capacity(rlk.parts.len());
+                let transform = |be: &mut dyn PolyBackend,
+                                 poly: &Polynomial<cofhee_arith::Barrett128>|
+                 -> cofhee_core::Result<PolyHandle> {
+                    let raw = be.upload(&poly.to_u128_vec())?;
+                    let f = be.ntt(raw);
+                    be.free(raw);
+                    f
+                };
+                let mut run = || -> cofhee_core::Result<()> {
+                    for (k0, k1) in &rlk.parts {
+                        handles.push((transform(be, k0)?, transform(be, k1)?));
+                    }
+                    Ok(())
+                };
+                if let Err(e) = run() {
+                    // Failed mid-transform: release the partial set.
+                    for (f0, f1) in handles {
+                        be.free(f0);
+                        be.free(f1);
+                    }
+                    return Err(e.into());
+                }
+                Ok(slot.insert(handles).clone())
+            }
+        }
+    }
+
     /// Relinearization: folds the third component of a ciphertext product
     /// back onto two components using digit-decomposition key switching.
-    /// Host-side by design: digit decomposition needs full-width
-    /// coefficient access (the paper defers key switching to future
-    /// silicon, Section III-C).
+    ///
+    /// The digit *decomposition* stays host-side by design — it needs
+    /// full-width coefficient access the Table I command set cannot
+    /// express (the paper defers key switching to future silicon,
+    /// Section III-C). The key-switch *inner products* — per digit: one
+    /// forward NTT of the digit polynomial, Hadamard products against
+    /// both relin-key polynomials, accumulating additions in the NTT
+    /// domain, and two final inverse NTTs — are recorded as one
+    /// [`OpStream`] on the mod-q backend and execute in a single batched
+    /// submit. The key polynomials themselves are invariant, so they are
+    /// transformed **once** per [`RelinKey`] and kept resident on the
+    /// backend in NTT form; every stream references the cached handles
+    /// instead of re-transforming them.
     ///
     /// # Errors
     ///
@@ -488,26 +583,55 @@ impl Evaluator {
         if ct.len() != 3 {
             return Err(BfvError::WrongCiphertextSize { expected: 3, found: ct.len() });
         }
-        let ctx = Arc::clone(self.params.poly_ring());
         let n = self.params.n();
         let w = rlk.base_bits;
         let mask: u128 = (1u128 << w) - 1;
-        let mut c0 = ct.polys()[0].clone();
-        let mut c1 = ct.polys()[1].clone();
         let c2 = &ct.polys()[2];
-        for (i, (k0, k1)) in rlk.parts.iter().enumerate() {
+
+        let mut be = lock(&self.q_backend);
+        let key_handles = self.relin_key_handles(be.as_mut(), rlk)?;
+
+        // Record the whole key-switch dataflow, then submit once.
+        let mut st = OpStream::new(n);
+        let mut accs: [Option<StreamHandle>; 2] = [None, None];
+        for (i, &(fk0, fk1)) in key_handles.iter().enumerate() {
             // Digit i of every coefficient of c2 (unsigned decomposition).
             let digits: Vec<u128> =
                 c2.coeffs().iter().map(|&c| (c >> (w * i as u32)) & mask).collect();
             debug_assert_eq!(digits.len(), n);
-            let d = Polynomial::from_values(Arc::clone(&ctx), &digits)?;
-            c0 = c0.add(&d.negacyclic_mul(k0)?)?;
-            c1 = c1.add(&d.negacyclic_mul(k1)?)?;
+            let fd = {
+                let d = st.upload(digits)?;
+                st.ntt(d)?
+            };
+            for (key, acc) in [fk0, fk1].into_iter().zip(accs.iter_mut()) {
+                let fk = st.input(key);
+                let prod = st.hadamard(fd, fk)?;
+                *acc = Some(match acc.take() {
+                    None => prod,
+                    Some(sum) => st.pointwise_add(sum, prod)?,
+                });
+            }
         }
+        for (acc, c) in accs.into_iter().zip(&ct.polys()[..2]) {
+            let acc = acc.expect("relin keys always carry at least one digit");
+            let folded = st.intt(acc)?;
+            let base = st.upload(c.to_u128_vec())?;
+            let out = st.pointwise_add(base, folded)?;
+            st.output(out)?;
+        }
+
+        let outcome = be.execute_stream(&st)?;
+        drop(be);
+        self.absorb_stream(&outcome.report);
+        let mut outputs = outcome.outputs.into_iter();
+        let c0 = self.poly_from(outputs.next().expect("two outputs marked"))?;
+        let c1 = self.poly_from(outputs.next().expect("two outputs marked"))?;
         Ciphertext::new(vec![c0, c1])
     }
 
-    /// Convenience: multiply then relinearize.
+    /// Convenience: multiply then relinearize — both phases streamed
+    /// (the per-prime tensor limbs in parallel, then the key-switch
+    /// stream), with the host-side CRT reconstruction between them.
     ///
     /// # Errors
     ///
@@ -713,5 +837,47 @@ mod tests {
         let _ = clone.add(&a, &a).unwrap();
         assert_eq!(f.eval.backend_report(), clone.backend_report());
         assert!(f.eval.backend_report().addsubs > 0);
+    }
+
+    #[test]
+    fn stream_telemetry_accumulates_and_resets() {
+        let mut f = setup(32, 13);
+        assert_eq!(f.eval.backend_stream_report(), StreamReport::default());
+        let a = f.enc.encrypt(&pt_of(&f, &[4]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[6]), &mut f.rng).unwrap();
+        let _ = f.eval.multiply_relin(&a, &b, &f.rlk).unwrap();
+        let r = f.eval.backend_stream_report();
+        let limbs = f.params.mult_basis().moduli().len() as u64;
+        assert!(r.commands > 0, "stream submits are recorded");
+        assert_eq!(r.batches, limbs + 1, "one submit per tensor limb plus the key switch");
+        // The CPU reference has no modeled timing: serial == overlapped.
+        assert_eq!(r.serial_cycles, r.overlapped_cycles);
+        f.eval.reset_backend_telemetry();
+        assert_eq!(f.eval.backend_stream_report(), StreamReport::default());
+    }
+
+    #[test]
+    fn chip_streams_match_cpu_and_overlap_transfers() {
+        use cofhee_core::ChipBackendFactory;
+        let mut f = setup(32, 14);
+        let on_chip = Evaluator::with_backend(&f.params, &ChipBackendFactory::silicon()).unwrap();
+        let a = f.enc.encrypt(&pt_of(&f, &[7]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[9]), &mut f.rng).unwrap();
+        let cpu_prod = f.eval.multiply_relin(&a, &b, &f.rlk).unwrap();
+        let chip_prod = on_chip.multiply_relin(&a, &b, &f.rlk).unwrap();
+        for (p_cpu, p_chip) in cpu_prod.polys().iter().zip(chip_prod.polys()) {
+            assert_eq!(p_cpu.coeffs(), p_chip.coeffs(), "streamed limbs are bit-identical");
+        }
+        assert_eq!(f.dec.decrypt(&chip_prod).unwrap().coeffs()[0], 63);
+
+        let r = on_chip.backend_stream_report();
+        assert!(r.serial_cycles > 0, "chip streams cost real cycles");
+        assert!(
+            r.overlapped_cycles < r.serial_cycles,
+            "upload/download DMA must hide behind compute: {} !< {}",
+            r.overlapped_cycles,
+            r.serial_cycles
+        );
+        assert_eq!(r.interrupts, r.batches, "interrupt-driven drains");
     }
 }

@@ -71,10 +71,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use cofhee_arith::{Barrett128, Barrett64, ModRing};
 use cofhee_poly::ntt::{self, NttTables};
 use cofhee_poly::pointwise;
-use cofhee_sim::{ChipConfig, OpReport, Slot};
+use cofhee_sim::{ChipConfig, OpReport, Slot, Spi, Uart};
 
 use crate::device::{CommStats, Device, Link};
 use crate::error::{CoreError, Result};
+use crate::stream::{self, OpStream, StreamOutcome};
 
 /// Opaque handle to a backend-resident polynomial.
 ///
@@ -85,6 +86,14 @@ use crate::error::{CoreError, Result};
 /// resolving to an unrelated polynomial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PolyHandle(u64);
+
+impl PolyHandle {
+    /// The raw pool id (crate-internal: the stream scheduler resolves
+    /// `Input` nodes against the backend pool with it).
+    pub(crate) fn id(self) -> u64 {
+        self.0
+    }
+}
 
 /// Process-global handle allocator (see [`PolyHandle`]).
 static NEXT_HANDLE_ID: AtomicU64 = AtomicU64::new(0);
@@ -201,6 +210,28 @@ pub trait PolyBackend: fmt::Debug + Send {
     /// Clears the cumulative [`OpReport`] and re-baselines
     /// [`CommStats`].
     fn reset_telemetry(&mut self);
+
+    /// Executes a recorded [`OpStream`] in one submit, returning the
+    /// marked outputs and the serial-vs-overlapped telemetry of
+    /// [`StreamOutcome`].
+    ///
+    /// The provided default replays the stream through the synchronous
+    /// op set in record order — the degenerate one-op-at-a-time
+    /// schedule, bit-identical to issuing the calls by hand (its
+    /// `serial` and `overlapped` totals coincide). Accelerator backends
+    /// override it to exploit the recording: [`ChipBackend`] schedules
+    /// the whole stream through the simulated 32-deep command FIFO in
+    /// depth-sized batches with interrupt-driven drains, keeps
+    /// intermediates resident in the SRAM banks, and overlaps
+    /// upload/download DMA with PE compute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DegreeMismatch`] when the stream's degree
+    /// differs from the backend's, and propagates execution failures.
+    fn execute_stream(&mut self, stream: &OpStream) -> Result<StreamOutcome> {
+        stream::replay_sync(self, stream)
+    }
 }
 
 /// Builds [`PolyBackend`]s for arbitrary `(q, n)` pairs.
@@ -235,27 +266,77 @@ impl BackendFactory for CpuBackendFactory {
     }
 }
 
-/// Factory for [`ChipBackend`]s at a fixed [`ChipConfig`] (backdoor
-/// link; use [`ChipBackend::connect_via`] directly for timed links).
+/// Factory for [`ChipBackend`]s at a fixed [`ChipConfig`] and host
+/// [`Link`].
+///
+/// The link is part of the factory so consumers that only see a
+/// `&dyn BackendFactory` — `Evaluator::with_backend`, the demo
+/// constructors — can pick UART or SPI without dropping down to
+/// [`ChipBackend::connect_via`]:
+///
+/// ```
+/// use cofhee_core::{ChipBackendFactory, Link};
+/// use cofhee_sim::{ChipConfig, Spi};
+///
+/// let over_spi =
+///     ChipBackendFactory::silicon().with_link(Link::Spi(Spi::new(50_000_000)));
+/// assert_eq!(over_spi.link_name(), "SPI");
+/// ```
 #[derive(Debug, Clone)]
 pub struct ChipBackendFactory {
     config: ChipConfig,
+    link: Link,
 }
 
 impl ChipBackendFactory {
-    /// A factory producing chips with the given configuration.
+    /// A factory producing chips with the given configuration over the
+    /// backdoor link (no wire-time accounting).
     pub fn new(config: ChipConfig) -> Self {
-        Self { config }
+        Self { config, link: Link::Backdoor }
     }
 
-    /// A factory producing the fabricated silicon configuration.
+    /// A factory producing the fabricated silicon configuration over
+    /// the backdoor link.
     pub fn silicon() -> Self {
         Self::new(ChipConfig::silicon())
+    }
+
+    /// The same factory with every produced chip brought up over an
+    /// explicit host link (UART or SPI), so transfers cost wire time.
+    #[must_use]
+    pub fn with_link(mut self, link: Link) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// The silicon configuration over its 50 MHz SPI interface — the
+    /// validation bring-up the paper times transfers against.
+    pub fn silicon_spi() -> Self {
+        let config = ChipConfig::silicon();
+        let link = Link::Spi(Spi::from_config(&config));
+        Self { config, link }
+    }
+
+    /// The silicon configuration over its UART (FTDI bring-up path).
+    pub fn silicon_uart() -> Self {
+        let config = ChipConfig::silicon();
+        let link = Link::Uart(Uart::from_config(&config));
+        Self { config, link }
     }
 
     /// The configuration handed to every produced chip.
     pub fn config(&self) -> &ChipConfig {
         &self.config
+    }
+
+    /// The host link every produced chip is brought up over.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// The configured link's human-readable name.
+    pub fn link_name(&self) -> &'static str {
+        self.link.name()
     }
 }
 
@@ -265,7 +346,7 @@ impl BackendFactory for ChipBackendFactory {
     }
 
     fn make(&self, q: u128, n: usize) -> Result<Box<dyn PolyBackend>> {
-        Ok(Box::new(ChipBackend::connect(self.config.clone(), q, n)?))
+        Ok(Box::new(ChipBackend::connect_via(self.config.clone(), q, n, self.link.clone())?))
     }
 }
 
@@ -369,6 +450,17 @@ macro_rules! with_engine {
     };
 }
 
+/// Read-only variant of [`with_engine!`].
+#[cfg(test)]
+macro_rules! with_engine_ref {
+    ($self:expr, $st:ident => $body:expr) => {
+        match &$self.engine {
+            CpuEngine::Narrow($st) => $body,
+            CpuEngine::Wide($st) => $body,
+        }
+    };
+}
+
 /// Software execution of the [`PolyBackend`] op set on the host CPU —
 /// the reference semantics every accelerator backend must match
 /// bit-for-bit.
@@ -406,6 +498,12 @@ impl CpuBackend {
     /// Butterfly count of one length-`n` transform.
     fn transform_butterflies(&self) -> u64 {
         (self.n as u64 / 2) * self.n.trailing_zeros() as u64
+    }
+
+    /// Live pool entries (leak checks in tests).
+    #[cfg(test)]
+    pub(crate) fn pool_len(&self) -> usize {
+        with_engine_ref!(self, st => st.pool.len())
     }
 }
 
@@ -509,9 +607,9 @@ impl PolyBackend for CpuBackend {
 /// latencies accumulate in the cumulative [`OpReport`].
 #[derive(Debug)]
 pub struct ChipBackend {
-    device: Device,
-    pool: HashMap<u64, Vec<u128>>,
-    report: OpReport,
+    pub(crate) device: Device,
+    pub(crate) pool: HashMap<u64, Vec<u128>>,
+    pub(crate) report: OpReport,
     comm_base: CommStats,
 }
 
@@ -693,6 +791,16 @@ impl PolyBackend for ChipBackend {
     fn reset_telemetry(&mut self) {
         self.report = OpReport::default();
         self.comm_base = self.device.comm_stats();
+    }
+
+    /// Batched execution through the simulated command FIFO: the whole
+    /// recorded stream is scheduled in depth-sized batches with
+    /// interrupt-driven drains, intermediates stay resident in the SRAM
+    /// banks, and upload/download DMA overlaps PE compute — see
+    /// [`StreamOutcome`]'s serial-vs-overlapped totals and the
+    /// `chip_stream` module docs for the schedule.
+    fn execute_stream(&mut self, stream: &OpStream) -> Result<StreamOutcome> {
+        crate::chip_stream::execute(self, stream)
     }
 }
 

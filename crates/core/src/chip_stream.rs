@@ -1,0 +1,571 @@
+//! FIFO-batched stream execution on the simulated chip — the
+//! [`ChipBackend`](crate::ChipBackend) override of
+//! [`PolyBackend::execute_stream`](crate::PolyBackend::execute_stream).
+//!
+//! The synchronous chip path pays one full round trip per operation:
+//! stage operands into the compute banks, trigger one command, read the
+//! result back. This module schedules a whole recorded [`OpStream`]
+//! instead, the way the paper's host actually drives the silicon
+//! (Section III-I mode 2 + Section III-B):
+//!
+//! * **Slot allocation with liveness.** Every stream value gets a slot
+//!   in the SRAM bank plan (dual-port compute banks preferred for NTT
+//!   destinations, single-port storage for host-written operands) and
+//!   stays *resident* until its last consumer has been issued —
+//!   intermediates never cross the host link. Freed slots are reused in
+//!   FIFO order: a queued writer is safe behind its queued readers, so
+//!   reuse needs no drain; only fresh host writes must wait for one.
+//! * **Depth-sized batches with interrupt-driven drain.** Commands are
+//!   pushed through the 32-deep command FIFO; when it fills (or the
+//!   stream ends) the host drains it in one `drain_fifo` and observes
+//!   the drain interrupt — one interrupt per batch instead of one
+//!   round trip per command.
+//! * **DMA-overlapped transfers.** Each host upload and each marked
+//!   output is shadowed by an in-FIFO `MEMCPY` over the same slot: the
+//!   DMA transaction that streams the polynomial between the link
+//!   interface and the bank. It is functionally idempotent (the
+//!   backdoor write already placed the data) but occupies the DMA
+//!   engine and the bank for the cycles the real transfer takes, which
+//!   is exactly what lets the chip model hide transfers behind PE
+//!   compute — and what makes the overlapped wall clock come in under
+//!   the serial sum.
+//!
+//! The returned [`StreamReport`] prices the same command list both
+//! ways: `serial_*` as if every command and transfer ran strictly
+//! one-after-another (the mode-1 path), `overlapped_*` as the batched
+//! schedule actually executed, with the host link additionally
+//! pipelined against compute across batches (the link streams batch
+//! `b+1` while the chip drains batch `b`; downloads ride after the
+//! final drain).
+
+use cofhee_arith::ModRing;
+use cofhee_sim::{BankId, Command, Slot, COMMAND_WORDS, FIFO_DEPTH};
+
+use crate::backend::ChipBackend;
+use crate::error::{CoreError, Result};
+use crate::stream::{OpStream, StreamHandle, StreamOp, StreamOutcome, StreamReport};
+
+/// Occupancy of one schedulable polynomial slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// No live value, no queued reader: host-writable and allocatable.
+    Free,
+    /// Dead value whose readers may still sit in the FIFO. Safe as a
+    /// command destination (the writer queues behind the readers), not
+    /// for an immediate host write; promoted to [`SlotState::Free`] by
+    /// the next drain.
+    PendingDrain,
+    /// Holds a live stream value.
+    Live,
+}
+
+/// One polynomial-sized slot in the bank plan.
+#[derive(Debug, Clone, Copy)]
+struct PlanSlot {
+    slot: Slot,
+    dual: bool,
+    state: SlotState,
+}
+
+/// One FIFO batch, as the seconds pipeline model consumes it.
+#[derive(Debug, Clone, Copy)]
+struct Batch {
+    /// Host-link seconds spent streaming this batch in (operand uploads
+    /// plus packed command words).
+    wire_in: f64,
+    /// Wall-clock chip cycles of the drain.
+    wall_cycles: u64,
+}
+
+/// The per-stream scheduler state.
+struct Scheduler<'a> {
+    be: &'a mut ChipBackend,
+    n: usize,
+    slots: Vec<PlanSlot>,
+    /// Node index → slot housing its value.
+    residence: Vec<Option<usize>>,
+    /// Remaining uses per node (consumers + output markings).
+    uses: Vec<usize>,
+    batches: Vec<Batch>,
+    /// Wire seconds accumulated since the last drain.
+    wire_in: f64,
+    /// Bank of the most recent host upload: the next upload avoids it,
+    /// so its DMA transfer never blocks the bank a command is about to
+    /// read — the double-buffering that lets transfers hide behind
+    /// compute.
+    last_upload_bank: Option<BankId>,
+    report: StreamReport,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(be: &'a mut ChipBackend, stream: &OpStream) -> Self {
+        let n = stream.n();
+        let plan = be.device.bank_plan();
+        let per_bank = be.device.chip().config().bank_words / n;
+        let banks: Vec<BankId> =
+            [plan.d0, plan.d1, plan.d2].into_iter().chain(plan.storage).collect();
+        let mut slots = Vec::with_capacity(banks.len() * per_bank);
+        for bank in banks {
+            let dual =
+                be.device.chip().memory().bank(bank).map(|b| b.is_dual_port()).unwrap_or(false);
+            for k in 0..per_bank {
+                slots.push(PlanSlot { slot: Slot::new(bank, k * n), dual, state: SlotState::Free });
+            }
+        }
+        Self {
+            be,
+            n,
+            slots,
+            residence: vec![None; stream.len()],
+            uses: stream.use_counts(),
+            batches: Vec::new(),
+            wire_in: 0.0,
+            last_upload_bank: None,
+            report: StreamReport::default(),
+        }
+    }
+
+    fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.state == SlotState::Live).count()
+    }
+
+    /// Picks the best allocatable slot: hard-require `Free` for host
+    /// writes, soft-prefer banks outside `avoid`, dual-port banks when
+    /// `prefer_dual` (NTT destinations want II = 1), and
+    /// `PendingDrain` reuse over clean `Free` slots so host-writable
+    /// capacity is conserved.
+    fn pick(&self, prefer_dual: bool, avoid: &[BankId], host_write: bool) -> Option<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| match s.state {
+                SlotState::Free => true,
+                SlotState::PendingDrain => !host_write,
+                SlotState::Live => false,
+            })
+            .min_by_key(|(_, s)| {
+                let avoided = u32::from(avoid.contains(&s.slot.bank)) * 8;
+                let port = u32::from(s.dual != prefer_dual) * 4;
+                let same_bank =
+                    u32::from(host_write && Some(s.slot.bank) == self.last_upload_bank) * 2;
+                let clean = u32::from(!host_write && s.state == SlotState::Free);
+                avoided + port + same_bank + clean
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Allocates a slot, draining the FIFO once to reclaim
+    /// pending-drain slots if nothing is available.
+    fn alloc(&mut self, prefer_dual: bool, avoid: &[BankId], host_write: bool) -> Result<usize> {
+        for attempt in 0..2 {
+            if attempt == 1 {
+                self.drain()?;
+            }
+            if let Some(i) = self.pick(prefer_dual, avoid, host_write) {
+                self.slots[i].state = SlotState::Live;
+                return Ok(i);
+            }
+        }
+        Err(CoreError::SlotsExhausted { live: self.live_count(), slots: self.slots.len() })
+    }
+
+    /// Drains the FIFO: one batch, one drain interrupt, pending slots
+    /// reclaimed. A drain with nothing queued only reclaims slots.
+    fn drain(&mut self) -> Result<()> {
+        if self.be.device.fifo_space() < FIFO_DEPTH {
+            let drained = self.be.device.drain_fifo()?;
+            if drained.executed > 0 {
+                self.report.batches += 1;
+                self.report.serial_cycles += drained.serial_cycles;
+                self.report.overlapped_cycles += drained.report.cycles;
+                self.report.interrupts += u64::from(self.be.device.take_interrupt());
+                self.be.report.absorb(&drained.report);
+                self.batches.push(Batch {
+                    wire_in: std::mem::take(&mut self.wire_in),
+                    wall_cycles: drained.report.cycles,
+                });
+            }
+        }
+        for s in &mut self.slots {
+            if s.state == SlotState::PendingDrain {
+                s.state = SlotState::Free;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes one command, draining first when the FIFO is at depth.
+    fn submit(&mut self, cmd: Command) -> Result<()> {
+        if self.be.device.fifo_space() == 0 {
+            self.drain()?;
+        }
+        let cmd_bytes = COMMAND_WORDS as u64 * 4;
+        self.wire_in += self.be.device.link_transfer_seconds(cmd_bytes);
+        self.report.uploaded_bytes += cmd_bytes;
+        self.report.commands += 1;
+        self.be.device.submit(cmd)
+    }
+
+    /// The link-side DMA transaction over `slot`: functionally
+    /// idempotent, but it occupies the DMA engine and the bank for the
+    /// cycles the real transfer takes, so the overlap model sees it.
+    fn submit_dma_touch(&mut self, slot: Slot) -> Result<()> {
+        self.submit(Command::memcpy(slot, slot, self.n))
+    }
+
+    /// Hosts a value: backdoor write plus the shadowing DMA command.
+    fn host_upload(&mut self, node: usize, data: &[u128]) -> Result<()> {
+        let si = self.alloc(false, &[], true)?;
+        let slot = self.slots[si].slot;
+        self.last_upload_bank = Some(slot.bank);
+        self.be.device.upload(slot, data)?;
+        let poly_bytes = self.n as u64 * 16;
+        self.wire_in += self.be.device.link_transfer_seconds(poly_bytes);
+        self.report.uploaded_bytes += poly_bytes;
+        self.submit_dma_touch(slot)?;
+        self.residence[node] = Some(si);
+        Ok(())
+    }
+
+    /// Slot of an operand node (produced earlier by construction).
+    fn operand(&self, h: StreamHandle) -> Slot {
+        let si = self.residence[h.index].expect("operands precede their consumers");
+        self.slots[si].slot
+    }
+
+    /// Releases one use of a node; its slot is reusable in FIFO order
+    /// once the count reaches zero.
+    fn release(&mut self, h: StreamHandle) {
+        let i = h.index;
+        self.uses[i] = self.uses[i].saturating_sub(1);
+        if self.uses[i] == 0 {
+            if let Some(si) = self.residence[i] {
+                self.slots[si].state = SlotState::PendingDrain;
+            }
+        }
+    }
+
+    /// Issues the commands for one recorded node.
+    fn issue(&mut self, i: usize, op: &StreamOp, is_output: bool) -> Result<()> {
+        match op {
+            StreamOp::Upload(v) => {
+                self.host_upload(i, v)?;
+            }
+            StreamOp::Input(h) => {
+                let data =
+                    self.be.pool.get(&h.id()).ok_or(CoreError::BadHandle { id: h.id() })?.clone();
+                self.host_upload(i, &data)?;
+            }
+            StreamOp::Ntt(s) | StreamOp::Intt(s) => {
+                let src = self.operand(*s);
+                let dst_i = self.alloc(true, &[src.bank], false)?;
+                let dst = self.slots[dst_i].slot;
+                let cmd = if matches!(op, StreamOp::Ntt(_)) {
+                    Command::ntt(src, self.be.device.forward_twiddles(), dst)
+                } else {
+                    Command::intt(src, self.be.device.inverse_twiddles(), dst)
+                };
+                self.submit(cmd)?;
+                self.release(*s);
+                self.residence[i] = Some(dst_i);
+            }
+            StreamOp::Hadamard(x, y)
+            | StreamOp::PointwiseAdd(x, y)
+            | StreamOp::PointwiseSub(x, y) => {
+                let (sx, sy) = (self.operand(*x), self.operand(*y));
+                let dst_i = self.alloc(true, &[], false)?;
+                let dst = self.slots[dst_i].slot;
+                let cmd = match op {
+                    StreamOp::Hadamard(..) => Command::pmodmul(sx, sy, dst),
+                    StreamOp::PointwiseAdd(..) => Command::pmodadd(sx, sy, dst),
+                    _ => Command::pmodsub(sx, sy, dst),
+                };
+                self.submit(cmd)?;
+                self.release(*x);
+                self.release(*y);
+                self.residence[i] = Some(dst_i);
+            }
+            StreamOp::ScalarMul(x, c) => {
+                let src = self.operand(*x);
+                let dst_i = self.alloc(true, &[], false)?;
+                let dst = self.slots[dst_i].slot;
+                let c = self.be.device.ring().from_u128(*c);
+                self.submit(Command::cmodmul(src, c, dst))?;
+                self.release(*x);
+                self.residence[i] = Some(dst_i);
+            }
+            StreamOp::PolyMul(a, b) => {
+                // Algorithm 2 inline: NTT, NTT, Hadamard, iNTT, with the
+                // forward transforms' temporaries reclaimed in-queue.
+                let (sa, sb) = (self.operand(*a), self.operand(*b));
+                let fa_i = self.alloc(true, &[sa.bank], false)?;
+                let fa = self.slots[fa_i].slot;
+                self.submit(Command::ntt(sa, self.be.device.forward_twiddles(), fa))?;
+                let fb_i = self.alloc(true, &[sb.bank], false)?;
+                let fb = self.slots[fb_i].slot;
+                self.submit(Command::ntt(sb, self.be.device.forward_twiddles(), fb))?;
+                self.release(*a);
+                self.release(*b);
+                let prod_i = self.alloc(true, &[], false)?;
+                let prod = self.slots[prod_i].slot;
+                self.submit(Command::pmodmul(fa, fb, prod))?;
+                self.slots[fa_i].state = SlotState::PendingDrain;
+                self.slots[fb_i].state = SlotState::PendingDrain;
+                let out_i = self.alloc(true, &[prod.bank], false)?;
+                let out = self.slots[out_i].slot;
+                self.submit(Command::intt(prod, self.be.device.inverse_twiddles(), out))?;
+                self.slots[prod_i].state = SlotState::PendingDrain;
+                self.residence[i] = Some(out_i);
+            }
+        }
+        // Marked outputs get their readout DMA queued right behind the
+        // producer so it hides behind whatever computes next; uploads
+        // already carry their transfer command.
+        if is_output && !matches!(op, StreamOp::Upload(_) | StreamOp::Input(_)) {
+            let slot = self.slots[self.residence[i].expect("just placed")].slot;
+            self.submit_dma_touch(slot)?;
+        }
+        // A value nobody consumes (and nobody downloads) is dead on
+        // arrival: reclaim its slot in queue order.
+        if self.uses[i] == 0 {
+            if let Some(si) = self.residence[i] {
+                self.slots[si].state = SlotState::PendingDrain;
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, stream: &OpStream) -> Result<Vec<Vec<u128>>> {
+        let is_output: Vec<bool> = {
+            let mut v = vec![false; stream.len()];
+            for out in stream.outputs() {
+                v[out.index] = true;
+            }
+            v
+        };
+        for (i, op) in stream.nodes().iter().enumerate() {
+            self.issue(i, op, is_output[i])?;
+        }
+        self.drain()?;
+
+        // Everything has executed; read the marked outputs back.
+        let poly_bytes = self.n as u64 * 16;
+        let mut outputs = Vec::with_capacity(stream.outputs().len());
+        for out in stream.outputs() {
+            let si = self.residence[out.index].expect("outputs were produced");
+            outputs.push(self.be.device.download(self.slots[si].slot)?);
+            self.report.downloaded_bytes += poly_bytes;
+            self.release(*out);
+        }
+        self.finish_timing();
+        Ok(outputs)
+    }
+
+    /// Seconds totals from the batch records: serial pays every
+    /// transfer and cycle in sequence; overlapped pipelines the link
+    /// against compute (the host streams batch `b+1` while the chip
+    /// drains batch `b`; output downloads ride after the final drain).
+    fn finish_timing(&mut self) {
+        let freq = self.be.device.chip().config().freq_hz as f64;
+        let poly_bytes = self.n as u64 * 16;
+        let downloads = self.report.downloaded_bytes / poly_bytes;
+        let download_wire = downloads as f64 * self.be.device.link_transfer_seconds(poly_bytes);
+        let total_wire_in: f64 = self.batches.iter().map(|b| b.wire_in).sum::<f64>() + self.wire_in;
+        let mut wire_t = 0.0f64;
+        let mut chip_t = 0.0f64;
+        for b in &self.batches {
+            wire_t += b.wire_in;
+            chip_t = chip_t.max(wire_t) + b.wall_cycles as f64 / freq;
+        }
+        self.report.serial_seconds =
+            total_wire_in + self.report.serial_cycles as f64 / freq + download_wire;
+        self.report.overlapped_seconds = wire_t.max(chip_t) + download_wire;
+    }
+}
+
+/// Executes a recorded stream on the chip backend (see the module docs
+/// for the schedule).
+pub(crate) fn execute(be: &mut ChipBackend, stream: &OpStream) -> Result<StreamOutcome> {
+    if stream.n() != be.device.n() {
+        return Err(CoreError::DegreeMismatch { device: be.device.n(), requested: stream.n() });
+    }
+    if stream.is_empty() {
+        return Ok(StreamOutcome { outputs: Vec::new(), report: StreamReport::default() });
+    }
+    let mut sched = Scheduler::new(be, stream);
+    let result = sched.run(stream);
+    let report = sched.report;
+    match result {
+        Ok(outputs) => Ok(StreamOutcome { outputs, report }),
+        Err(e) => {
+            // Never leave half a batch queued behind for a later,
+            // unrelated drain; the flushed commands really execute, so
+            // their cycles still belong in the cumulative ledger.
+            if let Ok(flushed) = be.device.drain_fifo() {
+                be.report.absorb(&flushed.report);
+            }
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CpuBackend, PolyBackend};
+    use crate::device::Link;
+    use cofhee_arith::primes::ntt_prime;
+    use cofhee_sim::{ChipConfig, Spi};
+
+    const N: usize = 1 << 6;
+
+    fn q() -> u128 {
+        ntt_prime(60, N).unwrap()
+    }
+
+    fn poly(seed: u128) -> Vec<u128> {
+        let q = q();
+        let mut state = seed | 1;
+        (0..N)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(3);
+                state % q
+            })
+            .collect()
+    }
+
+    /// `rounds` chained ciphertext-tensor-style bodies: enough commands
+    /// to overflow a 32-deep FIFO several times over.
+    fn deep_stream(rounds: usize) -> OpStream {
+        let mut st = OpStream::new(N);
+        let a = st.upload(poly(1)).unwrap();
+        let b = st.upload(poly(2)).unwrap();
+        let mut fa = st.ntt(a).unwrap();
+        let fb = st.ntt(b).unwrap();
+        let mut acc = st.hadamard(fa, fb).unwrap();
+        for _ in 0..rounds {
+            fa = st.pointwise_add(acc, fb).unwrap();
+            acc = st.hadamard(fa, fb).unwrap();
+        }
+        let out = st.intt(acc).unwrap();
+        st.output(out).unwrap();
+        st
+    }
+
+    #[test]
+    fn deep_streams_batch_through_the_fifo_with_interrupts() {
+        let q = q();
+        let st = deep_stream(40); // > 80 compute commands
+        let mut chip = ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+        let outcome = chip.execute_stream(&st).unwrap();
+        assert!(
+            outcome.report.batches >= 3,
+            "85+ commands cannot fit one 32-deep batch: {} batches",
+            outcome.report.batches
+        );
+        assert_eq!(
+            outcome.report.interrupts, outcome.report.batches,
+            "every drain raises and services exactly one interrupt"
+        );
+        assert!(outcome.report.commands > cofhee_sim::FIFO_DEPTH as u64);
+
+        // Bit-exact against the degenerate synchronous replay.
+        let mut cpu = CpuBackend::new(q, N).unwrap();
+        assert_eq!(outcome.outputs, cpu.execute_stream(&st).unwrap().outputs);
+    }
+
+    #[test]
+    fn overlapped_totals_come_in_under_serial_totals() {
+        let st = deep_stream(6);
+        let mut chip = ChipBackend::connect(ChipConfig::silicon(), q(), N).unwrap();
+        let r = chip.execute_stream(&st).unwrap().report;
+        assert!(
+            r.overlapped_cycles < r.serial_cycles,
+            "DMA must hide behind compute: {} !< {}",
+            r.overlapped_cycles,
+            r.serial_cycles
+        );
+        assert!(r.overlapped_seconds < r.serial_seconds);
+        assert!(r.serial_cycles > 0 && r.uploaded_bytes > 0 && r.downloaded_bytes > 0);
+    }
+
+    #[test]
+    fn timed_links_overlap_wire_time_with_compute() {
+        let q = q();
+        let st = deep_stream(6);
+        let link = Link::Spi(Spi::new(50_000_000));
+        let mut chip = ChipBackend::connect_via(ChipConfig::silicon(), q, N, link).unwrap();
+        let r = chip.execute_stream(&st).unwrap().report;
+        assert!(r.serial_seconds > 0.0 && r.overlapped_seconds > 0.0);
+        assert!(
+            r.overlapped_seconds < r.serial_seconds,
+            "the link must pipeline against compute: {} !< {}",
+            r.overlapped_seconds,
+            r.serial_seconds
+        );
+        // Wire accounting flows into the backend's cumulative comm stats.
+        assert!(chip.comm_stats().seconds > 0.0);
+    }
+
+    #[test]
+    fn stream_telemetry_accrues_to_the_cumulative_report() {
+        let mut chip = ChipBackend::connect(ChipConfig::silicon(), q(), N).unwrap();
+        assert_eq!(chip.report().cycles, 0);
+        let _ = chip.execute_stream(&deep_stream(2)).unwrap();
+        let after = chip.report();
+        assert!(after.cycles > 0, "drained batches land in the OpReport ledger");
+        assert!(after.butterflies > 0 && after.mults > 0);
+    }
+
+    #[test]
+    fn resident_values_never_cross_the_wire_mid_stream() {
+        // A chain of 8 dependent ops: the sync path would stage every
+        // intermediate over the link; the stream only moves the two
+        // operands in and one result out (plus command words).
+        let q = q();
+        let mut st = OpStream::new(N);
+        let a = st.upload(poly(5)).unwrap();
+        let b = st.upload(poly(6)).unwrap();
+        let mut acc = st.pointwise_add(a, b).unwrap();
+        for _ in 0..6 {
+            acc = st.pointwise_add(acc, b).unwrap();
+        }
+        st.output(acc).unwrap();
+        let mut chip = ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+        let r = chip.execute_stream(&st).unwrap().report;
+        let poly_bytes = N as u64 * 16;
+        let cmd_bytes = COMMAND_WORDS as u64 * 4;
+        // 2 operand uploads + command words for 7 adds + 2 upload DMAs
+        // + 1 readout DMA.
+        assert_eq!(r.uploaded_bytes, 2 * poly_bytes + 10 * cmd_bytes);
+        assert_eq!(r.downloaded_bytes, poly_bytes);
+    }
+
+    #[test]
+    fn slot_exhaustion_is_a_typed_error() {
+        // A stream whose live set exceeds the 6 polynomial slots a
+        // full-bank-degree chip offers (n == bank_words ⇒ 1 slot/bank).
+        let n = 1 << 13;
+        let q = ntt_prime(109, n).unwrap();
+        let mut st = OpStream::new(n);
+        let seed: Vec<u128> = (0..n as u128).collect();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(st.upload(seed.clone()).unwrap());
+        }
+        // Keep all eight live at once.
+        let mut acc = handles[0];
+        for &h in &handles[1..] {
+            acc = st.pointwise_add(acc, h).unwrap();
+        }
+        st.output(acc).unwrap();
+        let mut chip = ChipBackend::connect(ChipConfig::silicon(), q, n).unwrap();
+        match chip.execute_stream(&st) {
+            Err(CoreError::SlotsExhausted { live, slots }) => {
+                assert_eq!(slots, 6);
+                assert!(live >= 6);
+            }
+            other => panic!("expected SlotsExhausted, got {other:?}"),
+        }
+    }
+}

@@ -8,7 +8,10 @@
 //! turns on.
 
 use cofhee_arith::{Barrett128, ModRing};
-use cofhee_sim::{BankId, Chip, ChipConfig, Command, HostLink, OpReport, Slot, Spi, Uart};
+use cofhee_sim::{
+    BankId, Chip, ChipConfig, Command, DrainReport, HostLink, OpReport, Slot, Spi, Uart,
+    COMMAND_WORDS,
+};
 
 use crate::error::{CoreError, Result};
 
@@ -24,11 +27,22 @@ pub enum Link {
 }
 
 impl Link {
-    fn transfer_seconds(&self, bytes: u64) -> f64 {
+    /// Seconds to move `bytes` bytes across this link (zero for the
+    /// backdoor).
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
         match self {
             Link::Backdoor => 0.0,
             Link::Uart(u) => u.transfer_seconds(bytes),
             Link::Spi(s) => s.transfer_seconds(bytes),
+        }
+    }
+
+    /// Human-readable link name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Link::Backdoor => "backdoor",
+            Link::Uart(u) => u.name(),
+            Link::Spi(s) => s.name(),
         }
     }
 }
@@ -252,6 +266,55 @@ impl Device {
     /// Chip execution failures.
     pub fn scalar_mul(&mut self, x: Slot, c: u128, dst: Slot) -> Result<OpReport> {
         Ok(self.chip.execute_now(Command::cmodmul(x, c, dst))?)
+    }
+
+    // ---- command-FIFO path (execution mode 2, with wire accounting) ----
+
+    /// The host link this device was brought up over.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Seconds this device's link takes to move `bytes` bytes (one
+    /// transfer, setup included).
+    pub fn link_transfer_seconds(&self, bytes: u64) -> f64 {
+        self.link.transfer_seconds(bytes)
+    }
+
+    /// Enqueues a command into the chip's 32-deep FIFO, accounting the
+    /// packed command words as host-link traffic (a command is
+    /// [`COMMAND_WORDS`] × 4 bytes on the wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed FIFO-full error (with the capacity in its
+    /// message) when the queue has no space — drain first.
+    pub fn submit(&mut self, cmd: Command) -> Result<()> {
+        self.chip.submit(cmd)?;
+        self.account_bytes(COMMAND_WORDS as u64 * 4);
+        Ok(())
+    }
+
+    /// Free command slots remaining in the FIFO.
+    pub fn fifo_space(&self) -> usize {
+        self.chip.fifo_space()
+    }
+
+    /// Drains the FIFO with overlap accounting ([`Chip::drain_fifo`]):
+    /// the returned report carries both wall-clock and serial cycle
+    /// totals for the drained batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn drain_fifo(&mut self) -> Result<DrainReport> {
+        Ok(self.chip.drain_fifo()?)
+    }
+
+    /// Reads and clears the chip's drain interrupt (see
+    /// `CommandFifo::take_interrupt` for the edge/clear semantics).
+    pub fn take_interrupt(&mut self) -> bool {
+        self.chip.take_interrupt()
     }
 }
 

@@ -34,6 +34,14 @@ pub enum CoreError {
         /// The offending handle id.
         id: u64,
     },
+    /// A recorded stream needs more simultaneously live polynomials than
+    /// the chip's SRAM banks can hold; split the stream or reduce `n`.
+    SlotsExhausted {
+        /// Live polynomials the stream needed at its peak.
+        live: usize,
+        /// On-chip polynomial slots available to the scheduler.
+        slots: usize,
+    },
     /// Error from the chip simulator.
     Sim(SimError),
     /// Error from the polynomial layer.
@@ -56,6 +64,13 @@ impl fmt::Display for CoreError {
             }
             Self::BadHandle { id } => {
                 write!(f, "polynomial handle {id} is foreign to this backend or already freed")
+            }
+            Self::SlotsExhausted { live, slots } => {
+                write!(
+                    f,
+                    "stream needs {live} live polynomials but the banks hold {slots} slots; \
+                     split the stream or reduce n"
+                )
             }
             Self::Sim(e) => write!(f, "chip error: {e}"),
             Self::Poly(e) => write!(f, "polynomial error: {e}"),
@@ -105,7 +120,7 @@ mod tests {
         use std::error::Error;
         let e = CoreError::DegreeMismatch { device: 8192, requested: 4096 };
         assert!(e.to_string().contains("8192"));
-        let e = CoreError::from(SimError::FifoFull);
+        let e = CoreError::from(SimError::FifoFull { capacity: 32 });
         assert!(e.source().is_some());
     }
 }

@@ -19,6 +19,13 @@
 //!   the paper offloads, with [`CpuBackend`] (software reference) and
 //!   [`ChipBackend`] (cycle-accurate simulated silicon) as pluggable,
 //!   bit-identical implementations selected by constructor argument.
+//! * [`OpStream`] / [`StreamExecutor`] — the asynchronous half of the
+//!   execution API: record a dependency-tracked batch of backend
+//!   operations, then execute it in one submit — through the chip's
+//!   32-deep command FIFO with interrupt-driven drains and
+//!   DMA-overlapped transfers, or fanned out across threads one stream
+//!   per CRT limb. [`StreamReport`] prices every submit both serially
+//!   and overlapped.
 //!
 //! # Examples
 //!
@@ -43,11 +50,13 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod chip_stream;
 mod device;
 mod error;
 mod modes;
 mod ops;
 mod rns;
+mod stream;
 
 pub use backend::{
     BackendFactory, ChipBackend, ChipBackendFactory, CpuBackend, CpuBackendFactory, PolyBackend,
@@ -58,6 +67,9 @@ pub use error::{CoreError, Result};
 pub use modes::{standard_links, ExecutionMode, ModeOutcome};
 pub use ops::{CiphertextMulOutcome, PolyMulOutcome};
 pub use rns::{RnsDevice, RnsMulOutcome};
+pub use stream::{
+    OpStream, StreamExecutor, StreamHandle, StreamJob, StreamOp, StreamOutcome, StreamReport,
+};
 
 // Telemetry types surfaced through the backend API, re-exported so
 // backend consumers need not depend on `cofhee_sim` directly.

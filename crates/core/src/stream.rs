@@ -1,0 +1,709 @@
+//! The asynchronous `OpStream` execution API.
+//!
+//! The synchronous [`PolyBackend`] calls of the unified execution API
+//! pay one full host round trip per operation: upload operands, trigger,
+//! download the result. That is exactly the pattern the paper's
+//! architecture is built to avoid — CoFHEE has a 32-deep command FIFO
+//! with a drain interrupt (Section III-I, mode 2) and a DMA engine that
+//! moves polynomials concurrently with PE compute (Section III-B), and
+//! FHE workloads expose two more layers of latent parallelism on top:
+//! deep per-ciphertext dependency chains that tolerate queueing, and
+//! embarrassingly parallel CRT/RNS limbs.
+//!
+//! This module is the recording half of that design:
+//!
+//! * [`OpStream`] — a recorded, dependency-tracked command list. Each
+//!   `record` call appends an [`StreamOp`] node and returns a
+//!   [`StreamHandle`] naming its (future) result; operands are earlier
+//!   handles, so the node list is a topologically ordered DAG by
+//!   construction. Nothing executes at record time.
+//! * [`PolyBackend::execute_stream`] — the execution half. The provided
+//!   default replays the stream through the synchronous op set (any
+//!   backend gets streams for free, as a degenerate one-op-at-a-time
+//!   schedule); `ChipBackend` overrides it to schedule the whole stream
+//!   through the simulated command FIFO in depth-sized batches with
+//!   interrupt-driven drains and DMA-overlapped transfers.
+//! * [`StreamExecutor`] — dispatch of *independent* streams (one per
+//!   CRT computation prime, one per RNS tower) across OS threads with
+//!   `std::thread::scope`, each on its own backend.
+//!
+//! Every execution path returns a [`StreamOutcome`]: the downloaded
+//! output polynomials plus a [`StreamReport`] carrying both the
+//! *serial* totals (what the same work costs one-op-at-a-time) and the
+//! *overlapped* totals (what the batched, DMA-overlapped schedule
+//! actually took) — the serial-vs-overlapped comparison is the whole
+//! point of the redesign.
+//!
+//! # Example
+//!
+//! ```
+//! use cofhee_core::{CpuBackend, OpStream, PolyBackend};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 1 << 6;
+//! let q = cofhee_arith::primes::ntt_prime(60, n)?;
+//! let mut be = CpuBackend::new(q, n)?;
+//!
+//! // Record: nothing executes yet.
+//! let mut stream = OpStream::new(n);
+//! let a = stream.upload(vec![3u128; n])?;
+//! let b = stream.upload(vec![5u128; n])?;
+//! let sum = stream.pointwise_add(a, b)?;
+//! stream.output(sum)?;
+//!
+//! // Execute: one submit, outputs in marking order.
+//! let outcome = be.execute_stream(&stream)?;
+//! assert_eq!(outcome.outputs[0], vec![8u128; n]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::backend::{PolyBackend, PolyHandle};
+use crate::error::{CoreError, Result};
+
+/// Names the result of a recorded [`OpStream`] node.
+///
+/// Stream handles are positions in one stream's command list — the
+/// recording-time analogue of the execution-time [`PolyHandle`]. Each
+/// carries its issuing stream's tag (drawn from one process-global
+/// counter), so presenting a handle to a stream that did not issue it
+/// fails at record time with [`CoreError::BadHandle`] instead of
+/// silently resolving to an unrelated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamHandle {
+    /// Tag of the issuing stream.
+    tag: u64,
+    /// Node position within that stream.
+    pub(crate) index: usize,
+}
+
+/// Process-global stream-tag allocator (see [`StreamHandle`]).
+static NEXT_STREAM_TAG: AtomicU64 = AtomicU64::new(0);
+
+/// One recorded operation node.
+///
+/// Operand handles always point at earlier nodes, so a stream's node
+/// list is a dependency-complete topological order — executors may
+/// replay it front to back, or schedule it more aggressively as long as
+/// every operand is produced before use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamOp {
+    /// Host data entering the stream (reduced mod `q` on ingest, like
+    /// [`PolyBackend::upload`]).
+    Upload(Vec<u128>),
+    /// A polynomial already resident on the executing backend. The
+    /// handle is borrowed: stream execution never frees it.
+    Input(PolyHandle),
+    /// Forward negacyclic NTT.
+    Ntt(StreamHandle),
+    /// Inverse negacyclic NTT.
+    Intt(StreamHandle),
+    /// Hadamard (pointwise) product.
+    Hadamard(StreamHandle, StreamHandle),
+    /// Pointwise addition.
+    PointwiseAdd(StreamHandle, StreamHandle),
+    /// Pointwise subtraction.
+    PointwiseSub(StreamHandle, StreamHandle),
+    /// Constant multiplication.
+    ScalarMul(StreamHandle, u128),
+    /// Full negacyclic product (Algorithm 2 schedule).
+    PolyMul(StreamHandle, StreamHandle),
+}
+
+impl StreamOp {
+    /// The operand handles this node depends on.
+    pub fn deps(&self) -> [Option<StreamHandle>; 2] {
+        match *self {
+            StreamOp::Upload(_) | StreamOp::Input(_) => [None, None],
+            StreamOp::Ntt(a) | StreamOp::Intt(a) | StreamOp::ScalarMul(a, _) => [Some(a), None],
+            StreamOp::Hadamard(a, b)
+            | StreamOp::PointwiseAdd(a, b)
+            | StreamOp::PointwiseSub(a, b)
+            | StreamOp::PolyMul(a, b) => [Some(a), Some(b)],
+        }
+    }
+}
+
+/// A recorded, dependency-tracked batch of [`PolyBackend`] operations.
+///
+/// Record with the `upload`/`ntt`/`hadamard`/... methods (mirroring the
+/// synchronous op set), mark results to fetch with
+/// [`OpStream::output`], then execute the whole batch in one submit via
+/// [`PolyBackend::execute_stream`] or [`StreamExecutor`].
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    tag: u64,
+    n: usize,
+    nodes: Vec<StreamOp>,
+    outputs: Vec<StreamHandle>,
+}
+
+impl OpStream {
+    /// An empty stream over degree-`n` polynomials.
+    pub fn new(n: usize) -> Self {
+        Self {
+            tag: NEXT_STREAM_TAG.fetch_add(1, Ordering::Relaxed),
+            n,
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The polynomial degree every node operates at.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The recorded node list, in dependency (record) order.
+    pub fn nodes(&self) -> &[StreamOp] {
+        &self.nodes
+    }
+
+    /// The handles marked for download, in marking order — the order of
+    /// [`StreamOutcome::outputs`].
+    pub fn outputs(&self) -> &[StreamHandle] {
+        &self.outputs
+    }
+
+    fn check(&self, h: StreamHandle) -> Result<()> {
+        if h.tag != self.tag || h.index >= self.nodes.len() {
+            return Err(CoreError::BadHandle { id: h.index as u64 });
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, op: StreamOp) -> StreamHandle {
+        let h = StreamHandle { tag: self.tag, index: self.nodes.len() };
+        self.nodes.push(op);
+        h
+    }
+
+    /// Records a host upload (data is reduced mod `q` at execution).
+    /// Takes ownership — operands built for the stream (CRT lifts,
+    /// digit decompositions) move in without a second copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadOperandLength`] if `coeffs.len() != n`.
+    pub fn upload(&mut self, coeffs: Vec<u128>) -> Result<StreamHandle> {
+        if coeffs.len() != self.n {
+            return Err(CoreError::BadOperandLength { expected: self.n, found: coeffs.len() });
+        }
+        Ok(self.push(StreamOp::Upload(coeffs)))
+    }
+
+    /// Records a backend-resident polynomial as a stream input. The
+    /// handle must belong to the backend the stream will execute on; it
+    /// is borrowed, never freed by stream execution.
+    pub fn input(&mut self, h: PolyHandle) -> StreamHandle {
+        self.push(StreamOp::Input(h))
+    }
+
+    /// Records a forward NTT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn ntt(&mut self, src: StreamHandle) -> Result<StreamHandle> {
+        self.check(src)?;
+        Ok(self.push(StreamOp::Ntt(src)))
+    }
+
+    /// Records an inverse NTT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn intt(&mut self, src: StreamHandle) -> Result<StreamHandle> {
+        self.check(src)?;
+        Ok(self.push(StreamOp::Intt(src)))
+    }
+
+    /// Records a Hadamard product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn hadamard(&mut self, x: StreamHandle, y: StreamHandle) -> Result<StreamHandle> {
+        self.check(x)?;
+        self.check(y)?;
+        Ok(self.push(StreamOp::Hadamard(x, y)))
+    }
+
+    /// Records a pointwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn pointwise_add(&mut self, x: StreamHandle, y: StreamHandle) -> Result<StreamHandle> {
+        self.check(x)?;
+        self.check(y)?;
+        Ok(self.push(StreamOp::PointwiseAdd(x, y)))
+    }
+
+    /// Records a pointwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn pointwise_sub(&mut self, x: StreamHandle, y: StreamHandle) -> Result<StreamHandle> {
+        self.check(x)?;
+        self.check(y)?;
+        Ok(self.push(StreamOp::PointwiseSub(x, y)))
+    }
+
+    /// Records a constant multiplication (`c` reduced mod `q`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn scalar_mul(&mut self, x: StreamHandle, c: u128) -> Result<StreamHandle> {
+        self.check(x)?;
+        Ok(self.push(StreamOp::ScalarMul(x, c)))
+    }
+
+    /// Records a full negacyclic product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn poly_mul(&mut self, a: StreamHandle, b: StreamHandle) -> Result<StreamHandle> {
+        self.check(a)?;
+        self.check(b)?;
+        Ok(self.push(StreamOp::PolyMul(a, b)))
+    }
+
+    /// Marks a node's result for download; execution returns marked
+    /// results in marking order. Returns the output's index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn output(&mut self, h: StreamHandle) -> Result<usize> {
+        self.check(h)?;
+        self.outputs.push(h);
+        Ok(self.outputs.len() - 1)
+    }
+
+    /// Per-node remaining-use counts (dependency fan-out plus output
+    /// markings) — the liveness information schedulers free slots by.
+    pub(crate) fn use_counts(&self) -> Vec<usize> {
+        let mut uses = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for dep in node.deps().into_iter().flatten() {
+                uses[dep.index] += 1;
+            }
+        }
+        for out in &self.outputs {
+            uses[out.index] += 1;
+        }
+        uses
+    }
+}
+
+/// Execution telemetry for one stream submit: the serial-vs-overlapped
+/// comparison the asynchronous API exists to expose.
+///
+/// *Serial* totals price the recorded work executed one command at a
+/// time with no engine concurrency (the synchronous mode-1 path);
+/// *overlapped* totals are what the batched schedule actually took,
+/// with DMA transfers hidden behind PE compute and the host link
+/// streaming the next batch while the chip drains the current one.
+/// On backends with no modeled timing (the CPU reference) all four are
+/// zero or equal.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamReport {
+    /// Backend commands issued (chip: FIFO commands, DMA included).
+    pub commands: u64,
+    /// FIFO-drain batches the stream was split into (1 on the sync
+    /// replay path).
+    pub batches: u64,
+    /// Drain interrupts observed while executing.
+    pub interrupts: u64,
+    /// Cycles for the command list executed back-to-back, no overlap.
+    pub serial_cycles: u64,
+    /// Wall-clock cycles with FIFO batching and DMA/compute overlap.
+    pub overlapped_cycles: u64,
+    /// End-to-end seconds for the serial schedule: every transfer and
+    /// command paid sequentially.
+    pub serial_seconds: f64,
+    /// End-to-end seconds with the link pipelined against compute.
+    pub overlapped_seconds: f64,
+    /// Bytes moved host → backend (uploads and command words).
+    pub uploaded_bytes: u64,
+    /// Bytes moved backend → host (output downloads).
+    pub downloaded_bytes: u64,
+}
+
+impl StreamReport {
+    /// Merges another report into this one as *sequential* composition
+    /// — every field sums. For submits that ran concurrently, sum the
+    /// additive fields but take the max of the `overlapped_*` fields
+    /// instead (as the BFV evaluator does for its parallel CRT limbs):
+    /// a concurrent group's wall clock is its slowest member.
+    pub fn absorb(&mut self, other: &StreamReport) {
+        self.commands += other.commands;
+        self.batches += other.batches;
+        self.interrupts += other.interrupts;
+        self.serial_cycles += other.serial_cycles;
+        self.overlapped_cycles += other.overlapped_cycles;
+        self.serial_seconds += other.serial_seconds;
+        self.overlapped_seconds += other.overlapped_seconds;
+        self.uploaded_bytes += other.uploaded_bytes;
+        self.downloaded_bytes += other.downloaded_bytes;
+    }
+}
+
+/// What one executed stream hands back: the downloaded outputs (in
+/// [`OpStream::output`] marking order) and the execution telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// Downloaded output polynomials, canonical residues in `[0, q)`.
+    pub outputs: Vec<Vec<u128>>,
+    /// Serial-vs-overlapped execution telemetry.
+    pub report: StreamReport,
+}
+
+/// The degenerate synchronous replay — [`PolyBackend::execute_stream`]'s
+/// provided default. Every node runs through the one-op-at-a-time calls
+/// in record order; intermediate handles are freed on success *and*
+/// failure so errors never leak pool entries.
+pub(crate) fn replay_sync<B: PolyBackend + ?Sized>(
+    be: &mut B,
+    stream: &OpStream,
+) -> Result<StreamOutcome> {
+    if stream.n() != be.n() {
+        return Err(CoreError::DegreeMismatch { device: be.n(), requested: stream.n() });
+    }
+    let report_before = be.report();
+    let comm_before = be.comm_stats();
+    let mut vals: Vec<Option<PolyHandle>> = vec![None; stream.len()];
+    let mut owned: Vec<PolyHandle> = Vec::with_capacity(stream.len());
+    let mut comm_mid = comm_before;
+    let result = {
+        let mut run = |be: &mut B, owned: &mut Vec<PolyHandle>| -> Result<Vec<Vec<u128>>> {
+            let get = |vals: &[Option<PolyHandle>], h: StreamHandle| {
+                vals[h.index].expect("operands precede their consumers by construction")
+            };
+            for (i, op) in stream.nodes().iter().enumerate() {
+                let h = match op {
+                    StreamOp::Input(h) => *h, // borrowed: not freed below
+                    StreamOp::Upload(v) => be.upload(v)?,
+                    StreamOp::Ntt(s) => be.ntt(get(&vals, *s))?,
+                    StreamOp::Intt(s) => be.intt(get(&vals, *s))?,
+                    StreamOp::Hadamard(x, y) => be.hadamard(get(&vals, *x), get(&vals, *y))?,
+                    StreamOp::PointwiseAdd(x, y) => {
+                        be.pointwise_add(get(&vals, *x), get(&vals, *y))?
+                    }
+                    StreamOp::PointwiseSub(x, y) => {
+                        be.pointwise_sub(get(&vals, *x), get(&vals, *y))?
+                    }
+                    StreamOp::ScalarMul(x, c) => be.scalar_mul(get(&vals, *x), *c)?,
+                    StreamOp::PolyMul(a, b) => be.poly_mul(get(&vals, *a), get(&vals, *b))?,
+                };
+                if !matches!(op, StreamOp::Input(_)) {
+                    owned.push(h);
+                }
+                vals[i] = Some(h);
+            }
+            // Split the wire accounting at the upload/download boundary
+            // so each direction is attributed correctly.
+            comm_mid = be.comm_stats();
+            stream.outputs().iter().map(|s| be.download(get(&vals, *s))).collect()
+        };
+        run(be, &mut owned)
+    };
+    for h in owned {
+        be.free(h);
+    }
+    let outputs = result?;
+    let report_after = be.report();
+    let comm_after = be.comm_stats();
+    let cycles = report_after.cycles - report_before.cycles;
+    let seconds = comm_after.seconds - comm_before.seconds;
+    Ok(StreamOutcome {
+        outputs,
+        report: StreamReport {
+            commands: stream.len() as u64 + stream.outputs().len() as u64,
+            batches: 1,
+            interrupts: 0,
+            serial_cycles: cycles,
+            overlapped_cycles: cycles,
+            serial_seconds: seconds,
+            overlapped_seconds: seconds,
+            uploaded_bytes: comm_mid.bytes.saturating_sub(comm_before.bytes),
+            downloaded_bytes: comm_after.bytes.saturating_sub(comm_mid.bytes),
+        },
+    })
+}
+
+/// One unit of parallel stream work: a stream and the backend to run it
+/// on. Jobs are independent by construction (each owns exclusive access
+/// to its backend for the duration), which is what makes the per-limb
+/// fan-out of [`StreamExecutor::run_parallel`] safe.
+#[derive(Debug)]
+pub struct StreamJob<'a> {
+    /// Exclusive access to the executing backend.
+    pub backend: &'a mut dyn PolyBackend,
+    /// The recorded stream to execute.
+    pub stream: &'a OpStream,
+}
+
+/// Dispatches recorded streams onto backends — one stream on one
+/// backend, or independent per-limb streams fanned out across OS
+/// threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamExecutor;
+
+impl StreamExecutor {
+    /// Executes one stream on one backend (delegates to
+    /// [`PolyBackend::execute_stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn run(backend: &mut dyn PolyBackend, stream: &OpStream) -> Result<StreamOutcome> {
+        backend.execute_stream(stream)
+    }
+
+    /// Executes independent streams concurrently, one scoped thread per
+    /// job — the CRT-limb fan-out of a multi-modulus consumer (each
+    /// computation prime gets its own backend and its own stream, so the
+    /// limbs never contend). Outcomes come back in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (job-order) failure after all jobs have
+    /// finished; panics in a worker propagate.
+    pub fn run_parallel(jobs: Vec<StreamJob<'_>>) -> Result<Vec<StreamOutcome>> {
+        if jobs.len() <= 1 {
+            return jobs.into_iter().map(|j| j.backend.execute_stream(j.stream)).collect();
+        }
+        let results: Vec<Result<StreamOutcome>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = jobs
+                .into_iter()
+                .map(|job| scope.spawn(move || job.backend.execute_stream(job.stream)))
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| match w.join() {
+                    Ok(r) => r,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ChipBackend, CpuBackend};
+    use cofhee_arith::primes::ntt_prime;
+    use cofhee_sim::ChipConfig;
+
+    const N: usize = 1 << 6;
+
+    fn q() -> u128 {
+        ntt_prime(60, N).unwrap()
+    }
+
+    fn poly(seed: u128) -> Vec<u128> {
+        let q = q();
+        let mut state = seed | 1;
+        (0..N)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(11);
+                state % q
+            })
+            .collect()
+    }
+
+    /// The recorded tensor-style dataflow used across these tests.
+    fn sample_stream() -> OpStream {
+        let mut st = OpStream::new(N);
+        let a = st.upload(poly(1)).unwrap();
+        let b = st.upload(poly(2)).unwrap();
+        let fa = st.ntt(a).unwrap();
+        let fb = st.ntt(b).unwrap();
+        let prod = st.hadamard(fa, fb).unwrap();
+        let back = st.intt(prod).unwrap();
+        let sum = st.pointwise_add(a, b).unwrap();
+        let scaled = st.scalar_mul(sum, 7).unwrap();
+        let pm = st.poly_mul(a, b).unwrap();
+        for h in [back, scaled, pm] {
+            st.output(h).unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn recording_validates_handles_and_lengths() {
+        let mut st = OpStream::new(N);
+        assert!(matches!(
+            st.upload(vec![1, 2, 3]),
+            Err(CoreError::BadOperandLength { expected: N, found: 3 })
+        ));
+        // Handles from another stream are foreign even when in range.
+        let mut other = OpStream::new(N);
+        let foreign = other.upload(poly(9)).unwrap();
+        assert!(matches!(st.ntt(foreign), Err(CoreError::BadHandle { .. })));
+        assert!(matches!(st.output(foreign), Err(CoreError::BadHandle { .. })));
+        let a = st.upload(poly(1)).unwrap();
+        assert!(st.ntt(a).is_ok());
+        assert_eq!(st.len(), 2);
+        assert!(!st.is_empty());
+    }
+
+    #[test]
+    fn use_counts_track_fanout_and_outputs() {
+        let st = sample_stream();
+        let uses = st.use_counts();
+        // Uploads a and b each feed an NTT, the pointwise add, and the
+        // PolyMul.
+        assert_eq!(uses[0], 3);
+        assert_eq!(uses[1], 3);
+        // Outputs carry a use even with no consumers.
+        let pm = st.outputs()[2];
+        assert_eq!(uses[pm.index], 1);
+    }
+
+    #[test]
+    fn sync_replay_matches_direct_calls_on_cpu() {
+        let q = q();
+        let mut be = CpuBackend::new(q, N).unwrap();
+        let outcome = be.execute_stream(&sample_stream()).unwrap();
+        assert_eq!(outcome.outputs.len(), 3);
+
+        // The same ops through the synchronous API.
+        let (a, b) = (poly(1), poly(2));
+        let mut sync = CpuBackend::new(q, N).unwrap();
+        let ha = sync.upload(&a).unwrap();
+        let hb = sync.upload(&b).unwrap();
+        let fa = sync.ntt(ha).unwrap();
+        let fb = sync.ntt(hb).unwrap();
+        let prod = sync.hadamard(fa, fb).unwrap();
+        let back = sync.intt(prod).unwrap();
+        let sum = sync.pointwise_add(ha, hb).unwrap();
+        let scaled = sync.scalar_mul(sum, 7).unwrap();
+        let pm = sync.poly_mul(ha, hb).unwrap();
+        assert_eq!(outcome.outputs[0], sync.download(back).unwrap());
+        assert_eq!(outcome.outputs[1], sync.download(scaled).unwrap());
+        assert_eq!(outcome.outputs[2], sync.download(pm).unwrap());
+
+        // Telemetry parity: the replay retires the same op counts.
+        assert_eq!(be.report(), sync.report());
+        assert_eq!(outcome.report.batches, 1);
+        assert_eq!(outcome.report.serial_cycles, outcome.report.overlapped_cycles);
+    }
+
+    #[test]
+    fn replay_does_not_leak_pool_entries() {
+        let mut be = CpuBackend::new(q(), N).unwrap();
+        let before = be.pool_len();
+        let _ = be.execute_stream(&sample_stream()).unwrap();
+        assert_eq!(be.pool_len(), before, "all stream temporaries are freed");
+    }
+
+    #[test]
+    fn input_nodes_borrow_resident_polynomials() {
+        let mut be = CpuBackend::new(q(), N).unwrap();
+        let resident = be.upload(&poly(3)).unwrap();
+        let mut st = OpStream::new(N);
+        let a = st.input(resident);
+        let doubled = st.pointwise_add(a, a).unwrap();
+        st.output(doubled).unwrap();
+        let outcome = be.execute_stream(&st).unwrap();
+        let expect: Vec<u128> = poly(3).iter().map(|&c| (2 * c) % q()).collect();
+        assert_eq!(outcome.outputs[0], expect);
+        // The resident handle survives stream execution.
+        assert_eq!(be.download(resident).unwrap(), poly(3));
+    }
+
+    #[test]
+    fn degree_mismatch_is_rejected() {
+        let mut be = CpuBackend::new(ntt_prime(60, 2 * N).unwrap(), 2 * N).unwrap();
+        assert!(matches!(
+            be.execute_stream(&sample_stream()),
+            Err(CoreError::DegreeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn executor_fans_limbs_out_across_threads() {
+        // Three "limbs" with distinct primes, one backend + stream each.
+        let primes: Vec<u128> =
+            [59, 60, 61].iter().map(|&bits| ntt_prime(bits, N).unwrap()).collect();
+        let mut backends: Vec<CpuBackend> =
+            primes.iter().map(|&p| CpuBackend::new(p, N).unwrap()).collect();
+        let streams: Vec<OpStream> = primes
+            .iter()
+            .map(|_| {
+                let mut st = OpStream::new(N);
+                let a = st.upload(poly(4)).unwrap();
+                let b = st.upload(poly(5)).unwrap();
+                let pm = st.poly_mul(a, b).unwrap();
+                st.output(pm).unwrap();
+                st
+            })
+            .collect();
+        let jobs: Vec<StreamJob<'_>> = backends
+            .iter_mut()
+            .zip(&streams)
+            .map(|(be, stream)| StreamJob { backend: be, stream })
+            .collect();
+        let outcomes = StreamExecutor::run_parallel(jobs).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        // Each limb must match its own serial execution.
+        for (i, &p) in primes.iter().enumerate() {
+            let mut reference = CpuBackend::new(p, N).unwrap();
+            let expect = reference.execute_stream(&streams[i]).unwrap();
+            assert_eq!(outcomes[i].outputs, expect.outputs, "limb {i}");
+        }
+    }
+
+    #[test]
+    fn chip_and_cpu_streams_agree() {
+        let q = q();
+        let st = sample_stream();
+        let mut cpu = CpuBackend::new(q, N).unwrap();
+        let mut chip = ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+        let on_cpu = cpu.execute_stream(&st).unwrap();
+        let on_chip = chip.execute_stream(&st).unwrap();
+        assert_eq!(on_cpu.outputs, on_chip.outputs, "stream values are backend-independent");
+    }
+
+    #[test]
+    fn report_absorb_sums_every_field() {
+        let mut a = StreamReport {
+            commands: 1,
+            batches: 1,
+            interrupts: 1,
+            serial_cycles: 10,
+            overlapped_cycles: 7,
+            serial_seconds: 1.0,
+            overlapped_seconds: 0.5,
+            uploaded_bytes: 64,
+            downloaded_bytes: 32,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.commands, 2);
+        assert_eq!(a.serial_cycles, 20);
+        assert_eq!(a.overlapped_cycles, 14);
+        assert!((a.serial_seconds - 2.0).abs() < 1e-12);
+        assert_eq!(a.uploaded_bytes, 128);
+    }
+}

@@ -40,6 +40,27 @@ impl EngineState {
     }
 }
 
+/// Outcome of one command-FIFO drain — the overlap accounting the
+/// asynchronous stream API builds its serial-vs-overlapped comparison
+/// on.
+///
+/// `report.cycles` is the **wall-clock** span of the drain: compute
+/// commands serialize on the MDMC while memory commands run on the DMA
+/// engine and hide behind compute where their banks are disjoint
+/// (Section III-B). `serial_cycles` is what the same command list would
+/// cost executed strictly one-after-another (the mode-1 per-op path);
+/// the difference is the cycles the DMA overlap bought.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Aggregate execution statistics; `cycles` is wall-clock from drain
+    /// start to full drain, both engines included.
+    pub report: OpReport,
+    /// Sum of the individual command latencies (no engine concurrency).
+    pub serial_cycles: u64,
+    /// Commands executed by this drain.
+    pub executed: u64,
+}
+
 /// The CoFHEE chip model.
 #[derive(Debug)]
 pub struct Chip {
@@ -271,10 +292,27 @@ impl Chip {
     /// Propagates execution failures; already-executed commands keep
     /// their effects.
     pub fn run_until_idle(&mut self) -> Result<OpReport> {
+        Ok(self.drain_fifo()?.report)
+    }
+
+    /// [`Chip::run_until_idle`] with overlap accounting: alongside the
+    /// wall-clock aggregate, reports the serial (one-command-at-a-time)
+    /// cycle sum of the drained command list, so callers can quantify
+    /// how much latency the DMA/compute concurrency hid. Raises the
+    /// host's drain interrupt exactly as `run_until_idle` does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures; already-executed commands keep
+    /// their effects.
+    pub fn drain_fifo(&mut self) -> Result<DrainReport> {
         let start = self.elapsed_cycles();
+        let executed_before = self.fifo.executed();
         let mut aggregate = OpReport::default();
+        let mut serial_cycles = 0;
         while let Some(cmd) = self.fifo.pop() {
             let report = self.execute_now(cmd)?;
+            serial_cycles += report.cycles;
             aggregate.absorb(&report);
         }
         // Wall clock spans both engines.
@@ -284,7 +322,11 @@ impl Chip {
         if self.fifo.take_interrupt() {
             self.host_irq = true;
         }
-        Ok(aggregate)
+        Ok(DrainReport {
+            report: aggregate,
+            serial_cycles,
+            executed: self.fifo.executed() - executed_before,
+        })
     }
 
     /// Runs a Cortex-M0 program that drives the chip through the
@@ -479,6 +521,26 @@ mod tests {
         let report = chip.run_until_idle().unwrap();
         assert_eq!(report.cycles, 24_841, "DMA hidden behind compute");
         assert_eq!(chip.read_polynomial(Slot::new(BankId(2), 0), n).unwrap(), poly);
+    }
+
+    #[test]
+    fn drain_report_separates_wall_from_serial_cycles() {
+        let n = 1 << 12;
+        let (mut chip, ring, _, fwd, _) = chip_with_ring(n);
+        let poly = rand_poly(&ring, n, 3);
+        chip.write_polynomial(Slot::new(BankId(0), 0), &poly).unwrap();
+        chip.write_polynomial(Slot::new(BankId(5), 0), &poly).unwrap();
+        chip.submit(Command::ntt(Slot::new(BankId(0), 0), fwd, Slot::new(BankId(1), 0))).unwrap();
+        chip.submit(Command::memcpy(Slot::new(BankId(5), 0), Slot::new(BankId(2), 0), n)).unwrap();
+        let drain = chip.drain_fifo().unwrap();
+        assert_eq!(drain.executed, 2);
+        assert_eq!(drain.report.cycles, 24_841, "wall clock: DMA hidden behind the NTT");
+        assert_eq!(
+            drain.serial_cycles,
+            24_841 + n as u64 + 4,
+            "serial sum pays the memcpy in full"
+        );
+        assert!(chip.take_interrupt(), "drain raises the host interrupt");
     }
 
     #[test]

@@ -33,11 +33,11 @@ impl CommandFifo {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::FifoFull`] at depth 32 — the host must wait
-    /// for space, exactly as on silicon.
+    /// Returns [`SimError::FifoFull`] (carrying the configured depth) at
+    /// capacity — the host must wait for space, exactly as on silicon.
     pub fn push(&mut self, cmd: Command) -> Result<()> {
         if self.queue.len() >= FIFO_DEPTH {
-            return Err(SimError::FifoFull);
+            return Err(SimError::FifoFull { capacity: FIFO_DEPTH });
         }
         self.queue.push_back(cmd);
         Ok(())
@@ -77,6 +77,16 @@ impl CommandFifo {
     }
 
     /// Reads and clears the queue-empty interrupt.
+    ///
+    /// Semantics (the contract interrupt-driven hosts rely on):
+    ///
+    /// * The interrupt is **edge-triggered on drain**: it is set only
+    ///   when a [`CommandFifo::pop`] transitions the queue from
+    ///   non-empty to empty, never by pushes or by an already-empty pop.
+    /// * Reading it **clears** it — a second call returns `false` until
+    ///   the next drain edge.
+    /// * Multiple drain edges between reads **coalesce** into one
+    ///   pending interrupt (it is a level latch, not a counter).
     pub fn take_interrupt(&mut self) -> bool {
         std::mem::take(&mut self.interrupt)
     }
@@ -99,7 +109,7 @@ mod tests {
             f.push(cmd()).unwrap();
         }
         assert_eq!(f.space(), 0);
-        assert!(matches!(f.push(cmd()), Err(SimError::FifoFull)));
+        assert!(matches!(f.push(cmd()), Err(SimError::FifoFull { capacity: FIFO_DEPTH })));
     }
 
     #[test]

@@ -29,8 +29,11 @@ pub enum SimError {
         /// Maximum supported by the configuration.
         max: usize,
     },
-    /// The command FIFO was full (depth 32).
-    FifoFull,
+    /// The command FIFO was full; the host must drain before pushing.
+    FifoFull {
+        /// The configured queue depth that was hit.
+        capacity: usize,
+    },
     /// A register write targeted a read-only register.
     ReadOnlyRegister {
         /// Register name.
@@ -74,7 +77,9 @@ impl fmt::Display for SimError {
             Self::LengthUnsupported { n, max } => {
                 write!(f, "polynomial length {n} exceeds the configured maximum {max}")
             }
-            Self::FifoFull => write!(f, "command FIFO is full"),
+            Self::FifoFull { capacity } => {
+                write!(f, "command FIFO is full ({capacity} commands deep)")
+            }
             Self::ReadOnlyRegister { name } => write!(f, "register {name} is read-only"),
             Self::BadConfiguration { reason } => write!(f, "bad configuration: {reason}"),
             Self::PortConflict { bank } => {
@@ -117,7 +122,7 @@ mod tests {
     fn displays_are_informative() {
         let e = SimError::UnmappedAddress { address: 0x4002_0000 };
         assert!(e.to_string().contains("0x40020000"));
-        let e = SimError::FifoFull;
-        assert!(!e.to_string().is_empty());
+        let e = SimError::FifoFull { capacity: 32 };
+        assert!(e.to_string().contains("32"), "capacity is in the message: {e}");
     }
 }

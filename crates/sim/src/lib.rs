@@ -73,7 +73,7 @@ mod mem;
 mod pe;
 mod power;
 
-pub use chip::Chip;
+pub use chip::{Chip, DrainReport};
 pub use cmdfifo::{CommandFifo, FIFO_DEPTH};
 pub use commands::{Command, Opcode, COMMAND_WORDS};
 pub use config::ChipConfig;

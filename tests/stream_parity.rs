@@ -1,0 +1,186 @@
+//! Property tests: any recorded `OpStream`, executed via
+//! `StreamExecutor`, is bit-identical to executing the same operations
+//! synchronously through the one-op-at-a-time `PolyBackend` calls — on
+//! both the CPU reference and the simulated chip, across random
+//! programs and both the silicon and a custom microarchitecture.
+//!
+//! This is the contract the asynchronous API stands on: batching,
+//! FIFO scheduling, bank allocation, DMA overlap and per-limb thread
+//! dispatch may rearrange *when* and *where* work happens, but never
+//! *what* it computes.
+
+use cofhee::arith::primes::ntt_prime;
+use cofhee::core::{
+    ChipBackend, CpuBackend, OpStream, PolyBackend, StreamExecutor, StreamHandle, StreamJob,
+};
+use cofhee::sim::ChipConfig;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+const N: usize = 32;
+
+fn modulus() -> u128 {
+    ntt_prime(60, N).unwrap()
+}
+
+/// A non-silicon microarchitecture: timing shifts, values must not.
+fn custom_config() -> ChipConfig {
+    ChipConfig {
+        mult_latency: 7,
+        stream_burst: 8,
+        burst_gap: 3,
+        pass_setup: 11,
+        stage_overhead: 9,
+        ..ChipConfig::silicon()
+    }
+}
+
+/// One random program step: (op selector, operand picks, constant).
+type Step = (usize, usize, usize, u128);
+
+/// Records the random program as a stream; every step's operands are
+/// earlier results, so arbitrary `Step` lists form valid DAGs.
+fn record(inputs: &[Vec<u128>], steps: &[Step]) -> (OpStream, Vec<StreamHandle>) {
+    let mut st = OpStream::new(N);
+    let mut handles: Vec<StreamHandle> =
+        inputs.iter().map(|p| st.upload(p.clone()).unwrap()).collect();
+    for &(kind, x, y, c) in steps {
+        let hx = handles[x % handles.len()];
+        let hy = handles[y % handles.len()];
+        let h = match kind % 7 {
+            0 => st.ntt(hx),
+            1 => st.intt(hx),
+            2 => st.hadamard(hx, hy),
+            3 => st.pointwise_add(hx, hy),
+            4 => st.pointwise_sub(hx, hy),
+            5 => st.scalar_mul(hx, c),
+            _ => st.poly_mul(hx, hy),
+        }
+        .unwrap();
+        handles.push(h);
+    }
+    // Download a spread of results: first input, a middle value, the
+    // final result.
+    let picks = [handles[0], handles[handles.len() / 2], *handles.last().unwrap()];
+    for h in picks {
+        st.output(h).unwrap();
+    }
+    (st, handles)
+}
+
+/// Ground truth: the same program through the synchronous calls.
+fn run_sync(be: &mut dyn PolyBackend, inputs: &[Vec<u128>], steps: &[Step]) -> Vec<Vec<u128>> {
+    let mut handles = Vec::new();
+    for p in inputs {
+        handles.push(be.upload(p).unwrap());
+    }
+    for &(kind, x, y, c) in steps {
+        let hx = handles[x % handles.len()];
+        let hy = handles[y % handles.len()];
+        let h = match kind % 7 {
+            0 => be.ntt(hx).unwrap(),
+            1 => be.intt(hx).unwrap(),
+            2 => be.hadamard(hx, hy).unwrap(),
+            3 => be.pointwise_add(hx, hy).unwrap(),
+            4 => be.pointwise_sub(hx, hy).unwrap(),
+            5 => be.scalar_mul(hx, c).unwrap(),
+            _ => be.poly_mul(hx, hy).unwrap(),
+        };
+        handles.push(h);
+    }
+    let picks = [handles[0], handles[handles.len() / 2], *handles.last().unwrap()];
+    let out = picks.iter().map(|&h| be.download(h).unwrap()).collect();
+    for h in handles {
+        be.free(h);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // The satellite contract: stream execution ≡ synchronous execution,
+    // on both backends, for arbitrary recorded programs.
+    #[test]
+    fn any_stream_is_bit_identical_to_sync_execution(
+        inputs in pvec(pvec(any::<u128>(), N), 3),
+        steps in pvec((any::<usize>(), any::<usize>(), any::<usize>(), any::<u128>()), 12),
+        custom in any::<bool>(),
+    ) {
+        let q = modulus();
+        let config = if custom { custom_config() } else { ChipConfig::silicon() };
+        let (stream, _) = record(&inputs, &steps);
+
+        // Ground truth: synchronous one-op-at-a-time execution.
+        let mut sync_cpu = CpuBackend::new(q, N).unwrap();
+        let truth = run_sync(&mut sync_cpu, &inputs, &steps);
+
+        // Streamed on the CPU reference (degenerate replay path).
+        let mut cpu = CpuBackend::new(q, N).unwrap();
+        let on_cpu = StreamExecutor::run(&mut cpu, &stream).unwrap();
+        prop_assert_eq!(&on_cpu.outputs, &truth);
+
+        // Streamed on the chip: FIFO batches, bank allocation, DMA
+        // overlap — values must still match exactly.
+        let mut chip = ChipBackend::connect(config, q, N).unwrap();
+        let on_chip = StreamExecutor::run(&mut chip, &stream).unwrap();
+        prop_assert_eq!(&on_chip.outputs, &truth);
+
+        // And the chip's synchronous path agrees too.
+        let mut sync_chip =
+            ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+        prop_assert_eq!(run_sync(&mut sync_chip, &inputs, &steps), truth);
+    }
+
+    // Parallel limb dispatch returns each stream's own results, in job
+    // order, bit-identical to executing the limbs one at a time.
+    #[test]
+    fn parallel_dispatch_matches_sequential_per_limb(
+        inputs in pvec(pvec(any::<u128>(), N), 2),
+        steps in pvec((any::<usize>(), any::<usize>(), any::<usize>(), any::<u128>()), 6),
+    ) {
+        let limb_bits = [59u32, 60, 61];
+        let (stream, _) = record(&inputs, &steps);
+        let mut backends: Vec<CpuBackend> = limb_bits
+            .iter()
+            .map(|&bits| CpuBackend::new(ntt_prime(bits, N).unwrap(), N).unwrap())
+            .collect();
+        let jobs: Vec<StreamJob<'_>> = backends
+            .iter_mut()
+            .map(|be| StreamJob { backend: be, stream: &stream })
+            .collect();
+        let fanned = StreamExecutor::run_parallel(jobs).unwrap();
+        for (i, &bits) in limb_bits.iter().enumerate() {
+            let mut seq = CpuBackend::new(ntt_prime(bits, N).unwrap(), N).unwrap();
+            let expect = StreamExecutor::run(&mut seq, &stream).unwrap();
+            prop_assert_eq!(&fanned[i].outputs, &expect.outputs);
+        }
+    }
+}
+
+/// Deterministic spot check that chip stream telemetry reports the
+/// overlap the property tests ignore (values only there).
+#[test]
+fn chip_stream_reports_overlap_for_the_tensor_shape() {
+    let q = modulus();
+    let mut st = OpStream::new(N);
+    let polys: Vec<Vec<u128>> =
+        (0..4u128).map(|s| (0..N as u128).map(|i| (i * 37 + s) % q).collect()).collect();
+    let mut ntts: Vec<StreamHandle> = Vec::with_capacity(4);
+    for p in &polys {
+        let up = st.upload(p.clone()).unwrap();
+        ntts.push(st.ntt(up).unwrap());
+    }
+    let t0 = st.hadamard(ntts[0], ntts[2]).unwrap();
+    let x01 = st.hadamard(ntts[0], ntts[3]).unwrap();
+    let x10 = st.hadamard(ntts[1], ntts[2]).unwrap();
+    let t1 = st.pointwise_add(x01, x10).unwrap();
+    let t2 = st.hadamard(ntts[1], ntts[3]).unwrap();
+    for t in [t0, t1, t2] {
+        let r = st.intt(t).unwrap();
+        st.output(r).unwrap();
+    }
+    let mut chip = ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+    let report = chip.execute_stream(&st).unwrap().report;
+    assert!(report.overlapped_cycles < report.serial_cycles, "{report:?}");
+}
