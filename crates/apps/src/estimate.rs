@@ -23,7 +23,7 @@ impl AppEstimate {
 
 /// Computes both Table X rows under the given backend cost models.
 pub fn table10(cpu: &OpCosts, cofhee: &OpCosts) -> Vec<AppEstimate> {
-    [Workload::cryptonets(), Workload::logistic_regression()]
+    Workload::all()
         .iter()
         .map(|w| AppEstimate {
             name: w.name,

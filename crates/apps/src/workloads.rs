@@ -40,6 +40,14 @@ impl Workload {
         }
     }
 
+    /// The paper's full Table X application set, in table order — the
+    /// single source every consumer (the Table X estimator, the farm
+    /// demo, the `farm_saturation` bench) iterates instead of
+    /// duplicating the list.
+    pub fn all() -> Vec<Self> {
+        vec![Self::cryptonets(), Self::logistic_regression()]
+    }
+
     /// Total operation count.
     pub fn total_ops(&self) -> u64 {
         self.ct_ct_add + self.ct_pt_mul + self.ct_ct_mul_relin
@@ -102,6 +110,14 @@ mod tests {
         let cn = Workload::cryptonets();
         let lr = Workload::logistic_regression();
         assert!(lr.mul_relin_fraction() > 10.0 * cn.mul_relin_fraction());
+    }
+
+    #[test]
+    fn all_covers_the_table_x_set_in_order() {
+        let all = Workload::all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], Workload::cryptonets());
+        assert_eq!(all[1], Workload::logistic_regression());
     }
 
     #[test]

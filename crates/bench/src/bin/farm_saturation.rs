@@ -1,0 +1,173 @@
+//! Multi-chip farm scaling and saturation: throughput vs die count and
+//! offered load for the paper's Table X application mixes.
+//!
+//! Two sweeps over `cofhee_farm`:
+//!
+//! 1. **Scaling** — each Table X workload mix (scaled by a divisor so
+//!    simulation stays tractable) is replayed closed-load through
+//!    farms of 1/2/4(/8) dies under the work-stealing policy. Reported:
+//!    throughput in ops/sec at the die clock, speedup over one die,
+//!    latency percentiles, mean utilization. The run *asserts* the
+//!    acceptance bar: 4 dies achieve > 2.5× single-die throughput on
+//!    the CryptoNets mix, on the overlapped-cycle virtual clock.
+//! 2. **Saturation** — the CryptoNets mix is offered to the 4-die farm
+//!    at decreasing inter-arrival gaps; the knee is visible where p95
+//!    latency departs from the unloaded service time while throughput
+//!    flattens at the farm's capacity.
+//!
+//! ```sh
+//! cargo run --release -p cofhee_bench --bin farm_saturation            # n = 2^8
+//! cargo run --release -p cofhee_bench --bin farm_saturation -- --smoke # n = 2^6
+//! ```
+
+use cofhee_apps::Workload;
+use cofhee_bfv::{BfvParams, Encryptor, KeyGenerator, Plaintext};
+use cofhee_core::ChipBackendFactory;
+use cofhee_farm::{
+    workload_jobs, ChipFarm, Job, ReplayInputs, ReplaySpec, Scheduler, Session, WorkStealing,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Stages a tenant: parameters, operand pools, and the session template.
+struct Tenant {
+    params: BfvParams,
+    rlk: cofhee_bfv::RelinKey,
+    inputs: ReplayInputs,
+}
+
+fn stage_tenant(n: usize) -> Result<Tenant, Box<dyn std::error::Error>> {
+    let params = BfvParams::insecure_testing(n)?;
+    let mut rng = StdRng::seed_from_u64(2026);
+    let kg = KeyGenerator::new(&params, &mut rng);
+    let enc = Encryptor::new(&params, kg.public_key(&mut rng)?);
+    let rlk = kg.relin_key(16, &mut rng)?;
+    let mut cts = Vec::new();
+    for v in 1..=4u64 {
+        let mut coeffs = vec![0u64; n];
+        coeffs[0] = v;
+        cts.push(enc.encrypt(&Plaintext::new(&params, coeffs)?, &mut rng)?);
+    }
+    let mut pts = Vec::new();
+    for v in 2..=3u64 {
+        let mut coeffs = vec![0u64; n];
+        coeffs[0] = v;
+        pts.push(Plaintext::new(&params, coeffs)?);
+    }
+    Ok(Tenant { params, rlk, inputs: ReplayInputs { ciphertexts: cts, plaintexts: pts } })
+}
+
+/// Runs one job list through a fresh farm, returning the scheduler for
+/// its report.
+fn run_farm(
+    tenant: &Tenant,
+    chips: usize,
+    jobs: &[Job],
+) -> Result<Scheduler, Box<dyn std::error::Error>> {
+    let farm = ChipFarm::new(chips, ChipBackendFactory::silicon())?;
+    let mut sched = Scheduler::new(farm, Box::new(WorkStealing));
+    let id = sched.open_session(Session::new("bench", &tenant.params, tenant.rlk.clone())?);
+    // The staged job list was built for session id 0; fresh schedulers
+    // always assign id 0 to their first session.
+    assert_eq!(id.0, 0);
+    sched.run(jobs.to_vec())?;
+    Ok(sched)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = cofhee_bench::sized(1 << 8, 1 << 6);
+    let divisor = cofhee_bench::sized(8_192, 16_384);
+    let chip_counts: &[usize] = cofhee_bench::sized(&[1, 2, 4, 8], &[1, 4]);
+    let tenant = stage_tenant(n)?;
+
+    println!(
+        "Multi-chip farm: scaling and saturation (n = 2^{}, work-stealing)",
+        n.trailing_zeros()
+    );
+    println!("(Table X mixes scaled 1/{divisor}; closed load unless noted)\n");
+
+    let mut cryptonets_scaling: Vec<(usize, f64)> = Vec::new();
+    // The 4-die closed-load CryptoNets report doubles as the saturation
+    // sweep's capacity probe — no need to re-simulate it below.
+    let mut closed_four: Option<cofhee_farm::FarmReport> = None;
+    for workload in Workload::all() {
+        let spec = ReplaySpec::closed(divisor, 77);
+        let jobs = workload_jobs(cofhee_farm::SessionId(0), &workload, &spec, &tenant.inputs)?;
+        println!("{} — {} jobs", workload.name, jobs.len());
+        println!(
+            "{:>5} | {:>12} {:>8} | {:>10} {:>10} {:>10} | {:>6}",
+            "chips", "ops/s", "speedup", "p50 cc", "p95 cc", "p99 cc", "util"
+        );
+        let mut base = None;
+        for &chips in chip_counts {
+            let sched = run_farm(&tenant, chips, &jobs)?;
+            let r = sched.report();
+            let tput = r.throughput_ops_per_sec();
+            let speedup = tput / *base.get_or_insert(tput);
+            println!(
+                "{chips:>5} | {tput:>12.1} {speedup:>7.2}x | {:>10} {:>10} {:>10} | {:>5.1}%",
+                r.latency.p50,
+                r.latency.p95,
+                r.latency.p99,
+                r.mean_utilization() * 100.0,
+            );
+            if workload.name == "CryptoNets" {
+                cryptonets_scaling.push((chips, tput));
+                if chips == 4 {
+                    closed_four = Some(r);
+                }
+            }
+        }
+        println!();
+    }
+
+    // The acceptance bar: near-linear scaling to 4 dies on CryptoNets.
+    let one = cryptonets_scaling.iter().find(|&&(c, _)| c == 1).expect("1-chip run").1;
+    let four = cryptonets_scaling.iter().find(|&&(c, _)| c == 4).expect("4-chip run").1;
+    assert!(
+        four > 2.5 * one,
+        "4-die throughput must exceed 2.5x one die on CryptoNets: {four:.1} !> 2.5 * {one:.1}"
+    );
+    println!("scaling bar: 4 dies = {:.2}x one die on CryptoNets (> 2.5x required)\n", four / one);
+
+    // Saturation: offer the CryptoNets mix to the 4-die farm at rising
+    // rates (shrinking inter-arrival gaps). The knee sits where p95
+    // latency lifts off while throughput pins at farm capacity.
+    // Capacity-pinned service: mean cycles per job at full load, read
+    // off the scaling run above.
+    let closed = closed_four.expect("chip_counts always include 4");
+    let mean_service = closed.makespan_cycles / closed.jobs.max(1);
+    println!(
+        "CryptoNets on 4 dies, offered load sweep (mean closed-load service {mean_service} cc/job)"
+    );
+    println!("{:>12} | {:>12} {:>10} {:>10} {:>6}", "gap cc", "ops/s", "p50 cc", "p95 cc", "util");
+    for quarters in [16u64, 8, 4, 2, 1, 0] {
+        let gap = mean_service.saturating_mul(quarters) / 4;
+        let r = if quarters == 0 {
+            // gap 0 is exactly the closed-load run already measured.
+            closed.clone()
+        } else {
+            let spec = ReplaySpec::closed(divisor, 77).offered(gap);
+            let jobs = workload_jobs(
+                cofhee_farm::SessionId(0),
+                &Workload::cryptonets(),
+                &spec,
+                &tenant.inputs,
+            )?;
+            run_farm(&tenant, 4, &jobs)?.report()
+        };
+        println!(
+            "{gap:>12} | {:>12.1} {:>10} {:>10} {:>5.1}%",
+            r.throughput_ops_per_sec(),
+            r.latency.p50,
+            r.latency.p95,
+            r.mean_utilization() * 100.0,
+        );
+    }
+    println!(
+        "\n(gap = cycles between arrivals; the knee is where p95 departs from the unloaded \
+         service time — beyond it queues grow with every arrival and latency is set by backlog, \
+         not compute)"
+    );
+    Ok(())
+}

@@ -45,7 +45,6 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use cofhee_arith::U256;
 use cofhee_core::{
     BackendFactory, CommStats, CpuBackendFactory, OpReport, OpStream, PolyBackend, PolyHandle,
     StreamExecutor, StreamHandle, StreamJob, StreamReport,
@@ -76,7 +75,7 @@ pub struct Evaluator {
     /// The mod-q backend running every linear ciphertext operation.
     q_backend: SharedBackend,
     /// The computation-basis primes of the exact tensor.
-    mult_primes: Vec<u128>,
+    pub(crate) mult_primes: Vec<u128>,
     /// One backend per computation prime (the per-prime NTT machinery).
     mult_backends: Vec<SharedBackend>,
     /// Accumulated stream-execution telemetry (serial vs overlapped)
@@ -218,9 +217,7 @@ impl Evaluator {
     pub fn backend_comm_stats(&self) -> CommStats {
         let mut total = CommStats::default();
         for be in std::iter::once(&self.q_backend).chain(&self.mult_backends) {
-            let s = lock(be).comm_stats();
-            total.bytes += s.bytes;
-            total.seconds += s.seconds;
+            total.merge(&lock(be).comm_stats());
         }
         total
     }
@@ -248,7 +245,7 @@ impl Evaluator {
             StreamReport::default();
     }
 
-    fn check_ct(&self, ct: &Ciphertext) -> Result<()> {
+    pub(crate) fn check_ct(&self, ct: &Ciphertext) -> Result<()> {
         for p in ct.polys() {
             if p.context().n() != self.params.n() || p.context().modulus() != self.params.q() {
                 return Err(BfvError::ParamsMismatch);
@@ -260,7 +257,10 @@ impl Evaluator {
     /// Rebuilds a component polynomial from backend residues. Downloads
     /// are canonical `[0, q)` values already, so this wraps them without
     /// a second reduction pass.
-    fn poly_from(&self, values: Vec<u128>) -> Result<Polynomial<cofhee_arith::Barrett128>> {
+    pub(crate) fn poly_from(
+        &self,
+        values: Vec<u128>,
+    ) -> Result<Polynomial<cofhee_arith::Barrett128>> {
         Ok(Polynomial::from_elems(
             Arc::clone(self.params.poly_ring()),
             values,
@@ -381,7 +381,11 @@ impl Evaluator {
 
     /// Lifts a ciphertext polynomial to centered residues modulo
     /// computation prime `i`.
-    fn lift_centered(&self, poly: &Polynomial<cofhee_arith::Barrett128>, i: usize) -> Vec<u128> {
+    pub(crate) fn lift_centered(
+        &self,
+        poly: &Polynomial<cofhee_arith::Barrett128>,
+        i: usize,
+    ) -> Vec<u128> {
         let q = self.params.q();
         let p = self.mult_primes[i];
         let q_mod_p = q % p;
@@ -402,7 +406,12 @@ impl Evaluator {
     /// NTTs, 4 Hadamard products, 1 pointwise addition, 3 inverse NTTs
     /// — the same dataflow as the paper's Algorithm 3 modulo the final
     /// scaling — with the three tensor components marked as outputs.
-    fn tensor_stream(&self, i: usize, a: &Ciphertext, b: &Ciphertext) -> Result<OpStream> {
+    pub(crate) fn tensor_stream(
+        &self,
+        i: usize,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> Result<OpStream> {
         let mut st = OpStream::new(self.params.n());
         let mut ntts = Vec::with_capacity(4);
         for p in [&a.polys()[0], &a.polys()[1], &b.polys()[0], &b.polys()[1]] {
@@ -435,21 +444,8 @@ impl Evaluator {
     /// Returns [`BfvError::WrongCiphertextSize`] unless both inputs have
     /// exactly two components, and mismatch errors for foreign operands.
     pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
-        self.check_ct(a)?;
-        self.check_ct(b)?;
-        if a.len() != 2 {
-            return Err(BfvError::WrongCiphertextSize { expected: 2, found: a.len() });
-        }
-        if b.len() != 2 {
-            return Err(BfvError::WrongCiphertextSize { expected: 2, found: b.len() });
-        }
-        let n = self.params.n();
-        let k = self.mult_primes.len();
-
-        let mut streams = Vec::with_capacity(k);
-        for i in 0..k {
-            streams.push(self.tensor_stream(i, a, b)?);
-        }
+        let streams = self.tensor_streams(a, b)?;
+        let k = streams.len();
         let mut guards: Vec<_> = self.mult_backends.iter().map(lock).collect();
         let jobs: Vec<StreamJob<'_>> = guards
             .iter_mut()
@@ -459,62 +455,24 @@ impl Evaluator {
         let outcomes = StreamExecutor::run_parallel(jobs)?;
         drop(guards);
 
-        let mut tensor: [Vec<Vec<u128>>; 3] =
-            [Vec::with_capacity(k), Vec::with_capacity(k), Vec::with_capacity(k)];
         // The limbs ran concurrently (one thread, one backend each): the
         // group's overlapped wall clock is the slowest limb, not the
         // sum. Serial totals do sum — the baseline really is one limb
         // after another, one op at a time.
+        let mut limbs = Vec::with_capacity(k);
         let mut group = StreamReport::default();
         let (mut wall_cycles, mut wall_seconds) = (0u64, 0.0f64);
         for outcome in outcomes {
             wall_cycles = wall_cycles.max(outcome.report.overlapped_cycles);
             wall_seconds = wall_seconds.max(outcome.report.overlapped_seconds);
             group.absorb(&outcome.report);
-            let mut outputs = outcome.outputs.into_iter();
-            for part in &mut tensor {
-                part.push(outputs.next().expect("tensor streams mark three outputs"));
-            }
+            limbs.push(outcome.outputs);
         }
         group.overlapped_cycles = wall_cycles;
         group.overlapped_seconds = wall_seconds;
         self.absorb_stream(&group);
 
-        // CRT-reconstruct each exact integer coefficient, center, and
-        // apply the ⌊t·x/q⌉ scaling.
-        let basis = self.params.mult_basis();
-        let half = self.params.mult_basis_half();
-        let q = self.params.q();
-        let t = self.params.t() as u128;
-        let mut out_polys = Vec::with_capacity(3);
-        for part in &tensor {
-            let mut coeffs = Vec::with_capacity(n);
-            let mut residues = vec![0u128; k];
-            for j in 0..n {
-                for (r, tower) in residues.iter_mut().zip(part.iter()) {
-                    *r = tower[j];
-                }
-                let x = basis.compose(&residues)?;
-                let (mag, neg) =
-                    if x > half { (basis.product().wrapping_sub(x), true) } else { (x, false) };
-                // y = ⌊(t·mag + q/2) / q⌋ — parameters guarantee t·mag
-                // fits 256 bits (see BfvParams validation).
-                let (num, hi) = mag.widening_mul(U256::from_u128(t));
-                debug_assert!(hi.is_zero());
-                let _ = hi;
-                let y = num.wrapping_add(U256::from_u128(q / 2)).div_rem(U256::from_u128(q)).0;
-                let r = y.rem(U256::from_u128(q)).low_u128();
-                coeffs.push(if neg && r != 0 {
-                    q - r
-                } else if neg {
-                    0
-                } else {
-                    r
-                });
-            }
-            out_polys.push(self.poly_from(coeffs)?);
-        }
-        Ciphertext::new(out_polys)
+        self.tensor_combine(&limbs)
     }
 
     /// NTT-domain relin-key handles on the mod-q backend, transformed on

@@ -1,0 +1,415 @@
+//! Evaluator jobs over **borrowed** backends: the stream builders and
+//! host-side finishers a multi-chip scheduler composes.
+//!
+//! [`Evaluator`]'s own methods (`add`, `multiply`, `relinearize`, ...)
+//! execute on the backends the evaluator brought up for itself. A farm
+//! of simulated CoFHEE dies owns its *own* per-chip, per-modulus
+//! backends and decides placement per stream — so the job layer splits
+//! every homomorphic operation into two halves:
+//!
+//! 1. **Record** — a pure function of the ciphertexts producing one or
+//!    more [`OpStream`]s (no backend involved). The caller executes
+//!    each stream on whatever backend it placed it on:
+//!    [`Evaluator::add_stream`], [`Evaluator::add_plain_stream`],
+//!    [`Evaluator::mul_plain_stream`] record a single mod-`q` stream;
+//!    [`Evaluator::tensor_streams`] records one stream per CRT
+//!    computation prime (the per-limb decomposition of the exact Eq. 4
+//!    tensor); [`Evaluator::relin_stream`] records the key-switch inner
+//!    products as a self-contained mod-`q` stream (the relin-key
+//!    polynomials travel *inside* the stream, so it runs on any
+//!    borrowed backend with no resident key cache).
+//! 2. **Finish** — host-side reconstruction from the stream outputs:
+//!    [`Evaluator::ciphertext_from_outputs`] rewraps downloaded
+//!    components, and [`Evaluator::tensor_combine`] performs the CRT
+//!    base extension and `⌊t·x/q⌉` rounding of Eq. 4 over the per-limb
+//!    tensor outputs — exactly the work the paper keeps on the host.
+//!
+//! The streams are the same ones the evaluator's own `multiply` path
+//! submits, so a job executed through borrowed backends is bit-identical
+//! to the evaluator executing it directly — on any backend, under any
+//! placement. That invariance is what makes farm results independent of
+//! scheduling policy and chip count.
+
+use cofhee_arith::U256;
+use cofhee_core::{OpStream, StreamHandle};
+
+use crate::ciphertext::Ciphertext;
+use crate::error::{BfvError, Result};
+use crate::evaluator::Evaluator;
+use crate::keys::RelinKey;
+use crate::plaintext::Plaintext;
+
+impl Evaluator {
+    /// Records componentwise homomorphic addition (`ct + ct`, mixed
+    /// sizes padded) as one mod-`q` stream; outputs are the result
+    /// components in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::ParamsMismatch`] for foreign ciphertexts.
+    pub fn add_stream(&self, a: &Ciphertext, b: &Ciphertext) -> Result<OpStream> {
+        self.check_ct(a)?;
+        self.check_ct(b)?;
+        let n = self.params().n();
+        let len = a.len().max(b.len());
+        let zero = vec![0u128; n];
+        let mut st = OpStream::new(n);
+        for i in 0..len {
+            let pa = a.polys().get(i).map(|p| p.to_u128_vec()).unwrap_or_else(|| zero.clone());
+            let pb = b.polys().get(i).map(|p| p.to_u128_vec()).unwrap_or_else(|| zero.clone());
+            let ha = st.upload(pa)?;
+            let hb = st.upload(pb)?;
+            let sum = st.pointwise_add(ha, hb)?;
+            st.output(sum)?;
+        }
+        Ok(st)
+    }
+
+    /// Records plaintext addition (`ct + pt`: `Δ·m` added to the first
+    /// component) as one mod-`q` stream. Every component is marked as an
+    /// output — untouched components pass through the stream so the
+    /// whole job lives on one placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::ParamsMismatch`] for foreign ciphertexts.
+    pub fn add_plain_stream(&self, a: &Ciphertext, pt: &Plaintext) -> Result<OpStream> {
+        self.check_ct(a)?;
+        let n = self.params().n();
+        let delta = self.params().delta();
+        let dm: Vec<u128> = pt.coeffs().iter().map(|&m| delta.wrapping_mul(m as u128)).collect();
+        let mut st = OpStream::new(n);
+        for (i, p) in a.polys().iter().enumerate() {
+            let hp = st.upload(p.to_u128_vec())?;
+            let out = if i == 0 {
+                let hm = st.upload(dm.clone())?;
+                st.pointwise_add(hp, hm)?
+            } else {
+                hp
+            };
+            st.output(out)?;
+        }
+        Ok(st)
+    }
+
+    /// Records plaintext multiplication (`ct · pt`: one Algorithm 2
+    /// PolyMul per component against the lifted plaintext, uploaded
+    /// once) as one mod-`q` stream; outputs are the result components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::ParamsMismatch`] for foreign ciphertexts.
+    pub fn mul_plain_stream(&self, a: &Ciphertext, pt: &Plaintext) -> Result<OpStream> {
+        self.check_ct(a)?;
+        let n = self.params().n();
+        let lifted: Vec<u128> = pt.coeffs().iter().map(|&m| m as u128).collect();
+        let mut st = OpStream::new(n);
+        let hm = st.upload(lifted)?;
+        for p in a.polys() {
+            let hp = st.upload(p.to_u128_vec())?;
+            let prod = st.poly_mul(hp, hm)?;
+            st.output(prod)?;
+        }
+        Ok(st)
+    }
+
+    /// Records the unscaled Eq. 4 tensor as one [`OpStream`] per CRT
+    /// computation prime — the per-limb decomposition a scheduler places
+    /// independently (stream `i` must execute on a backend brought up
+    /// for [`BfvParams::mult_basis`](crate::BfvParams::mult_basis)
+    /// modulus `i`). Each stream marks the three tensor components as
+    /// outputs; hand the per-limb outputs to
+    /// [`Evaluator::tensor_combine`] to finish the multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::WrongCiphertextSize`] unless both inputs have
+    /// exactly two components, and mismatch errors for foreign operands.
+    pub fn tensor_streams(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Vec<OpStream>> {
+        self.check_ct(a)?;
+        self.check_ct(b)?;
+        if a.len() != 2 {
+            return Err(BfvError::WrongCiphertextSize { expected: 2, found: a.len() });
+        }
+        if b.len() != 2 {
+            return Err(BfvError::WrongCiphertextSize { expected: 2, found: b.len() });
+        }
+        (0..self.mult_primes.len()).map(|i| self.tensor_stream(i, a, b)).collect()
+    }
+
+    /// Finishes an exact multiplication from per-limb tensor outputs:
+    /// CRT-reconstructs each integer coefficient across the computation
+    /// basis, centers it, and applies the `⌊t·x/q⌉` rounding of Eq. 4 —
+    /// the host-side half the paper never offloads. `limbs[i]` must be
+    /// the three outputs of [`Evaluator::tensor_streams`] stream `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::InvalidParams`] when the limb set does not
+    /// match the computation basis or the outputs are malformed.
+    pub fn tensor_combine(&self, limbs: &[Vec<Vec<u128>>]) -> Result<Ciphertext> {
+        let n = self.params().n();
+        let k = self.mult_primes.len();
+        if limbs.len() != k {
+            return Err(BfvError::InvalidParams {
+                reason: format!("tensor_combine needs {k} limbs, got {}", limbs.len()),
+            });
+        }
+        for (i, limb) in limbs.iter().enumerate() {
+            if limb.len() != 3 || limb.iter().any(|p| p.len() != n) {
+                return Err(BfvError::InvalidParams {
+                    reason: format!("limb {i} must carry 3 degree-{n} tensor components"),
+                });
+            }
+        }
+        let basis = self.params().mult_basis();
+        let half = self.params().mult_basis_half();
+        let q = self.params().q();
+        let t = self.params().t() as u128;
+        let mut out_polys = Vec::with_capacity(3);
+        for part in 0..3 {
+            let mut coeffs = Vec::with_capacity(n);
+            let mut residues = vec![0u128; k];
+            for j in 0..n {
+                for (r, limb) in residues.iter_mut().zip(limbs) {
+                    *r = limb[part][j];
+                }
+                let x = basis.compose(&residues)?;
+                let (mag, neg) =
+                    if x > half { (basis.product().wrapping_sub(x), true) } else { (x, false) };
+                // y = ⌊(t·mag + q/2) / q⌋ — parameters guarantee t·mag
+                // fits 256 bits (see BfvParams validation).
+                let (num, hi) = mag.widening_mul(U256::from_u128(t));
+                debug_assert!(hi.is_zero());
+                let _ = hi;
+                let y = num.wrapping_add(U256::from_u128(q / 2)).div_rem(U256::from_u128(q)).0;
+                let r = y.rem(U256::from_u128(q)).low_u128();
+                coeffs.push(if neg && r != 0 {
+                    q - r
+                } else if neg {
+                    0
+                } else {
+                    r
+                });
+            }
+            out_polys.push(self.poly_from(coeffs)?);
+        }
+        Ciphertext::new(out_polys)
+    }
+
+    /// Records relinearization as one self-contained mod-`q` stream: per
+    /// digit of the host-side decomposition, the digit polynomial *and
+    /// both relin-key polynomials* are uploaded and NTT-transformed
+    /// in-stream, Hadamard products accumulate in the NTT domain, and
+    /// the two folded components come back through inverse NTTs added
+    /// onto the base ciphertext. Unlike [`Evaluator::relinearize`]
+    /// (which keeps key material resident on the evaluator's own
+    /// backend), this stream carries everything it needs, so a scheduler
+    /// can run it on any borrowed mod-`q` backend. Outputs are the two
+    /// relinearized components — finish with
+    /// [`Evaluator::ciphertext_from_outputs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::WrongCiphertextSize`] unless the input has
+    /// three components.
+    pub fn relin_stream(&self, ct: &Ciphertext, rlk: &RelinKey) -> Result<OpStream> {
+        self.check_ct(ct)?;
+        if ct.len() != 3 {
+            return Err(BfvError::WrongCiphertextSize { expected: 3, found: ct.len() });
+        }
+        let n = self.params().n();
+        let w = rlk.base_bits;
+        let mask: u128 = (1u128 << w) - 1;
+        let c2 = &ct.polys()[2];
+
+        let mut st = OpStream::new(n);
+        let mut accs: [Option<StreamHandle>; 2] = [None, None];
+        for (i, (k0, k1)) in rlk.parts.iter().enumerate() {
+            let digits: Vec<u128> =
+                c2.coeffs().iter().map(|&c| (c >> (w * i as u32)) & mask).collect();
+            let fd = {
+                let d = st.upload(digits)?;
+                st.ntt(d)?
+            };
+            for (key, acc) in [k0, k1].into_iter().zip(accs.iter_mut()) {
+                let fk = {
+                    let raw = st.upload(key.to_u128_vec())?;
+                    st.ntt(raw)?
+                };
+                let prod = st.hadamard(fd, fk)?;
+                *acc = Some(match acc.take() {
+                    None => prod,
+                    Some(sum) => st.pointwise_add(sum, prod)?,
+                });
+            }
+        }
+        for (acc, c) in accs.into_iter().zip(&ct.polys()[..2]) {
+            let acc = acc.expect("relin keys always carry at least one digit");
+            let folded = st.intt(acc)?;
+            let base = st.upload(c.to_u128_vec())?;
+            let out = st.pointwise_add(base, folded)?;
+            st.output(out)?;
+        }
+        Ok(st)
+    }
+
+    /// Rewraps downloaded stream outputs (canonical residues in
+    /// `[0, q)`) as a ciphertext — the finisher for
+    /// [`Evaluator::add_stream`]-family jobs and
+    /// [`Evaluator::relin_stream`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::InvalidParams`] for empty output sets and
+    /// polynomial-layer errors for wrong lengths.
+    pub fn ciphertext_from_outputs(&self, outputs: Vec<Vec<u128>>) -> Result<Ciphertext> {
+        if outputs.is_empty() {
+            return Err(BfvError::InvalidParams {
+                reason: "a ciphertext needs at least one component output".into(),
+            });
+        }
+        let polys = outputs.into_iter().map(|v| self.poly_from(v)).collect::<Result<Vec<_>>>()?;
+        Ciphertext::new(polys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::params::BfvParams;
+    use cofhee_core::{CpuBackend, PolyBackend};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        params: BfvParams,
+        enc: Encryptor,
+        dec: Decryptor,
+        eval: Evaluator,
+        rlk: RelinKey,
+        rng: StdRng,
+    }
+
+    fn setup(seed: u64) -> Fixture {
+        let params = BfvParams::insecure_testing(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = KeyGenerator::new(&params, &mut rng);
+        let pk = kg.public_key(&mut rng).unwrap();
+        let rlk = kg.relin_key(16, &mut rng).unwrap();
+        Fixture {
+            enc: Encryptor::new(&params, pk),
+            dec: Decryptor::new(&params, kg.secret_key().clone()),
+            eval: Evaluator::new(&params).unwrap(),
+            params,
+            rlk,
+            rng,
+        }
+    }
+
+    fn pt_of(f: &Fixture, vals: &[u64]) -> Plaintext {
+        let mut coeffs = vec![0u64; f.params.n()];
+        coeffs[..vals.len()].copy_from_slice(vals);
+        Plaintext::new(&f.params, coeffs).unwrap()
+    }
+
+    /// Executes a job stream on a fresh borrowed CPU backend.
+    fn run_on_borrowed(f: &Fixture, st: &OpStream) -> Vec<Vec<u128>> {
+        let mut be = CpuBackend::new(f.params.q(), f.params.n()).unwrap();
+        be.execute_stream(st).unwrap().outputs
+    }
+
+    #[test]
+    fn add_stream_matches_the_evaluator_path() {
+        let mut f = setup(21);
+        let a = f.enc.encrypt(&pt_of(&f, &[3, 4]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[10, 20]), &mut f.rng).unwrap();
+        let st = f.eval.add_stream(&a, &b).unwrap();
+        let ct = f.eval.ciphertext_from_outputs(run_on_borrowed(&f, &st)).unwrap();
+        let direct = f.eval.add(&a, &b).unwrap();
+        for (p, d) in ct.polys().iter().zip(direct.polys()) {
+            assert_eq!(p.coeffs(), d.coeffs(), "borrowed-backend add is bit-identical");
+        }
+        assert_eq!(&f.dec.decrypt(&ct).unwrap().coeffs()[..2], &[13, 24]);
+    }
+
+    #[test]
+    fn plain_op_streams_match_the_evaluator_paths() {
+        let mut f = setup(22);
+        let a = f.enc.encrypt(&pt_of(&f, &[7]), &mut f.rng).unwrap();
+
+        let st = f.eval.add_plain_stream(&a, &pt_of(&f, &[30])).unwrap();
+        let sum = f.eval.ciphertext_from_outputs(run_on_borrowed(&f, &st)).unwrap();
+        assert_eq!(f.dec.decrypt(&sum).unwrap().coeffs()[0], 37);
+        let direct = f.eval.add_plain(&a, &pt_of(&f, &[30])).unwrap();
+        for (p, d) in sum.polys().iter().zip(direct.polys()) {
+            assert_eq!(p.coeffs(), d.coeffs());
+        }
+
+        let st = f.eval.mul_plain_stream(&a, &pt_of(&f, &[6])).unwrap();
+        let prod = f.eval.ciphertext_from_outputs(run_on_borrowed(&f, &st)).unwrap();
+        assert_eq!(f.dec.decrypt(&prod).unwrap().coeffs()[0], 42);
+        let direct = f.eval.mul_plain(&a, &pt_of(&f, &[6])).unwrap();
+        for (p, d) in prod.polys().iter().zip(direct.polys()) {
+            assert_eq!(p.coeffs(), d.coeffs());
+        }
+    }
+
+    #[test]
+    fn tensor_streams_plus_combine_equal_multiply() {
+        let mut f = setup(23);
+        let a = f.enc.encrypt(&pt_of(&f, &[9]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[11]), &mut f.rng).unwrap();
+        let streams = f.eval.tensor_streams(&a, &b).unwrap();
+        let primes = f.params.mult_basis().moduli().to_vec();
+        assert_eq!(streams.len(), primes.len());
+        let limbs: Vec<Vec<Vec<u128>>> = streams
+            .iter()
+            .zip(&primes)
+            .map(|(st, &p)| {
+                let mut be = CpuBackend::new(p, f.params.n()).unwrap();
+                be.execute_stream(st).unwrap().outputs
+            })
+            .collect();
+        let combined = f.eval.tensor_combine(&limbs).unwrap();
+        let direct = f.eval.multiply(&a, &b).unwrap();
+        for (p, d) in combined.polys().iter().zip(direct.polys()) {
+            assert_eq!(p.coeffs(), d.coeffs(), "borrowed-backend tensor is bit-identical");
+        }
+        assert_eq!(f.dec.decrypt(&combined).unwrap().coeffs()[0], 99);
+    }
+
+    #[test]
+    fn relin_stream_is_self_contained_and_matches_relinearize() {
+        let mut f = setup(24);
+        let a = f.enc.encrypt(&pt_of(&f, &[12]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[13]), &mut f.rng).unwrap();
+        let prod3 = f.eval.multiply(&a, &b).unwrap();
+        let st = f.eval.relin_stream(&prod3, &f.rlk).unwrap();
+        // A completely fresh backend: no resident key cache to lean on.
+        let ct = f.eval.ciphertext_from_outputs(run_on_borrowed(&f, &st)).unwrap();
+        let direct = f.eval.relinearize(&prod3, &f.rlk).unwrap();
+        assert_eq!(ct.len(), 2);
+        for (p, d) in ct.polys().iter().zip(direct.polys()) {
+            assert_eq!(p.coeffs(), d.coeffs(), "standalone key switch is bit-identical");
+        }
+        assert_eq!(f.dec.decrypt(&ct).unwrap().coeffs()[0], 156);
+    }
+
+    #[test]
+    fn job_stream_validation() {
+        let mut f = setup(25);
+        let a = f.enc.encrypt(&pt_of(&f, &[1]), &mut f.rng).unwrap();
+        assert!(matches!(
+            f.eval.relin_stream(&a, &f.rlk),
+            Err(BfvError::WrongCiphertextSize { expected: 3, .. })
+        ));
+        assert!(matches!(f.eval.tensor_combine(&[]), Err(BfvError::InvalidParams { .. })));
+        assert!(matches!(
+            f.eval.ciphertext_from_outputs(vec![]),
+            Err(BfvError::InvalidParams { .. })
+        ));
+    }
+}

@@ -56,6 +56,7 @@ mod ciphertext;
 mod encrypt;
 mod error;
 mod evaluator;
+mod jobs;
 mod keys;
 mod params;
 mod plaintext;

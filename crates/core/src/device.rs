@@ -56,6 +56,17 @@ pub struct CommStats {
     pub seconds: f64,
 }
 
+impl CommStats {
+    /// Merges another accounting into this one (sequential
+    /// composition): bytes sum saturating, wire seconds add. Use this
+    /// instead of hand-rolling field-by-field sums when aggregating
+    /// across backends, chips, or jobs.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.bytes = self.bytes.saturating_add(other.bytes);
+        self.seconds += other.seconds;
+    }
+}
+
 /// The fixed bank assignment the driver schedules against.
 ///
 /// Banks 0–2 are the dual-port compute trio, 3/4 hold the forward and
@@ -380,6 +391,17 @@ mod tests {
             d.upload(Slot::new(plan.d0, 0), &[1, 2, 3]),
             Err(CoreError::BadOperandLength { .. })
         ));
+    }
+
+    #[test]
+    fn comm_stats_merge_sums_and_saturates() {
+        let mut a = CommStats { bytes: 100, seconds: 1.5 };
+        a.merge(&CommStats { bytes: 28, seconds: 0.5 });
+        assert_eq!(a.bytes, 128);
+        assert!((a.seconds - 2.0).abs() < 1e-12);
+        let mut b = CommStats { bytes: u64::MAX - 1, seconds: 0.0 };
+        b.merge(&CommStats { bytes: 10, seconds: 0.0 });
+        assert_eq!(b.bytes, u64::MAX, "byte totals pin instead of wrapping");
     }
 
     #[test]

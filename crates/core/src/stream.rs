@@ -353,16 +353,20 @@ impl StreamReport {
     /// additive fields but take the max of the `overlapped_*` fields
     /// instead (as the BFV evaluator does for its parallel CRT limbs):
     /// a concurrent group's wall clock is its slowest member.
+    ///
+    /// Cycle and byte sums saturate: a farm-scale ledger absorbing
+    /// millions of submits (latency × count products) pins at
+    /// `u64::MAX` instead of wrapping into a silently small total.
     pub fn absorb(&mut self, other: &StreamReport) {
-        self.commands += other.commands;
-        self.batches += other.batches;
-        self.interrupts += other.interrupts;
-        self.serial_cycles += other.serial_cycles;
-        self.overlapped_cycles += other.overlapped_cycles;
+        self.commands = self.commands.saturating_add(other.commands);
+        self.batches = self.batches.saturating_add(other.batches);
+        self.interrupts = self.interrupts.saturating_add(other.interrupts);
+        self.serial_cycles = self.serial_cycles.saturating_add(other.serial_cycles);
+        self.overlapped_cycles = self.overlapped_cycles.saturating_add(other.overlapped_cycles);
         self.serial_seconds += other.serial_seconds;
         self.overlapped_seconds += other.overlapped_seconds;
-        self.uploaded_bytes += other.uploaded_bytes;
-        self.downloaded_bytes += other.downloaded_bytes;
+        self.uploaded_bytes = self.uploaded_bytes.saturating_add(other.uploaded_bytes);
+        self.downloaded_bytes = self.downloaded_bytes.saturating_add(other.downloaded_bytes);
     }
 }
 
@@ -705,5 +709,14 @@ mod tests {
         assert_eq!(a.overlapped_cycles, 14);
         assert!((a.serial_seconds - 2.0).abs() < 1e-12);
         assert_eq!(a.uploaded_bytes, 128);
+    }
+
+    #[test]
+    fn report_absorb_saturates_instead_of_wrapping() {
+        // A farm replaying millions of jobs can push latency × count
+        // products past u64 — the ledger must pin, not wrap.
+        let mut a = StreamReport { serial_cycles: u64::MAX - 5, ..StreamReport::default() };
+        a.absorb(&StreamReport { serial_cycles: 100, ..StreamReport::default() });
+        assert_eq!(a.serial_cycles, u64::MAX);
     }
 }

@@ -1,0 +1,131 @@
+//! Error types for the multi-chip farm.
+
+use core::fmt;
+
+use cofhee_bfv::BfvError;
+use cofhee_core::CoreError;
+use cofhee_sim::SimError;
+
+/// Errors raised by the farm service layer.
+///
+/// Chip faults arrive as the typed [`FarmError::Backend`] variant:
+/// `From<CoreError>` and `From<SimError>` are provided so scheduler and
+/// die code propagates driver/simulator failures with `?` instead of
+/// `map_err` boilerplate at every call site; the farm attaches the
+/// offending die's index at its single execution chokepoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FarmError {
+    /// A farm needs at least one die.
+    EmptyFarm,
+    /// A job referenced a session id the scheduler never opened.
+    UnknownSession {
+        /// The offending session id.
+        id: u64,
+    },
+    /// A job's operand pool was empty (nothing to replay).
+    EmptyInputs,
+    /// A placement named a die the farm does not have.
+    UnknownChip {
+        /// The offending die index.
+        chip: usize,
+        /// Dies in the farm.
+        chips: usize,
+    },
+    /// A chip (driver or simulator) fault, tagged with the die it
+    /// occurred on when the farm knows it.
+    Backend {
+        /// Die index within the farm, when attributable.
+        chip: Option<usize>,
+        /// The underlying driver error.
+        source: CoreError,
+    },
+    /// Error from the BFV layer (stream recording, host-side finishing).
+    Bfv(BfvError),
+}
+
+impl FarmError {
+    /// Tags a driver error with the die it occurred on.
+    pub fn on_chip(chip: usize, source: CoreError) -> Self {
+        Self::Backend { chip: Some(chip), source }
+    }
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyFarm => write!(f, "a chip farm needs at least one die"),
+            Self::UnknownSession { id } => write!(f, "session {id} was never opened"),
+            Self::EmptyInputs => write!(f, "replay needs a non-empty operand pool"),
+            Self::UnknownChip { chip, chips } => {
+                write!(f, "die {chip} does not exist in a {chips}-chip farm")
+            }
+            Self::Backend { chip: Some(chip), source } => {
+                write!(f, "chip {chip}: {source}")
+            }
+            Self::Backend { chip: None, source } => write!(f, "chip error: {source}"),
+            Self::Bfv(e) => write!(f, "bfv error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Backend { source, .. } => Some(source),
+            Self::Bfv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for FarmError {
+    fn from(e: CoreError) -> Self {
+        Self::Backend { chip: None, source: e }
+    }
+}
+
+impl From<SimError> for FarmError {
+    fn from(e: SimError) -> Self {
+        Self::Backend { chip: None, source: CoreError::from(e) }
+    }
+}
+
+impl From<BfvError> for FarmError {
+    fn from(e: BfvError) -> Self {
+        Self::Bfv(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, FarmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_faults_propagate_with_question_mark() {
+        // The satellite contract: `?` lifts SimError straight into the
+        // farm error domain, typed, with no map_err at the call site.
+        fn faulting() -> Result<()> {
+            Err(SimError::FifoFull { capacity: 32 })?;
+            Ok(())
+        }
+        match faulting() {
+            Err(FarmError::Backend { chip: None, source }) => {
+                assert!(matches!(source, CoreError::Sim(SimError::FifoFull { capacity: 32 })));
+            }
+            other => panic!("expected a typed Backend error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn displays_attribute_the_die() {
+        use std::error::Error;
+        let e = FarmError::on_chip(3, CoreError::from(SimError::FifoFull { capacity: 32 }));
+        assert!(e.to_string().starts_with("chip 3:"), "{e}");
+        assert!(e.source().is_some());
+        assert!(FarmError::UnknownSession { id: 7 }.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,305 @@
+//! The die pool: N simulated CoFHEE chips under one virtual-time clock.
+
+use std::collections::HashMap;
+
+use cofhee_core::{BackendFactory, ChipBackendFactory, OpStream, PolyBackend, StreamOutcome};
+
+use crate::error::{FarmError, Result};
+use crate::policy::DieStatus;
+use crate::telemetry::ChipStats;
+
+/// One simulated CoFHEE die.
+///
+/// A die owns one cycle-accurate backend per `(modulus, degree)` pair
+/// it has been asked to serve (brought up lazily from the farm's
+/// factory, each over its own host-link instance) plus its virtual-time
+/// bookkeeping: the cycle its backlog drains at, cycles spent
+/// computing, and the ready/start event trace the queue-depth telemetry
+/// is reconstructed from.
+#[derive(Debug)]
+struct Die {
+    backends: HashMap<(u128, usize), Box<dyn PolyBackend>>,
+    /// Virtual cycle at which everything assigned so far has finished.
+    clock: u64,
+    /// Cycles spent computing (the utilization numerator).
+    busy: u64,
+    /// Streams executed.
+    streams: u64,
+    /// Finish times of assigned streams (pending-count queries).
+    finishes: Vec<u64>,
+    /// Ready times of assigned streams (queue-depth reconstruction).
+    readies: Vec<u64>,
+}
+
+impl Die {
+    fn new() -> Self {
+        Self {
+            backends: HashMap::new(),
+            clock: 0,
+            busy: 0,
+            streams: 0,
+            finishes: Vec::new(),
+            readies: Vec::new(),
+        }
+    }
+
+    /// Streams assigned but not finished at virtual cycle `at`.
+    ///
+    /// `finishes` is non-decreasing by construction (each stream's
+    /// finish is the die's new clock, and the clock never moves
+    /// backwards), so this is a binary search — placement stays
+    /// `O(log streams)` per die even on million-stream replays.
+    fn pending(&self, at: u64) -> usize {
+        self.finishes.len() - self.finishes.partition_point(|&f| f <= at)
+    }
+
+    /// Maximum simultaneously in-flight streams (queued or running),
+    /// reconstructed by sweeping +1-at-ready / −1-at-finish events. At
+    /// equal times the finish retires before the arrival counts, so a
+    /// back-to-back handoff never reads as depth 2.
+    fn max_queue_depth(&self) -> usize {
+        let mut events: Vec<(u64, i64)> = self.readies.iter().map(|&r| (r, 1)).collect();
+        for &f in &self.finishes {
+            events.push((f, -1));
+        }
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let (mut depth, mut max) = (0i64, 0i64);
+        for (_, delta) in events {
+            depth += delta;
+            max = max.max(depth);
+        }
+        max as usize
+    }
+}
+
+/// What executing one stream on a die produced, in values and in
+/// virtual time.
+#[derive(Debug)]
+pub struct ExecutedStream {
+    /// Die the stream ran on.
+    pub chip: usize,
+    /// Virtual cycle the stream became ready (its dependencies met).
+    pub ready: u64,
+    /// Virtual cycle the die actually started it (≥ ready when queued
+    /// behind earlier streams).
+    pub start: u64,
+    /// Virtual cycle it finished: `start + overlapped_cycles`.
+    pub finish: u64,
+    /// The stream's outputs and serial-vs-overlapped telemetry.
+    pub outcome: StreamOutcome,
+}
+
+/// A pool of simulated CoFHEE dies sharing one deterministic
+/// virtual-time clock.
+///
+/// Every die is brought up from the same [`ChipBackendFactory`] — same
+/// microarchitecture, same host link flavor, each die with its own link
+/// instance — so any stream costs the same cycles on any die. That
+/// homogeneity is what makes results placement-independent: schedulers
+/// may move streams freely without changing values *or* per-stream
+/// costs, only queueing.
+///
+/// Time is virtual: executing a stream runs the cycle-accurate
+/// simulation immediately (producing real outputs and a real
+/// [`StreamOutcome`]) and then advances the chosen die's clock by the
+/// stream's *overlapped* wall-clock cycles, starting no earlier than
+/// the stream's ready time. Wall-clock host time never enters the
+/// model, so a run's telemetry is a pure function of the job list.
+#[derive(Debug)]
+pub struct ChipFarm {
+    factory: ChipBackendFactory,
+    dies: Vec<Die>,
+}
+
+impl ChipFarm {
+    /// Brings up a farm of `chips` identical dies from `factory`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FarmError::EmptyFarm`] when `chips == 0`.
+    pub fn new(chips: usize, factory: ChipBackendFactory) -> Result<Self> {
+        if chips == 0 {
+            return Err(FarmError::EmptyFarm);
+        }
+        Ok(Self { factory, dies: (0..chips).map(|_| Die::new()).collect() })
+    }
+
+    /// Number of dies in the pool.
+    pub fn chips(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// The die configuration's clock frequency (cycles → seconds).
+    pub fn freq_hz(&self) -> u64 {
+        self.factory.config().freq_hz
+    }
+
+    /// The factory every die is brought up from.
+    pub fn factory(&self) -> &ChipBackendFactory {
+        &self.factory
+    }
+
+    /// Per-die scheduling status at virtual cycle `at` — the view
+    /// handed to placement policies.
+    pub fn statuses(&self, at: u64) -> Vec<DieStatus> {
+        self.dies
+            .iter()
+            .enumerate()
+            .map(|(chip, d)| DieStatus {
+                chip,
+                busy_until: d.clock,
+                pending: d.pending(at),
+                assigned: d.streams,
+            })
+            .collect()
+    }
+
+    /// Executes `stream` on die `chip`'s backend for `(q, n)`, bringing
+    /// the backend up on first use, and advances the die's virtual
+    /// clock by the stream's overlapped cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FarmError::UnknownChip`] for out-of-range die indices
+    /// (e.g. a buggy custom [`PlacementPolicy`](crate::PlacementPolicy))
+    /// and bring-up/execution failures tagged with the die index.
+    pub fn execute(
+        &mut self,
+        chip: usize,
+        q: u128,
+        n: usize,
+        stream: &OpStream,
+        ready: u64,
+    ) -> Result<ExecutedStream> {
+        let chips = self.dies.len();
+        let factory = &self.factory;
+        let die = self.dies.get_mut(chip).ok_or(FarmError::UnknownChip { chip, chips })?;
+        let backend = match die.backends.entry((q, n)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(factory.make(q, n).map_err(|e| FarmError::on_chip(chip, e))?)
+            }
+        };
+        let outcome = backend.execute_stream(stream).map_err(|e| FarmError::on_chip(chip, e))?;
+        let cost = outcome.report.overlapped_cycles;
+        let start = ready.max(die.clock);
+        let finish = start.saturating_add(cost);
+        die.clock = finish;
+        die.busy = die.busy.saturating_add(cost);
+        die.streams += 1;
+        die.finishes.push(finish);
+        die.readies.push(ready);
+        Ok(ExecutedStream { chip, ready, start, finish, outcome })
+    }
+
+    /// The farm-wide makespan: the virtual cycle the last die drains.
+    pub fn makespan(&self) -> u64 {
+        self.dies.iter().map(|d| d.clock).max().unwrap_or(0)
+    }
+
+    /// Per-die telemetry snapshots.
+    pub fn chip_stats(&self) -> Vec<ChipStats> {
+        self.dies
+            .iter()
+            .enumerate()
+            .map(|(chip, d)| ChipStats {
+                chip,
+                streams: d.streams,
+                busy_cycles: d.busy,
+                final_clock: d.clock,
+                max_queue_depth: d.max_queue_depth(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofhee_arith::primes::ntt_prime;
+
+    const N: usize = 32;
+
+    fn stream(seed: u128, q: u128) -> OpStream {
+        let mut st = OpStream::new(N);
+        let a = st.upload((0..N as u128).map(|i| (i * 31 + seed) % q).collect()).unwrap();
+        let b = st.upload((0..N as u128).map(|i| (i * 17 + seed) % q).collect()).unwrap();
+        let p = st.poly_mul(a, b).unwrap();
+        st.output(p).unwrap();
+        st
+    }
+
+    #[test]
+    fn empty_farms_are_rejected() {
+        assert!(matches!(
+            ChipFarm::new(0, ChipBackendFactory::silicon()),
+            Err(FarmError::EmptyFarm)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_die_indices_are_typed_errors() {
+        let q = ntt_prime(60, N).unwrap();
+        let mut farm = ChipFarm::new(2, ChipBackendFactory::silicon()).unwrap();
+        let st = stream(1, q);
+        assert!(matches!(
+            farm.execute(2, q, N, &st, 0),
+            Err(FarmError::UnknownChip { chip: 2, chips: 2 })
+        ));
+    }
+
+    #[test]
+    fn execution_advances_virtual_time_and_queues_behind_backlog() {
+        let q = ntt_prime(60, N).unwrap();
+        let mut farm = ChipFarm::new(2, ChipBackendFactory::silicon()).unwrap();
+        let st = stream(1, q);
+        let first = farm.execute(0, q, N, &st, 0).unwrap();
+        assert_eq!(first.start, 0);
+        assert!(first.finish > 0, "chip streams cost real cycles");
+        assert_eq!(first.finish - first.start, first.outcome.report.overlapped_cycles);
+
+        // Same die: the second stream queues behind the first.
+        let second = farm.execute(0, q, N, &st, 0).unwrap();
+        assert_eq!(second.start, first.finish);
+        // Other die: starts immediately.
+        let elsewhere = farm.execute(1, q, N, &st, 0).unwrap();
+        assert_eq!(elsewhere.start, 0);
+        assert_eq!(farm.makespan(), second.finish);
+
+        let stats = farm.chip_stats();
+        assert_eq!(stats[0].streams, 2);
+        assert_eq!(stats[1].streams, 1);
+        assert_eq!(stats[0].max_queue_depth, 2, "two streams were queued at cycle 0");
+        assert_eq!(stats[0].busy_cycles, stats[0].final_clock, "die 0 never idled");
+    }
+
+    #[test]
+    fn identical_dies_cost_identical_cycles() {
+        let q = ntt_prime(60, N).unwrap();
+        let mut farm = ChipFarm::new(3, ChipBackendFactory::silicon()).unwrap();
+        let st = stream(7, q);
+        let runs: Vec<ExecutedStream> =
+            (0..3).map(|c| farm.execute(c, q, N, &st, 0).unwrap()).collect();
+        for r in &runs[1..] {
+            assert_eq!(r.outcome.outputs, runs[0].outcome.outputs, "values placement-free");
+            assert_eq!(
+                r.outcome.report.overlapped_cycles, runs[0].outcome.report.overlapped_cycles,
+                "costs placement-free"
+            );
+        }
+    }
+
+    #[test]
+    fn statuses_reflect_backlog() {
+        let q = ntt_prime(60, N).unwrap();
+        let mut farm = ChipFarm::new(2, ChipBackendFactory::silicon()).unwrap();
+        let st = stream(3, q);
+        let run = farm.execute(0, q, N, &st, 0).unwrap();
+        let at_zero = farm.statuses(0);
+        assert_eq!(at_zero[0].pending, 1);
+        assert_eq!(at_zero[1].pending, 0);
+        let after = farm.statuses(run.finish);
+        assert_eq!(after[0].pending, 0, "finished streams leave the queue");
+        assert_eq!(after[0].assigned, 1);
+    }
+}

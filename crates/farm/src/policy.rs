@@ -1,0 +1,132 @@
+//! Pluggable stream-placement policies.
+//!
+//! The scheduler decomposes every job into per-limb [`OpStream`]s
+//! (see `cofhee_bfv`'s job layer) and asks a [`PlacementPolicy`] which
+//! die each stream should run on. Policies see only the farm's
+//! virtual-time status — per-die backlog clocks and queue depths — so
+//! they are deterministic by construction: the same job list against
+//! the same farm always produces the same placements.
+//!
+//! [`OpStream`]: cofhee_core::OpStream
+
+use core::fmt;
+
+/// A die's scheduling-relevant status at one placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DieStatus {
+    /// Die index within the farm.
+    pub chip: usize,
+    /// Virtual cycle at which the die's current backlog finishes.
+    pub busy_until: u64,
+    /// Streams assigned but not yet finished at the query time — the
+    /// die's queue depth as the policy sees it.
+    pub pending: usize,
+    /// Streams assigned to this die over the farm's lifetime.
+    pub assigned: u64,
+}
+
+/// Chooses a die for each stream.
+///
+/// Implementations must be deterministic functions of their own state
+/// and the presented statuses — the farm's reproducibility guarantees
+/// (bit-identical ciphertexts *and* telemetry across runs) rest on it.
+pub trait PlacementPolicy: fmt::Debug + Send {
+    /// Policy label for reports.
+    fn name(&self) -> &'static str;
+
+    /// Picks the die (index into `dies`) to place a stream that becomes
+    /// ready at virtual cycle `ready`. `dies` is never empty.
+    fn place(&mut self, dies: &[DieStatus], ready: u64) -> usize;
+}
+
+/// Static round-robin: streams cycle through the dies in index order,
+/// ignoring load. The baseline policy — cheap, fair on homogeneous
+/// traffic, and the worst of the three under skewed stream costs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place(&mut self, dies: &[DieStatus], _ready: u64) -> usize {
+        let pick = self.next % dies.len();
+        self.next = (self.next + 1) % dies.len();
+        pick
+    }
+}
+
+/// Joins the shortest queue: the die with the fewest streams still
+/// pending at the stream's ready time (ties break to the lowest die
+/// index). Balances *counts*, not cycles — a long stream behind a
+/// short queue can still build a hotspot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestQueue;
+
+impl PlacementPolicy for ShortestQueue {
+    fn name(&self) -> &'static str {
+        "shortest-queue"
+    }
+
+    fn place(&mut self, dies: &[DieStatus], _ready: u64) -> usize {
+        dies.iter().min_by_key(|d| (d.pending, d.chip)).expect("farm is non-empty").chip
+    }
+}
+
+/// Idealized work stealing: every stream goes to the die that frees up
+/// earliest (`max(busy_until, ready)` minimal; ties to the lowest die
+/// index). This is the virtual-time equivalent of an idle worker always
+/// stealing the next pending stream the moment it runs dry — the
+/// strongest of the three policies, and the one the saturation bench
+/// uses for its scaling claim.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkStealing;
+
+impl PlacementPolicy for WorkStealing {
+    fn name(&self) -> &'static str {
+        "work-stealing"
+    }
+
+    fn place(&mut self, dies: &[DieStatus], ready: u64) -> usize {
+        dies.iter()
+            .min_by_key(|d| (d.busy_until.max(ready), d.chip))
+            .expect("farm is non-empty")
+            .chip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dies() -> Vec<DieStatus> {
+        vec![
+            DieStatus { chip: 0, busy_until: 900, pending: 1, assigned: 10 },
+            DieStatus { chip: 1, busy_until: 200, pending: 3, assigned: 12 },
+            DieStatus { chip: 2, busy_until: 500, pending: 0, assigned: 7 },
+        ]
+    }
+
+    #[test]
+    fn round_robin_cycles_in_index_order() {
+        let mut p = RoundRobin::default();
+        let d = dies();
+        let picks: Vec<usize> = (0..5).map(|_| p.place(&d, 0)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn shortest_queue_minimizes_pending_count() {
+        assert_eq!(ShortestQueue.place(&dies(), 0), 2);
+    }
+
+    #[test]
+    fn work_stealing_picks_the_earliest_free_die() {
+        assert_eq!(WorkStealing.place(&dies(), 0), 1);
+        // A late-ready stream sees all dies as equally free: lowest id.
+        assert_eq!(WorkStealing.place(&dies(), 10_000), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Replays the paper's Table X application mixes through the farm.
+//!
+//! Section VI-C characterizes CryptoNets and logistic regression by
+//! their homomorphic operation mixes (`Workload`). This module turns a
+//! mix into a concrete, *deterministic* job list: counts scaled down by
+//! a divisor, operation kinds interleaved evenly (largest-remaining
+//! first — no randomness in the schedule shape), operands drawn from a
+//! tenant-supplied pool by a seeded PRNG, and arrivals spaced by a
+//! configurable inter-arrival gap (the offered-load knob the
+//! `farm_saturation` bench sweeps).
+
+use cofhee_apps::Workload;
+use cofhee_bfv::{Ciphertext, Plaintext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{FarmError, Result};
+use crate::scheduler::{Job, JobKind};
+use crate::session::SessionId;
+
+/// The operand pool a tenant stages for a replay: fresh 2-component
+/// ciphertexts and plaintexts the generated jobs draw from.
+#[derive(Debug, Clone)]
+pub struct ReplayInputs {
+    /// Ciphertext operands (2-component; `MulRelin` inputs).
+    pub ciphertexts: Vec<Ciphertext>,
+    /// Plaintext operands for the `ct+pt` / `ct*pt` jobs.
+    pub plaintexts: Vec<Plaintext>,
+}
+
+/// How a workload mix is scaled and offered to the farm.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplaySpec {
+    /// Every op count is divided by this (min 1 job per non-zero kind),
+    /// so the full Table X mixes stay tractable in simulation.
+    pub divisor: u64,
+    /// Cycles between consecutive job arrivals (0 = closed load: every
+    /// job is ready at cycle 0).
+    pub inter_arrival_cycles: u64,
+    /// Seed for the operand-selection PRNG.
+    pub seed: u64,
+}
+
+impl ReplaySpec {
+    /// A closed-load replay (all jobs arrive at once) at the given
+    /// scale.
+    pub fn closed(divisor: u64, seed: u64) -> Self {
+        Self { divisor, inter_arrival_cycles: 0, seed }
+    }
+
+    /// The same replay offered at one job per `gap` cycles.
+    #[must_use]
+    pub fn offered(mut self, gap: u64) -> Self {
+        self.inter_arrival_cycles = gap;
+        self
+    }
+}
+
+/// Scales one op count by the spec's divisor (non-zero counts keep at
+/// least one job so every kind in the mix stays represented).
+fn scaled(count: u64, divisor: u64) -> u64 {
+    if count == 0 {
+        0
+    } else {
+        (count / divisor.max(1)).max(1)
+    }
+}
+
+/// Builds the deterministic job list for `workload` under `spec`.
+///
+/// The kind sequence interleaves by largest-remaining-count (ties in
+/// fixed add → mul-plain → mul-relin order), so heavy op types spread
+/// across the timeline instead of clumping; operands cycle through the
+/// pool under the seeded PRNG. The same `(workload, spec, inputs)`
+/// triple always yields the same job list — the determinism the farm
+/// proptest pins down.
+///
+/// # Errors
+///
+/// Returns [`FarmError::EmptyInputs`] when a needed pool is empty.
+pub fn workload_jobs(
+    session: SessionId,
+    workload: &Workload,
+    spec: &ReplaySpec,
+    inputs: &ReplayInputs,
+) -> Result<Vec<Job>> {
+    if inputs.ciphertexts.is_empty() {
+        return Err(FarmError::EmptyInputs);
+    }
+    let needs_pt = workload.ct_pt_mul > 0;
+    if needs_pt && inputs.plaintexts.is_empty() {
+        return Err(FarmError::EmptyInputs);
+    }
+    let mut remaining = [
+        scaled(workload.ct_ct_add, spec.divisor),
+        scaled(workload.ct_pt_mul, spec.divisor),
+        scaled(workload.ct_ct_mul_relin, spec.divisor),
+    ];
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let total: u64 = remaining.iter().sum();
+    let mut jobs = Vec::with_capacity(total as usize);
+    let mut arrival = 0u64;
+    while remaining.iter().any(|&r| r > 0) {
+        let kind_idx = (0..3).max_by_key(|&i| (remaining[i], 2 - i)).expect("3 kinds");
+        remaining[kind_idx] -= 1;
+        let ct = |rng: &mut StdRng| {
+            inputs.ciphertexts[rng.gen_range(0..inputs.ciphertexts.len())].clone()
+        };
+        let pt =
+            |rng: &mut StdRng| inputs.plaintexts[rng.gen_range(0..inputs.plaintexts.len())].clone();
+        let kind = match kind_idx {
+            0 => JobKind::Add(ct(&mut rng), ct(&mut rng)),
+            1 => JobKind::MulPlain(ct(&mut rng), pt(&mut rng)),
+            _ => JobKind::MulRelin(ct(&mut rng), ct(&mut rng)),
+        };
+        jobs.push(Job { session, kind, arrival });
+        arrival = arrival.saturating_add(spec.inter_arrival_cycles);
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofhee_bfv::{BfvParams, Encryptor, KeyGenerator};
+
+    fn inputs() -> ReplayInputs {
+        let params = BfvParams::insecure_testing(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let kg = KeyGenerator::new(&params, &mut rng);
+        let enc = Encryptor::new(&params, kg.public_key(&mut rng).unwrap());
+        let cts = (0..3u64)
+            .map(|v| {
+                let mut c = vec![0u64; 32];
+                c[0] = v + 1;
+                enc.encrypt(&Plaintext::new(&params, c).unwrap(), &mut rng).unwrap()
+            })
+            .collect();
+        let pts = (0..2u64)
+            .map(|v| {
+                let mut c = vec![0u64; 32];
+                c[0] = v + 2;
+                Plaintext::new(&params, c).unwrap()
+            })
+            .collect();
+        ReplayInputs { ciphertexts: cts, plaintexts: pts }
+    }
+
+    #[test]
+    fn scaled_mixes_keep_every_kind_and_total() {
+        let spec = ReplaySpec::closed(10_000, 9);
+        let jobs = workload_jobs(SessionId(0), &Workload::cryptonets(), &spec, &inputs()).unwrap();
+        let cn = Workload::cryptonets();
+        let expect = scaled(cn.ct_ct_add, 10_000)
+            + scaled(cn.ct_pt_mul, 10_000)
+            + scaled(cn.ct_ct_mul_relin, 10_000);
+        assert_eq!(jobs.len() as u64, expect);
+        assert!(jobs.iter().any(|j| matches!(j.kind, JobKind::MulRelin(..))));
+        assert!(jobs.iter().any(|j| matches!(j.kind, JobKind::Add(..))));
+        assert!(jobs.iter().all(|j| j.arrival == 0), "closed load arrives at once");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_offered_load_spaces_arrivals() {
+        let spec = ReplaySpec::closed(50_000, 11).offered(500);
+        let ins = inputs();
+        let a = workload_jobs(SessionId(0), &Workload::logistic_regression(), &spec, &ins).unwrap();
+        let b = workload_jobs(SessionId(0), &Workload::logistic_regression(), &spec, &ins).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.kind.name(), y.kind.name());
+        }
+        for (i, j) in a.iter().enumerate() {
+            assert_eq!(j.arrival, i as u64 * 500);
+        }
+    }
+
+    #[test]
+    fn empty_pools_are_typed_errors() {
+        let spec = ReplaySpec::closed(1, 0);
+        let empty = ReplayInputs { ciphertexts: vec![], plaintexts: vec![] };
+        assert!(matches!(
+            workload_jobs(SessionId(0), &Workload::cryptonets(), &spec, &empty),
+            Err(FarmError::EmptyInputs)
+        ));
+    }
+}

@@ -1,0 +1,430 @@
+//! The session-aware job scheduler: whole homomorphic operations in,
+//! per-limb streams placed across dies, finished ciphertexts out.
+
+use cofhee_bfv::{Ciphertext, Plaintext};
+use cofhee_core::StreamReport;
+
+use crate::error::{FarmError, Result};
+use crate::farm::{ChipFarm, ExecutedStream};
+use crate::policy::PlacementPolicy;
+use crate::session::{Session, SessionId};
+use crate::telemetry::{latency_percentiles, FarmReport};
+
+/// One homomorphic operation submitted to the farm.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Ciphertext + ciphertext addition.
+    Add(Ciphertext, Ciphertext),
+    /// Ciphertext + plaintext addition.
+    AddPlain(Ciphertext, Plaintext),
+    /// Ciphertext × plaintext multiplication.
+    MulPlain(Ciphertext, Plaintext),
+    /// Ciphertext × ciphertext multiplication followed by
+    /// relinearization — the paper's `EvalMult` + key switch.
+    MulRelin(Ciphertext, Ciphertext),
+}
+
+impl JobKind {
+    /// Short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Add(..) => "ct+ct",
+            Self::AddPlain(..) => "ct+pt",
+            Self::MulPlain(..) => "ct*pt",
+            Self::MulRelin(..) => "ct*ct+relin",
+        }
+    }
+}
+
+/// A job: which session it belongs to, what to compute, and when it
+/// arrives on the farm's virtual clock.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The session whose keys and parameters the job runs under.
+    pub session: SessionId,
+    /// The operation.
+    pub kind: JobKind,
+    /// Arrival time in simulated cycles (the offered-load model).
+    pub arrival: u64,
+}
+
+/// What one completed job hands back.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Index of the job in the list handed to [`Scheduler::run`] (the
+    /// outcome vector itself is in arrival order).
+    pub index: usize,
+    /// The owning session.
+    pub session: SessionId,
+    /// The resulting ciphertext.
+    pub result: Ciphertext,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Virtual cycle the last of the job's streams finished.
+    pub finish: u64,
+    /// `finish − arrival`: queueing plus compute, simulated cycles.
+    pub latency: u64,
+    /// Streams the job decomposed into.
+    pub streams: usize,
+}
+
+/// Multiplexes tenant jobs across a [`ChipFarm`] under a pluggable
+/// [`PlacementPolicy`].
+///
+/// The scheduler is **deterministic end to end**: jobs are processed in
+/// arrival order (submission order breaking ties), policies see only
+/// virtual-time state, and every die computes bit-identically — so a
+/// fixed job list yields bit-identical ciphertexts and identical
+/// telemetry across repeated runs, and bit-identical ciphertexts
+/// regardless of chip count or policy (only the *timing* telemetry
+/// responds to placement).
+///
+/// # Example
+///
+/// ```
+/// use cofhee_bfv::{BfvParams, Encryptor, KeyGenerator, Plaintext};
+/// use cofhee_core::ChipBackendFactory;
+/// use cofhee_farm::{ChipFarm, Job, JobKind, Scheduler, Session, WorkStealing};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = BfvParams::insecure_testing(32)?;
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let kg = KeyGenerator::new(&params, &mut rng);
+/// let enc = Encryptor::new(&params, kg.public_key(&mut rng)?);
+///
+/// let farm = ChipFarm::new(2, ChipBackendFactory::silicon())?;
+/// let mut sched = Scheduler::new(farm, Box::new(WorkStealing));
+/// let tenant = sched.open_session(Session::new(
+///     "tenant-a",
+///     &params,
+///     kg.relin_key(16, &mut rng)?,
+/// )?);
+///
+/// let a = enc.encrypt(&Plaintext::new(&params, vec![3; 32])?, &mut rng)?;
+/// let b = enc.encrypt(&Plaintext::new(&params, vec![4; 32])?, &mut rng)?;
+/// let outcomes = sched.run(vec![Job {
+///     session: tenant,
+///     kind: JobKind::Add(a, b),
+///     arrival: 0,
+/// }])?;
+/// assert_eq!(outcomes.len(), 1);
+/// assert!(sched.report().makespan_cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    farm: ChipFarm,
+    policy: Box<dyn PlacementPolicy>,
+    sessions: Vec<std::sync::Arc<Session>>,
+    latencies: Vec<u64>,
+    jobs_done: u64,
+    stream_totals: StreamReport,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over `farm` with the given placement policy.
+    pub fn new(farm: ChipFarm, policy: Box<dyn PlacementPolicy>) -> Self {
+        Self {
+            farm,
+            policy,
+            sessions: Vec::new(),
+            latencies: Vec::new(),
+            jobs_done: 0,
+            stream_totals: StreamReport::default(),
+        }
+    }
+
+    /// Registers a tenant session; ids are sequential in open order.
+    pub fn open_session(&mut self, session: Session) -> SessionId {
+        self.sessions.push(std::sync::Arc::new(session));
+        SessionId(self.sessions.len() as u64 - 1)
+    }
+
+    /// Looks up an open session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FarmError::UnknownSession`] for ids never issued.
+    pub fn session(&self, id: SessionId) -> Result<&Session> {
+        self.sessions
+            .get(id.0 as usize)
+            .map(|s| s.as_ref())
+            .ok_or(FarmError::UnknownSession { id: id.0 })
+    }
+
+    /// The shared handle of an open session (cheap to keep across a
+    /// mutable use of the scheduler).
+    fn session_handle(&self, id: SessionId) -> Result<std::sync::Arc<Session>> {
+        self.sessions.get(id.0 as usize).cloned().ok_or(FarmError::UnknownSession { id: id.0 })
+    }
+
+    /// The underlying farm (inspection).
+    pub fn farm(&self) -> &ChipFarm {
+        &self.farm
+    }
+
+    /// Places one ready stream via the policy and executes it.
+    fn place_and_run(
+        &mut self,
+        q: u128,
+        n: usize,
+        stream: &cofhee_core::OpStream,
+        ready: u64,
+    ) -> Result<ExecutedStream> {
+        let statuses = self.farm.statuses(ready);
+        let chip = self.policy.place(&statuses, ready);
+        let run = self.farm.execute(chip, q, n, stream, ready)?;
+        self.stream_totals.absorb(&run.outcome.report);
+        Ok(run)
+    }
+
+    /// Executes one job, returning its result and finish time.
+    fn run_job(&mut self, job: &Job) -> Result<(Ciphertext, u64, usize)> {
+        let session = self.session_handle(job.session)?;
+        let ev = session.evaluator();
+        let (q, n) = (session.params().q(), session.params().n());
+        match &job.kind {
+            JobKind::Add(a, b) => {
+                let st = ev.add_stream(a, b)?;
+                let run = self.place_and_run(q, n, &st, job.arrival)?;
+                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, 1))
+            }
+            JobKind::AddPlain(a, pt) => {
+                let st = ev.add_plain_stream(a, pt)?;
+                let run = self.place_and_run(q, n, &st, job.arrival)?;
+                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, 1))
+            }
+            JobKind::MulPlain(a, pt) => {
+                let st = ev.mul_plain_stream(a, pt)?;
+                let run = self.place_and_run(q, n, &st, job.arrival)?;
+                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, 1))
+            }
+            JobKind::MulRelin(a, b) => {
+                // Phase 1: the per-CRT-limb tensor streams, independent
+                // and all ready at arrival — the farm's parallelism.
+                let streams = ev.tensor_streams(a, b)?;
+                let primes = session.params().mult_basis().moduli().to_vec();
+                let mut limbs = Vec::with_capacity(streams.len());
+                let mut tensor_done = job.arrival;
+                for (stream, &p) in streams.iter().zip(&primes) {
+                    let run = self.place_and_run(p, n, stream, job.arrival)?;
+                    tensor_done = tensor_done.max(run.finish);
+                    limbs.push(run.outcome.outputs);
+                }
+                // Host-side CRT reconstruction + Eq. 4 rounding (not
+                // cycle-accounted: the host works off-die).
+                let prod3 = ev.tensor_combine(&limbs)?;
+                // Phase 2: the key switch, ready once every limb is in.
+                let rst = ev.relin_stream(&prod3, session.relin_key())?;
+                let run = self.place_and_run(q, n, &rst, tensor_done)?;
+                let ct = ev.ciphertext_from_outputs(run.outcome.outputs)?;
+                Ok((ct, run.finish, streams.len() + 1))
+            }
+        }
+    }
+
+    /// Runs a batch of jobs to completion in arrival order (submission
+    /// order breaks ties), returning per-job outcomes in that order.
+    ///
+    /// # Errors
+    ///
+    /// Unknown sessions, recording failures, chip faults (tagged with
+    /// the die index).
+    pub fn run(&mut self, jobs: Vec<Job>) -> Result<Vec<JobOutcome>> {
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by_key(|&i| (jobs[i].arrival, i));
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for &ji in &order {
+            let job = &jobs[ji];
+            let (result, finish, streams) = self.run_job(job)?;
+            let latency = finish.saturating_sub(job.arrival);
+            self.latencies.push(latency);
+            self.jobs_done += 1;
+            outcomes.push(JobOutcome {
+                index: ji,
+                session: job.session,
+                result,
+                arrival: job.arrival,
+                finish,
+                latency,
+                streams,
+            });
+        }
+        Ok(outcomes)
+    }
+
+    /// The aggregate telemetry of everything this scheduler has run.
+    pub fn report(&self) -> FarmReport {
+        let chips = self.farm.chip_stats();
+        let streams = chips.iter().fold(0u64, |acc, c| acc.saturating_add(c.streams));
+        FarmReport {
+            policy: self.policy.name(),
+            chips,
+            jobs: self.jobs_done,
+            streams,
+            makespan_cycles: self.farm.makespan(),
+            latency: latency_percentiles(&self.latencies),
+            stream_totals: self.stream_totals,
+            freq_hz: self.farm.freq_hz(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{RoundRobin, ShortestQueue, WorkStealing};
+    use cofhee_bfv::{BfvParams, Decryptor, Encryptor, KeyGenerator};
+    use cofhee_core::ChipBackendFactory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Tenant {
+        params: BfvParams,
+        enc: Encryptor,
+        dec: Decryptor,
+        rlk: cofhee_bfv::RelinKey,
+        rng: StdRng,
+    }
+
+    fn tenant(seed: u64) -> Tenant {
+        let params = BfvParams::insecure_testing(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = KeyGenerator::new(&params, &mut rng);
+        let pk = kg.public_key(&mut rng).unwrap();
+        Tenant {
+            enc: Encryptor::new(&params, pk),
+            dec: Decryptor::new(&params, kg.secret_key().clone()),
+            rlk: kg.relin_key(16, &mut rng).unwrap(),
+            params,
+            rng,
+        }
+    }
+
+    fn encrypt(t: &mut Tenant, v: u64) -> Ciphertext {
+        let mut coeffs = vec![0u64; t.params.n()];
+        coeffs[0] = v;
+        t.enc.encrypt(&Plaintext::new(&t.params, coeffs).unwrap(), &mut t.rng).unwrap()
+    }
+
+    fn sched(chips: usize, policy: Box<dyn PlacementPolicy>, t: &Tenant) -> (Scheduler, SessionId) {
+        let farm = ChipFarm::new(chips, ChipBackendFactory::silicon()).unwrap();
+        let mut s = Scheduler::new(farm, policy);
+        let id = s.open_session(Session::new("tenant", &t.params, t.rlk.clone()).unwrap());
+        (s, id)
+    }
+
+    #[test]
+    fn jobs_of_every_kind_decrypt_correctly() {
+        let mut t = tenant(31);
+        let (mut s, id) = sched(2, Box::new(WorkStealing), &t);
+        let a = encrypt(&mut t, 9);
+        let b = encrypt(&mut t, 11);
+        let mut pt30 = vec![0u64; t.params.n()];
+        pt30[0] = 30;
+        let pt = Plaintext::new(&t.params, pt30).unwrap();
+        let outcomes = s
+            .run(vec![
+                Job { session: id, kind: JobKind::Add(a.clone(), b.clone()), arrival: 0 },
+                Job { session: id, kind: JobKind::AddPlain(a.clone(), pt.clone()), arrival: 0 },
+                Job { session: id, kind: JobKind::MulPlain(a.clone(), pt.clone()), arrival: 0 },
+                Job { session: id, kind: JobKind::MulRelin(a, b), arrival: 0 },
+            ])
+            .unwrap();
+        let decrypted: Vec<u64> =
+            outcomes.iter().map(|o| t.dec.decrypt(&o.result).unwrap().coeffs()[0]).collect();
+        assert_eq!(decrypted, vec![20, 39, 270, 99]);
+        assert_eq!(outcomes[3].streams, t.params.mult_basis().moduli().len() + 1);
+        let report = s.report();
+        assert_eq!(report.jobs, 4);
+        assert!(report.makespan_cycles > 0);
+        assert!(report.latency.p50 > 0);
+        assert!(report.stream_totals.serial_cycles >= report.stream_totals.overlapped_cycles);
+    }
+
+    #[test]
+    fn results_are_identical_across_policies_and_farm_sizes() {
+        let mut t = tenant(32);
+        let a = encrypt(&mut t, 5);
+        let b = encrypt(&mut t, 7);
+        let jobs = |id: SessionId| {
+            vec![
+                Job { session: id, kind: JobKind::MulRelin(a.clone(), b.clone()), arrival: 0 },
+                Job { session: id, kind: JobKind::Add(a.clone(), b.clone()), arrival: 100 },
+            ]
+        };
+        let mut reference: Option<Vec<Vec<Vec<u128>>>> = None;
+        for (chips, policy) in [
+            (1usize, Box::new(RoundRobin::default()) as Box<dyn PlacementPolicy>),
+            (3, Box::new(RoundRobin::default())),
+            (3, Box::new(ShortestQueue)),
+            (4, Box::new(WorkStealing)),
+        ] {
+            let (mut s, id) = sched(chips, policy, &t);
+            let outcomes = s.run(jobs(id)).unwrap();
+            let values: Vec<Vec<Vec<u128>>> = outcomes
+                .iter()
+                .map(|o| o.result.polys().iter().map(|p| p.to_u128_vec()).collect())
+                .collect();
+            match &reference {
+                None => reference = Some(values),
+                Some(r) => assert_eq!(&values, r, "{chips}-chip farm diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_chip_farms_shorten_the_makespan() {
+        let mut t = tenant(33);
+        let a = encrypt(&mut t, 2);
+        let b = encrypt(&mut t, 3);
+        let jobs = |id: SessionId| {
+            (0..4)
+                .map(|_| Job {
+                    session: id,
+                    kind: JobKind::MulRelin(a.clone(), b.clone()),
+                    arrival: 0,
+                })
+                .collect::<Vec<_>>()
+        };
+        let (mut one, id1) = sched(1, Box::new(WorkStealing), &t);
+        one.run(jobs(id1)).unwrap();
+        let (mut four, id4) = sched(4, Box::new(WorkStealing), &t);
+        four.run(jobs(id4)).unwrap();
+        let (m1, m4) = (one.report().makespan_cycles, four.report().makespan_cycles);
+        assert!(m4 * 2 < m1, "4 dies must cut the makespan by well over 2x: {m1} -> {m4}");
+    }
+
+    #[test]
+    fn sessions_are_isolated_and_unknown_ids_are_typed_errors() {
+        let mut ta = tenant(34);
+        let mut tb = tenant(35);
+        let farm = ChipFarm::new(2, ChipBackendFactory::silicon()).unwrap();
+        let mut s = Scheduler::new(farm, Box::new(ShortestQueue));
+        let ida = s.open_session(Session::new("a", &ta.params, ta.rlk.clone()).unwrap());
+        let idb = s.open_session(Session::new("b", &tb.params, tb.rlk.clone()).unwrap());
+        let ca = encrypt(&mut ta, 4);
+        let cb = encrypt(&mut tb, 6);
+        let outcomes = s
+            .run(vec![
+                Job { session: ida, kind: JobKind::MulRelin(ca.clone(), ca), arrival: 0 },
+                Job { session: idb, kind: JobKind::MulRelin(cb.clone(), cb), arrival: 0 },
+            ])
+            .unwrap();
+        // Each tenant decrypts its own result with its own key.
+        assert_eq!(ta.dec.decrypt(&outcomes[0].result).unwrap().coeffs()[0], 16);
+        assert_eq!(tb.dec.decrypt(&outcomes[1].result).unwrap().coeffs()[0], 36);
+        // Foreign session ids fail typed.
+        let err = s
+            .run(vec![Job {
+                session: SessionId(99),
+                kind: JobKind::Add(encrypt(&mut ta, 1), encrypt(&mut ta, 1)),
+                arrival: 0,
+            }])
+            .unwrap_err();
+        assert!(matches!(err, FarmError::UnknownSession { id: 99 }));
+    }
+}

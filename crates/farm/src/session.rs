@@ -1,0 +1,95 @@
+//! Tenant sessions: the unit of multi-tenancy the farm schedules for.
+
+use cofhee_bfv::{BfvParams, Evaluator, RelinKey};
+
+use crate::error::Result;
+
+/// Identifies an open session within one [`Scheduler`](crate::Scheduler).
+///
+/// Ids are scheduler-local and sequential (the open order), so a fixed
+/// session-open sequence always yields the same ids — part of the
+/// farm's determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl core::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// One tenant's standing state on the farm: BFV parameters, the public
+/// evaluation material (relinearization key), and an [`Evaluator`]
+/// handle used purely for job-stream recording and host-side finishing
+/// (CRT recombination, Eq. 4 rounding) — the polynomial work itself
+/// always executes on farm dies.
+///
+/// The tenant keeps the secret key; the farm only ever holds what a
+/// real FHE service would: parameters, ciphertexts in flight, and
+/// public key-switch material.
+#[derive(Debug, Clone)]
+pub struct Session {
+    tenant: String,
+    params: BfvParams,
+    evaluator: Evaluator,
+    rlk: RelinKey,
+}
+
+impl Session {
+    /// Opens a session for `tenant` under `params` with the tenant's
+    /// relinearization key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator bring-up failures (none for validated
+    /// parameter sets).
+    pub fn new(tenant: &str, params: &BfvParams, rlk: RelinKey) -> Result<Self> {
+        Ok(Self {
+            tenant: tenant.to_string(),
+            params: params.clone(),
+            evaluator: Evaluator::new(params)?,
+            rlk,
+        })
+    }
+
+    /// The tenant label (reports, debugging).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The session's BFV parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// The evaluator handle recording job streams and finishing them
+    /// host-side.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// The tenant's relinearization key.
+    pub fn relin_key(&self) -> &RelinKey {
+        &self.rlk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sessions_carry_tenant_material() {
+        let params = BfvParams::insecure_testing(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let kg = cofhee_bfv::KeyGenerator::new(&params, &mut rng);
+        let rlk = kg.relin_key(16, &mut rng).unwrap();
+        let s = Session::new("acme", &params, rlk).unwrap();
+        assert_eq!(s.tenant(), "acme");
+        assert_eq!(s.params().n(), 32);
+        assert!(s.relin_key().digit_count() > 0);
+        assert_eq!(format!("{}", SessionId(4)), "session#4");
+    }
+}

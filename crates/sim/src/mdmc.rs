@@ -62,28 +62,30 @@ pub struct PhaseCycles {
 }
 
 impl PhaseCycles {
-    /// Total cycles across all phases.
+    /// Total cycles across all phases (saturating, like the merges).
     pub fn total(&self) -> u64 {
         self.ct_butterfly
-            + self.gs_butterfly
-            + self.scale_pass
-            + self.hadamard_pass
-            + self.addsub_pass
-            + self.raw_mul_pass
-            + self.dma
-            + self.overhead
+            .saturating_add(self.gs_butterfly)
+            .saturating_add(self.scale_pass)
+            .saturating_add(self.hadamard_pass)
+            .saturating_add(self.addsub_pass)
+            .saturating_add(self.raw_mul_pass)
+            .saturating_add(self.dma)
+            .saturating_add(self.overhead)
     }
 
-    /// Merges another breakdown into this one.
+    /// Merges another breakdown into this one. Sums saturate: a
+    /// long-lived ledger (a farm replaying millions of jobs) pins at
+    /// `u64::MAX` instead of wrapping.
     pub fn absorb(&mut self, other: &PhaseCycles) {
-        self.ct_butterfly += other.ct_butterfly;
-        self.gs_butterfly += other.gs_butterfly;
-        self.scale_pass += other.scale_pass;
-        self.hadamard_pass += other.hadamard_pass;
-        self.addsub_pass += other.addsub_pass;
-        self.raw_mul_pass += other.raw_mul_pass;
-        self.dma += other.dma;
-        self.overhead += other.overhead;
+        self.ct_butterfly = self.ct_butterfly.saturating_add(other.ct_butterfly);
+        self.gs_butterfly = self.gs_butterfly.saturating_add(other.gs_butterfly);
+        self.scale_pass = self.scale_pass.saturating_add(other.scale_pass);
+        self.hadamard_pass = self.hadamard_pass.saturating_add(other.hadamard_pass);
+        self.addsub_pass = self.addsub_pass.saturating_add(other.addsub_pass);
+        self.raw_mul_pass = self.raw_mul_pass.saturating_add(other.raw_mul_pass);
+        self.dma = self.dma.saturating_add(other.dma);
+        self.overhead = self.overhead.saturating_add(other.overhead);
     }
 }
 
@@ -111,15 +113,25 @@ pub struct OpReport {
 
 impl OpReport {
     /// Merges another report into this one (sequential composition).
+    /// Every field sums saturating — aggregating cycle totals across a
+    /// million-job replay pins at `u64::MAX` instead of wrapping into a
+    /// silently small number.
     pub fn absorb(&mut self, other: &OpReport) {
-        self.cycles += other.cycles;
-        self.butterflies += other.butterflies;
-        self.mults += other.mults;
-        self.addsubs += other.addsubs;
-        self.mem_reads += other.mem_reads;
-        self.mem_writes += other.mem_writes;
-        self.dma_words += other.dma_words;
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        self.butterflies = self.butterflies.saturating_add(other.butterflies);
+        self.mults = self.mults.saturating_add(other.mults);
+        self.addsubs = self.addsubs.saturating_add(other.addsubs);
+        self.mem_reads = self.mem_reads.saturating_add(other.mem_reads);
+        self.mem_writes = self.mem_writes.saturating_add(other.mem_writes);
+        self.dma_words = self.dma_words.saturating_add(other.dma_words);
         self.phases.absorb(&other.phases);
+    }
+
+    /// Alias for [`OpReport::absorb`] under the name aggregation call
+    /// sites expect (`a.merge(&b)`), so farm-level telemetry never
+    /// hand-rolls field-by-field sums.
+    pub fn merge(&mut self, other: &OpReport) {
+        self.absorb(other);
     }
 }
 

@@ -24,6 +24,9 @@
 //!   `PolyBackend` execution API (pluggable CPU / chip backends).
 //! * [`apps`] — CryptoNets and logistic regression, as op-count models
 //!   and as functional encrypted demos.
+//! * [`farm`] — the multi-chip execution service: a pool of simulated
+//!   dies, tenant sessions, and a session-aware scheduler multiplexing
+//!   homomorphic jobs across the pool under a virtual-time clock.
 //!
 //! See the `examples/` directory for runnable entry points and
 //! EXPERIMENTS.md for the paper-vs-measured record.
@@ -35,6 +38,7 @@ pub use cofhee_apps as apps;
 pub use cofhee_arith as arith;
 pub use cofhee_bfv as bfv;
 pub use cofhee_core as core;
+pub use cofhee_farm as farm;
 pub use cofhee_physical as physical;
 pub use cofhee_poly as poly;
 pub use cofhee_sim as sim;

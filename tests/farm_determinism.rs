@@ -1,0 +1,215 @@
+//! Property tests for the farm's determinism contract: a fixed job
+//! list yields bit-identical ciphertexts and identical virtual-time
+//! telemetry across repeated runs, and bit-identical ciphertexts across
+//! farm sizes and placement policies — results must never depend on
+//! placement; only timing may.
+//!
+//! Correctness rides along: every scheduled job's result must decrypt
+//! to the plaintext arithmetic it encodes.
+
+use cofhee::bfv::{BfvParams, Ciphertext, Decryptor, Encryptor, KeyGenerator, Plaintext};
+use cofhee::core::ChipBackendFactory;
+use cofhee::farm::{
+    ChipFarm, ChipStats, FarmReport, Job, JobKind, LatencyPercentiles, PlacementPolicy, RoundRobin,
+    Scheduler, Session, ShortestQueue, WorkStealing,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+const N: usize = 32;
+
+/// One random job descriptor: (kind selector, ct pick, ct/pt pick).
+type JobDesc = (usize, usize, usize);
+
+struct Fixture {
+    params: BfvParams,
+    dec: Decryptor,
+    rlk: cofhee::bfv::RelinKey,
+    cts: Vec<Ciphertext>,
+    ct_vals: Vec<u64>,
+    pts: Vec<Plaintext>,
+    pt_vals: Vec<u64>,
+}
+
+fn fixture() -> Fixture {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let params = BfvParams::insecure_testing(N).unwrap();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let kg = KeyGenerator::new(&params, &mut rng);
+    let enc = Encryptor::new(&params, kg.public_key(&mut rng).unwrap());
+    let ct_vals = vec![3u64, 5, 7];
+    let cts = ct_vals
+        .iter()
+        .map(|&v| {
+            let mut coeffs = vec![0u64; N];
+            coeffs[0] = v;
+            enc.encrypt(&Plaintext::new(&params, coeffs).unwrap(), &mut rng).unwrap()
+        })
+        .collect();
+    let pt_vals = vec![2u64, 4];
+    let pts = pt_vals
+        .iter()
+        .map(|&v| {
+            let mut coeffs = vec![0u64; N];
+            coeffs[0] = v;
+            Plaintext::new(&params, coeffs).unwrap()
+        })
+        .collect();
+    Fixture {
+        dec: Decryptor::new(&params, kg.secret_key().clone()),
+        rlk: kg.relin_key(16, &mut rng).unwrap(),
+        params,
+        cts,
+        ct_vals,
+        pts,
+        pt_vals,
+    }
+}
+
+/// Materializes descriptors into jobs plus their expected decryptions.
+fn build_jobs(
+    f: &Fixture,
+    descs: &[JobDesc],
+    gap: u64,
+    session: cofhee::farm::SessionId,
+) -> (Vec<Job>, Vec<u64>) {
+    let t = f.params.t();
+    let mut jobs = Vec::new();
+    let mut expected = Vec::new();
+    for (i, &(kind, x, y)) in descs.iter().enumerate() {
+        let a = x % f.cts.len();
+        let b = y % f.cts.len();
+        let p = y % f.pts.len();
+        let (kind, expect) = match kind % 4 {
+            0 => (
+                JobKind::Add(f.cts[a].clone(), f.cts[b].clone()),
+                (f.ct_vals[a] + f.ct_vals[b]) % t,
+            ),
+            1 => (
+                JobKind::AddPlain(f.cts[a].clone(), f.pts[p].clone()),
+                (f.ct_vals[a] + f.pt_vals[p]) % t,
+            ),
+            2 => (
+                JobKind::MulPlain(f.cts[a].clone(), f.pts[p].clone()),
+                (f.ct_vals[a] * f.pt_vals[p]) % t,
+            ),
+            _ => (
+                JobKind::MulRelin(f.cts[a].clone(), f.cts[b].clone()),
+                (f.ct_vals[a] * f.ct_vals[b]) % t,
+            ),
+        };
+        jobs.push(Job { session, kind, arrival: i as u64 * gap });
+        expected.push(expect);
+    }
+    (jobs, expected)
+}
+
+/// Runs the job list on a fresh farm; returns raw result coefficients
+/// and the full report.
+fn run(
+    f: &Fixture,
+    chips: usize,
+    policy: Box<dyn PlacementPolicy>,
+    descs: &[JobDesc],
+    gap: u64,
+) -> (Vec<Vec<Vec<u128>>>, FarmReport) {
+    let farm = ChipFarm::new(chips, ChipBackendFactory::silicon()).unwrap();
+    let mut sched = Scheduler::new(farm, policy);
+    let id = sched.open_session(Session::new("prop", &f.params, f.rlk.clone()).unwrap());
+    let (jobs, _) = build_jobs(f, descs, gap, id);
+    let outcomes = sched.run(jobs).unwrap();
+    let values = outcomes
+        .iter()
+        .map(|o| o.result.polys().iter().map(|p| p.to_u128_vec()).collect())
+        .collect();
+    (values, sched.report())
+}
+
+/// Telemetry equality: everything the report exposes, field by field.
+fn assert_reports_identical(a: &FarmReport, b: &FarmReport) {
+    assert_eq!(a.policy, b.policy);
+    assert_eq!(a.jobs, b.jobs);
+    assert_eq!(a.streams, b.streams);
+    assert_eq!(a.makespan_cycles, b.makespan_cycles);
+    let (LatencyPercentiles { p50, p95, p99, max }, lb) = (a.latency, b.latency);
+    assert_eq!((p50, p95, p99, max), (lb.p50, lb.p95, lb.p99, lb.max));
+    let pairs: Vec<(&ChipStats, &ChipStats)> = a.chips.iter().zip(b.chips.iter()).collect();
+    assert_eq!(a.chips.len(), b.chips.len());
+    for (x, y) in pairs {
+        assert_eq!(x, y);
+    }
+    assert_eq!(a.stream_totals, b.stream_totals);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The acceptance property: repeated runs are bit-and-cycle
+    // identical; farm size and policy change timing only, never values;
+    // and every result decrypts to its plaintext arithmetic.
+    #[test]
+    fn fixed_job_lists_replay_identically_across_runs_and_farm_sizes(
+        all_descs in pvec((any::<usize>(), any::<usize>(), any::<usize>()), 5),
+        len in 1usize..6,
+        gap in 0u64..2000,
+    ) {
+        let descs = all_descs[..len.min(all_descs.len())].to_vec();
+        let f = fixture();
+
+        // 1-chip farm, twice: identical ciphertexts AND telemetry.
+        let (v1a, r1a) = run(&f, 1, Box::new(WorkStealing), &descs, gap);
+        let (v1b, r1b) = run(&f, 1, Box::new(WorkStealing), &descs, gap);
+        prop_assert_eq!(&v1a, &v1b);
+        assert_reports_identical(&r1a, &r1b);
+
+        // 4-chip farm, twice: same contract.
+        let (v4a, r4a) = run(&f, 4, Box::new(WorkStealing), &descs, gap);
+        let (v4b, r4b) = run(&f, 4, Box::new(WorkStealing), &descs, gap);
+        prop_assert_eq!(&v4a, &v4b);
+        assert_reports_identical(&r4a, &r4b);
+
+        // Across farm sizes and policies: values must not depend on
+        // placement.
+        prop_assert_eq!(&v1a, &v4a);
+        let (v4rr, _) = run(&f, 4, Box::new(RoundRobin::default()), &descs, gap);
+        let (v3sq, _) = run(&f, 3, Box::new(ShortestQueue), &descs, gap);
+        prop_assert_eq!(&v4a, &v4rr);
+        prop_assert_eq!(&v4a, &v3sq);
+
+        // Work conservation: same streams executed regardless of size.
+        prop_assert_eq!(r1a.streams, r4a.streams);
+        prop_assert_eq!(r1a.jobs, r4a.jobs);
+
+        // Correctness: outcomes decrypt to the plaintext arithmetic.
+        let farm = ChipFarm::new(2, ChipBackendFactory::silicon()).unwrap();
+        let mut sched = Scheduler::new(farm, Box::new(WorkStealing));
+        let id = sched
+            .open_session(Session::new("prop", &f.params, f.rlk.clone()).unwrap());
+        let (jobs, expected) = build_jobs(&f, &descs, gap, id);
+        let outcomes = sched.run(jobs).unwrap();
+        for (o, expect) in outcomes.iter().zip(&expected) {
+            let got = f.dec.decrypt(&o.result).unwrap().coeffs()[0];
+            prop_assert_eq!(got, *expect);
+        }
+    }
+}
+
+/// Multi-chip farms must never do *more* total stream work than one
+/// die, and the virtual clock must strictly benefit from added dies on
+/// a parallel mul+relin burst (deterministic spot check).
+#[test]
+fn added_dies_strictly_shorten_a_parallel_burst() {
+    let f = fixture();
+    let descs: Vec<JobDesc> = (0..4).map(|i| (3, i, i + 1)).collect();
+    let (_, r1) = run(&f, 1, Box::new(WorkStealing), &descs, 0);
+    let (_, r4) = run(&f, 4, Box::new(WorkStealing), &descs, 0);
+    assert_eq!(r1.streams, r4.streams);
+    assert!(
+        r4.makespan_cycles < r1.makespan_cycles,
+        "4 dies must finish the burst sooner: {} !< {}",
+        r4.makespan_cycles,
+        r1.makespan_cycles
+    );
+    assert!(r4.throughput_ops_per_sec() > 2.0 * r1.throughput_ops_per_sec());
+}
