@@ -75,7 +75,11 @@ impl Barrett64 {
     }
 
     /// Reduces a full 128-bit value modulo `q`.
-    #[inline]
+    ///
+    /// `inline(always)`: this sits inside every strict NTT butterfly
+    /// and Hadamard pass; a call boundary here (e.g. in non-LTO test
+    /// builds) costs more than the reduction itself.
+    #[inline(always)]
     pub fn reduce_u128(&self, z: u128) -> u64 {
         // t = floor(z * ratio / 2^128); r = z - t*q, then one conditional
         // subtract (the classical bound gives r < 2q for this configuration
@@ -117,7 +121,7 @@ impl Barrett64 {
     ///
     /// This is the single-multiplication fast path hardware and optimized
     /// NTT software use for twiddle factors.
-    #[inline]
+    #[inline(always)]
     pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
         let qhat = (((a as u128) * (w_shoup as u128)) >> 64) as u64;
         let r = a.wrapping_mul(w).wrapping_sub(qhat.wrapping_mul(self.q));
@@ -152,7 +156,7 @@ impl ModRing for Barrett64 {
         value as u128
     }
 
-    #[inline]
+    #[inline(always)]
     fn add(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.q && b < self.q);
         let s = a + b;
@@ -163,7 +167,7 @@ impl ModRing for Barrett64 {
         }
     }
 
-    #[inline]
+    #[inline(always)]
     fn sub(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.q && b < self.q);
         if a >= b {
@@ -173,7 +177,7 @@ impl ModRing for Barrett64 {
         }
     }
 
-    #[inline]
+    #[inline(always)]
     fn mul(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.q && b < self.q);
         self.reduce_u128((a as u128) * (b as u128))
@@ -184,7 +188,7 @@ impl ModRing for Barrett64 {
         self.shoup_precompute(w)
     }
 
-    #[inline]
+    #[inline(always)]
     fn mul_prepared(&self, a: u64, w: u64, aux: u64) -> u64 {
         self.mul_shoup(a, w, aux)
     }
@@ -265,6 +269,7 @@ impl Barrett128 {
     /// # Panics
     ///
     /// Panics in debug builds if `x ≥ q²`.
+    #[inline]
     pub fn reduce_u256(&self, x: U256) -> u128 {
         debug_assert!({
             let (qq_lo, qq_hi) = U256::from_u128(self.q).widening_mul(U256::from_u128(self.q));
@@ -299,6 +304,7 @@ impl ModRing for Barrett128 {
         1
     }
 
+    #[inline]
     fn from_u128(&self, value: u128) -> u128 {
         if value < self.q {
             value
@@ -318,7 +324,7 @@ impl ModRing for Barrett128 {
         value
     }
 
-    #[inline]
+    #[inline(always)]
     fn add(&self, a: u128, b: u128) -> u128 {
         debug_assert!(a < self.q && b < self.q);
         let (s, carry) = a.overflowing_add(b);
@@ -329,7 +335,7 @@ impl ModRing for Barrett128 {
         }
     }
 
-    #[inline]
+    #[inline(always)]
     fn sub(&self, a: u128, b: u128) -> u128 {
         debug_assert!(a < self.q && b < self.q);
         if a >= b {
@@ -339,7 +345,7 @@ impl ModRing for Barrett128 {
         }
     }
 
-    #[inline]
+    #[inline(always)]
     fn mul(&self, a: u128, b: u128) -> u128 {
         debug_assert!(a < self.q && b < self.q);
         let (lo, hi) = U256::from_u128(a).widening_mul(U256::from_u128(b));

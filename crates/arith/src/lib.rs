@@ -12,6 +12,9 @@
 //!   including the `BARRETTCTL1`/`BARRETTCTL2` constants of Table II.
 //! * [`Montgomery64`] / [`Montgomery128`] — the alternative the paper
 //!   compares against, for the multiplier ablation.
+//! * [`ShoupMul`] / [`LazyRing`] — Shoup precomputed constants and
+//!   Harvey-style lazy reduction (`[0, 2q)` redundant representation,
+//!   single final correction): the host-side NTT hot path.
 //! * [`primes`] — NTT-friendly prime search following the paper's
 //!   `q = 2k·n + 1` construction (Section III-J).
 //! * [`roots`] — primitive `2n`-th roots of unity and derived constants
@@ -45,6 +48,7 @@ mod barrett;
 mod error;
 mod montgomery;
 mod ring;
+mod shoup;
 mod u256;
 
 pub mod primes;
@@ -55,4 +59,5 @@ pub use barrett::{Barrett128, Barrett64, MAX_BARRETT64_BITS};
 pub use error::{ArithError, Result};
 pub use montgomery::{Montgomery128, Montgomery64};
 pub use ring::ModRing;
+pub use shoup::{LazyRing, ShoupMul};
 pub use u256::U256;

@@ -1,0 +1,449 @@
+//! The host hot-path profiler: strict vs Harvey-lazy kernel ns/op,
+//! machine-readable, CI-gated.
+//!
+//! Measures the CPU polynomial kernels the whole stack bottoms out in —
+//! forward/inverse NTT, the fully-fused Algorithm 2 `poly_mul`, and the
+//! fused `intt ∘ hadamard` — on both engine widths (Barrett64 word
+//! towers and the chip-native Barrett128), comparing the strict
+//! per-butterfly-reduction kernels (`cofhee_poly::ntt`, the oracle)
+//! against the Harvey lazy-reduction rewrite (`cofhee_poly::lazy`).
+//! Every measured pair is also checked bit-exact before it is timed.
+//!
+//! ```sh
+//! cargo run --release -p cofhee_bench --bin hotpath_profile             # degrees 2^10–2^14
+//! cargo run --release -p cofhee_bench --bin hotpath_profile -- --smoke  # degrees 2^10–2^11
+//! cargo run --release -p cofhee_bench --bin hotpath_profile -- --smoke --check
+//! ```
+//!
+//! Always writes `BENCH_hotpath.json` (schema `cofhee-hotpath-v1`) to
+//! the working directory — the artifact CI uploads.
+//!
+//! **Full mode** asserts the tentpole acceptance criterion: ≥2x ns/op
+//! improvement on `ntt` and `poly_mul` at degree 2^13, on both rings.
+//!
+//! **`--check`** is the CI perf-regression gate: it loads
+//! `bench/baselines/hotpath.json` and fails (with a diff table) if any
+//! lazy kernel's ns/op regressed more than 25% against the baseline.
+//! Both sides are normalized to the *same-run* strict kernel
+//! (`lazy_ns / strict_ns`) so the gate measures kernel quality, not
+//! the speed of the CI host it happens to run on.
+
+use std::fmt::Write as _;
+
+use cofhee_arith::{primes::ntt_prime, Barrett128, Barrett64, LazyRing, ModRing};
+use cofhee_poly::{ntt, pointwise, HarveyNtt};
+
+/// Allowed relative regression of `lazy_ns / strict_ns` vs baseline.
+const REGRESSION_BUDGET: f64 = 0.25;
+/// The acceptance floor for `ntt` / `poly_mul` at degree 2^13.
+const ACCEPTANCE_SPEEDUP: f64 = 2.0;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    ring: String,
+    log_n: u32,
+    op: String,
+    strict_ns: f64,
+    lazy_ns: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.strict_ns / self.lazy_ns
+    }
+
+    /// Host-independent kernel-quality metric: lazy cost relative to
+    /// the strict kernel measured in the same run.
+    fn rel(&self) -> f64 {
+        self.lazy_ns / self.strict_ns
+    }
+}
+
+fn rand_poly<R: ModRing>(ring: &R, n: usize, seed: u128) -> Vec<R::Elem> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x14057b7ef767814f);
+            ring.from_u128(state)
+        })
+        .collect()
+}
+
+/// Times a strict/lazy kernel pair *interleaved*: one warm-up call
+/// each, then alternating reps, taking best-of for both. Interleaving
+/// means both kernels sample the same machine conditions (frequency
+/// scaling, noisy neighbors), which is what makes the `lazy/strict`
+/// ratio stable enough to gate on.
+fn time_pair(reps: usize, mut strict: impl FnMut(), mut lazy: impl FnMut()) -> (f64, f64) {
+    strict();
+    lazy();
+    let (mut best_s, mut best_l) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        strict();
+        best_s = best_s.min(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        lazy();
+        best_l = best_l.min(t.elapsed().as_secs_f64());
+    }
+    (best_s * 1e9, best_l * 1e9)
+}
+
+/// Measures all four ops for one ring at one degree, verifying
+/// bit-exactness of every lazy kernel against its strict counterpart
+/// before timing it.
+fn measure<R: LazyRing>(
+    label: &str,
+    ring: &R,
+    log_n: u32,
+    reps: usize,
+    out: &mut Vec<Record>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1usize << log_n;
+    let plan = HarveyNtt::new(ring, n)?;
+    let tables = plan.tables();
+    let a = rand_poly(ring, n, 0xc0f + log_n as u128);
+    let b = rand_poly(ring, n, 0x4ee + log_n as u128);
+    let mut buf = a.clone();
+    let mut buf2 = a.clone();
+
+    // NTT-domain operands for the fused intt∘hadamard.
+    let mut fa = a.clone();
+    ntt::forward_inplace(ring, &mut fa, tables)?;
+    let mut fb = b.clone();
+    ntt::forward_inplace(ring, &mut fb, tables)?;
+
+    // --- bit-exactness gates (never time a wrong kernel) ---
+    {
+        let mut lazy_f = a.clone();
+        plan.forward_inplace(&mut lazy_f)?;
+        assert_eq!(lazy_f, fa, "{label} 2^{log_n}: lazy ntt != strict");
+        let mut lazy_i = fa.clone();
+        plan.inverse_inplace(&mut lazy_i)?;
+        let mut strict_i = fa.clone();
+        ntt::inverse_inplace(ring, &mut strict_i, tables)?;
+        assert_eq!(lazy_i, strict_i, "{label} 2^{log_n}: lazy intt != strict");
+        assert_eq!(
+            plan.poly_mul(&a, &b)?,
+            ntt::negacyclic_mul(ring, &a, &b, tables)?,
+            "{label} 2^{log_n}: lazy poly_mul != strict"
+        );
+        let mut unfused = fa.clone();
+        pointwise::mul_assign(ring, &mut unfused, &fb)?;
+        ntt::inverse_inplace(ring, &mut unfused, tables)?;
+        assert_eq!(
+            plan.hadamard_intt(&fa, &fb)?,
+            unfused,
+            "{label} 2^{log_n}: fused intt∘hadamard != strict"
+        );
+    }
+
+    // --- timings (strict/lazy interleaved per op) ---
+    let mut push = |op: &str, (strict_ns, lazy_ns): (f64, f64)| {
+        out.push(Record { ring: label.into(), log_n, op: op.into(), strict_ns, lazy_ns });
+    };
+
+    push(
+        "ntt",
+        time_pair(
+            reps,
+            || {
+                buf.copy_from_slice(&a);
+                ntt::forward_inplace(ring, &mut buf, tables).unwrap();
+            },
+            || {
+                buf2.copy_from_slice(&a);
+                plan.forward_inplace(&mut buf2).unwrap();
+            },
+        ),
+    );
+
+    push(
+        "intt",
+        time_pair(
+            reps,
+            || {
+                buf.copy_from_slice(&fa);
+                ntt::inverse_inplace(ring, &mut buf, tables).unwrap();
+            },
+            || {
+                buf2.copy_from_slice(&fa);
+                plan.inverse_inplace(&mut buf2).unwrap();
+            },
+        ),
+    );
+
+    push(
+        "poly_mul",
+        time_pair(
+            reps,
+            || {
+                let _ = ntt::negacyclic_mul(ring, &a, &b, tables).unwrap();
+            },
+            || {
+                let _ = plan.poly_mul(&a, &b).unwrap();
+            },
+        ),
+    );
+
+    push(
+        "hadamard_intt",
+        time_pair(
+            reps,
+            || {
+                let mut v = fa.clone();
+                pointwise::mul_assign(ring, &mut v, &fb).unwrap();
+                ntt::inverse_inplace(ring, &mut v, tables).unwrap();
+            },
+            || {
+                let _ = plan.hadamard_intt(&fa, &fb).unwrap();
+            },
+        ),
+    );
+    Ok(())
+}
+
+fn render_json(mode: &str, records: &[Record]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"cofhee-hotpath-v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"ring\": \"{}\", \"log_n\": {}, \"op\": \"{}\", \
+             \"strict_ns_per_op\": {:.1}, \"lazy_ns_per_op\": {:.1}, \
+             \"speedup\": {:.3}}}{comma}",
+            r.ring,
+            r.log_n,
+            r.op,
+            r.strict_ns,
+            r.lazy_ns,
+            r.speedup()
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Minimal line-oriented reader for the schema `render_json` writes
+/// (one record per line). Tolerant of field order within a line.
+fn parse_records(text: &str) -> Vec<Record> {
+    fn str_field(line: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\": \"");
+        let start = line.find(&pat)? + pat.len();
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    }
+    fn num_field(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let end = line[start..]
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .map(|e| e + start)
+            .unwrap_or(line.len());
+        line[start..end].parse().ok()
+    }
+    text.lines()
+        .filter_map(|line| {
+            Some(Record {
+                ring: str_field(line, "ring")?,
+                log_n: num_field(line, "log_n")? as u32,
+                op: str_field(line, "op")?,
+                strict_ns: num_field(line, "strict_ns_per_op")?,
+                lazy_ns: num_field(line, "lazy_ns_per_op")?,
+            })
+        })
+        .collect()
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench/baselines/hotpath.json")
+}
+
+fn load_baseline() -> Result<Vec<Record>, Box<dyn std::error::Error>> {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let baseline = parse_records(&text);
+    if baseline.is_empty() {
+        return Err(format!("baseline {} holds no records", path.display()).into());
+    }
+    Ok(baseline)
+}
+
+/// Rows of `records` whose `lazy/strict` ratio regressed beyond the
+/// budget vs the matching baseline row.
+fn gate_violations(records: &[Record], baseline: &[Record]) -> Vec<usize> {
+    records
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            let b =
+                baseline.iter().find(|b| b.ring == r.ring && b.log_n == r.log_n && b.op == r.op)?;
+            (r.rel() / b.rel() - 1.0 > REGRESSION_BUDGET).then_some(i)
+        })
+        .collect()
+}
+
+/// The CI regression gate: compares `lazy/strict` ratios against the
+/// checked-in baseline, printing the full diff table. Returns the
+/// number of violations.
+fn check_against_baseline(
+    records: &[Record],
+    baseline: &[Record],
+) -> Result<usize, Box<dyn std::error::Error>> {
+    println!(
+        "\nRegression gate vs {} (budget: +{:.0}% on lazy/strict)",
+        baseline_path().display(),
+        REGRESSION_BUDGET * 100.0
+    );
+    println!(
+        "{:<11} {:>6} {:<14} | {:>10} {:>10} {:>8} | verdict",
+        "ring", "n", "op", "base", "now", "delta"
+    );
+    let mut violations = 0usize;
+    let mut compared = 0usize;
+    for r in records {
+        let Some(b) =
+            baseline.iter().find(|b| b.ring == r.ring && b.log_n == r.log_n && b.op == r.op)
+        else {
+            continue;
+        };
+        compared += 1;
+        let delta = r.rel() / b.rel() - 1.0;
+        let bad = delta > REGRESSION_BUDGET;
+        if bad {
+            violations += 1;
+        }
+        println!(
+            "{:<11} {:>6} {:<14} | {:>10.3} {:>10.3} {:>+7.1}% | {}",
+            r.ring,
+            1u64 << r.log_n,
+            r.op,
+            b.rel(),
+            r.rel(),
+            delta * 100.0,
+            if bad { "REGRESSED" } else { "ok" }
+        );
+    }
+    if compared == 0 {
+        return Err("no overlapping (ring, n, op) rows between run and baseline".into());
+    }
+    Ok(violations)
+}
+
+/// One full sweep: both rings at every degree.
+fn collect(log_ns: &[u32], reps: usize) -> Result<Vec<Record>, Box<dyn std::error::Error>> {
+    let mut records = Vec::new();
+    for &log_n in log_ns {
+        let n = 1usize << log_n;
+        let q64 = ntt_prime(55, n)? as u64;
+        let ring64 = Barrett64::new(q64)?;
+        measure("barrett64", &ring64, log_n, reps, &mut records)?;
+        let q128 = ntt_prime(109, n)?;
+        let ring128 = Barrett128::new(q128)?;
+        measure("barrett128", &ring128, log_n, reps, &mut records)?;
+    }
+    Ok(records)
+}
+
+/// Folds a fresh sweep into `records`, keeping per row whichever
+/// *whole measurement pair* exhibited the better (lower) `lazy/strict`
+/// ratio. Rows stay actually-measured pairs — mixing the minimum
+/// numerator of one sweep with the minimum denominator of another
+/// could manufacture a ratio no run exhibited.
+fn merge_best_ratio(records: &mut [Record], fresh: &[Record]) {
+    for r in records.iter_mut() {
+        if let Some(f) =
+            fresh.iter().find(|f| f.ring == r.ring && f.log_n == r.log_n && f.op == r.op)
+        {
+            if f.rel() < r.rel() {
+                *r = f.clone();
+            }
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = cofhee_bench::smoke_mode();
+    let check = std::env::args().any(|a| a == "--check");
+    let mode = if smoke { "smoke" } else { "full" };
+    // Smoke stays off the smallest degree (sub-10µs kernels measure
+    // bimodally on shared CI hosts) and runs *more* reps, not fewer:
+    // the --check gate needs best-of to converge well below the
+    // regression budget's noise floor.
+    let log_ns: &[u32] = if smoke { &[11, 12] } else { &[10, 11, 12, 13, 14] };
+    let reps = cofhee_bench::sized(12, 40);
+
+    println!("Hot-path profile: strict vs Harvey lazy-reduction kernels ({mode} mode)");
+    println!("(best of {reps} reps per point; both kernels verified bit-exact before timing)\n");
+
+    let mut records = collect(log_ns, reps)?;
+    if check {
+        // Noise rejection: a genuine kernel regression survives a
+        // re-measurement; a scheduling hiccup on a shared host does
+        // not. Up to two extra sweeps, merged best-of, before judging.
+        let baseline = load_baseline()?;
+        for _ in 0..2 {
+            if gate_violations(&records, &baseline).is_empty() {
+                break;
+            }
+            let fresh = collect(log_ns, reps)?;
+            merge_best_ratio(&mut records, &fresh);
+        }
+    }
+
+    println!(
+        "{:<11} {:>6} {:<14} | {:>12} {:>12} | {:>8}",
+        "ring", "n", "op", "strict ns/op", "lazy ns/op", "speedup"
+    );
+    for r in &records {
+        println!(
+            "{:<11} {:>6} {:<14} | {:>12.0} {:>12.0} | {:>7.2}x",
+            r.ring,
+            1u64 << r.log_n,
+            r.op,
+            r.strict_ns,
+            r.lazy_ns,
+            r.speedup()
+        );
+    }
+
+    let json = render_json(mode, &records);
+    std::fs::write("BENCH_hotpath.json", &json)?;
+    println!("\nwrote BENCH_hotpath.json ({} records)", records.len());
+
+    if !smoke {
+        // The tentpole acceptance criterion, enforced where it is
+        // claimed: ≥2x on ntt and poly_mul at the paper's 2^13
+        // evaluation point, on both engine widths.
+        for r in records.iter().filter(|r| r.log_n == 13 && (r.op == "ntt" || r.op == "poly_mul")) {
+            assert!(
+                r.speedup() >= ACCEPTANCE_SPEEDUP,
+                "{} {} at 2^13: {:.2}x < {ACCEPTANCE_SPEEDUP}x",
+                r.ring,
+                r.op,
+                r.speedup()
+            );
+        }
+        println!("acceptance: ntt/poly_mul at 2^13 are ≥{ACCEPTANCE_SPEEDUP}x on both rings");
+    }
+
+    if check {
+        let baseline = load_baseline()?;
+        let violations = check_against_baseline(&records, &baseline)?;
+        if violations > 0 {
+            eprintln!(
+                "\n{violations} lazy kernel(s) regressed beyond the {:.0}% budget",
+                REGRESSION_BUDGET * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("regression gate: clean");
+    }
+    Ok(())
+}

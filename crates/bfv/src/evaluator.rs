@@ -403,9 +403,12 @@ impl Evaluator {
     }
 
     /// Records the per-prime unscaled tensor as a stream: 4 forward
-    /// NTTs, 4 Hadamard products, 1 pointwise addition, 3 inverse NTTs
-    /// — the same dataflow as the paper's Algorithm 3 modulo the final
-    /// scaling — with the three tensor components marked as outputs.
+    /// NTTs, then — per the fused hot path — the outer tensor
+    /// components as single `intt ∘ hadamard` nodes and the middle
+    /// component as two Hadamards accumulated *in the NTT domain*
+    /// before its inverse transform. Same dataflow as the paper's
+    /// Algorithm 3 modulo the final scaling, with the three tensor
+    /// components marked as outputs.
     pub(crate) fn tensor_stream(
         &self,
         i: usize,
@@ -419,13 +422,13 @@ impl Evaluator {
             ntts.push(st.ntt(up)?);
         }
         let (a0, a1, b0, b1) = (ntts[0], ntts[1], ntts[2], ntts[3]);
-        let t0 = st.hadamard(a0, b0)?;
+        let r0 = st.hadamard_intt(a0, b0)?;
         let x01 = st.hadamard(a0, b1)?;
         let x10 = st.hadamard(a1, b0)?;
         let t1 = st.pointwise_add(x01, x10)?;
-        let t2 = st.hadamard(a1, b1)?;
-        for t in [t0, t1, t2] {
-            let r = st.intt(t)?;
+        let r1 = st.intt(t1)?;
+        let r2 = st.hadamard_intt(a1, b1)?;
+        for r in [r0, r1, r2] {
             st.output(r)?;
         }
         Ok(st)

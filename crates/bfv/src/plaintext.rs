@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use cofhee_arith::Barrett64;
-use cofhee_poly::{ntt, ntt::NttTables};
+use cofhee_poly::{HarveyNtt, TwiddleCache};
 
 use crate::error::{BfvError, Result};
 use crate::params::BfvParams;
@@ -95,8 +95,7 @@ impl Plaintext {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BatchEncoder {
-    ring: Barrett64,
-    tables: Arc<NttTables<Barrett64>>,
+    plan: Arc<HarveyNtt<Barrett64>>,
     n: usize,
     t: u64,
 }
@@ -114,9 +113,10 @@ impl BatchEncoder {
         if !cofhee_arith::primes::is_prime(t as u128) || (t as u128 - 1) % (2 * n as u128) != 0 {
             return Err(BfvError::BatchingUnsupported { t, n });
         }
-        let ring = Barrett64::new(t)?;
-        let tables = Arc::new(NttTables::new(&ring, n)?);
-        Ok(Self { ring, tables, n, t })
+        // Shared via the process-wide cache (and running the lazy
+        // kernels): every encoder for the same (t, n) reuses one plan.
+        let plan = TwiddleCache::barrett64(t, n)?;
+        Ok(Self { plan, n, t })
     }
 
     /// Number of slots (= `n`).
@@ -143,14 +143,15 @@ impl BatchEncoder {
             }
         }
         let mut coeffs = slots.to_vec();
-        ntt::inverse_inplace(&self.ring, &mut coeffs, &self.tables)?;
+        self.plan.inverse_inplace(&mut coeffs)?;
         Ok(Plaintext { coeffs, t: self.t })
     }
 
     /// Unpacks a plaintext into its slot values (forward NTT over `t`).
     pub fn decode(&self, pt: &Plaintext) -> Vec<u64> {
         let mut slots = pt.coeffs.clone();
-        ntt::forward_inplace(&self.ring, &mut slots, &self.tables)
+        self.plan
+            .forward_inplace(&mut slots)
             .expect("plaintext length is validated at construction");
         slots
     }

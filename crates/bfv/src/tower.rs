@@ -18,16 +18,19 @@
 use std::sync::Arc;
 
 use cofhee_arith::{primes, Barrett64, ModRing};
-use cofhee_poly::{ntt, ntt::NttTables};
+use cofhee_poly::{ntt::NttTables, HarveyNtt, TwiddleCache};
 use rand::Rng;
 
 use crate::error::{BfvError, Result};
 
-/// One RNS tower: a word-sized prime with its NTT machinery.
+/// One RNS tower: a word-sized prime with its NTT machinery (the
+/// shared [`TwiddleCache`] plan — towers for the same `(q, n)` across
+/// evaluators reference one table set and run the Harvey lazy
+/// kernels).
 #[derive(Debug, Clone)]
 pub struct Tower {
     ring: Barrett64,
-    tables: Arc<NttTables<Barrett64>>,
+    plan: Arc<HarveyNtt<Barrett64>>,
 }
 
 impl Tower {
@@ -41,9 +44,14 @@ impl Tower {
         &self.ring
     }
 
-    /// The tower's twiddle tables.
+    /// The tower's strict twiddle tables (reference/oracle view).
     pub fn tables(&self) -> &NttTables<Barrett64> {
-        &self.tables
+        self.plan.tables()
+    }
+
+    /// The tower's lazy-reduction transform plan.
+    pub fn plan(&self) -> &HarveyNtt<Barrett64> {
+        &self.plan
     }
 }
 
@@ -106,9 +114,8 @@ impl TowerEvaluator {
                 .get_mut(&bits)
                 .and_then(|v| v.pop())
                 .ok_or(BfvError::InvalidParams { reason: "tower plan exhausted".into() })?;
-            let ring = Barrett64::new(q as u64)?;
-            let tables = Arc::new(NttTables::new(&ring, n)?);
-            towers.push(Tower { ring, tables });
+            let plan = TwiddleCache::barrett64(q as u64, n)?;
+            towers.push(Tower { ring: *plan.ring(), plan });
         }
         Ok(Self { n, towers })
     }
@@ -193,8 +200,7 @@ impl TowerEvaluator {
             transformed.push((i, b.towers[i][1].clone()));
         }
         self.run_parallel(&mut transformed, threads, |tower, data| {
-            ntt::forward_inplace(&self.towers[tower].ring, data, &self.towers[tower].tables)
-                .expect("lengths validated");
+            self.towers[tower].plan.forward_inplace(data).expect("lengths validated");
         });
 
         // Phase 2: tensor combination (pointwise) per tower.
@@ -220,8 +226,7 @@ impl TowerEvaluator {
 
         // Phase 3: inverse NTTs (3 per tower).
         self.run_parallel(&mut parts, threads, |tower, data| {
-            ntt::inverse_inplace(&self.towers[tower].ring, data, &self.towers[tower].tables)
-                .expect("lengths validated");
+            self.towers[tower].plan.inverse_inplace(data).expect("lengths validated");
         });
 
         let mut towers = Vec::with_capacity(k);

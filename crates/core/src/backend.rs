@@ -67,9 +67,11 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use cofhee_arith::{Barrett128, Barrett64, ModRing};
-use cofhee_poly::ntt::{self, NttTables};
+use cofhee_arith::{Barrett128, Barrett64, LazyRing, ModRing};
+use cofhee_poly::cache::TwiddleCache;
+use cofhee_poly::lazy::HarveyNtt;
 use cofhee_poly::pointwise;
 use cofhee_sim::{ChipConfig, OpReport, Slot, Spi, Uart};
 
@@ -195,6 +197,26 @@ pub trait PolyBackend: fmt::Debug + Send {
     ///
     /// Bad handles or execution failures.
     fn poly_mul(&mut self, a: PolyHandle, b: PolyHandle) -> Result<PolyHandle>;
+
+    /// Fused `intt ∘ hadamard`: the pointwise product of two NTT-domain
+    /// polynomials returned in the coefficient domain — the tail of
+    /// every tensor limb and key-switch inner product.
+    ///
+    /// The provided default composes [`PolyBackend::hadamard`] and
+    /// [`PolyBackend::intt`] (freeing the intermediate), so every
+    /// backend is bit-identical by construction; [`CpuBackend`]
+    /// overrides it with the single-pass Harvey kernel that skips the
+    /// intermediate allocation and canonical correction.
+    ///
+    /// # Errors
+    ///
+    /// Bad handles or execution failures.
+    fn hadamard_intt(&mut self, x: PolyHandle, y: PolyHandle) -> Result<PolyHandle> {
+        let prod = self.hadamard(x, y)?;
+        let out = self.intt(prod);
+        self.free(prod);
+        out
+    }
 
     /// Cumulative execution telemetry since bring-up (or the last
     /// [`PolyBackend::reset_telemetry`]): cycles are real for
@@ -355,18 +377,22 @@ impl BackendFactory for ChipBackendFactory {
 // ---------------------------------------------------------------------
 
 /// Engine state for one modular width.
+///
+/// The transform plan is the *shared* [`HarveyNtt`] from the
+/// process-wide [`TwiddleCache`]: backends for the same `(q, n)` pair —
+/// across evaluators, sessions, and farm dies — reference one table
+/// set instead of re-deriving it at every bring-up.
 #[derive(Debug)]
-struct CpuState<R: ModRing> {
+struct CpuState<R: LazyRing> {
     ring: R,
-    tables: NttTables<R>,
+    plan: Arc<HarveyNtt<R>>,
     n: usize,
     pool: HashMap<u64, Vec<R::Elem>>,
 }
 
-impl<R: ModRing> CpuState<R> {
-    fn new(ring: R, n: usize) -> Result<Self> {
-        let tables = NttTables::new(&ring, n)?;
-        Ok(Self { ring, tables, n, pool: HashMap::new() })
+impl<R: LazyRing> CpuState<R> {
+    fn new(plan: Arc<HarveyNtt<R>>) -> Self {
+        Self { ring: plan.ring().clone(), n: plan.n(), plan, pool: HashMap::new() }
     }
 
     fn insert(&mut self, v: Vec<R::Elem>) -> PolyHandle {
@@ -394,9 +420,9 @@ impl<R: ModRing> CpuState<R> {
     fn transform(&mut self, src: PolyHandle, forward: bool) -> Result<PolyHandle> {
         let mut v = self.get(src)?.clone();
         if forward {
-            ntt::forward_inplace(&self.ring, &mut v, &self.tables)?;
+            self.plan.forward_inplace(&mut v)?;
         } else {
-            ntt::inverse_inplace(&self.ring, &mut v, &self.tables)?;
+            self.plan.inverse_inplace(&mut v)?;
         }
         Ok(self.insert(v))
     }
@@ -420,7 +446,12 @@ impl<R: ModRing> CpuState<R> {
     }
 
     fn poly_mul(&mut self, a: PolyHandle, b: PolyHandle) -> Result<PolyHandle> {
-        let out = ntt::negacyclic_mul(&self.ring, self.get(a)?, self.get(b)?, &self.tables)?;
+        let out = self.plan.poly_mul(self.get(a)?, self.get(b)?)?;
+        Ok(self.insert(out))
+    }
+
+    fn hadamard_intt(&mut self, x: PolyHandle, y: PolyHandle) -> Result<PolyHandle> {
+        let out = self.plan.hadamard_intt(self.get(x)?, self.get(y)?)?;
         Ok(self.insert(out))
     }
 }
@@ -480,6 +511,9 @@ pub struct CpuBackend {
 impl CpuBackend {
     /// Builds a CPU backend for modulus `q` at degree `n`, selecting the
     /// Barrett64 engine for word-sized moduli and Barrett128 otherwise.
+    /// The transform plan comes from the process-wide [`TwiddleCache`],
+    /// so repeated bring-ups of the same `(q, n)` pair share one table
+    /// set.
     ///
     /// # Errors
     ///
@@ -488,9 +522,9 @@ impl CpuBackend {
         // Barrett64 supports moduli up to 62 bits; anything wider runs
         // on the 128-bit native-width engine.
         let engine = if q < (1u128 << 62) {
-            CpuEngine::Narrow(CpuState::new(Barrett64::new(q as u64)?, n)?)
+            CpuEngine::Narrow(CpuState::new(TwiddleCache::barrett64(q as u64, n)?))
         } else {
-            CpuEngine::Wide(CpuState::new(Barrett128::new(q)?, n)?)
+            CpuEngine::Wide(CpuState::new(TwiddleCache::barrett128(q, n)?))
         };
         Ok(Self { engine, n, q, report: OpReport::default() })
     }
@@ -576,6 +610,18 @@ impl PolyBackend for CpuBackend {
         let out = with_engine!(self, st => st.poly_mul(a, b))?;
         self.report.butterflies += 3 * self.transform_butterflies();
         self.report.mults += 2 * self.n as u64; // Hadamard + n⁻¹ passes
+        Ok(out)
+    }
+
+    /// The single-pass Harvey kernel: the NTT-domain product feeds the
+    /// inverse stages directly, with no intermediate pool entry or
+    /// canonical correction. Op accounting matches the default
+    /// composed path exactly (one Hadamard pass, one transform, one
+    /// `n⁻¹` pass).
+    fn hadamard_intt(&mut self, x: PolyHandle, y: PolyHandle) -> Result<PolyHandle> {
+        let out = with_engine!(self, st => st.hadamard_intt(x, y))?;
+        self.report.butterflies += self.transform_butterflies();
+        self.report.mults += 2 * self.n as u64;
         Ok(out)
     }
 

@@ -285,6 +285,23 @@ impl<'a> Scheduler<'a> {
                 self.release(*y);
                 self.residence[i] = Some(dst_i);
             }
+            StreamOp::HadamardIntt(x, y) => {
+                // The chip has no fused command: PMODMUL then iNTT,
+                // with the product slot reclaimed in-queue — the same
+                // two commands the unfused recording would issue, so
+                // results (and cycle accounting) are bit-identical.
+                let (sx, sy) = (self.operand(*x), self.operand(*y));
+                let prod_i = self.alloc(true, &[], false)?;
+                let prod = self.slots[prod_i].slot;
+                self.submit(Command::pmodmul(sx, sy, prod))?;
+                self.release(*x);
+                self.release(*y);
+                let out_i = self.alloc(true, &[prod.bank], false)?;
+                let out = self.slots[out_i].slot;
+                self.submit(Command::intt(prod, self.be.device.inverse_twiddles(), out))?;
+                self.slots[prod_i].state = SlotState::PendingDrain;
+                self.residence[i] = Some(out_i);
+            }
             StreamOp::ScalarMul(x, c) => {
                 let src = self.operand(*x);
                 let dst_i = self.alloc(true, &[], false)?;

@@ -126,7 +126,12 @@ impl Device {
         }
         let mut chip = Chip::new(config)?;
         let ring = Barrett128::new(q)?;
-        let (fwd_tw, inv_tw) = chip.load_ring(&ring, n)?;
+        // The twiddle tables come from the process-wide cache: a farm
+        // bringing up N dies for the same (q, n) derives them once and
+        // uploads the shared set to every die (which also installs the
+        // plan as the simulated MDMC's functional NTT fast path).
+        let plan = cofhee_poly::cache::TwiddleCache::barrett128(q, n)?;
+        let (fwd_tw, inv_tw) = chip.load_plan(&plan)?;
         let mut device = Self { chip, ring, n, fwd_tw, inv_tw, link, comm: CommStats::default() };
         // Bring-up traffic: register programming (Q, N, INV_POLYDEG,
         // BARRETTCTL1/2 ≈ 14 words) plus two twiddle tables.

@@ -102,6 +102,9 @@ pub enum StreamOp {
     Intt(StreamHandle),
     /// Hadamard (pointwise) product.
     Hadamard(StreamHandle, StreamHandle),
+    /// Fused `intt ∘ hadamard`: NTT-domain product returned in the
+    /// coefficient domain (the tail of every tensor limb).
+    HadamardIntt(StreamHandle, StreamHandle),
     /// Pointwise addition.
     PointwiseAdd(StreamHandle, StreamHandle),
     /// Pointwise subtraction.
@@ -119,6 +122,7 @@ impl StreamOp {
             StreamOp::Upload(_) | StreamOp::Input(_) => [None, None],
             StreamOp::Ntt(a) | StreamOp::Intt(a) | StreamOp::ScalarMul(a, _) => [Some(a), None],
             StreamOp::Hadamard(a, b)
+            | StreamOp::HadamardIntt(a, b)
             | StreamOp::PointwiseAdd(a, b)
             | StreamOp::PointwiseSub(a, b)
             | StreamOp::PolyMul(a, b) => [Some(a), Some(b)],
@@ -240,6 +244,18 @@ impl OpStream {
         self.check(x)?;
         self.check(y)?;
         Ok(self.push(StreamOp::Hadamard(x, y)))
+    }
+
+    /// Records a fused `intt ∘ hadamard` (NTT-domain product brought
+    /// back to the coefficient domain in one node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn hadamard_intt(&mut self, x: StreamHandle, y: StreamHandle) -> Result<StreamHandle> {
+        self.check(x)?;
+        self.check(y)?;
+        Ok(self.push(StreamOp::HadamardIntt(x, y)))
     }
 
     /// Records a pointwise addition.
@@ -408,6 +424,9 @@ pub(crate) fn replay_sync<B: PolyBackend + ?Sized>(
                     StreamOp::Ntt(s) => be.ntt(get(&vals, *s))?,
                     StreamOp::Intt(s) => be.intt(get(&vals, *s))?,
                     StreamOp::Hadamard(x, y) => be.hadamard(get(&vals, *x), get(&vals, *y))?,
+                    StreamOp::HadamardIntt(x, y) => {
+                        be.hadamard_intt(get(&vals, *x), get(&vals, *y))?
+                    }
                     StreamOp::PointwiseAdd(x, y) => {
                         be.pointwise_add(get(&vals, *x), get(&vals, *y))?
                     }

@@ -290,6 +290,37 @@ mod tests {
     }
 
     #[test]
+    fn dies_share_one_twiddle_derivation_through_the_process_cache() {
+        use cofhee_poly::TwiddleCache;
+        // A (q, n) pair no other test in the workspace uses, so cache
+        // residency is deterministic under parallel test execution.
+        let n = 1 << 4;
+        let q = ntt_prime(51, n).unwrap();
+        assert!(!TwiddleCache::contains(q, n), "key must start cold");
+        let mut farm = ChipFarm::new(4, ChipBackendFactory::silicon()).unwrap();
+        let mut st = OpStream::new(n);
+        let a = st.upload((0..n as u128).map(|i| (i * 13 + 1) % q).collect()).unwrap();
+        let f = st.ntt(a).unwrap();
+        st.output(f).unwrap();
+        for chip in 0..4 {
+            farm.execute(chip, q, n, &st, 0).unwrap();
+        }
+        assert!(TwiddleCache::contains(q, n), "first bring-up interned the tables");
+        // A whole second farm for the same parameters re-derives
+        // nothing: the key stays resolved to the *same* resident plan
+        // (Arc identity), so all four dies attached to it. (Asserted
+        // per-key rather than via global entry counts, which sibling
+        // tests mutate concurrently.)
+        let resident = TwiddleCache::barrett128(q, n).unwrap();
+        let mut second = ChipFarm::new(4, ChipBackendFactory::silicon()).unwrap();
+        for chip in 0..4 {
+            second.execute(chip, q, n, &st, 0).unwrap();
+        }
+        let after = TwiddleCache::barrett128(q, n).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&resident, &after), "second farm reused the plan");
+    }
+
+    #[test]
     fn statuses_reflect_backlog() {
         let q = ntt_prime(60, N).unwrap();
         let mut farm = ChipFarm::new(2, ChipBackendFactory::silicon()).unwrap();

@@ -1,0 +1,442 @@
+//! The Harvey lazy-reduction NTT hot path.
+//!
+//! [`crate::ntt`] implements the *strict* kernels: every butterfly
+//! lands its outputs in canonical `[0, q)` form, exactly as the chip's
+//! per-butterfly Barrett pipeline does. That is the right reference
+//! semantics — and the wrong software hot path: the canonical
+//! correction is pure overhead until the very last stage.
+//!
+//! [`HarveyNtt`] is the optimized rewrite the host actually runs:
+//!
+//! * **Lazy reduction** — coefficients live in a redundant range
+//!   across all `log n` stages instead of being canonically reduced
+//!   per butterfly: the forward transform runs Harvey's original
+//!   `[0, 4q)` formulation (one conditional fold per butterfly), the
+//!   inverse keeps `[0, 2q)`, and a *single* final correction pass
+//!   lands the canonical result. Each butterfly pays one Shoup
+//!   high-multiply ([`LazyRing::mul_lazy`]) and at most one
+//!   conditional subtraction. On the 128-bit native width this also
+//!   replaces the strict path's full 256-bit Barrett reduction per
+//!   butterfly with one 128×128 high product.
+//! * **Precomputed Shoup twiddles** — one [`ShoupMul`] pair per
+//!   twiddle, derived once at table-build time (and shared process-wide
+//!   through [`crate::cache::TwiddleCache`]).
+//! * **Branch- and bounds-check-free inner loops** — stages iterate
+//!   with `chunks_exact_mut` + `split_at_mut`, so the compiler proves
+//!   every access in range and the butterfly loop vectorizes cleanly.
+//! * **Fused passes** — [`HarveyNtt::poly_mul`] runs the whole
+//!   Algorithm 2 schedule without intermediate canonical corrections,
+//!   and [`HarveyNtt::hadamard_intt`] fuses the NTT-domain product
+//!   into the inverse transform (the `intt ∘ hadamard` tail of every
+//!   tensor limb). NTT-domain accumulation stays pointwise via
+//!   [`HarveyNtt::add_inplace`] / [`HarveyNtt::sub_inplace`].
+//!
+//! Every kernel is **bit-exact** with its strict counterpart (the
+//! strict kernels remain the proptest oracle — see
+//! `crates/poly/tests/lazy_parity.rs`): lazy values are congruent mod
+//! `q` at every stage, so the final correction reproduces the canonical
+//! result the strict path computes directly.
+//!
+//! Moduli without two bits of container headroom
+//! ([`LazyRing::lazy_capable`] is false, i.e. `q ≥ 2^126` on the wide
+//! engine) transparently fall back to the strict kernels.
+
+use cofhee_arith::{LazyRing, ShoupMul};
+
+use crate::error::{PolyError, Result};
+use crate::ntt::{self, NttTables};
+
+/// Precomputed lazy-reduction transform plan for one `(q, n)` pair.
+///
+/// Holds the Shoup-paired twiddle tables for both directions, the
+/// prepared `n⁻¹`, and the strict [`NttTables`] (kept both as the
+/// no-headroom fallback and for consumers that still need the
+/// reference tables).
+#[derive(Debug, Clone)]
+pub struct HarveyNtt<R: LazyRing> {
+    ring: R,
+    n: usize,
+    /// Whether the lazy kernels are usable (`4q` fits the container).
+    lazy: bool,
+    /// `ψ^{brv(i)}` with Shoup quotients, consumed sequentially.
+    fwd: Vec<ShoupMul<R::Elem>>,
+    /// `ψ^{-brv(i)}` with Shoup quotients.
+    inv: Vec<ShoupMul<R::Elem>>,
+    /// `n⁻¹ mod q`, prepared.
+    n_inv: ShoupMul<R::Elem>,
+    /// The strict reference tables (fallback + oracle).
+    strict: NttTables<R>,
+}
+
+impl<R: LazyRing> HarveyNtt<R> {
+    /// Builds the plan for degree `n` (a power of two ≥ 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finding failures (`q ≢ 1 (mod 2n)`).
+    pub fn new(ring: &R, n: usize) -> Result<Self> {
+        let strict = NttTables::new(ring, n)?;
+        Ok(Self::from_tables(ring, strict))
+    }
+
+    /// Builds the plan from existing strict tables (no root re-search).
+    pub fn from_tables(ring: &R, strict: NttTables<R>) -> Self {
+        let n = strict.n();
+        let lazy = ring.lazy_capable();
+        let (fwd, inv, n_inv) = if lazy {
+            (
+                strict.forward_twiddles().iter().map(|&w| ring.shoup(w)).collect(),
+                strict.inverse_twiddles().iter().map(|&w| ring.shoup(w)).collect(),
+                ring.shoup(strict.n_inv()),
+            )
+        } else {
+            (Vec::new(), Vec::new(), ShoupMul::default())
+        };
+        Self { ring: ring.clone(), n, lazy, fwd, inv, n_inv, strict }
+    }
+
+    /// The ring engine the plan was built for.
+    #[inline]
+    pub fn ring(&self) -> &R {
+        &self.ring
+    }
+
+    /// The polynomial degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the lazy kernels are active (false ⇒ strict fallback).
+    #[inline]
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// The strict reference tables (the proptest oracle's inputs).
+    #[inline]
+    pub fn tables(&self) -> &NttTables<R> {
+        &self.strict
+    }
+
+    fn check_len(&self, len: usize) -> Result<()> {
+        if len != self.n {
+            return Err(PolyError::LengthMismatch { expected: self.n, found: len });
+        }
+        Ok(())
+    }
+
+    /// The `log n` Cooley–Tukey stages in Harvey's original `[0, 4q)`
+    /// formulation: each butterfly folds only its add-side operand back
+    /// below `2q` (one conditional subtraction), multiplies the other
+    /// side lazily (Harvey's lemma absorbs the unfolded `[0, 4q)`
+    /// operand), and emits both outputs uncorrected. Output range
+    /// `[0, 4q)`; no canonical correction anywhere.
+    fn forward_stages(&self, a: &mut [R::Elem]) {
+        let ring = &self.ring;
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t /= 2;
+            // Twiddles fwd[m..2m], one per block, consumed sequentially
+            // (the MDMC's `idx++` access pattern).
+            for (block, w) in a.chunks_exact_mut(2 * t).zip(&self.fwd[m..2 * m]) {
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = ring.fold_2q(*x);
+                    let v = ring.mul_lazy(*y, w);
+                    *x = ring.add_raw(u, v);
+                    *y = ring.sub_raw(u, v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// The `log n` Gentleman–Sande stages, redundant in and out. The
+    /// subtract side feeds `u − v + 2q` into the Shoup multiply
+    /// uncorrected — Harvey's lemma absorbs the `[0, 4q)` operand.
+    fn inverse_stages(&self, a: &mut [R::Elem]) {
+        let ring = &self.ring;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            for (block, w) in a.chunks_exact_mut(2 * t).zip(&self.inv[h..2 * h]) {
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = *x;
+                    let v = *y;
+                    *x = ring.add_lazy(u, v);
+                    *y = ring.mul_lazy(ring.sub_raw(u, v), w);
+                }
+            }
+            t *= 2;
+            m = h;
+        }
+    }
+
+    /// The single final correction pass after the forward stages:
+    /// `[0, 4q) → [0, q)`.
+    fn correct(&self, a: &mut [R::Elem]) {
+        for x in a.iter_mut() {
+            *x = self.ring.reduce_once(self.ring.fold_2q(*x));
+        }
+    }
+
+    /// The `n⁻¹` normalization fused with the final correction.
+    fn scale_n_inv(&self, a: &mut [R::Elem]) {
+        for x in a.iter_mut() {
+            *x = self.ring.reduce_once(self.ring.mul_lazy(*x, &self.n_inv));
+        }
+    }
+
+    /// Forward negacyclic NTT, in place — bit-exact with
+    /// [`ntt::forward_inplace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::LengthMismatch`] on wrong slice length.
+    pub fn forward_inplace(&self, a: &mut [R::Elem]) -> Result<()> {
+        self.check_len(a.len())?;
+        if !self.lazy {
+            return ntt::forward_inplace(&self.ring, a, &self.strict);
+        }
+        self.forward_stages(a);
+        self.correct(a);
+        Ok(())
+    }
+
+    /// Inverse negacyclic NTT (with `n⁻¹` scaling), in place —
+    /// bit-exact with [`ntt::inverse_inplace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::LengthMismatch`] on wrong slice length.
+    pub fn inverse_inplace(&self, a: &mut [R::Elem]) -> Result<()> {
+        self.check_len(a.len())?;
+        if !self.lazy {
+            return ntt::inverse_inplace(&self.ring, a, &self.strict);
+        }
+        self.inverse_stages(a);
+        self.scale_n_inv(a);
+        Ok(())
+    }
+
+    /// Full negacyclic product (Algorithm 2: 2 NTTs, Hadamard, iNTT)
+    /// with **no** intermediate canonical corrections — the forward
+    /// transforms stay redundant straight into the Hadamard pass, and
+    /// only the closing `n⁻¹` pass corrects. Bit-exact with
+    /// [`ntt::negacyclic_mul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::LengthMismatch`] on operand length
+    /// mismatch.
+    pub fn poly_mul(&self, a: &[R::Elem], b: &[R::Elem]) -> Result<Vec<R::Elem>> {
+        self.check_len(a.len())?;
+        self.check_len(b.len())?;
+        if !self.lazy {
+            return ntt::negacyclic_mul(&self.ring, a, b, &self.strict);
+        }
+        let ring = &self.ring;
+        let mut at = a.to_vec();
+        let mut bt = b.to_vec();
+        self.forward_stages(&mut at);
+        self.forward_stages(&mut bt);
+        // Hadamard over redundant [0, 4q) operands: fold + correct
+        // each, then the canonical product (already in [0, 2q)) feeds
+        // the inverse stages directly.
+        for (x, &y) in at.iter_mut().zip(&bt) {
+            *x = ring.mul(ring.reduce_once(ring.fold_2q(*x)), ring.reduce_once(ring.fold_2q(y)));
+        }
+        self.inverse_stages(&mut at);
+        self.scale_n_inv(&mut at);
+        Ok(at)
+    }
+
+    /// Fused `intt ∘ hadamard`: pointwise product of two NTT-domain
+    /// polynomials flowing straight into the inverse stages, one
+    /// allocation, no intermediate correction pass. Bit-exact with
+    /// Hadamard-then-iNTT through the strict kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::LengthMismatch`] on operand length
+    /// mismatch.
+    pub fn hadamard_intt(&self, x: &[R::Elem], y: &[R::Elem]) -> Result<Vec<R::Elem>> {
+        self.check_len(x.len())?;
+        self.check_len(y.len())?;
+        let ring = &self.ring;
+        let mut out: Vec<R::Elem> = x.iter().zip(y).map(|(&a, &b)| ring.mul(a, b)).collect();
+        if !self.lazy {
+            ntt::inverse_inplace(ring, &mut out, &self.strict)?;
+        } else {
+            self.inverse_stages(&mut out);
+            self.scale_n_inv(&mut out);
+        }
+        Ok(out)
+    }
+
+    /// NTT-domain pointwise accumulation `a[i] += b[i]` (the transform
+    /// is linear, so staying in the evaluation domain is free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::LengthMismatch`] on operand length
+    /// mismatch.
+    pub fn add_inplace(&self, a: &mut [R::Elem], b: &[R::Elem]) -> Result<()> {
+        crate::pointwise::add_assign(&self.ring, a, b)
+    }
+
+    /// NTT-domain pointwise subtraction `a[i] -= b[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::LengthMismatch`] on operand length
+    /// mismatch.
+    pub fn sub_inplace(&self, a: &mut [R::Elem], b: &[R::Elem]) -> Result<()> {
+        crate::pointwise::sub_assign(&self.ring, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofhee_arith::{primes::ntt_prime, Barrett128, Barrett64};
+
+    const Q55: u64 = 18014398510645249;
+
+    fn ring64() -> Barrett64 {
+        Barrett64::new(Q55).unwrap()
+    }
+
+    fn rand_poly(q: u128, n: usize, seed: u128) -> Vec<u128> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x14057b7ef767814f);
+                state % q
+            })
+            .collect()
+    }
+
+    fn rand_poly64(n: usize, seed: u64) -> Vec<u64> {
+        rand_poly(Q55 as u128, n, seed as u128).into_iter().map(|c| c as u64).collect()
+    }
+
+    #[test]
+    fn lazy_forward_matches_strict_64() {
+        let ring = ring64();
+        for log_n in [1usize, 3, 6, 10] {
+            let n = 1 << log_n;
+            let plan = HarveyNtt::new(&ring, n).unwrap();
+            assert!(plan.is_lazy());
+            let a = rand_poly64(n, 0x5eed);
+            let mut lazy = a.clone();
+            plan.forward_inplace(&mut lazy).unwrap();
+            let mut strict = a.clone();
+            ntt::forward_inplace(&ring, &mut strict, plan.tables()).unwrap();
+            assert_eq!(lazy, strict, "n = {n}");
+            plan.inverse_inplace(&mut lazy).unwrap();
+            assert_eq!(lazy, a, "round trip, n = {n}");
+        }
+    }
+
+    #[test]
+    fn lazy_kernels_match_strict_128() {
+        let n = 1 << 8;
+        let q = ntt_prime(109, n).unwrap();
+        let ring = Barrett128::new(q).unwrap();
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        assert!(plan.is_lazy());
+        let a = rand_poly(q, n, 17);
+        let b = rand_poly(q, n, 23);
+        let lazy = plan.poly_mul(&a, &b).unwrap();
+        let strict = ntt::negacyclic_mul(&ring, &a, &b, plan.tables()).unwrap();
+        assert_eq!(lazy, strict);
+    }
+
+    #[test]
+    fn fused_hadamard_intt_matches_unfused() {
+        let ring = ring64();
+        let n = 128;
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        let mut fa = rand_poly64(n, 3);
+        let mut fb = rand_poly64(n, 5);
+        plan.forward_inplace(&mut fa).unwrap();
+        plan.forward_inplace(&mut fb).unwrap();
+        let fused = plan.hadamard_intt(&fa, &fb).unwrap();
+        let mut unfused = fa.clone();
+        crate::pointwise::mul_assign(&ring, &mut unfused, &fb).unwrap();
+        ntt::inverse_inplace(&ring, &mut unfused, plan.tables()).unwrap();
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn no_headroom_modulus_falls_back_to_strict() {
+        // A 127-bit modulus leaves no lazy headroom; the plan must
+        // still produce correct (strict-path) results.
+        let n = 1 << 4;
+        let q = ntt_prime(127, n).unwrap();
+        let ring = Barrett128::new(q).unwrap();
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        assert!(!plan.is_lazy());
+        let a = rand_poly(q, n, 7);
+        let mut t = a.clone();
+        plan.forward_inplace(&mut t).unwrap();
+        plan.inverse_inplace(&mut t).unwrap();
+        assert_eq!(t, a);
+        let prod = plan.poly_mul(&a, &a).unwrap();
+        let strict = ntt::negacyclic_mul(&ring, &a, &a, plan.tables()).unwrap();
+        assert_eq!(prod, strict);
+    }
+
+    #[test]
+    fn overflow_edge_near_2_62() {
+        // The worst-case Barrett64 headroom: a 62-bit prime, where 4q
+        // nearly fills the u64 container. Lazy must stay bit-exact.
+        let n = 1 << 6;
+        let q = ntt_prime(62, n).unwrap();
+        assert!(q >> 61 == 1, "want a full 62-bit prime, got {q:#x}");
+        let ring = Barrett64::new(q as u64).unwrap();
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        assert!(plan.is_lazy());
+        // Max-entropy operands near q.
+        let a: Vec<u64> = (0..n as u64).map(|i| (q as u64) - 1 - i).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (q as u64) - 1 - 2 * i).collect();
+        let lazy = plan.poly_mul(&a, &b).unwrap();
+        let strict = ntt::negacyclic_mul(&ring, &a, &b, plan.tables()).unwrap();
+        assert_eq!(lazy, strict);
+        let mut t = a.clone();
+        plan.forward_inplace(&mut t).unwrap();
+        let mut s = a.clone();
+        ntt::forward_inplace(&ring, &mut s, plan.tables()).unwrap();
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let ring = ring64();
+        let plan = HarveyNtt::new(&ring, 8).unwrap();
+        let mut wrong = vec![0u64; 4];
+        assert!(plan.forward_inplace(&mut wrong).is_err());
+        assert!(plan.inverse_inplace(&mut wrong).is_err());
+        assert!(plan.poly_mul(&wrong, &wrong).is_err());
+        assert!(plan.hadamard_intt(&wrong, &wrong).is_err());
+    }
+
+    #[test]
+    fn pointwise_accumulation_stays_in_domain() {
+        let ring = ring64();
+        let n = 32;
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        let a = rand_poly64(n, 9);
+        let b = rand_poly64(n, 11);
+        let mut acc = a.clone();
+        plan.add_inplace(&mut acc, &b).unwrap();
+        plan.sub_inplace(&mut acc, &b).unwrap();
+        assert_eq!(acc, a);
+    }
+}

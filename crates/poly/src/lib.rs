@@ -8,6 +8,14 @@
 //!   (iterative Cooley–Tukey, sequential twiddle consumption), the
 //!   Gentleman–Sande inverse, the merged negacyclic path the chip
 //!   executes, and the explicit Algorithm 2 reference path.
+//! * [`lazy`] — the Harvey lazy-reduction hot path ([`HarveyNtt`]):
+//!   Shoup-paired twiddles, `[0, 2q)` redundant coefficients across
+//!   stages with a single final correction, and fused
+//!   `intt ∘ hadamard` / Algorithm 2 passes. Bit-exact with [`ntt`],
+//!   which remains the strict oracle.
+//! * [`cache`] — the process-wide [`TwiddleCache`] interning one
+//!   transform plan per `(modulus, degree)` pair, shared by backends,
+//!   evaluators, and every die of a farm.
 //! * [`naive`] — `O(n²)` schoolbook multiplication: the correctness oracle
 //!   and the complexity baseline the paper motivates against.
 //! * [`pointwise`] — the PMOD*/CMODMUL/PMUL command semantics of Table I.
@@ -46,10 +54,14 @@ mod error;
 mod polynomial;
 
 pub mod bitrev;
+pub mod cache;
 pub mod golden;
+pub mod lazy;
 pub mod naive;
 pub mod ntt;
 pub mod pointwise;
 
+pub use cache::{TwiddleCache, TwiddleCacheStats};
 pub use error::{PolyError, Result};
+pub use lazy::HarveyNtt;
 pub use polynomial::{Domain, PolyRing, Polynomial};

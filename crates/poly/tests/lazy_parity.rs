@@ -1,0 +1,133 @@
+//! Property tests: the Harvey lazy-reduction kernels are **bit-exact**
+//! with the strict kernels — the strict `ntt` module is the oracle.
+//!
+//! Covered: forward/inverse NTT, the fused `intt ∘ hadamard`, and the
+//! fully-fused Algorithm 2 `poly_mul`, across Barrett64 and Barrett128
+//! moduli and every supported power-of-two degree in the sweep, plus
+//! the overflow edge case at the top of the Barrett64 range (`q` just
+//! under `2^62`, where `4q` nearly fills the container).
+
+use cofhee_arith::{primes::ntt_prime, Barrett128, Barrett64, LazyRing};
+use cofhee_poly::{ntt, pointwise, HarveyNtt};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// The degree sweep: small enough to keep the suite fast, wide enough
+/// to hit every loop shape (single-pair stages through deep stages).
+const DEGREES: [usize; 6] = [2, 8, 32, 64, 256, 1024];
+
+fn degree_strategy() -> impl Strategy<Value = usize> {
+    (0..DEGREES.len()).prop_map(|i| DEGREES[i])
+}
+
+/// Checks every lazy kernel against its strict counterpart for one
+/// ring, one degree, and one operand pair (coefficients pre-reduced).
+fn check_parity<R: LazyRing>(ring: &R, n: usize, a: &[R::Elem], b: &[R::Elem]) {
+    let plan = HarveyNtt::new(ring, n).unwrap();
+    let tables = plan.tables();
+
+    // Forward.
+    let mut lazy_f = a.to_vec();
+    plan.forward_inplace(&mut lazy_f).unwrap();
+    let mut strict_f = a.to_vec();
+    ntt::forward_inplace(ring, &mut strict_f, tables).unwrap();
+    assert_eq!(lazy_f, strict_f, "forward NTT diverges at n = {n}");
+
+    // Inverse (round trip back to the input).
+    let mut lazy_i = lazy_f.clone();
+    plan.inverse_inplace(&mut lazy_i).unwrap();
+    assert_eq!(lazy_i, a, "inverse NTT round trip fails at n = {n}");
+
+    // Fused intt∘hadamard vs strict Hadamard-then-iNTT on NTT-domain
+    // operands.
+    let mut fb = b.to_vec();
+    ntt::forward_inplace(ring, &mut fb, tables).unwrap();
+    let fused = plan.hadamard_intt(&strict_f, &fb).unwrap();
+    let mut unfused = strict_f.clone();
+    pointwise::mul_assign(ring, &mut unfused, &fb).unwrap();
+    ntt::inverse_inplace(ring, &mut unfused, tables).unwrap();
+    assert_eq!(fused, unfused, "fused intt∘hadamard diverges at n = {n}");
+
+    // Fully-fused Algorithm 2.
+    let lazy_mul = plan.poly_mul(a, b).unwrap();
+    let strict_mul = ntt::negacyclic_mul(ring, a, b, tables).unwrap();
+    assert_eq!(lazy_mul, strict_mul, "poly_mul diverges at n = {n}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lazy_matches_strict_on_barrett64(
+        n in degree_strategy(),
+        seed_a in pvec(any::<u64>(), 1024),
+        seed_b in pvec(any::<u64>(), 1024),
+    ) {
+        // 55-bit word prime (the SEAL-tower width); q ≡ 1 mod 2^14
+        // serves every degree in the sweep.
+        let q = 18014398510645249u64;
+        let ring = Barrett64::new(q).unwrap();
+        let a: Vec<u64> = seed_a[..n].iter().map(|&c| c % q).collect();
+        let b: Vec<u64> = seed_b[..n].iter().map(|&c| c % q).collect();
+        check_parity(&ring, n, &a, &b);
+    }
+
+    #[test]
+    fn lazy_matches_strict_on_barrett128(
+        n in degree_strategy(),
+        seed_a in pvec(any::<u128>(), 1024),
+        seed_b in pvec(any::<u128>(), 1024),
+    ) {
+        // The chip-native 109-bit width.
+        let q = ntt_prime(109, 1 << 14).unwrap();
+        let ring = Barrett128::new(q).unwrap();
+        prop_assert!(ring.lazy_capable());
+        let a: Vec<u128> = seed_a[..n].iter().map(|&c| c % q).collect();
+        let b: Vec<u128> = seed_b[..n].iter().map(|&c| c % q).collect();
+        check_parity(&ring, n, &a, &b);
+    }
+
+    // The overflow edge: the largest supported Barrett64 moduli leave
+    // exactly the two headroom bits the lazy representation consumes.
+    #[test]
+    fn lazy_matches_strict_at_q_near_2_62(
+        seed_a in pvec(any::<u64>(), 256),
+        seed_b in pvec(any::<u64>(), 256),
+    ) {
+        let n = 256;
+        let q = ntt_prime(62, n).unwrap();
+        prop_assert!(q >> 61 == 1, "must exercise a full 62-bit modulus");
+        let ring = Barrett64::new(q as u64).unwrap();
+        prop_assert!(ring.lazy_capable());
+        // Bias operands toward q−1 to stress the redundant range.
+        let top = |c: u64| {
+            let q = q as u64;
+            if c % 3 == 0 { q - 1 - (c % 17) } else { c % q }
+        };
+        let a: Vec<u64> = seed_a.iter().map(|&c| top(c)).collect();
+        let b: Vec<u64> = seed_b.iter().map(|&c| top(c)).collect();
+        check_parity(&ring, n, &a, &b);
+    }
+}
+
+/// Deterministic full-scale spot check at the paper's `n = 2^13`
+/// evaluation point (too big for the proptest sweep, exactly the size
+/// the ≥2x acceptance criterion is measured at).
+#[test]
+fn lazy_matches_strict_at_chip_scale() {
+    let n = 1 << 13;
+    let q = ntt_prime(109, n).unwrap();
+    let ring = Barrett128::new(q).unwrap();
+    let mut state = 0x1234_5678_9abc_def0u128;
+    let mut rand_poly = || -> Vec<u128> {
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x14057b7ef767814f);
+                state % q
+            })
+            .collect()
+    };
+    let a = rand_poly();
+    let b = rand_poly();
+    check_parity(&ring, n, &a, &b);
+}

@@ -180,6 +180,9 @@ impl Chip {
         self.gpcfg.set_n(n);
         self.gpcfg.set_inv_polydeg(n_inv);
         self.pe.load_modulus(q)?;
+        // Raw register programming invalidates any previously installed
+        // functional fast-path plan; `load_tables` re-installs one.
+        self.mdmc.set_ntt_plan(None);
         Ok(())
     }
 
@@ -187,13 +190,35 @@ impl Chip {
     /// twiddle tables into the designated banks. Returns the slots where
     /// forward and inverse twiddles were placed.
     ///
+    /// Prefer [`Chip::load_plan`] with a shared
+    /// `cofhee_poly::cache::TwiddleCache` plan when bringing up many
+    /// chips for the same `(q, n)` — this path re-derives the tables
+    /// from scratch and leaves the MDMC on its faithful per-butterfly
+    /// functional loop.
+    ///
     /// # Errors
     ///
     /// Propagates root-finding and capacity failures.
     pub fn load_ring<R: ModRing>(&mut self, ring: &R, n: usize) -> Result<(Slot, Slot)> {
         let roots = cofhee_arith::roots::RootSet::new(ring, n).map_err(SimError::from)?;
         let tables = cofhee_poly::ntt::NttTables::from_roots(ring, &roots);
-        self.load_parameters(ring.modulus(), n, ring.to_u128(roots.n_inv))?;
+        self.load_tables(ring, &tables)
+    }
+
+    /// Loads parameters and twiddle banks from precomputed tables — the
+    /// bring-up path for table sets shared across chips (a farm derives
+    /// each `(q, n)` table set once and uploads it to every die).
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity failures.
+    pub fn load_tables<R: ModRing>(
+        &mut self,
+        ring: &R,
+        tables: &cofhee_poly::ntt::NttTables<R>,
+    ) -> Result<(Slot, Slot)> {
+        let n = tables.n();
+        self.load_parameters(ring.modulus(), n, ring.to_u128(tables.n_inv()))?;
         let roles = self.mem.roles();
         let fwd = Slot::new(roles.twiddle, 0);
         let inv = Slot::new(BankId(roles.twiddle.0 + 1), 0);
@@ -204,6 +229,27 @@ impl Chip {
         self.mem.write_slice(fwd, &fwd_tw)?;
         self.mem.write_slice(inv, &inv_tw)?;
         Ok((fwd, inv))
+    }
+
+    /// Loads parameters and twiddle banks from a shared lazy transform
+    /// plan and installs it as the MDMC's functional NTT fast path —
+    /// the bring-up a driver uses when it already holds the
+    /// `TwiddleCache` plan for `(q, n)` (no second cache lookup, no
+    /// speculative table derivation). The MDMC still verifies per
+    /// command that the twiddle banks hold the plan's canonical
+    /// tables, so later bank overwrites fall back to the faithful
+    /// per-butterfly loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity failures.
+    pub fn load_plan(
+        &mut self,
+        plan: &std::sync::Arc<cofhee_poly::HarveyNtt<cofhee_arith::Barrett128>>,
+    ) -> Result<(Slot, Slot)> {
+        let slots = self.load_tables(plan.ring(), plan.tables())?;
+        self.mdmc.set_ntt_plan(Some(std::sync::Arc::clone(plan)));
+        Ok(slots)
     }
 
     /// Writes polynomial coefficients into a bank (host-side upload; wire

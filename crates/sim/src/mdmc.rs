@@ -33,7 +33,7 @@ use crate::config::ChipConfig;
 use crate::error::{Result, SimError};
 use crate::gpcfg::GpCfg;
 use crate::mem::Memory;
-use crate::pe::ProcessingElement;
+use crate::pe::{PeActivity, ProcessingElement};
 
 /// Cycles spent in each activity phase — the power model's input.
 ///
@@ -139,12 +139,29 @@ impl OpReport {
 #[derive(Debug, Clone)]
 pub struct Mdmc {
     config: ChipConfig,
+    /// Shared lazy transform plan for the currently loaded `(q, n)`,
+    /// installed at table-load time (see `Chip::load_tables`). Used
+    /// only as the *functional* fast path of NTT commands, and only
+    /// after verifying per command that the twiddle bank still holds
+    /// the plan's canonical tables — so no per-command global-cache
+    /// lock, and bank overwrites (golden vectors, custom tables) fall
+    /// back to the faithful per-butterfly loop.
+    ntt_plan: Option<std::sync::Arc<cofhee_poly::HarveyNtt<cofhee_arith::Barrett128>>>,
 }
 
 impl Mdmc {
     /// Builds an MDMC for the given chip configuration.
     pub fn new(config: ChipConfig) -> Self {
-        Self { config }
+        Self { config, ntt_plan: None }
+    }
+
+    /// Installs (or clears) the shared lazy plan for the loaded
+    /// parameters — the chip does this when it programs twiddle banks.
+    pub fn set_ntt_plan(
+        &mut self,
+        plan: Option<std::sync::Arc<cofhee_poly::HarveyNtt<cofhee_arith::Barrett128>>>,
+    ) {
+        self.ntt_plan = plan;
     }
 
     /// The configuration in force.
@@ -276,30 +293,68 @@ impl Mdmc {
         };
         report.phases.overhead = stage_overhead;
 
-        if inverse {
-            // Gentleman–Sande stages, then the n⁻¹ scaling pass.
-            let mut t = 1;
-            let mut m = n;
-            while m > 1 {
-                let h = m / 2;
-                let mut j1 = 0;
-                for i in 0..h {
-                    let w = tw[h + i];
-                    for j in j1..j1 + t {
-                        let u = data[j];
-                        let v = data[j + t];
-                        data[j] = pe.mod_add(u, v)?;
-                        let diff = pe.mod_sub(u, v)?;
-                        data[j + t] = pe.mod_mul(diff, w)?;
-                    }
-                    j1 += 2 * t;
+        // Host-side fast path: when the twiddle bank holds exactly the
+        // canonical merged tables for the loaded (q, n) — the normal
+        // bring-up via `Chip::load_ring`/`load_tables` installs the
+        // plan — the functional result is computed through the shared
+        // Harvey lazy plan (bit-exact with the per-butterfly loop; see
+        // `cofhee_poly::lazy`), and the PE activity the loop would
+        // have issued is bulk-recorded so the power model is
+        // unchanged. Custom twiddle contents (golden vectors, partial
+        // tables, reprogrammed registers) take the faithful
+        // per-element PE loop below. Cycle accounting is analytic
+        // either way.
+        let b = report.butterflies;
+        let fast = self.ntt_plan.as_ref().filter(|p| {
+            p.is_lazy()
+                && p.n() == n
+                && p.ring().q() == gpcfg.q()
+                && if inverse {
+                    tw == p.tables().inverse_twiddles() && gpcfg.inv_polydeg() == p.tables().n_inv()
+                } else {
+                    tw == p.tables().forward_twiddles()
                 }
-                t *= 2;
-                m = h;
-            }
-            let n_inv = gpcfg.inv_polydeg();
-            for x in data.iter_mut() {
-                *x = pe.mod_mul(*x, n_inv)?;
+        });
+
+        if inverse {
+            if let Some(plan) = &fast {
+                plan.inverse_inplace(&mut data).map_err(|e| SimError::BadConfiguration {
+                    reason: format!("lazy iNTT plan rejected operands: {e}"),
+                })?;
+                // The GS loop issues one add, sub and mult per
+                // butterfly (no fused-butterfly datapath) plus the n⁻¹
+                // scaling mults.
+                pe.record_activity(PeActivity {
+                    mults: b + n as u64,
+                    adds: b,
+                    subs: b,
+                    butterflies: 0,
+                });
+            } else {
+                // Gentleman–Sande stages, then the n⁻¹ scaling pass.
+                let mut t = 1;
+                let mut m = n;
+                while m > 1 {
+                    let h = m / 2;
+                    let mut j1 = 0;
+                    for i in 0..h {
+                        let w = tw[h + i];
+                        for j in j1..j1 + t {
+                            let u = data[j];
+                            let v = data[j + t];
+                            data[j] = pe.mod_add(u, v)?;
+                            let diff = pe.mod_sub(u, v)?;
+                            data[j + t] = pe.mod_mul(diff, w)?;
+                        }
+                        j1 += 2 * t;
+                    }
+                    t *= 2;
+                    m = h;
+                }
+                let n_inv = gpcfg.inv_polydeg();
+                for x in data.iter_mut() {
+                    *x = pe.mod_mul(*x, n_inv)?;
+                }
             }
             let pass_ii = 1; // scaling reads/writes through one dual-port bank
             report.cycles += self.pass_cycles(n, pass_ii);
@@ -310,21 +365,29 @@ impl Mdmc {
             report.phases.scale_pass = n as u64;
             report.phases.overhead += report.cycles - stage_active - stage_overhead - n as u64;
         } else {
-            // Cooley–Tukey stages with sequential twiddle consumption.
-            let mut t = n;
-            let mut m = 1;
-            while m < n {
-                t /= 2;
-                for i in 0..m {
-                    let w = tw[m + i];
-                    let j1 = 2 * i * t;
-                    for j in j1..j1 + t {
-                        let (hi, lo) = pe.butterfly(data[j], data[j + t], w)?;
-                        data[j] = hi;
-                        data[j + t] = lo;
+            if let Some(plan) = &fast {
+                plan.forward_inplace(&mut data).map_err(|e| SimError::BadConfiguration {
+                    reason: format!("lazy NTT plan rejected operands: {e}"),
+                })?;
+                pe.record_activity(PeActivity { mults: b, adds: b, subs: b, butterflies: b });
+            } else {
+                // Cooley–Tukey stages with sequential twiddle
+                // consumption.
+                let mut t = n;
+                let mut m = 1;
+                while m < n {
+                    t /= 2;
+                    for i in 0..m {
+                        let w = tw[m + i];
+                        let j1 = 2 * i * t;
+                        for j in j1..j1 + t {
+                            let (hi, lo) = pe.butterfly(data[j], data[j + t], w)?;
+                            data[j] = hi;
+                            data[j + t] = lo;
+                        }
                     }
+                    m *= 2;
                 }
-                m *= 2;
             }
             report.cycles += self.config.cmd_trigger as u64;
             report.phases.ct_butterfly = stage_active;

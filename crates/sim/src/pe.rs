@@ -144,6 +144,17 @@ impl ProcessingElement {
         Ok((r.add(u, m), r.sub(u, m)))
     }
 
+    /// Bulk-records activity for a batch of operations executed by an
+    /// optimized functional path (bit-exact with issuing them one by
+    /// one through [`ProcessingElement::butterfly`] and friends) — the
+    /// power model sees identical totals either way.
+    pub fn record_activity(&mut self, delta: PeActivity) {
+        self.activity.mults += delta.mults;
+        self.activity.adds += delta.adds;
+        self.activity.subs += delta.subs;
+        self.activity.butterflies += delta.butterflies;
+    }
+
     /// Accumulated activity counts.
     pub fn activity(&self) -> PeActivity {
         self.activity

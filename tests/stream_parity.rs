@@ -47,13 +47,14 @@ fn record(inputs: &[Vec<u128>], steps: &[Step]) -> (OpStream, Vec<StreamHandle>)
     for &(kind, x, y, c) in steps {
         let hx = handles[x % handles.len()];
         let hy = handles[y % handles.len()];
-        let h = match kind % 7 {
+        let h = match kind % 8 {
             0 => st.ntt(hx),
             1 => st.intt(hx),
             2 => st.hadamard(hx, hy),
             3 => st.pointwise_add(hx, hy),
             4 => st.pointwise_sub(hx, hy),
             5 => st.scalar_mul(hx, c),
+            6 => st.hadamard_intt(hx, hy),
             _ => st.poly_mul(hx, hy),
         }
         .unwrap();
@@ -77,13 +78,14 @@ fn run_sync(be: &mut dyn PolyBackend, inputs: &[Vec<u128>], steps: &[Step]) -> V
     for &(kind, x, y, c) in steps {
         let hx = handles[x % handles.len()];
         let hy = handles[y % handles.len()];
-        let h = match kind % 7 {
+        let h = match kind % 8 {
             0 => be.ntt(hx).unwrap(),
             1 => be.intt(hx).unwrap(),
             2 => be.hadamard(hx, hy).unwrap(),
             3 => be.pointwise_add(hx, hy).unwrap(),
             4 => be.pointwise_sub(hx, hy).unwrap(),
             5 => be.scalar_mul(hx, c).unwrap(),
+            6 => be.hadamard_intt(hx, hy).unwrap(),
             _ => be.poly_mul(hx, hy).unwrap(),
         };
         handles.push(h);
