@@ -24,7 +24,7 @@ use cofhee_apps::Workload;
 use cofhee_bfv::{BfvParams, Encryptor, KeyGenerator, Plaintext};
 use cofhee_core::ChipBackendFactory;
 use cofhee_farm::{
-    workload_jobs, ChipFarm, Job, ReplayInputs, ReplaySpec, Scheduler, Session, WorkStealing,
+    workload_jobs, ChipFarm, ReplayInputs, ReplaySpec, Scheduler, Session, WorkStealing,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,20 +57,21 @@ fn stage_tenant(n: usize) -> Result<Tenant, Box<dyn std::error::Error>> {
     Ok(Tenant { params, rlk, inputs: ReplayInputs { ciphertexts: cts, plaintexts: pts } })
 }
 
-/// Runs one job list through a fresh farm, returning the scheduler for
-/// its report.
+/// Replays one workload spec through a fresh farm, returning the
+/// scheduler for its report. Session ids are opaque and scheduler-
+/// local, so the job list is generated against the id each fresh
+/// scheduler issues — same spec, same deterministic list.
 fn run_farm(
     tenant: &Tenant,
     chips: usize,
-    jobs: &[Job],
+    workload: &Workload,
+    spec: &ReplaySpec,
 ) -> Result<Scheduler, Box<dyn std::error::Error>> {
     let farm = ChipFarm::new(chips, ChipBackendFactory::silicon())?;
     let mut sched = Scheduler::new(farm, Box::new(WorkStealing));
     let id = sched.open_session(Session::new("bench", &tenant.params, tenant.rlk.clone())?);
-    // The staged job list was built for session id 0; fresh schedulers
-    // always assign id 0 to their first session.
-    assert_eq!(id.0, 0);
-    sched.run(jobs.to_vec())?;
+    let jobs = workload_jobs(id, workload, spec, &tenant.inputs)?;
+    sched.run(jobs)?;
     Ok(sched)
 }
 
@@ -92,15 +93,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut closed_four: Option<cofhee_farm::FarmReport> = None;
     for workload in Workload::all() {
         let spec = ReplaySpec::closed(divisor, 77);
-        let jobs = workload_jobs(cofhee_farm::SessionId(0), &workload, &spec, &tenant.inputs)?;
-        println!("{} — {} jobs", workload.name, jobs.len());
+        println!("{}", workload.name);
         println!(
             "{:>5} | {:>12} {:>8} | {:>10} {:>10} {:>10} | {:>6}",
             "chips", "ops/s", "speedup", "p50 cc", "p95 cc", "p99 cc", "util"
         );
         let mut base = None;
         for &chips in chip_counts {
-            let sched = run_farm(&tenant, chips, &jobs)?;
+            let sched = run_farm(&tenant, chips, &workload, &spec)?;
             let r = sched.report();
             let tput = r.throughput_ops_per_sec();
             let speedup = tput / *base.get_or_insert(tput);
@@ -148,13 +148,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             closed.clone()
         } else {
             let spec = ReplaySpec::closed(divisor, 77).offered(gap);
-            let jobs = workload_jobs(
-                cofhee_farm::SessionId(0),
-                &Workload::cryptonets(),
-                &spec,
-                &tenant.inputs,
-            )?;
-            run_farm(&tenant, 4, &jobs)?.report()
+            run_farm(&tenant, 4, &Workload::cryptonets(), &spec)?.report()
         };
         println!(
             "{gap:>12} | {:>12.1} {:>10} {:>10} {:>5.1}%",

@@ -1,0 +1,241 @@
+//! Service-layer saturation: goodput, rejects, and tenant fairness
+//! under multi-tenant overload at the gateway.
+//!
+//! Three phases over `cofhee_service`, all on the deterministic
+//! virtual clock:
+//!
+//! 1. **Capacity probe** — one tenant offers the CryptoNets request
+//!    mix closed-load through the gateway; its goodput is the farm's
+//!    single-tenant plateau.
+//! 2. **2× overload** — many tenants offer the same mix at 2× the
+//!    plateau rate with seeded Poisson arrivals and tight quotas. The
+//!    run *asserts* the admission-control bar: goodput stays within
+//!    10% of the plateau while the excess is absorbed as typed
+//!    rejects, not as latency collapse.
+//! 3. **Flooding tenant** — fair tenants at ~0.9× their fair share
+//!    plus one tenant flooding at 10× share, drained under
+//!    reject-newest (global FIFO) and tenant-fair (weighted
+//!    round-robin). The run *asserts* the fairness bar: tenant-fair
+//!    keeps the Jain index of completed work ≥ 0.9 no matter what the
+//!    flooder offers.
+//!
+//! ```sh
+//! cargo run --release -p cofhee_bench --bin service_saturation            # n = 2^6
+//! cargo run --release -p cofhee_bench --bin service_saturation -- --smoke # n = 2^5
+//! ```
+
+use cofhee_apps::Workload;
+use cofhee_bfv::{BfvParams, Encryptor, KeyGenerator, Plaintext};
+use cofhee_core::ChipBackendFactory;
+use cofhee_farm::{ChipFarm, Scheduler, WorkStealing};
+use cofhee_service::{
+    arrival_times, request_mix, AdmissionPolicy, ArrivalProcess, Gateway, GatewayConfig,
+    QuotaConfig, RejectNewest, Request, ServiceReport, TenantFair, TenantId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHIPS: usize = 2;
+
+/// Shared client material: one keypair stands in for every simulated
+/// tenant (the bench measures scheduling, not cryptography).
+struct Stage {
+    params: BfvParams,
+    rlk: cofhee_bfv::RelinKey,
+    cts: Vec<cofhee_bfv::Ciphertext>,
+    pts: Vec<Plaintext>,
+}
+
+fn stage(n: usize) -> Result<Stage, Box<dyn std::error::Error>> {
+    let params = BfvParams::insecure_testing(n)?;
+    let mut rng = StdRng::seed_from_u64(2026);
+    let kg = KeyGenerator::new(&params, &mut rng);
+    let enc = Encryptor::new(&params, kg.public_key(&mut rng)?);
+    let cts = (1..=3u64)
+        .map(|v| {
+            let mut coeffs = vec![0u64; n];
+            coeffs[0] = v;
+            enc.encrypt(&Plaintext::new(&params, coeffs)?, &mut rng)
+        })
+        .collect::<Result<_, _>>()?;
+    let pts = (2..=3u64).map(|v| Plaintext::constant(&params, v)).collect::<Result<_, _>>()?;
+    Ok(Stage { params, rlk: kg.relin_key(16, &mut rng)?, cts, pts })
+}
+
+/// One simulated tenant's offered load.
+struct Offer {
+    label: String,
+    quotas: QuotaConfig,
+    process: ArrivalProcess,
+    budget: usize,
+}
+
+/// Builds a fresh gateway, registers every offer's tenant, uploads its
+/// operand pool, generates its request schedule, and plays the merged
+/// schedule through `submit_at` in arrival order. Returns the drained
+/// report.
+fn run_phase(
+    stage: &Stage,
+    policy: Box<dyn AdmissionPolicy>,
+    offers: &[Offer],
+    workload: &Workload,
+    seed: u64,
+) -> Result<ServiceReport, Box<dyn std::error::Error>> {
+    let farm = ChipFarm::new(CHIPS, ChipBackendFactory::silicon())?;
+    let sched = Scheduler::new(farm, Box::new(WorkStealing));
+    let mut gw = Gateway::new(sched, policy, GatewayConfig::for_chips(CHIPS));
+
+    // (arrival, tenant, request) for every offer, merged.
+    let mut schedule: Vec<(u64, TenantId, Request)> = Vec::new();
+    for (i, offer) in offers.iter().enumerate() {
+        let tenant = gw.register_tenant(&offer.label, &stage.params, Some(stage.rlk.clone()))?;
+        gw.set_quotas(tenant, offer.quotas)?;
+        let handles = stage
+            .cts
+            .iter()
+            .map(|ct| gw.put_ciphertext(tenant, ct.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let tseed = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+        let requests = request_mix(workload, offer.budget, &handles, &stage.pts, tseed);
+        let times = arrival_times(offer.process, offer.budget, tseed ^ 0x5DEE_CE66);
+        for (at, req) in times.into_iter().zip(requests) {
+            schedule.push((at, tenant, req));
+        }
+    }
+    schedule.sort_by_key(|(at, tenant, _)| (*at, tenant.raw()));
+    for (at, tenant, request) in schedule {
+        // Rejections are the mechanism under test, not an error.
+        let _ = gw.submit_at(tenant, request, at);
+    }
+    gw.drain()?;
+    Ok(gw.report())
+}
+
+fn print_phase(title: &str, r: &ServiceReport) {
+    println!("{title}");
+    print!("{}", r.render());
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = cofhee_bench::sized(1 << 6, 1 << 5);
+    let stage = stage(n)?;
+    let cn = Workload::cryptonets();
+    println!(
+        "Service saturation: gateway admission over a {CHIPS}-die farm (n = 2^{}, CryptoNets mix)\n",
+        n.trailing_zeros()
+    );
+
+    // ---- Phase 1: single-tenant closed-load capacity probe ----
+    let probe_budget = cofhee_bench::sized(64, 16);
+    let open = QuotaConfig {
+        queue_capacity: probe_budget + 1,
+        max_in_flight: probe_budget as u64 + 1,
+        max_bytes: u64::MAX,
+        weight: 1,
+    };
+    let probe = run_phase(
+        &stage,
+        Box::new(RejectNewest),
+        &[Offer {
+            label: "probe".into(),
+            quotas: open,
+            process: ArrivalProcess::Closed,
+            budget: probe_budget,
+        }],
+        &cn,
+        11,
+    )?;
+    let plateau = probe.goodput_ops_per_sec();
+    print_phase("phase 1: single-tenant plateau (closed load)", &probe);
+
+    // ---- Phase 2: 2× overload across many tenants ----
+    let tenants = cofhee_bench::sized(32, 4);
+    let per_tenant = cofhee_bench::sized(64, 16);
+    let freq = probe.farm.freq_hz as f64;
+    // Aggregate offered rate = 2× plateau, split evenly: each tenant's
+    // mean inter-arrival gap in cycles.
+    let mean_gap = (tenants as f64 * freq / (2.0 * plateau)) as u64;
+    let tight = QuotaConfig {
+        queue_capacity: cofhee_bench::sized(8, 2),
+        max_in_flight: cofhee_bench::sized(16, 4),
+        max_bytes: u64::MAX,
+        weight: 1,
+    };
+    let offers: Vec<Offer> = (0..tenants)
+        .map(|i| Offer {
+            label: format!("tenant-{i:02}"),
+            quotas: tight,
+            process: ArrivalProcess::Poisson { mean_gap },
+            budget: per_tenant,
+        })
+        .collect();
+    let overload = run_phase(&stage, Box::new(TenantFair::default()), &offers, &cn, 23)?;
+    print_phase(
+        &format!(
+            "phase 2: {tenants} tenants, Poisson arrivals at 2x plateau (mean gap {mean_gap} cc)"
+        ),
+        &overload,
+    );
+    let goodput = overload.goodput_ops_per_sec();
+    assert!(
+        goodput > 0.9 * plateau,
+        "2x overload must hold goodput within 10% of the plateau: {goodput:.1} !> 0.9 * {plateau:.1}"
+    );
+    assert!(
+        overload.rejected() > 0,
+        "2x offered load over tight quotas must shed excess as rejects"
+    );
+    println!(
+        "admission bar: goodput at 2x load = {:.1}% of plateau (> 90% required), \
+         rejects absorbed {:.1}% of offered\n",
+        goodput / plateau * 100.0,
+        overload.reject_rate() * 100.0,
+    );
+
+    // ---- Phase 3: flooding tenant, reject-newest vs tenant-fair ----
+    let fair_tenants = cofhee_bench::sized(7, 3);
+    let total = fair_tenants + 1;
+    let fair_budget = cofhee_bench::sized(48, 10);
+    let flood_budget = cofhee_bench::sized(10 * fair_budget, 6 * fair_budget);
+    // Fair tenants at ~0.9× their fair share of the plateau; the
+    // flooder offers 10× its share in bursts.
+    let fair_gap = (total as f64 * freq / (0.9 * plateau)) as u64;
+    let flood_gap = (total as f64 * freq / (10.0 * plateau)).max(1.0) as u64;
+    let mut offers: Vec<Offer> = (0..fair_tenants)
+        .map(|i| Offer {
+            label: format!("fair-{i}"),
+            quotas: tight,
+            process: ArrivalProcess::Poisson { mean_gap: fair_gap },
+            budget: fair_budget,
+        })
+        .collect();
+    offers.push(Offer {
+        label: "flooder".into(),
+        quotas: tight,
+        process: ArrivalProcess::Bursty { burst: 8, within: flood_gap, between: 4 * flood_gap },
+        budget: flood_budget,
+    });
+
+    let fifo = run_phase(&stage, Box::new(RejectNewest), &offers, &cn, 31)?;
+    print_phase(
+        &format!("phase 3a: {fair_tenants} fair tenants + 1 flooder, reject-newest drain"),
+        &fifo,
+    );
+    let fair = run_phase(&stage, Box::new(TenantFair::default()), &offers, &cn, 31)?;
+    print_phase(
+        &format!("phase 3b: {fair_tenants} fair tenants + 1 flooder, tenant-fair drain"),
+        &fair,
+    );
+
+    let (jain_fifo, jain_fair) = (fifo.jain_fairness(), fair.jain_fairness());
+    assert!(
+        jain_fair >= 0.9,
+        "tenant-fair drain must keep Jain >= 0.9 under a flooding tenant: {jain_fair:.3}"
+    );
+    println!(
+        "fairness bar: jain(tenant-fair) = {jain_fair:.3} (>= 0.9 required) vs \
+         jain(reject-newest) = {jain_fifo:.3} under the same flood"
+    );
+    Ok(())
+}

@@ -25,6 +25,12 @@ pub enum FarmError {
     },
     /// A job's operand pool was empty (nothing to replay).
     EmptyInputs,
+    /// A `MulRelin` job ran under a session that never uploaded
+    /// relinearization material.
+    MissingRelinKey {
+        /// The offending session id.
+        id: u64,
+    },
     /// A placement named a die the farm does not have.
     UnknownChip {
         /// The offending die index.
@@ -57,6 +63,9 @@ impl fmt::Display for FarmError {
             Self::EmptyFarm => write!(f, "a chip farm needs at least one die"),
             Self::UnknownSession { id } => write!(f, "session {id} was never opened"),
             Self::EmptyInputs => write!(f, "replay needs a non-empty operand pool"),
+            Self::MissingRelinKey { id } => {
+                write!(f, "session {id} has no relinearization key for a ct*ct multiply")
+            }
             Self::UnknownChip { chip, chips } => {
                 write!(f, "die {chip} does not exist in a {chips}-chip farm")
             }

@@ -149,7 +149,8 @@ mod tests {
     #[test]
     fn scaled_mixes_keep_every_kind_and_total() {
         let spec = ReplaySpec::closed(10_000, 9);
-        let jobs = workload_jobs(SessionId(0), &Workload::cryptonets(), &spec, &inputs()).unwrap();
+        let jobs =
+            workload_jobs(SessionId::new(0), &Workload::cryptonets(), &spec, &inputs()).unwrap();
         let cn = Workload::cryptonets();
         let expect = scaled(cn.ct_ct_add, 10_000)
             + scaled(cn.ct_pt_mul, 10_000)
@@ -164,8 +165,10 @@ mod tests {
     fn generation_is_deterministic_and_offered_load_spaces_arrivals() {
         let spec = ReplaySpec::closed(50_000, 11).offered(500);
         let ins = inputs();
-        let a = workload_jobs(SessionId(0), &Workload::logistic_regression(), &spec, &ins).unwrap();
-        let b = workload_jobs(SessionId(0), &Workload::logistic_regression(), &spec, &ins).unwrap();
+        let a = workload_jobs(SessionId::new(0), &Workload::logistic_regression(), &spec, &ins)
+            .unwrap();
+        let b = workload_jobs(SessionId::new(0), &Workload::logistic_regression(), &spec, &ins)
+            .unwrap();
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.arrival, y.arrival);
@@ -181,7 +184,7 @@ mod tests {
         let spec = ReplaySpec::closed(1, 0);
         let empty = ReplayInputs { ciphertexts: vec![], plaintexts: vec![] };
         assert!(matches!(
-            workload_jobs(SessionId(0), &Workload::cryptonets(), &spec, &empty),
+            workload_jobs(SessionId::new(0), &Workload::cryptonets(), &spec, &empty),
             Err(FarmError::EmptyInputs)
         ));
     }

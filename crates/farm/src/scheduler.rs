@@ -64,6 +64,11 @@ pub struct JobOutcome {
     pub finish: u64,
     /// `finish − arrival`: queueing plus compute, simulated cycles.
     pub latency: u64,
+    /// Pure execution time along the job's dependency chain had it
+    /// never waited for a die: the critical-path sum of its streams'
+    /// overlapped cycles. `latency − service_cycles` is the time the
+    /// job spent queued — the split service front-ends report.
+    pub service_cycles: u64,
     /// Streams the job decomposed into.
     pub streams: usize,
 }
@@ -120,6 +125,8 @@ pub struct Scheduler {
     policy: Box<dyn PlacementPolicy>,
     sessions: Vec<std::sync::Arc<Session>>,
     latencies: Vec<u64>,
+    queue_cycles: Vec<u64>,
+    service_cycles: Vec<u64>,
     jobs_done: u64,
     stream_totals: StreamReport,
 }
@@ -132,6 +139,8 @@ impl Scheduler {
             policy,
             sessions: Vec::new(),
             latencies: Vec::new(),
+            queue_cycles: Vec::new(),
+            service_cycles: Vec::new(),
             jobs_done: 0,
             stream_totals: StreamReport::default(),
         }
@@ -140,7 +149,7 @@ impl Scheduler {
     /// Registers a tenant session; ids are sequential in open order.
     pub fn open_session(&mut self, session: Session) -> SessionId {
         self.sessions.push(std::sync::Arc::new(session));
-        SessionId(self.sessions.len() as u64 - 1)
+        SessionId::new(self.sessions.len() as u64 - 1)
     }
 
     /// Looks up an open session.
@@ -150,15 +159,18 @@ impl Scheduler {
     /// Returns [`FarmError::UnknownSession`] for ids never issued.
     pub fn session(&self, id: SessionId) -> Result<&Session> {
         self.sessions
-            .get(id.0 as usize)
+            .get(id.raw() as usize)
             .map(|s| s.as_ref())
-            .ok_or(FarmError::UnknownSession { id: id.0 })
+            .ok_or(FarmError::UnknownSession { id: id.raw() })
     }
 
     /// The shared handle of an open session (cheap to keep across a
     /// mutable use of the scheduler).
     fn session_handle(&self, id: SessionId) -> Result<std::sync::Arc<Session>> {
-        self.sessions.get(id.0 as usize).cloned().ok_or(FarmError::UnknownSession { id: id.0 })
+        self.sessions
+            .get(id.raw() as usize)
+            .cloned()
+            .ok_or(FarmError::UnknownSession { id: id.raw() })
     }
 
     /// The underlying farm (inspection).
@@ -181,8 +193,9 @@ impl Scheduler {
         Ok(run)
     }
 
-    /// Executes one job, returning its result and finish time.
-    fn run_job(&mut self, job: &Job) -> Result<(Ciphertext, u64, usize)> {
+    /// Executes one job, returning its result, finish time, critical-
+    /// path service cycles, and stream count.
+    fn run_job(&mut self, job: &Job) -> Result<(Ciphertext, u64, u64, usize)> {
         let session = self.session_handle(job.session)?;
         let ev = session.evaluator();
         let (q, n) = (session.params().q(), session.params().n());
@@ -190,38 +203,49 @@ impl Scheduler {
             JobKind::Add(a, b) => {
                 let st = ev.add_stream(a, b)?;
                 let run = self.place_and_run(q, n, &st, job.arrival)?;
-                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, 1))
+                let service = run.finish - run.start;
+                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, service, 1))
             }
             JobKind::AddPlain(a, pt) => {
                 let st = ev.add_plain_stream(a, pt)?;
                 let run = self.place_and_run(q, n, &st, job.arrival)?;
-                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, 1))
+                let service = run.finish - run.start;
+                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, service, 1))
             }
             JobKind::MulPlain(a, pt) => {
                 let st = ev.mul_plain_stream(a, pt)?;
                 let run = self.place_and_run(q, n, &st, job.arrival)?;
-                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, 1))
+                let service = run.finish - run.start;
+                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, service, 1))
             }
             JobKind::MulRelin(a, b) => {
+                let rlk = session
+                    .relin_key()
+                    .ok_or(FarmError::MissingRelinKey { id: job.session.raw() })?;
                 // Phase 1: the per-CRT-limb tensor streams, independent
                 // and all ready at arrival — the farm's parallelism.
                 let streams = ev.tensor_streams(a, b)?;
                 let primes = session.params().mult_basis().moduli().to_vec();
                 let mut limbs = Vec::with_capacity(streams.len());
                 let mut tensor_done = job.arrival;
+                // Critical-path service: the widest tensor limb plus the
+                // key switch — what the job would cost on an idle farm.
+                let mut tensor_service = 0u64;
                 for (stream, &p) in streams.iter().zip(&primes) {
                     let run = self.place_and_run(p, n, stream, job.arrival)?;
                     tensor_done = tensor_done.max(run.finish);
+                    tensor_service = tensor_service.max(run.finish - run.start);
                     limbs.push(run.outcome.outputs);
                 }
                 // Host-side CRT reconstruction + Eq. 4 rounding (not
                 // cycle-accounted: the host works off-die).
                 let prod3 = ev.tensor_combine(&limbs)?;
                 // Phase 2: the key switch, ready once every limb is in.
-                let rst = ev.relin_stream(&prod3, session.relin_key())?;
+                let rst = ev.relin_stream(&prod3, rlk)?;
                 let run = self.place_and_run(q, n, &rst, tensor_done)?;
                 let ct = ev.ciphertext_from_outputs(run.outcome.outputs)?;
-                Ok((ct, run.finish, streams.len() + 1))
+                let service = tensor_service.saturating_add(run.finish - run.start);
+                Ok((ct, run.finish, service, streams.len() + 1))
             }
         }
     }
@@ -239,9 +263,11 @@ impl Scheduler {
         let mut outcomes = Vec::with_capacity(jobs.len());
         for &ji in &order {
             let job = &jobs[ji];
-            let (result, finish, streams) = self.run_job(job)?;
+            let (result, finish, service_cycles, streams) = self.run_job(job)?;
             let latency = finish.saturating_sub(job.arrival);
             self.latencies.push(latency);
+            self.queue_cycles.push(latency.saturating_sub(service_cycles));
+            self.service_cycles.push(service_cycles);
             self.jobs_done += 1;
             outcomes.push(JobOutcome {
                 index: ji,
@@ -250,6 +276,7 @@ impl Scheduler {
                 arrival: job.arrival,
                 finish,
                 latency,
+                service_cycles,
                 streams,
             });
         }
@@ -267,6 +294,8 @@ impl Scheduler {
             streams,
             makespan_cycles: self.farm.makespan(),
             latency: latency_percentiles(&self.latencies),
+            queue: latency_percentiles(&self.queue_cycles),
+            service: latency_percentiles(&self.service_cycles),
             stream_totals: self.stream_totals,
             freq_hz: self.farm.freq_hz(),
         }
@@ -343,6 +372,33 @@ mod tests {
         assert!(report.makespan_cycles > 0);
         assert!(report.latency.p50 > 0);
         assert!(report.stream_totals.serial_cycles >= report.stream_totals.overlapped_cycles);
+        // The queue/service split covers the whole latency: every job's
+        // latency is its service time plus the cycles it waited.
+        for o in &outcomes {
+            assert!(o.service_cycles > 0, "streams cost real cycles");
+            assert!(o.service_cycles <= o.latency);
+        }
+        assert!(report.service.p50 > 0);
+        assert!(report.queue.max <= report.latency.max);
+    }
+
+    #[test]
+    fn mul_relin_without_relin_material_is_a_typed_error() {
+        let mut t = tenant(36);
+        let farm = ChipFarm::new(1, ChipBackendFactory::silicon()).unwrap();
+        let mut s = Scheduler::new(farm, Box::new(WorkStealing));
+        let id = s.open_session(Session::without_relin("keyless", &t.params).unwrap());
+        let a = encrypt(&mut t, 2);
+        // Additions still run fine without key-switch material…
+        let ok = s
+            .run(vec![Job { session: id, kind: JobKind::Add(a.clone(), a.clone()), arrival: 0 }])
+            .unwrap();
+        assert_eq!(t.dec.decrypt(&ok[0].result).unwrap().coeffs()[0], 4);
+        // …but a multiply needs the key, typed.
+        let err = s
+            .run(vec![Job { session: id, kind: JobKind::MulRelin(a.clone(), a), arrival: 0 }])
+            .unwrap_err();
+        assert!(matches!(err, FarmError::MissingRelinKey { id: 0 }));
     }
 
     #[test]
@@ -417,10 +473,11 @@ mod tests {
         // Each tenant decrypts its own result with its own key.
         assert_eq!(ta.dec.decrypt(&outcomes[0].result).unwrap().coeffs()[0], 16);
         assert_eq!(tb.dec.decrypt(&outcomes[1].result).unwrap().coeffs()[0], 36);
-        // Foreign session ids fail typed.
+        // Foreign session ids fail typed. (Only the crate can even
+        // construct an unissued id — the public type is opaque.)
         let err = s
             .run(vec![Job {
-                session: SessionId(99),
+                session: SessionId::new(99),
                 kind: JobKind::Add(encrypt(&mut ta, 1), encrypt(&mut ta, 1)),
                 arrival: 0,
             }])

@@ -9,8 +9,26 @@ use crate::error::Result;
 /// Ids are scheduler-local and sequential (the open order), so a fixed
 /// session-open sequence always yields the same ids — part of the
 /// farm's determinism contract.
+///
+/// The id is **opaque**: only
+/// [`Scheduler::open_session`](crate::Scheduler::open_session) issues
+/// them, so callers cannot forge one, confuse it with a service-layer
+/// tenant id, or depend on the scheduler's internal counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SessionId(pub u64);
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Only the scheduler mints ids (its open counter).
+    pub(crate) fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw scheduler-local index — diagnostics and display only;
+    /// there is deliberately no way to turn a `u64` back into an id.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
 
 impl core::fmt::Display for SessionId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -32,7 +50,7 @@ pub struct Session {
     tenant: String,
     params: BfvParams,
     evaluator: Evaluator,
-    rlk: RelinKey,
+    rlk: Option<RelinKey>,
 }
 
 impl Session {
@@ -44,11 +62,27 @@ impl Session {
     /// Propagates evaluator bring-up failures (none for validated
     /// parameter sets).
     pub fn new(tenant: &str, params: &BfvParams, rlk: RelinKey) -> Result<Self> {
+        let mut s = Self::without_relin(tenant, params)?;
+        s.rlk = Some(rlk);
+        Ok(s)
+    }
+
+    /// Opens a session that never uploaded relinearization material.
+    /// Such a session can run every job kind except
+    /// [`JobKind::MulRelin`](crate::JobKind::MulRelin), which fails
+    /// with [`FarmError::MissingRelinKey`](crate::FarmError) — the
+    /// check front-ends validate before admitting a multiply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator bring-up failures (none for validated
+    /// parameter sets).
+    pub fn without_relin(tenant: &str, params: &BfvParams) -> Result<Self> {
         Ok(Self {
             tenant: tenant.to_string(),
             params: params.clone(),
             evaluator: Evaluator::new(params)?,
-            rlk,
+            rlk: None,
         })
     }
 
@@ -68,9 +102,9 @@ impl Session {
         &self.evaluator
     }
 
-    /// The tenant's relinearization key.
-    pub fn relin_key(&self) -> &RelinKey {
-        &self.rlk
+    /// The tenant's relinearization key, when one was uploaded.
+    pub fn relin_key(&self) -> Option<&RelinKey> {
+        self.rlk.as_ref()
     }
 }
 
@@ -89,7 +123,15 @@ mod tests {
         let s = Session::new("acme", &params, rlk).unwrap();
         assert_eq!(s.tenant(), "acme");
         assert_eq!(s.params().n(), 32);
-        assert!(s.relin_key().digit_count() > 0);
-        assert_eq!(format!("{}", SessionId(4)), "session#4");
+        assert!(s.relin_key().expect("uploaded").digit_count() > 0);
+        assert_eq!(format!("{}", SessionId::new(4)), "session#4");
+        assert_eq!(SessionId::new(4).raw(), 4);
+    }
+
+    #[test]
+    fn sessions_without_relin_material_carry_none() {
+        let params = BfvParams::insecure_testing(32).unwrap();
+        let s = Session::without_relin("acme", &params).unwrap();
+        assert!(s.relin_key().is_none());
     }
 }

@@ -81,6 +81,13 @@ pub struct FarmReport {
     pub makespan_cycles: u64,
     /// Job-latency percentiles (arrival → finish, simulated cycles).
     pub latency: LatencyPercentiles,
+    /// Percentiles of per-job *queueing* time: latency minus the job's
+    /// critical-path service cycles. Under light load this pins near 0;
+    /// past the saturation knee it grows with every arrival.
+    pub queue: LatencyPercentiles,
+    /// Percentiles of per-job critical-path *service* time — what each
+    /// job costs on an idle farm, independent of backlog.
+    pub service: LatencyPercentiles,
     /// Merged per-stream execution telemetry (commands, batches,
     /// serial-vs-overlapped totals) across every submit.
     pub stream_totals: StreamReport,
@@ -132,6 +139,10 @@ impl FarmReport {
             self.latency.p99,
             self.latency.max,
             self.mean_utilization() * 100.0,
+        ));
+        out.push_str(&format!(
+            "queue p50/p95 = {}/{} cc | service p50/p95 = {}/{} cc\n",
+            self.queue.p50, self.queue.p95, self.service.p50, self.service.p95,
         ));
         for c in &self.chips {
             out.push_str(&format!(
@@ -188,6 +199,8 @@ mod tests {
             streams: 4,
             makespan_cycles: 1000,
             latency: latency_percentiles(&[10, 20, 30, 40]),
+            queue: latency_percentiles(&[0, 0, 10, 20]),
+            service: latency_percentiles(&[10, 20, 20, 20]),
             stream_totals: StreamReport::default(),
             freq_hz: 250_000_000,
         };

@@ -1,0 +1,123 @@
+//! Opaque service-level identifiers: tenants, ciphertext handles, and
+//! the tickets admitted requests hand back.
+//!
+//! All three are deliberately un-forgeable — only the
+//! [`Gateway`](crate::Gateway) mints them — so a tenant id can never be
+//! confused with a farm [`SessionId`](cofhee_farm::SessionId), and a
+//! handle always refers to something the registry actually issued.
+
+/// Identifies a registered tenant within one [`Gateway`](crate::Gateway).
+///
+/// Ids are gateway-local and sequential in registration order, which
+/// keeps a fixed registration sequence deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(u64);
+
+impl TenantId {
+    pub(crate) fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw gateway-local index (diagnostics and display only).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// A handle to a ciphertext in the
+/// [`CiphertextRegistry`](crate::CiphertextRegistry).
+///
+/// Requests reference operands by handle and results are materialized
+/// under a handle allocated at admission, so ciphertext polynomials
+/// never round-trip through the request API — a tenant uploads inputs
+/// once and downloads only final results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtHandle(u64);
+
+impl CtHandle {
+    pub(crate) fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw registry index (diagnostics and display only).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for CtHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ct#{}", self.0)
+    }
+}
+
+/// What an admitted request hands back: a stable id, the owning
+/// tenant, the handle its result will materialize under, and the
+/// virtual cycle it was admitted at.
+///
+/// The result handle is allocated *at admission*, so dependent requests
+/// can chain on it immediately — the gateway holds them until the
+/// producer finishes. Downloading the handle before the drain reaches
+/// its finish cycle fails with
+/// [`ServiceError::ResultPending`](crate::ServiceError::ResultPending).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    id: u64,
+    tenant: TenantId,
+    result: CtHandle,
+    arrival: u64,
+}
+
+impl Ticket {
+    pub(crate) fn new(id: u64, tenant: TenantId, result: CtHandle, arrival: u64) -> Self {
+        Self { id, tenant, result, arrival }
+    }
+
+    /// The gateway-wide admission sequence number.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The tenant the request was admitted for.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The handle the result materializes under when the job finishes.
+    pub fn result(&self) -> CtHandle {
+        self.result
+    }
+
+    /// The virtual cycle the request was admitted at.
+    pub fn arrival(&self) -> u64 {
+        self.arrival
+    }
+}
+
+impl core::fmt::Display for Ticket {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ticket#{} ({} -> {})", self.id, self.tenant, self.result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let t = Ticket::new(7, TenantId::new(2), CtHandle::new(40), 100);
+        assert_eq!(format!("{}", TenantId::new(2)), "tenant#2");
+        assert_eq!(format!("{}", CtHandle::new(40)), "ct#40");
+        assert_eq!(format!("{t}"), "ticket#7 (tenant#2 -> ct#40)");
+        assert_eq!((t.id(), t.arrival()), (7, 100));
+        assert_eq!(t.tenant().raw(), 2);
+        assert_eq!(t.result().raw(), 40);
+    }
+}

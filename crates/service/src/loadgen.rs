@@ -1,0 +1,219 @@
+//! Deterministic load generation for service saturation studies:
+//! seeded arrival processes and request mixes over the Table X
+//! application workloads.
+//!
+//! Everything is a pure function of `(spec, seed)`: the Poisson and
+//! bursty processes draw from a seeded PRNG via the inverse CDF, so
+//! the same seed always offers the same load — which is what lets the
+//! `service_saturation` bench and its CI smoke gate assert on exact
+//! goodput and fairness numbers.
+
+use cofhee_apps::Workload;
+use cofhee_bfv::Plaintext;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::gateway::Request;
+use crate::handle::CtHandle;
+
+/// How a tenant's requests arrive on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Every request arrives at cycle 0 (closed load).
+    Closed,
+    /// One request every `gap` cycles.
+    Uniform {
+        /// Cycles between consecutive arrivals.
+        gap: u64,
+    },
+    /// Poisson arrivals: exponentially distributed inter-arrival gaps
+    /// with the given mean (inverse-CDF sampling from the seeded PRNG).
+    Poisson {
+        /// Mean cycles between consecutive arrivals.
+        mean_gap: u64,
+    },
+    /// Bursts of back-to-back requests separated by idle gaps — the
+    /// session-like shape real tenants produce.
+    Bursty {
+        /// Requests per burst.
+        burst: usize,
+        /// Cycles between requests within a burst.
+        within: u64,
+        /// Cycles between the end of one burst and the next.
+        between: u64,
+    },
+}
+
+/// A uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The first `count` arrival cycles of `process` under `seed`
+/// (non-decreasing; deterministic for a fixed `(process, count, seed)`).
+pub fn arrival_times(process: ArrivalProcess, count: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = 0u64;
+    let mut times = Vec::with_capacity(count);
+    for i in 0..count {
+        match process {
+            ArrivalProcess::Closed => {}
+            ArrivalProcess::Uniform { gap } => {
+                if i > 0 {
+                    at = at.saturating_add(gap);
+                }
+            }
+            ArrivalProcess::Poisson { mean_gap } => {
+                if i > 0 {
+                    // Inverse CDF of Exp(1/mean): gap = -ln(U)·mean.
+                    let u = unit(&mut rng).max(f64::MIN_POSITIVE);
+                    let gap = (-u.ln() * mean_gap as f64).round();
+                    at = at.saturating_add(gap as u64);
+                }
+            }
+            ArrivalProcess::Bursty { burst, within, between } => {
+                if i > 0 {
+                    let gap = if i % burst.max(1) == 0 { between } else { within };
+                    at = at.saturating_add(gap);
+                }
+            }
+        }
+        times.push(at);
+    }
+    times
+}
+
+/// Scales `workload`'s operation mix down to exactly `budget` requests,
+/// preserving the mix's proportions (every non-zero kind keeps at least
+/// one request while the budget allows).
+fn scaled_counts(workload: &Workload, budget: usize) -> [u64; 3] {
+    let raw = [workload.ct_ct_add, workload.ct_pt_mul, workload.ct_ct_mul_relin];
+    let total: u64 = raw.iter().sum();
+    if total == 0 || budget == 0 {
+        return [0; 3];
+    }
+    let mut counts = [0u64; 3];
+    for (c, &r) in counts.iter_mut().zip(&raw) {
+        if r > 0 {
+            *c = ((r as u128 * budget as u128 / total as u128) as u64).max(1);
+        }
+    }
+    // Adjust to exactly `budget`: trim from / pad onto the largest kind.
+    let mut sum: u64 = counts.iter().sum();
+    while sum > budget as u64 {
+        let i = (0..3).max_by_key(|&i| counts[i]).expect("3 kinds");
+        counts[i] -= 1;
+        sum -= 1;
+    }
+    while sum < budget as u64 {
+        let i = (0..3).max_by_key(|&i| counts[i]).expect("3 kinds");
+        counts[i] += 1;
+        sum += 1;
+    }
+    counts
+}
+
+/// Builds `budget` handle-addressed requests following `workload`'s
+/// operation mix: kinds interleave largest-remaining-first (the same
+/// deterministic shape as the farm replay), operands draw from the
+/// tenant's uploaded `handles` and `plaintexts` pools under `seed`.
+///
+/// The returned requests reference operands by handle only — pair them
+/// with [`arrival_times`] and feed them to
+/// [`Gateway::submit_at`](crate::Gateway::submit_at).
+pub fn request_mix(
+    workload: &Workload,
+    budget: usize,
+    handles: &[CtHandle],
+    plaintexts: &[Plaintext],
+    seed: u64,
+) -> Vec<Request> {
+    assert!(!handles.is_empty(), "request_mix needs at least one uploaded handle");
+    let mut remaining = scaled_counts(workload, budget);
+    if remaining[1] > 0 {
+        assert!(!plaintexts.is_empty(), "ct*pt requests need a plaintext pool");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = Vec::with_capacity(budget);
+    while remaining.iter().any(|&r| r > 0) {
+        let kind = (0..3).max_by_key(|&i| (remaining[i], 2 - i)).expect("3 kinds");
+        remaining[kind] -= 1;
+        let h = |rng: &mut StdRng| handles[rng.gen_range(0..handles.len())];
+        let pt = |rng: &mut StdRng| plaintexts[rng.gen_range(0..plaintexts.len())].clone();
+        requests.push(match kind {
+            0 => Request::Add(h(&mut rng), h(&mut rng)),
+            1 => Request::MulPlain(h(&mut rng), pt(&mut rng)),
+            _ => Request::MulRelin(h(&mut rng), h(&mut rng)),
+        });
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofhee_bfv::BfvParams;
+
+    #[test]
+    fn arrival_processes_are_deterministic_and_monotone() {
+        for process in [
+            ArrivalProcess::Closed,
+            ArrivalProcess::Uniform { gap: 100 },
+            ArrivalProcess::Poisson { mean_gap: 500 },
+            ArrivalProcess::Bursty { burst: 4, within: 10, between: 1000 },
+        ] {
+            let a = arrival_times(process, 50, 9);
+            let b = arrival_times(process, 50, 9);
+            assert_eq!(a, b, "{process:?} must replay identically");
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{process:?} must be monotone");
+            assert_eq!(a[0], 0, "first arrival is at the epoch");
+        }
+        assert!(arrival_times(ArrivalProcess::Closed, 8, 0).iter().all(|&t| t == 0));
+        assert_eq!(arrival_times(ArrivalProcess::Uniform { gap: 7 }, 4, 0), vec![0, 7, 14, 21]);
+    }
+
+    #[test]
+    fn poisson_gaps_average_near_the_mean() {
+        let times = arrival_times(ArrivalProcess::Poisson { mean_gap: 1000 }, 2000, 17);
+        let span = *times.last().unwrap() as f64;
+        let mean = span / (times.len() - 1) as f64;
+        assert!((mean - 1000.0).abs() < 100.0, "empirical mean gap {mean} vs 1000");
+        // Exponential gaps are bursty: some far below, some far above.
+        let gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.iter().any(|&g| g < 250));
+        assert!(gaps.iter().any(|&g| g > 2500));
+    }
+
+    #[test]
+    fn bursty_arrivals_alternate_dense_and_idle() {
+        let times =
+            arrival_times(ArrivalProcess::Bursty { burst: 3, within: 5, between: 900 }, 7, 0);
+        assert_eq!(times, vec![0, 5, 10, 910, 915, 920, 1820]);
+    }
+
+    #[test]
+    fn request_mixes_scale_to_budget_and_replay_identically() {
+        let params = BfvParams::insecure_testing(32).unwrap();
+        let handles: Vec<CtHandle> = (0..4).map(CtHandle::new).collect();
+        let pts = vec![Plaintext::constant(&params, 3).unwrap()];
+        for w in Workload::all() {
+            let reqs = request_mix(&w, 60, &handles, &pts, 21);
+            assert_eq!(reqs.len(), 60, "{} budget", w.name);
+            // The mix keeps every kind represented and roughly in
+            // proportion.
+            let muls = reqs.iter().filter(|r| matches!(r, Request::MulRelin(..))).count();
+            assert!(muls >= 1);
+            let again = request_mix(&w, 60, &handles, &pts, 21);
+            for (a, b) in reqs.iter().zip(&again) {
+                assert_eq!(a.name(), b.name());
+                assert_eq!(a.operands(), b.operands());
+            }
+        }
+        // Logistic regression is mul-heavy; CryptoNets is add-heavy.
+        let lr = request_mix(&Workload::logistic_regression(), 100, &handles, &pts, 1);
+        let cn = request_mix(&Workload::cryptonets(), 100, &handles, &pts, 1);
+        let count = |rs: &[Request], name: &str| rs.iter().filter(|r| r.name() == name).count();
+        assert!(count(&lr, "ct*ct+relin") > 10 * count(&cn, "ct*ct+relin"));
+        assert!(count(&cn, "ct+ct") > count(&lr, "ct+ct"));
+    }
+}

@@ -1,23 +1,22 @@
-//! End-to-end encrypted inference — the workloads behind Table X,
-//! actually computed under encryption, on pluggable execution backends.
+//! Encrypted inference through the FHE service front-end.
 //!
-//! Runs a CryptoNets-style dense layer with square activation and a
-//! logistic-regression scorer on batched encrypted data, verifies both
-//! against plaintext reference models, re-runs the scorer with every
-//! polynomial pass offloaded to the simulated CoFHEE chip (same results,
-//! measured cycles), and prints the Table X runtime estimates for the
-//! full-size workloads.
+//! The client never touches polynomials after upload: the encrypted
+//! feature batch goes into the gateway's ciphertext registry once, the
+//! logistic score and a CryptoNets-style squared neuron are submitted
+//! as chained requests over opaque handles (each ticket names its
+//! result handle before the farm runs anything), and only the final
+//! ciphertexts are downloaded and decrypted. A second tenant
+//! demonstrates the ACL: private handles deny, shared handles serve.
 //!
 //! ```sh
 //! cargo run --release --example encrypted_inference
 //! ```
 
-use cofhee::apps::{
-    decrypt_slots, encrypt_features, measure_cofhee, measured_comm_stats, measured_op_report,
-    measured_stream_report, LogisticScorer, SquareLayerNet, Workload,
-};
+use cofhee::apps::{constant_plaintext, decrypt_slots, encrypt_features, LogisticScorer};
 use cofhee::bfv::{BfvParams, Decryptor, Encryptor, KeyGenerator};
 use cofhee::core::ChipBackendFactory;
+use cofhee::farm::{ChipFarm, Scheduler, WorkStealing};
+use cofhee::service::{Gateway, GatewayConfig, Request, TenantFair};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,99 +24,71 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = BfvParams::insecure_testing(1 << 8)?;
     let mut rng = StdRng::seed_from_u64(42);
     let keygen = KeyGenerator::new(&params, &mut rng);
-    let pk = keygen.public_key(&mut rng)?;
-    let encryptor = Encryptor::new(&params, pk);
+    let encryptor = Encryptor::new(&params, keygen.public_key(&mut rng)?);
     let decryptor = Decryptor::new(&params, keygen.secret_key().clone());
 
-    // ---- CryptoNets-style layer: z = (Wx + b)², batched over slots ----
-    println!("== encrypted square-activation layer (CryptoNets style) ==");
-    let weights = vec![vec![2, 1, 3], vec![1, 4, 0]];
-    let biases = vec![5, 2];
-    let net = SquareLayerNet::new(&params, weights, biases, &keygen, &mut rng)?;
-    // 8 inferences batched in slots, 3 features each.
+    // The service: a 2-die farm behind a handle-addressed gateway.
+    let farm = ChipFarm::new(2, ChipBackendFactory::silicon())?;
+    let sched = Scheduler::new(farm, Box::new(WorkStealing));
+    let mut gw = Gateway::new(sched, Box::new(TenantFair::default()), GatewayConfig::for_chips(2));
+    let alice = gw.register_tenant("alice", &params, Some(keygen.relin_key(16, &mut rng)?))?;
+    let bob = gw.register_tenant("bob", &params, None)?;
+
+    // Upload the batch once (8 inferences in slots, 3 features each);
+    // everything afterwards is handle-addressed.
     let features = vec![
         vec![1, 2, 3, 4, 5, 6, 7, 8],
         vec![8, 7, 6, 5, 4, 3, 2, 1],
         vec![1, 1, 2, 2, 3, 3, 4, 4],
     ];
-    let cts = encrypt_features(&params, &encryptor, &features, &mut rng)?;
-    let out = net.infer(&cts)?;
-    let got = decrypt_slots(&params, &decryptor, &out)?;
-    let expect = net.infer_plain(&features);
-    for (k, row) in expect.iter().enumerate() {
-        assert_eq!(&got[k][..8], &row[..], "neuron {k}");
-        println!("  neuron {k}: batch outputs {:?} ✓", &got[k][..8]);
+    let xs = encrypt_features(&params, &encryptor, &features, &mut rng)?
+        .into_iter()
+        .map(|ct| gw.put_ciphertext(alice, ct))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // ---- logistic score Σ wᵢ·xᵢ + b, submitted as a request chain ----
+    println!("== encrypted logistic scoring through the gateway ==");
+    let (weights, bias) = (vec![3u64, 1, 4], 10u64);
+    let mut acc: Option<cofhee::service::Ticket> = None;
+    for (&x, &w) in xs.iter().zip(&weights) {
+        let term = gw.submit(alice, Request::MulPlain(x, constant_plaintext(&params, w)?))?;
+        acc = Some(match acc {
+            Some(a) => gw.submit(alice, Request::Add(a.result(), term.result()))?,
+            None => term,
+        });
     }
-    let budget = decryptor.noise_budget(&out[0])?;
-    println!("  remaining noise budget: {budget:.1} bits\n");
-
-    // ---- logistic-regression scorer, CPU vs chip backend ----
-    println!("== encrypted logistic-regression scoring (backend swap) ==");
-    let scorer = LogisticScorer::new(&params, vec![3, 1, 4], 10)?;
-    let score_ct = scorer.score(&cts)?;
-    let scores = decrypt_slots(&params, &decryptor, &[score_ct])?;
-    let expect_scores = scorer.score_plain(&features);
-    assert_eq!(&scores[0][..8], &expect_scores[..]);
-    println!("  [cpu        ] scores: {:?} ✓", &scores[0][..8]);
-
-    // Same scorer, every polynomial pass on the simulated silicon — the
-    // one-line `PolyBackend` swap.
-    let on_chip =
-        LogisticScorer::with_backend(&params, vec![3, 1, 4], 10, &ChipBackendFactory::silicon())?;
-    let chip_score_ct = on_chip.score(&cts)?;
-    let chip_scores = decrypt_slots(&params, &decryptor, &[chip_score_ct])?;
-    assert_eq!(&chip_scores[0][..8], &expect_scores[..]);
-    let report = measured_op_report(on_chip.evaluator());
-    let comm = measured_comm_stats(on_chip.evaluator());
-    println!("  [cofhee-chip] scores: {:?} ✓", &chip_scores[0][..8]);
-    println!(
-        "  measured on chip: {} cycles ({:.1} µs at 250 MHz), {} butterflies, {} bytes staged",
-        report.cycles,
-        report.cycles as f64 / 250.0,
-        report.butterflies,
-        comm.bytes
-    );
-    println!("  (thresholding happens client-side after decryption)\n");
-
-    // ---- the square layer on chip: streamed, batched, overlapped ----
-    println!("== square layer on chip (asynchronous OpStream execution) ==");
-    let chip_net = SquareLayerNet::with_backend(
-        &params,
-        vec![vec![2, 1, 3]],
-        vec![5],
-        &keygen,
-        &cofhee::core::ChipBackendFactory::silicon(),
-        &mut rng,
+    let score = gw.submit(
+        alice,
+        Request::AddPlain(acc.expect("features").result(), constant_plaintext(&params, bias)?),
     )?;
-    let chip_out = chip_net.infer(&cts)?;
-    let chip_got = decrypt_slots(&params, &decryptor, &chip_out)?;
-    assert_eq!(&chip_got[0][..8], &expect[0][..8], "chip streams match the CPU layer");
-    let streams = measured_stream_report(chip_net.evaluator());
-    println!("  neuron 0: batch outputs {:?} ✓", &chip_got[0][..8]);
-    println!(
-        "  streamed multiply+relin: {} commands in {} FIFO batches ({} drain interrupts)",
-        streams.commands, streams.batches, streams.interrupts
-    );
-    println!(
-        "  serial {} cc vs overlapped {} cc — DMA overlap bought {:.1}% ({:.0} µs at 250 MHz)",
-        streams.serial_cycles,
-        streams.overlapped_cycles,
-        (1.0 - streams.overlapped_cycles as f64 / streams.serial_cycles as f64) * 100.0,
-        (streams.serial_cycles - streams.overlapped_cycles) as f64 / 250.0
-    );
-    println!();
 
-    // ---- Table X scale estimates on the accelerator ----
-    println!("== Table X workload estimates on simulated CoFHEE (2^12, 109) ==");
-    let costs = measure_cofhee(1 << 12, 109)?;
-    for w in [Workload::cryptonets(), Workload::logistic_regression()] {
-        println!(
-            "  {:<20} {:>10} ops → {:>8.1} s on CoFHEE (paper: {})",
-            w.name,
-            w.total_ops(),
-            costs.total_seconds(&w),
-            if w.name == "CryptoNets" { "88.35 s" } else { "377.6 s" }
-        );
-    }
+    // ---- CryptoNets-style neuron (x₀ + 5)², needs the relin key ----
+    let affine = gw.submit(alice, Request::AddPlain(xs[0], constant_plaintext(&params, 5)?))?;
+    let squared = gw.submit(alice, Request::MulRelin(affine.result(), affine.result()))?;
+
+    // Bob cannot read alice's private handles; sharing flips the ACL.
+    assert!(gw.download(bob, xs[0]).is_err(), "private handles deny foreign reads");
+    gw.share(alice, score.result(), bob)?;
+
+    gw.drain()?; // run the virtual clock until every ticket lands
+
+    let got = decrypt_slots(&params, &decryptor, &[gw.download(bob, score.result())?.clone()])?;
+    let reference = LogisticScorer::new(&params, weights, bias)?.score_plain(&features);
+    assert_eq!(&got[0][..8], &reference[..]);
+    println!("  scores (downloaded by bob via shared handle): {:?} ✓", &got[0][..8]);
+
+    let sq = decrypt_slots(&params, &decryptor, &[gw.result(&squared)?.clone()])?;
+    let expect: Vec<u64> = features[0].iter().map(|&x| ((x + 5) * (x + 5)) % params.t()).collect();
+    assert_eq!(&sq[0][..8], &expect[..]);
+    println!("  squared neuron (x₀+5)² per slot: {:?} ✓", &sq[0][..8]);
+
+    let r = gw.report();
+    println!(
+        "  {} requests admitted, {} completed in {} virtual cycles ({:.1} µs at 250 MHz)",
+        r.admitted(),
+        r.completed(),
+        gw.now(),
+        gw.now() as f64 / 250.0,
+    );
     Ok(())
 }

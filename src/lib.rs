@@ -27,6 +27,10 @@
 //! * [`farm`] — the multi-chip execution service: a pool of simulated
 //!   dies, tenant sessions, and a session-aware scheduler multiplexing
 //!   homomorphic jobs across the pool under a virtual-time clock.
+//! * [`service`] — the request-oriented front-end over the farm: a
+//!   handle-addressed gateway, the tenant-scoped ciphertext registry
+//!   with ACLs, and admission control (quotas, bounded queues,
+//!   tenant-fair drain).
 //!
 //! See the `examples/` directory for runnable entry points and
 //! EXPERIMENTS.md for the paper-vs-measured record.
@@ -41,4 +45,5 @@ pub use cofhee_core as core;
 pub use cofhee_farm as farm;
 pub use cofhee_physical as physical;
 pub use cofhee_poly as poly;
+pub use cofhee_service as service;
 pub use cofhee_sim as sim;

@@ -134,6 +134,8 @@ fn assert_reports_identical(a: &FarmReport, b: &FarmReport) {
     assert_eq!(a.makespan_cycles, b.makespan_cycles);
     let (LatencyPercentiles { p50, p95, p99, max }, lb) = (a.latency, b.latency);
     assert_eq!((p50, p95, p99, max), (lb.p50, lb.p95, lb.p99, lb.max));
+    assert_eq!(a.queue, b.queue);
+    assert_eq!(a.service, b.service);
     let pairs: Vec<(&ChipStats, &ChipStats)> = a.chips.iter().zip(b.chips.iter()).collect();
     assert_eq!(a.chips.len(), b.chips.len());
     for (x, y) in pairs {
