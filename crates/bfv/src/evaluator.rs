@@ -49,6 +49,7 @@ use cofhee_core::{
     BackendFactory, CommStats, CpuBackendFactory, OpReport, OpStream, PolyBackend, PolyHandle,
     StreamExecutor, StreamHandle, StreamJob, StreamReport,
 };
+use cofhee_opt::{OptLevel, OptStats, PassRunner};
 use cofhee_poly::{Domain, Polynomial};
 
 use crate::ciphertext::Ciphertext;
@@ -87,6 +88,9 @@ pub struct Evaluator {
     /// pattern: invariant key material never pays rework). Handles live
     /// for the evaluator's lifetime.
     relin_ntt_cache: RelinNttCache,
+    /// Stream-compiler level applied to every recorded stream before
+    /// submit (`O0` — execute exactly as recorded — by default).
+    opt_level: OptLevel,
 }
 
 fn lock(be: &SharedBackend) -> std::sync::MutexGuard<'_, Box<dyn PolyBackend>> {
@@ -185,7 +189,40 @@ impl Evaluator {
             mult_backends,
             stream_totals: Arc::new(Mutex::new(StreamReport::default())),
             relin_ntt_cache: Arc::new(Mutex::new(HashMap::new())),
+            opt_level: OptLevel::O0,
         })
+    }
+
+    /// Builder-style: the same evaluator with the stream compiler set to
+    /// `level`. `O1` rewrites every recorded stream (CSE/NTT-form cache,
+    /// DCE, transfer hoisting, fusion) before submit; `O2` behaves like
+    /// `O1` here — partitioning across dies is a farm-level step. Every
+    /// level is bit-exact: optimized streams decrypt identically.
+    #[must_use]
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
+    /// Sets the stream-compiler level for subsequent operations.
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.opt_level = level;
+    }
+
+    /// The stream-compiler level currently applied before submits.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// Rewrites `stream` under the evaluator's [`OptLevel`], folding the
+    /// optimizer counters into `totals`. At `O0` this is the identity.
+    fn compile_stream(&self, stream: OpStream, totals: &mut OptStats) -> Result<OpStream> {
+        if self.opt_level == OptLevel::O0 {
+            return Ok(stream);
+        }
+        let (opt, stats) = PassRunner::for_level(self.opt_level).optimize(&stream)?;
+        totals.merge(&stats);
+        Ok(opt)
     }
 
     /// The parameter set this evaluator serves.
@@ -416,6 +453,20 @@ impl Evaluator {
         b: &Ciphertext,
     ) -> Result<OpStream> {
         let mut st = OpStream::new(self.params.n());
+        self.record_tensor(&mut st, i, a, b)?;
+        Ok(st)
+    }
+
+    /// Records one product's limb-`i` tensor into `st` (see
+    /// [`Evaluator::tensor_stream`]); [`Evaluator::multiply_many`]
+    /// appends several products into the same stream.
+    fn record_tensor(
+        &self,
+        st: &mut OpStream,
+        i: usize,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> Result<()> {
         let mut ntts = Vec::with_capacity(4);
         for p in [&a.polys()[0], &a.polys()[1], &b.polys()[0], &b.polys()[1]] {
             let up = st.upload(self.lift_centered(p, i))?;
@@ -431,7 +482,46 @@ impl Evaluator {
         for r in [r0, r1, r2] {
             st.output(r)?;
         }
-        Ok(st)
+        Ok(())
+    }
+
+    /// Compiles the per-limb streams at the evaluator's [`OptLevel`],
+    /// fans them out across threads (one backend per limb), absorbs the
+    /// group's stream telemetry (overlapped wall clock = slowest limb),
+    /// and returns each limb's downloaded outputs in order.
+    fn run_tensor_streams(&self, streams: Vec<OpStream>) -> Result<Vec<Vec<Vec<u128>>>> {
+        let mut opt_totals = OptStats::default();
+        let streams = streams
+            .into_iter()
+            .map(|st| self.compile_stream(st, &mut opt_totals))
+            .collect::<Result<Vec<_>>>()?;
+        let mut guards: Vec<_> = self.mult_backends.iter().map(lock).collect();
+        let jobs: Vec<StreamJob<'_>> = guards
+            .iter_mut()
+            .zip(&streams)
+            .map(|(g, stream)| StreamJob { backend: (**g).as_mut(), stream })
+            .collect();
+        let outcomes = StreamExecutor::run_parallel(jobs)?;
+        drop(guards);
+
+        // The limbs ran concurrently (one thread, one backend each): the
+        // group's overlapped wall clock is the slowest limb, not the
+        // sum. Serial totals do sum — the baseline really is one limb
+        // after another, one op at a time.
+        let mut limbs = Vec::with_capacity(streams.len());
+        let mut group = StreamReport::default();
+        let (mut wall_cycles, mut wall_seconds) = (0u64, 0.0f64);
+        for outcome in outcomes {
+            wall_cycles = wall_cycles.max(outcome.report.overlapped_cycles);
+            wall_seconds = wall_seconds.max(outcome.report.overlapped_seconds);
+            group.absorb(&outcome.report);
+            limbs.push(outcome.outputs);
+        }
+        group.overlapped_cycles = wall_cycles;
+        group.overlapped_seconds = wall_seconds;
+        opt_totals.stamp(&mut group);
+        self.absorb_stream(&group);
+        Ok(limbs)
     }
 
     /// Exact ciphertext multiplication: Eq. 4 with integer tensor and
@@ -447,35 +537,55 @@ impl Evaluator {
     /// Returns [`BfvError::WrongCiphertextSize`] unless both inputs have
     /// exactly two components, and mismatch errors for foreign operands.
     pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
-        let streams = self.tensor_streams(a, b)?;
-        let k = streams.len();
-        let mut guards: Vec<_> = self.mult_backends.iter().map(lock).collect();
-        let jobs: Vec<StreamJob<'_>> = guards
-            .iter_mut()
-            .zip(&streams)
-            .map(|(g, stream)| StreamJob { backend: (**g).as_mut(), stream })
-            .collect();
-        let outcomes = StreamExecutor::run_parallel(jobs)?;
-        drop(guards);
-
-        // The limbs ran concurrently (one thread, one backend each): the
-        // group's overlapped wall clock is the slowest limb, not the
-        // sum. Serial totals do sum — the baseline really is one limb
-        // after another, one op at a time.
-        let mut limbs = Vec::with_capacity(k);
-        let mut group = StreamReport::default();
-        let (mut wall_cycles, mut wall_seconds) = (0u64, 0.0f64);
-        for outcome in outcomes {
-            wall_cycles = wall_cycles.max(outcome.report.overlapped_cycles);
-            wall_seconds = wall_seconds.max(outcome.report.overlapped_seconds);
-            group.absorb(&outcome.report);
-            limbs.push(outcome.outputs);
-        }
-        group.overlapped_cycles = wall_cycles;
-        group.overlapped_seconds = wall_seconds;
-        self.absorb_stream(&group);
-
+        let limbs = self.run_tensor_streams(self.tensor_streams(a, b)?)?;
         self.tensor_combine(&limbs)
+    }
+
+    /// Batched exact multiplication: records **all** pairs' tensors into
+    /// one stream per CRT computation prime, so one submit per limb
+    /// covers the whole batch. Each product is recorded naively — a
+    /// ciphertext appearing in several pairs re-uploads and re-transforms
+    /// per product — which is exactly the redundancy the `O1` stream
+    /// compiler removes: CSE merges the shared operands' NTTs, transfer
+    /// hoisting merges their uploads. At `O0` this is purely the
+    /// batching win (fewer submits); results equal pairwise
+    /// [`Evaluator::multiply`] bit-for-bit at every level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfvError::WrongCiphertextSize`] unless every operand has
+    /// exactly two components, and mismatch errors for foreign operands.
+    pub fn multiply_many(&self, pairs: &[(&Ciphertext, &Ciphertext)]) -> Result<Vec<Ciphertext>> {
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for &(a, b) in pairs {
+            self.check_ct(a)?;
+            self.check_ct(b)?;
+            for ct in [a, b] {
+                if ct.len() != 2 {
+                    return Err(BfvError::WrongCiphertextSize { expected: 2, found: ct.len() });
+                }
+            }
+        }
+        let mut streams = Vec::with_capacity(self.mult_primes.len());
+        for i in 0..self.mult_primes.len() {
+            let mut st = OpStream::new(self.params.n());
+            for &(a, b) in pairs {
+                self.record_tensor(&mut st, i, a, b)?;
+            }
+            streams.push(st);
+        }
+        let per_limb = self.run_tensor_streams(streams)?;
+        // Each limb produced 3 outputs per pair, in pair order.
+        let mut cursors: Vec<_> = per_limb.into_iter().map(Vec::into_iter).collect();
+        let mut results = Vec::with_capacity(pairs.len());
+        for _ in pairs {
+            let limbs: Vec<Vec<Vec<u128>>> =
+                cursors.iter_mut().map(|it| it.by_ref().take(3).collect()).collect();
+            results.push(self.tensor_combine(&limbs)?);
+        }
+        Ok(results)
     }
 
     /// NTT-domain relin-key handles on the mod-q backend, transformed on
@@ -581,9 +691,13 @@ impl Evaluator {
             st.output(out)?;
         }
 
+        let mut opt_totals = OptStats::default();
+        let st = self.compile_stream(st, &mut opt_totals)?;
         let outcome = be.execute_stream(&st)?;
         drop(be);
-        self.absorb_stream(&outcome.report);
+        let mut report = outcome.report;
+        opt_totals.stamp(&mut report);
+        self.absorb_stream(&report);
         let mut outputs = outcome.outputs.into_iter();
         let c0 = self.poly_from(outputs.next().expect("two outputs marked"))?;
         let c1 = self.poly_from(outputs.next().expect("two outputs marked"))?;
@@ -815,6 +929,67 @@ mod tests {
         assert_eq!(r.serial_cycles, r.overlapped_cycles);
         f.eval.reset_backend_telemetry();
         assert_eq!(f.eval.backend_stream_report(), StreamReport::default());
+    }
+
+    #[test]
+    fn opt_levels_are_bit_exact_and_report_rewrites() {
+        let mut f = setup(32, 15);
+        let a = f.enc.encrypt(&pt_of(&f, &[21]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[2]), &mut f.rng).unwrap();
+        assert_eq!(f.eval.opt_level(), cofhee_opt::OptLevel::O0);
+        let baseline = f.eval.multiply_relin(&a, &b, &f.rlk).unwrap();
+        let r0 = f.eval.backend_stream_report();
+        assert_eq!(r0.ops_eliminated + r0.ops_fused + r0.uploads_hoisted, 0, "O0 rewrites nothing");
+
+        for level in [cofhee_opt::OptLevel::O1, cofhee_opt::OptLevel::O2] {
+            let opt_eval = Evaluator::new(&f.params).unwrap().with_opt_level(level);
+            assert_eq!(opt_eval.opt_level(), level);
+            let prod = opt_eval.multiply_relin(&a, &b, &f.rlk).unwrap();
+            for (p, d) in prod.polys().iter().zip(baseline.polys()) {
+                assert_eq!(p.coeffs(), d.coeffs(), "{level} must be bit-exact");
+            }
+            let r = opt_eval.backend_stream_report();
+            // The tensor middle term and the key-switch accumulates both
+            // fuse into HadamardAdd nodes.
+            assert!(r.ops_fused > 0, "{level}: accumulate patterns fuse");
+        }
+    }
+
+    #[test]
+    fn multiply_many_matches_pairwise_multiply_at_every_level() {
+        let mut f = setup(32, 16);
+        let a = f.enc.encrypt(&pt_of(&f, &[3]), &mut f.rng).unwrap();
+        let b = f.enc.encrypt(&pt_of(&f, &[5]), &mut f.rng).unwrap();
+        let c = f.enc.encrypt(&pt_of(&f, &[7]), &mut f.rng).unwrap();
+        // `a` is shared across the pairs: the redundancy O1 removes.
+        let pairs = [(&a, &b), (&a, &c), (&b, &c)];
+        let expected: Vec<_> = pairs.iter().map(|&(x, y)| f.eval.multiply(x, y).unwrap()).collect();
+
+        for level in [cofhee_opt::OptLevel::O0, cofhee_opt::OptLevel::O1, cofhee_opt::OptLevel::O2]
+        {
+            let ev = Evaluator::new(&f.params).unwrap().with_opt_level(level);
+            let got = ev.multiply_many(&pairs).unwrap();
+            assert_eq!(got.len(), pairs.len());
+            for (g, e) in got.iter().zip(&expected) {
+                for (p, d) in g.polys().iter().zip(e.polys()) {
+                    assert_eq!(p.coeffs(), d.coeffs(), "batched {level} must equal pairwise");
+                }
+            }
+            let r = ev.backend_stream_report();
+            let limbs = f.params.mult_basis().moduli().len() as u64;
+            assert_eq!(r.batches, limbs, "one submit per limb for the whole batch");
+            if level >= cofhee_opt::OptLevel::O1 {
+                // Shared operands' duplicate uploads and NTTs dedup via
+                // CSE and fall to DCE: 2 duplicated ciphertexts × 2
+                // components × (upload + NTT) per limb, at least.
+                assert!(r.ops_eliminated > 0, "shared operands dedup at {level}");
+            }
+        }
+        assert!(f.eval.multiply_many(&[]).unwrap().is_empty());
+        let mut ev = Evaluator::new(&f.params).unwrap();
+        ev.set_opt_level(cofhee_opt::OptLevel::O1);
+        let prod3 = ev.multiply(&a, &b).unwrap();
+        assert!(ev.multiply_many(&[(&prod3, &a)]).is_err(), "3-component operands are rejected");
     }
 
     #[test]

@@ -302,6 +302,26 @@ impl<'a> Scheduler<'a> {
                 self.slots[prod_i].state = SlotState::PendingDrain;
                 self.residence[i] = Some(out_i);
             }
+            StreamOp::HadamardAdd(x, y, acc) => {
+                // No fused command on the chip either: PMODMUL into a
+                // temporary reclaimed in-queue, then PMODADD — the same
+                // two commands the unfused recording would issue, so
+                // fusing is cycle-neutral here and pays off in slot
+                // pressure and recorded-node count only.
+                let (sx, sy) = (self.operand(*x), self.operand(*y));
+                let prod_i = self.alloc(true, &[], false)?;
+                let prod = self.slots[prod_i].slot;
+                self.submit(Command::pmodmul(sx, sy, prod))?;
+                self.release(*x);
+                self.release(*y);
+                let sacc = self.operand(*acc);
+                let out_i = self.alloc(true, &[], false)?;
+                let out = self.slots[out_i].slot;
+                self.submit(Command::pmodadd(prod, sacc, out))?;
+                self.release(*acc);
+                self.slots[prod_i].state = SlotState::PendingDrain;
+                self.residence[i] = Some(out_i);
+            }
             StreamOp::ScalarMul(x, c) => {
                 let src = self.operand(*x);
                 let dst_i = self.alloc(true, &[], false)?;

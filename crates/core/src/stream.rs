@@ -79,6 +79,15 @@ pub struct StreamHandle {
     pub(crate) index: usize,
 }
 
+impl StreamHandle {
+    /// The node position this handle names within its issuing stream —
+    /// the index into [`OpStream::nodes`]. Stream rewriters (the
+    /// `cofhee_opt` passes) key their node maps by it.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
 /// Process-global stream-tag allocator (see [`StreamHandle`]).
 static NEXT_STREAM_TAG: AtomicU64 = AtomicU64::new(0);
 
@@ -105,6 +114,10 @@ pub enum StreamOp {
     /// Fused `intt ∘ hadamard`: NTT-domain product returned in the
     /// coefficient domain (the tail of every tensor limb).
     HadamardIntt(StreamHandle, StreamHandle),
+    /// Fused multiply-accumulate `acc + x ⊙ y`, all in the NTT domain —
+    /// the middle term of the Eq. 4 tensor (`a0⊙b1 + a1⊙b0`) as one
+    /// node. Operand order: `(x, y, acc)`.
+    HadamardAdd(StreamHandle, StreamHandle, StreamHandle),
     /// Pointwise addition.
     PointwiseAdd(StreamHandle, StreamHandle),
     /// Pointwise subtraction.
@@ -117,15 +130,18 @@ pub enum StreamOp {
 
 impl StreamOp {
     /// The operand handles this node depends on.
-    pub fn deps(&self) -> [Option<StreamHandle>; 2] {
+    pub fn deps(&self) -> [Option<StreamHandle>; 3] {
         match *self {
-            StreamOp::Upload(_) | StreamOp::Input(_) => [None, None],
-            StreamOp::Ntt(a) | StreamOp::Intt(a) | StreamOp::ScalarMul(a, _) => [Some(a), None],
+            StreamOp::Upload(_) | StreamOp::Input(_) => [None, None, None],
+            StreamOp::Ntt(a) | StreamOp::Intt(a) | StreamOp::ScalarMul(a, _) => {
+                [Some(a), None, None]
+            }
             StreamOp::Hadamard(a, b)
             | StreamOp::HadamardIntt(a, b)
             | StreamOp::PointwiseAdd(a, b)
             | StreamOp::PointwiseSub(a, b)
-            | StreamOp::PolyMul(a, b) => [Some(a), Some(b)],
+            | StreamOp::PolyMul(a, b) => [Some(a), Some(b), None],
+            StreamOp::HadamardAdd(a, b, acc) => [Some(a), Some(b), Some(acc)],
         }
     }
 }
@@ -258,6 +274,24 @@ impl OpStream {
         Ok(self.push(StreamOp::HadamardIntt(x, y)))
     }
 
+    /// Records a fused NTT-domain multiply-accumulate `acc + x ⊙ y`
+    /// (the tensor middle term `a0⊙b1 + a1⊙b0` as one node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadHandle`] for foreign handles.
+    pub fn hadamard_add(
+        &mut self,
+        x: StreamHandle,
+        y: StreamHandle,
+        acc: StreamHandle,
+    ) -> Result<StreamHandle> {
+        self.check(x)?;
+        self.check(y)?;
+        self.check(acc)?;
+        Ok(self.push(StreamOp::HadamardAdd(x, y, acc)))
+    }
+
     /// Records a pointwise addition.
     ///
     /// # Errors
@@ -361,6 +395,15 @@ pub struct StreamReport {
     pub uploaded_bytes: u64,
     /// Bytes moved backend → host (output downloads).
     pub downloaded_bytes: u64,
+    /// Nodes removed by the stream compiler (dead-op elimination and
+    /// common-subexpression / NTT-form dedup). Zero on unoptimized
+    /// submits; stamped by the `cofhee_opt` pass pipeline.
+    pub ops_eliminated: u64,
+    /// Node pairs fused into `HadamardIntt` / `HadamardAdd` nodes by
+    /// the stream compiler.
+    pub ops_fused: u64,
+    /// Host uploads merged or sunk to first use by transfer hoisting.
+    pub uploads_hoisted: u64,
 }
 
 impl StreamReport {
@@ -383,6 +426,9 @@ impl StreamReport {
         self.overlapped_seconds += other.overlapped_seconds;
         self.uploaded_bytes = self.uploaded_bytes.saturating_add(other.uploaded_bytes);
         self.downloaded_bytes = self.downloaded_bytes.saturating_add(other.downloaded_bytes);
+        self.ops_eliminated = self.ops_eliminated.saturating_add(other.ops_eliminated);
+        self.ops_fused = self.ops_fused.saturating_add(other.ops_fused);
+        self.uploads_hoisted = self.uploads_hoisted.saturating_add(other.uploads_hoisted);
     }
 }
 
@@ -427,6 +473,14 @@ pub(crate) fn replay_sync<B: PolyBackend + ?Sized>(
                     StreamOp::HadamardIntt(x, y) => {
                         be.hadamard_intt(get(&vals, *x), get(&vals, *y))?
                     }
+                    StreamOp::HadamardAdd(x, y, acc) => {
+                        // No fused synchronous call: compose product +
+                        // accumulate, freeing the temporary with the
+                        // rest of the stream's intermediates.
+                        let prod = be.hadamard(get(&vals, *x), get(&vals, *y))?;
+                        owned.push(prod);
+                        be.pointwise_add(prod, get(&vals, *acc))?
+                    }
                     StreamOp::PointwiseAdd(x, y) => {
                         be.pointwise_add(get(&vals, *x), get(&vals, *y))?
                     }
@@ -468,6 +522,7 @@ pub(crate) fn replay_sync<B: PolyBackend + ?Sized>(
             overlapped_seconds: seconds,
             uploaded_bytes: comm_mid.bytes.saturating_sub(comm_before.bytes),
             downloaded_bytes: comm_after.bytes.saturating_sub(comm_mid.bytes),
+            ..StreamReport::default()
         },
     })
 }
@@ -710,6 +765,50 @@ mod tests {
     }
 
     #[test]
+    fn hadamard_add_composes_product_and_accumulate() {
+        let q = q();
+        let mut st = OpStream::new(N);
+        let a = st.upload(poly(11)).unwrap();
+        let b = st.upload(poly(12)).unwrap();
+        let acc = st.upload(poly(13)).unwrap();
+        let fa = st.ntt(a).unwrap();
+        let fb = st.ntt(b).unwrap();
+        let facc = st.ntt(acc).unwrap();
+        let fused = st.hadamard_add(fa, fb, facc).unwrap();
+        let back = st.intt(fused).unwrap();
+        st.output(back).unwrap();
+
+        // Unfused reference: hadamard then pointwise_add.
+        let mut reference = OpStream::new(N);
+        let a2 = reference.upload(poly(11)).unwrap();
+        let b2 = reference.upload(poly(12)).unwrap();
+        let acc2 = reference.upload(poly(13)).unwrap();
+        let fa2 = reference.ntt(a2).unwrap();
+        let fb2 = reference.ntt(b2).unwrap();
+        let facc2 = reference.ntt(acc2).unwrap();
+        let prod = reference.hadamard(fa2, fb2).unwrap();
+        let sum = reference.pointwise_add(prod, facc2).unwrap();
+        let back2 = reference.intt(sum).unwrap();
+        reference.output(back2).unwrap();
+
+        let mut cpu = CpuBackend::new(q, N).unwrap();
+        let fused_cpu = cpu.execute_stream(&st).unwrap();
+        let mut cpu2 = CpuBackend::new(q, N).unwrap();
+        let unfused_cpu = cpu2.execute_stream(&reference).unwrap();
+        assert_eq!(fused_cpu.outputs, unfused_cpu.outputs);
+        assert_eq!(cpu.pool_len(), 0, "the fused temporary is freed");
+
+        let mut chip = ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+        let fused_chip = chip.execute_stream(&st).unwrap();
+        assert_eq!(fused_chip.outputs, fused_cpu.outputs);
+        // The chip issues the same PMODMUL + PMODADD as the unfused
+        // recording: fusion never costs cycles.
+        let mut chip2 = ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+        let unfused_chip = chip2.execute_stream(&reference).unwrap();
+        assert_eq!(fused_chip.report.serial_cycles, unfused_chip.report.serial_cycles);
+    }
+
+    #[test]
     fn report_absorb_sums_every_field() {
         let mut a = StreamReport {
             commands: 1,
@@ -721,6 +820,9 @@ mod tests {
             overlapped_seconds: 0.5,
             uploaded_bytes: 64,
             downloaded_bytes: 32,
+            ops_eliminated: 3,
+            ops_fused: 2,
+            uploads_hoisted: 1,
         };
         a.absorb(&a.clone());
         assert_eq!(a.commands, 2);
@@ -728,6 +830,9 @@ mod tests {
         assert_eq!(a.overlapped_cycles, 14);
         assert!((a.serial_seconds - 2.0).abs() < 1e-12);
         assert_eq!(a.uploaded_bytes, 128);
+        assert_eq!(a.ops_eliminated, 6);
+        assert_eq!(a.ops_fused, 4);
+        assert_eq!(a.uploads_hoisted, 2);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! per-limb streams placed across dies, finished ciphertexts out.
 
 use cofhee_bfv::{Ciphertext, Plaintext};
-use cofhee_core::StreamReport;
+use cofhee_core::{OpStream, StreamReport};
+use cofhee_opt::{execute_partitioned, OptLevel, PartitionPlan, Partitioner, PassRunner};
 
 use crate::error::{FarmError, Result};
 use crate::farm::{ChipFarm, ExecutedStream};
@@ -129,6 +130,10 @@ pub struct Scheduler {
     service_cycles: Vec<u64>,
     jobs_done: u64,
     stream_totals: StreamReport,
+    /// Stream-compiler level applied to every stream before placement
+    /// (`O0` by default). At `O2`, streams long enough to split are
+    /// partitioned across the farm's dies (see [`Partitioner`]).
+    opt_level: OptLevel,
 }
 
 impl Scheduler {
@@ -143,7 +148,20 @@ impl Scheduler {
             service_cycles: Vec::new(),
             jobs_done: 0,
             stream_totals: StreamReport::default(),
+            opt_level: OptLevel::O0,
         }
+    }
+
+    /// Sets the stream-compiler level applied to every subsequent
+    /// stream. Bit-exact at every level — only timing telemetry and
+    /// placement change.
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.opt_level = level;
+    }
+
+    /// The stream-compiler level currently applied before placement.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
     }
 
     /// Registers a tenant session; ids are sequential in open order.
@@ -193,6 +211,94 @@ impl Scheduler {
         Ok(run)
     }
 
+    /// Rewrites `stream` under the scheduler's [`OptLevel`], folding the
+    /// optimizer counters into the farm's stream telemetry. Identity at
+    /// `O0`.
+    fn compile(&mut self, stream: OpStream) -> Result<OpStream> {
+        if self.opt_level == OptLevel::O0 {
+            return Ok(stream);
+        }
+        let (opt, stats) = PassRunner::for_level(self.opt_level).optimize(&stream)?;
+        let mut delta = StreamReport::default();
+        stats.stamp(&mut delta);
+        self.stream_totals.absorb(&delta);
+        Ok(opt)
+    }
+
+    /// Compiles and executes one stream: placed whole at `O0`/`O1`, and
+    /// at `O2` split across the farm's dies when long enough (see
+    /// [`Partitioner`]). Returns `(outputs, finish, service_cycles)`
+    /// where service is the critical-path execution time.
+    fn run_stream(
+        &mut self,
+        q: u128,
+        n: usize,
+        stream: OpStream,
+        ready: u64,
+    ) -> Result<(Vec<Vec<u128>>, u64, u64)> {
+        let stream = self.compile(stream)?;
+        if self.opt_level >= OptLevel::O2 {
+            let plan = Partitioner::new(self.farm.chips()).partition(&stream);
+            if plan.parts() > 1 {
+                return self.run_partitioned_stream(q, n, &stream, &plan, ready);
+            }
+        }
+        let run = self.place_and_run(q, n, &stream, ready)?;
+        Ok((run.outcome.outputs, run.finish, run.finish - run.start))
+    }
+
+    /// Executes a pre-partitioned stream as a per-die job DAG: each part
+    /// becomes ready once the parts it imports from have finished, is
+    /// placed through the policy like any other stream, and cut values
+    /// travel through the host (export from the producer die, re-upload
+    /// on the consumer die) — bit-exact by construction. Returns
+    /// `(outputs, finish, service_cycles)` with outputs in the original
+    /// stream's marking order and service the DAG's critical path.
+    ///
+    /// This is the public entry for callers that partitioned a stream
+    /// themselves (e.g. with [`Partitioner`] at a custom granularity);
+    /// [`Scheduler::run`] at `O2` routes long streams here automatically.
+    ///
+    /// # Errors
+    ///
+    /// Chip faults (tagged with the die) and malformed-plan rebuild
+    /// errors.
+    pub fn run_partitioned_stream(
+        &mut self,
+        q: u128,
+        n: usize,
+        stream: &OpStream,
+        plan: &PartitionPlan,
+        ready: u64,
+    ) -> Result<(Vec<Vec<u128>>, u64, u64)> {
+        let mut finishes: Vec<u64> = Vec::with_capacity(plan.parts());
+        let mut paths: Vec<u64> = Vec::with_capacity(plan.parts());
+        let mut failure: Option<FarmError> = None;
+        let result = execute_partitioned(stream, plan, |part, part_stream, imports| {
+            let part_ready = imports.iter().fold(ready, |acc, &p| acc.max(finishes[p]));
+            match self.place_and_run(q, n, part_stream, part_ready) {
+                Ok(run) => {
+                    let chain = imports.iter().map(|&p| paths[p]).max().unwrap_or(0);
+                    finishes.push(run.finish);
+                    paths.push(chain.saturating_add(run.finish - run.start));
+                    Ok(run.outcome.outputs)
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    Err(cofhee_core::CoreError::BadHandle { id: part as u64 })
+                }
+            }
+        });
+        match result {
+            Ok(outputs) => Ok((
+                outputs,
+                finishes.iter().copied().max().unwrap_or(ready),
+                paths.iter().copied().max().unwrap_or(0),
+            )),
+            Err(e) => Err(failure.take().unwrap_or(FarmError::Backend { chip: None, source: e })),
+        }
+    }
+
     /// Executes one job, returning its result, finish time, critical-
     /// path service cycles, and stream count.
     fn run_job(&mut self, job: &Job) -> Result<(Ciphertext, u64, u64, usize)> {
@@ -202,21 +308,18 @@ impl Scheduler {
         match &job.kind {
             JobKind::Add(a, b) => {
                 let st = ev.add_stream(a, b)?;
-                let run = self.place_and_run(q, n, &st, job.arrival)?;
-                let service = run.finish - run.start;
-                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, service, 1))
+                let (outs, finish, service) = self.run_stream(q, n, st, job.arrival)?;
+                Ok((ev.ciphertext_from_outputs(outs)?, finish, service, 1))
             }
             JobKind::AddPlain(a, pt) => {
                 let st = ev.add_plain_stream(a, pt)?;
-                let run = self.place_and_run(q, n, &st, job.arrival)?;
-                let service = run.finish - run.start;
-                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, service, 1))
+                let (outs, finish, service) = self.run_stream(q, n, st, job.arrival)?;
+                Ok((ev.ciphertext_from_outputs(outs)?, finish, service, 1))
             }
             JobKind::MulPlain(a, pt) => {
                 let st = ev.mul_plain_stream(a, pt)?;
-                let run = self.place_and_run(q, n, &st, job.arrival)?;
-                let service = run.finish - run.start;
-                Ok((ev.ciphertext_from_outputs(run.outcome.outputs)?, run.finish, service, 1))
+                let (outs, finish, service) = self.run_stream(q, n, st, job.arrival)?;
+                Ok((ev.ciphertext_from_outputs(outs)?, finish, service, 1))
             }
             JobKind::MulRelin(a, b) => {
                 let rlk = session
@@ -225,29 +328,44 @@ impl Scheduler {
                 // Phase 1: the per-CRT-limb tensor streams, independent
                 // and all ready at arrival — the farm's parallelism.
                 let streams = ev.tensor_streams(a, b)?;
+                let stream_count = streams.len();
                 let primes = session.params().mult_basis().moduli().to_vec();
-                let mut limbs = Vec::with_capacity(streams.len());
+                let mut limbs = Vec::with_capacity(stream_count);
                 let mut tensor_done = job.arrival;
                 // Critical-path service: the widest tensor limb plus the
                 // key switch — what the job would cost on an idle farm.
                 let mut tensor_service = 0u64;
-                for (stream, &p) in streams.iter().zip(&primes) {
-                    let run = self.place_and_run(p, n, stream, job.arrival)?;
-                    tensor_done = tensor_done.max(run.finish);
-                    tensor_service = tensor_service.max(run.finish - run.start);
-                    limbs.push(run.outcome.outputs);
+                for (stream, &p) in streams.into_iter().zip(&primes) {
+                    let (outs, finish, service) = self.run_stream(p, n, stream, job.arrival)?;
+                    tensor_done = tensor_done.max(finish);
+                    tensor_service = tensor_service.max(service);
+                    limbs.push(outs);
                 }
                 // Host-side CRT reconstruction + Eq. 4 rounding (not
                 // cycle-accounted: the host works off-die).
                 let prod3 = ev.tensor_combine(&limbs)?;
                 // Phase 2: the key switch, ready once every limb is in.
+                // The relin stream is self-contained (no resident-pool
+                // inputs), so at `O2` it is the stream long enough to
+                // split across dies.
                 let rst = ev.relin_stream(&prod3, rlk)?;
-                let run = self.place_and_run(q, n, &rst, tensor_done)?;
-                let ct = ev.ciphertext_from_outputs(run.outcome.outputs)?;
-                let service = tensor_service.saturating_add(run.finish - run.start);
-                Ok((ct, run.finish, service, streams.len() + 1))
+                let (outs, finish, relin_service) = self.run_stream(q, n, rst, tensor_done)?;
+                let ct = ev.ciphertext_from_outputs(outs)?;
+                let service = tensor_service.saturating_add(relin_service);
+                Ok((ct, finish, service, stream_count + 1))
             }
         }
+    }
+
+    /// [`Scheduler::run`] with the stream compiler set to `level` first
+    /// (the level persists for subsequent calls).
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::run`].
+    pub fn run_with_opt(&mut self, jobs: Vec<Job>, level: OptLevel) -> Result<Vec<JobOutcome>> {
+        self.set_opt_level(level);
+        self.run(jobs)
     }
 
     /// Runs a batch of jobs to completion in arrival order (submission
@@ -452,6 +570,74 @@ mod tests {
         four.run(jobs(id4)).unwrap();
         let (m1, m4) = (one.report().makespan_cycles, four.report().makespan_cycles);
         assert!(m4 * 2 < m1, "4 dies must cut the makespan by well over 2x: {m1} -> {m4}");
+    }
+
+    #[test]
+    fn opt_levels_preserve_results_and_o2_partitions_the_key_switch() {
+        let mut t = tenant(37);
+        let a = encrypt(&mut t, 6);
+        let b = encrypt(&mut t, 7);
+        let jobs = |id: SessionId| {
+            vec![Job { session: id, kind: JobKind::MulRelin(a.clone(), b.clone()), arrival: 0 }]
+        };
+
+        let (mut s0, id0) = sched(4, Box::new(WorkStealing), &t);
+        let baseline = s0.run(jobs(id0)).unwrap();
+        assert_eq!(s0.opt_level(), OptLevel::O0);
+        let base_streams = s0.report().streams;
+
+        for level in [OptLevel::O1, OptLevel::O2] {
+            let (mut s, id) = sched(4, Box::new(WorkStealing), &t);
+            let outcomes = s.run_with_opt(jobs(id), level).unwrap();
+            assert_eq!(s.opt_level(), level);
+            for (p, d) in outcomes[0].result.polys().iter().zip(baseline[0].result.polys()) {
+                assert_eq!(p.coeffs(), d.coeffs(), "{level} must be bit-exact");
+            }
+            assert_eq!(t.dec.decrypt(&outcomes[0].result).unwrap().coeffs()[0], 42);
+            let report = s.report();
+            assert!(report.stream_totals.ops_fused > 0, "{level}: rewrites are reported");
+            if level == OptLevel::O2 {
+                // The self-contained key-switch stream split into per-die
+                // parts: more streams hit the farm than at O0.
+                assert!(
+                    report.streams > base_streams,
+                    "O2 must partition: {} !> {base_streams}",
+                    report.streams
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pre_partitioned_streams_run_as_a_dag() {
+        use cofhee_core::OpStream;
+        let t = tenant(38);
+        let (mut s, _) = sched(3, Box::new(RoundRobin::default()), &t);
+        let n = t.params.n();
+        let q = t.params.q();
+        // A long mod-q chain, partitioned by the caller.
+        let mut st = OpStream::new(n);
+        let x = st.upload(vec![3u128; n]).unwrap();
+        let mut acc = x;
+        for r in 0..12 {
+            let f = st.ntt(acc).unwrap();
+            let h = st.hadamard(f, f).unwrap();
+            let back = st.intt(h).unwrap();
+            acc = st.scalar_mul(back, 2 + r as u128).unwrap();
+        }
+        st.output(acc).unwrap();
+        let plan = cofhee_opt::Partitioner::new(3).partition(&st);
+        assert!(plan.parts() > 1);
+        let (outputs, finish, service) = s.run_partitioned_stream(q, n, &st, &plan, 0).unwrap();
+
+        // Ground truth: the unsplit stream on a fresh CPU backend.
+        let mut be = cofhee_core::CpuBackend::new(q, n).unwrap();
+        use cofhee_core::PolyBackend;
+        let truth = be.execute_stream(&st).unwrap().outputs;
+        assert_eq!(outputs, truth, "partitioned DAG execution is bit-exact");
+        assert!(finish > 0);
+        assert!(service > 0 && service <= finish, "service is the DAG critical path");
+        assert_eq!(s.report().streams, plan.parts() as u64);
     }
 
     #[test]

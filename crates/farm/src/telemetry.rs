@@ -144,6 +144,13 @@ impl FarmReport {
             "queue p50/p95 = {}/{} cc | service p50/p95 = {}/{} cc\n",
             self.queue.p50, self.queue.p95, self.service.p50, self.service.p95,
         ));
+        let st = &self.stream_totals;
+        if st.ops_eliminated + st.ops_fused + st.uploads_hoisted > 0 {
+            out.push_str(&format!(
+                "optimizer: {} ops eliminated, {} fused, {} uploads hoisted\n",
+                st.ops_eliminated, st.ops_fused, st.uploads_hoisted,
+            ));
+        }
         for c in &self.chips {
             out.push_str(&format!(
                 "  chip {:>2}: {:>6} streams, busy {:>12} cc, util {:>5.1}%, peak queue {}\n",

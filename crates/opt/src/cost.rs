@@ -1,0 +1,69 @@
+//! The static cost model the partitioner balances by and the runner
+//! estimates savings with.
+//!
+//! Costs are *estimates* in chip-cycle-shaped units — `O(n·log n)` for
+//! transform-bearing nodes, `O(n)` for pointwise nodes and transfers,
+//! plus a per-command overhead — not the calibrated Table V model. They
+//! only need to rank and proportion work consistently; the bench
+//! (`stream_optimize`) measures the real simulated cycles.
+
+use cofhee_core::{OpStream, StreamOp};
+
+/// Per-command fixed overhead (FIFO push, setup, drain amortization).
+const CMD_OVERHEAD: u64 = 16;
+
+/// Estimated cost of one recorded node at degree `n`.
+pub fn node_cost(n: usize, op: &StreamOp) -> u64 {
+    let n64 = n as u64;
+    let logn = u64::from(n.trailing_zeros().max(1));
+    let transform = (n64 / 2) * logn + CMD_OVERHEAD;
+    let pointwise = n64 + CMD_OVERHEAD;
+    let transfer = n64 + CMD_OVERHEAD;
+    match op {
+        StreamOp::Upload(_) | StreamOp::Input(_) => transfer,
+        StreamOp::Ntt(_) | StreamOp::Intt(_) => transform,
+        StreamOp::Hadamard(..)
+        | StreamOp::PointwiseAdd(..)
+        | StreamOp::PointwiseSub(..)
+        | StreamOp::ScalarMul(..) => pointwise,
+        StreamOp::HadamardIntt(..) => transform + pointwise,
+        StreamOp::HadamardAdd(..) => 2 * pointwise,
+        StreamOp::PolyMul(..) => 3 * transform + pointwise,
+    }
+}
+
+/// Estimated cost of a whole stream: the node sum plus one transfer per
+/// marked output.
+pub fn stream_cost(stream: &OpStream) -> u64 {
+    let nodes: u64 = stream.nodes().iter().map(|op| node_cost(stream.n(), op)).sum();
+    nodes.saturating_add(stream.outputs().len() as u64 * (stream.n() as u64 + CMD_OVERHEAD))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_dominate_pointwise_which_dominate_nothing() {
+        let n = 1 << 10;
+        let mut st = OpStream::new(n);
+        let a = st.upload(vec![1; n]).unwrap();
+        let f = st.ntt(a).unwrap();
+        let h = st.hadamard(f, f).unwrap();
+        st.output(h).unwrap();
+        let ops = st.nodes();
+        assert!(node_cost(n, &ops[1]) > node_cost(n, &ops[2]));
+        assert!(node_cost(n, &ops[2]) > 0);
+        // PolyMul prices as its Algorithm 2 expansion, HadamardIntt and
+        // HadamardAdd as their fused pairs.
+        let mut st2 = OpStream::new(n);
+        let x = st2.upload(vec![1; n]).unwrap();
+        let pm = st2.poly_mul(x, x).unwrap();
+        let hi = st2.hadamard_intt(x, x).unwrap();
+        let ha = st2.hadamard_add(x, x, x).unwrap();
+        let _ = (pm, hi, ha);
+        let c = |i: usize| node_cost(n, &st2.nodes()[i]);
+        assert!(c(1) > c(2) && c(2) > c(3));
+        assert!(stream_cost(&st2) > c(1) + c(2) + c(3));
+    }
+}

@@ -1,0 +1,360 @@
+//! Partitioning one large stream into per-die sub-streams along
+//! cut-minimized contiguous topological cuts.
+
+use cofhee_core::{CoreError, OpStream, Result, StreamHandle, StreamOp};
+
+use crate::cost::node_cost;
+use crate::pass::emit_mapped;
+
+/// Splits a recorded stream into `max_parts` contiguous sub-streams
+/// balanced by the static cost model, with part boundaries refined to
+/// minimize *cut values* — values produced in one part and consumed in
+/// another. Every cut value crosses the host once per consuming part
+/// (exported from the producer die, re-uploaded on the consumer die),
+/// so min edge cuts is literally min inter-die transfers.
+///
+/// Streams below [`Partitioner::min_nodes`], and streams containing
+/// [`StreamOp::Input`] nodes (those borrow one specific backend's
+/// resident pool, so they cannot move to another die), come back as a
+/// single part.
+#[derive(Debug, Clone, Copy)]
+pub struct Partitioner {
+    /// Upper bound on parts (typically the farm's die count).
+    pub max_parts: usize,
+    /// Streams shorter than this are not worth splitting: the export /
+    /// re-upload overhead outweighs any parallelism.
+    pub min_nodes: usize,
+}
+
+impl Partitioner {
+    /// A partitioner targeting `max_parts` dies with the default
+    /// minimum stream size.
+    pub fn new(max_parts: usize) -> Self {
+        Self { max_parts, min_nodes: 24 }
+    }
+
+    /// Computes the cut-minimized plan for `stream`.
+    pub fn partition(&self, stream: &OpStream) -> PartitionPlan {
+        let len = stream.len();
+        let has_input = stream.nodes().iter().any(|n| matches!(n, StreamOp::Input(_)));
+        if self.max_parts <= 1 || len < self.min_nodes || has_input {
+            return PartitionPlan { node_part: vec![0; len], parts: 1.max(usize::from(len > 0)) };
+        }
+        let parts = self.max_parts.min(len);
+        let costs: Vec<u64> = stream.nodes().iter().map(|op| node_cost(stream.n(), op)).collect();
+        let total: u64 = costs.iter().sum();
+
+        // Initial boundaries at cost quantiles: boundary k sits before
+        // the first node whose running cost crosses k/parts of total.
+        let mut bounds: Vec<usize> = Vec::with_capacity(parts - 1);
+        let mut acc = 0u64;
+        let mut next = 1usize;
+        for (i, &c) in costs.iter().enumerate() {
+            acc += c;
+            while next < parts && acc * parts as u64 >= total * next as u64 {
+                bounds.push(i + 1);
+                next += 1;
+            }
+        }
+        while bounds.len() < parts - 1 {
+            bounds.push(len);
+        }
+
+        // Boundary refinement: slide each boundary within a window and
+        // keep the position with the fewest cut values (ties: the
+        // smallest shift, deterministically).
+        let window = (len / (2 * parts)).max(4);
+        for _ in 0..2 {
+            for k in 0..bounds.len() {
+                let lo = (if k == 0 { 1 } else { bounds[k - 1] + 1 })
+                    .max(bounds[k].saturating_sub(window));
+                let hi = (if k + 1 == bounds.len() { len } else { bounds[k + 1] })
+                    .min(bounds[k] + window);
+                let mut best = (cut_count(stream, &assign(len, &bounds)), bounds[k]);
+                for cand in lo..hi {
+                    let mut trial = bounds.clone();
+                    trial[k] = cand;
+                    let cuts = cut_count(stream, &assign(len, &trial));
+                    let shift = cand.abs_diff(bounds[k]);
+                    if cuts < best.0 || (cuts == best.0 && shift < best.1.abs_diff(bounds[k])) {
+                        best = (cuts, cand);
+                    }
+                }
+                bounds[k] = best.1;
+            }
+        }
+
+        let node_part = assign(len, &bounds);
+        let parts = node_part.last().map_or(1, |&p| p + 1);
+        PartitionPlan { node_part, parts }
+    }
+}
+
+/// Node → part assignment from sorted boundary positions.
+fn assign(len: usize, bounds: &[usize]) -> Vec<usize> {
+    let mut node_part = vec![0usize; len];
+    let mut part = 0usize;
+    for (i, np) in node_part.iter_mut().enumerate() {
+        while part < bounds.len() && i >= bounds[part] {
+            part += 1;
+        }
+        *np = part;
+    }
+    // Renumber in case an empty range collapsed two boundaries.
+    let mut seen: Vec<usize> = Vec::new();
+    for np in node_part.iter_mut() {
+        match seen.iter().position(|&s| s == *np) {
+            Some(r) => *np = r,
+            None => {
+                seen.push(*np);
+                *np = seen.len() - 1;
+            }
+        }
+    }
+    node_part
+}
+
+/// Number of (value, consuming part) imports under an assignment.
+fn cut_count(stream: &OpStream, node_part: &[usize]) -> usize {
+    let mut cuts = 0usize;
+    let mut imported: Vec<Option<usize>> = vec![None; stream.len()];
+    for (i, op) in stream.nodes().iter().enumerate() {
+        for dep in op.deps().into_iter().flatten() {
+            let d = dep.index();
+            if node_part[d] != node_part[i] && imported[d] != Some(node_part[i]) {
+                imported[d] = Some(node_part[i]);
+                cuts += 1;
+            }
+        }
+    }
+    cuts
+}
+
+/// A node → part assignment over one stream's contiguous topological
+/// chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    node_part: Vec<usize>,
+    parts: usize,
+}
+
+impl PartitionPlan {
+    /// Number of parts (≥ 1 for non-empty streams).
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Which part a node landed in.
+    pub fn part_of(&self, node: usize) -> usize {
+        self.node_part[node]
+    }
+
+    /// Total (value, consuming part) imports — the inter-die transfers
+    /// the boundary refinement minimized.
+    pub fn cut_values(&self, stream: &OpStream) -> usize {
+        cut_count(stream, &self.node_part)
+    }
+
+    /// Producer parts each part imports values from (sorted, deduped) —
+    /// the dependency edges of the per-die job DAG a scheduler chains
+    /// ready times through.
+    pub fn imports_of(&self, stream: &OpStream, part: usize) -> Vec<usize> {
+        let mut from: Vec<usize> = stream
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.node_part[i] == part)
+            .flat_map(|(_, op)| op.deps().into_iter().flatten())
+            .map(|dep| self.node_part[dep.index()])
+            .filter(|&p| p != part)
+            .collect();
+        from.sort_unstable();
+        from.dedup();
+        from
+    }
+}
+
+/// Materializes and executes each part of `plan` in part order.
+///
+/// For every part this builds a self-contained [`OpStream`]: nodes the
+/// plan assigned to it, with values imported from earlier parts carried
+/// in as [`OpStream::upload`] nodes of the producer's (already
+/// computed, canonical) output — re-reducing a canonical residue is the
+/// identity, so partitioned execution is bit-exact. Each part stream
+/// marks as outputs the values later parts (or the original output
+/// list) need, then `run_part(part, stream, imports)` executes it —
+/// on a die, a backend, anywhere — returning the outputs in marking
+/// order. `imports` lists the producer parts whose values the part
+/// consumes, so schedulers can chain ready times through the part DAG.
+///
+/// Returns the original stream's outputs, in the original marking
+/// order.
+///
+/// # Errors
+///
+/// Propagates `run_part` failures and (impossible for well-formed
+/// plans) rebuild errors; a part returning the wrong output count
+/// surfaces as [`CoreError::BadHandle`].
+pub fn execute_partitioned<F>(
+    stream: &OpStream,
+    plan: &PartitionPlan,
+    mut run_part: F,
+) -> Result<Vec<Vec<u128>>>
+where
+    F: FnMut(usize, &OpStream, &[usize]) -> Result<Vec<Vec<u128>>>,
+{
+    let nodes = stream.nodes();
+    // Which node values must be exported: consumed by a later part, or
+    // in the original output list.
+    let mut exported = vec![false; nodes.len()];
+    for (i, op) in nodes.iter().enumerate() {
+        for dep in op.deps().into_iter().flatten() {
+            if plan.part_of(dep.index()) != plan.part_of(i) {
+                exported[dep.index()] = true;
+            }
+        }
+    }
+    for out in stream.outputs() {
+        exported[out.index()] = true;
+    }
+
+    let mut values: Vec<Option<Vec<u128>>> = vec![None; nodes.len()];
+    for part in 0..plan.parts() {
+        let mut st = OpStream::new(stream.n());
+        let mut map: Vec<Option<StreamHandle>> = vec![None; nodes.len()];
+        let mut marks: Vec<usize> = Vec::new();
+        for (i, op) in nodes.iter().enumerate() {
+            if plan.part_of(i) != part {
+                continue;
+            }
+            // Import foreign operands on first use, one upload each.
+            for dep in op.deps().into_iter().flatten() {
+                let d = dep.index();
+                if plan.part_of(d) != part && map[d].is_none() {
+                    let v = values[d].clone().ok_or(CoreError::BadHandle { id: d as u64 })?;
+                    map[d] = Some(st.upload(v)?);
+                }
+            }
+            map[i] = Some(emit_mapped(&mut st, op, &map)?);
+            if exported[i] {
+                st.output(map[i].expect("just placed"))?;
+                marks.push(i);
+            }
+        }
+        let imports = plan.imports_of(stream, part);
+        let outs = run_part(part, &st, &imports)?;
+        if outs.len() != marks.len() {
+            return Err(CoreError::BadHandle { id: part as u64 });
+        }
+        for (i, v) in marks.into_iter().zip(outs) {
+            values[i] = Some(v);
+        }
+    }
+    stream
+        .outputs()
+        .iter()
+        .map(|h| values[h.index()].clone().ok_or(CoreError::BadHandle { id: h.index() as u64 }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofhee_core::{CpuBackend, PolyBackend};
+
+    use crate::testutil::{poly, q, run, N};
+
+    /// A long chained stream with a handful of cross-chunk edges.
+    fn long_stream(rounds: usize) -> OpStream {
+        let mut st = OpStream::new(N);
+        let a = st.upload(poly(1)).unwrap();
+        let b = st.upload(poly(2)).unwrap();
+        let mut acc = st.pointwise_add(a, b).unwrap();
+        for r in 0..rounds {
+            let f = st.ntt(acc).unwrap();
+            let h = st.hadamard(f, f).unwrap();
+            let back = st.intt(h).unwrap();
+            acc = if r % 3 == 0 {
+                st.pointwise_add(back, a).unwrap() // long-range edge to `a`
+            } else {
+                st.scalar_mul(back, 3 + r as u128).unwrap()
+            };
+        }
+        st.output(acc).unwrap();
+        st
+    }
+
+    #[test]
+    fn small_streams_and_input_streams_stay_whole() {
+        let mut st = OpStream::new(N);
+        let a = st.upload(poly(1)).unwrap();
+        st.output(a).unwrap();
+        assert_eq!(Partitioner::new(4).partition(&st).parts(), 1);
+
+        let mut be = CpuBackend::new(q(), N).unwrap();
+        let resident = be.upload(&poly(2)).unwrap();
+        let mut with_input = OpStream::new(N);
+        let i = with_input.input(resident);
+        let mut acc = i;
+        for _ in 0..30 {
+            acc = with_input.scalar_mul(acc, 5).unwrap();
+        }
+        with_input.output(acc).unwrap();
+        assert_eq!(
+            Partitioner::new(4).partition(&with_input).parts(),
+            1,
+            "Input nodes pin a stream to its backend"
+        );
+    }
+
+    #[test]
+    fn partitioned_execution_is_bit_exact() {
+        let st = long_stream(12);
+        let truth = run(&st);
+        for max_parts in [2usize, 3, 4] {
+            let plan = Partitioner::new(max_parts).partition(&st);
+            assert!(plan.parts() > 1, "stream is long enough to split");
+            let got = execute_partitioned(&st, &plan, |_, part_stream, _| {
+                let mut be = CpuBackend::new(q(), N).unwrap();
+                Ok(be.execute_stream(part_stream).unwrap().outputs)
+            })
+            .unwrap();
+            assert_eq!(got, truth, "{max_parts} parts");
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_quantile_cut() {
+        let st = long_stream(16);
+        let len = st.len();
+        let refined = Partitioner::new(4).partition(&st);
+        // Naive equal-count chunks for comparison.
+        let chunk = len.div_ceil(4);
+        let naive = PartitionPlan { node_part: (0..len).map(|i| i / chunk).collect(), parts: 4 };
+        assert!(
+            refined.cut_values(&st) <= naive.cut_values(&st),
+            "refined {} > naive {}",
+            refined.cut_values(&st),
+            naive.cut_values(&st)
+        );
+    }
+
+    #[test]
+    fn part_dag_edges_point_backwards_only() {
+        let st = long_stream(14);
+        let plan = Partitioner::new(3).partition(&st);
+        for part in 0..plan.parts() {
+            for producer in plan.imports_of(&st, part) {
+                assert!(producer < part, "contiguous cuts only import from earlier parts");
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let st = long_stream(12);
+        let a = Partitioner::new(4).partition(&st);
+        let b = Partitioner::new(4).partition(&st);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,287 @@
+//! The [`Pass`] trait and the [`PassRunner`] pipeline, plus the shared
+//! rebuild machinery every rewrite pass emits through.
+
+use cofhee_core::{CoreError, OpStream, Result, StreamHandle, StreamOp, StreamReport};
+
+use crate::cost::stream_cost;
+use crate::{Cse, Dce, Fuse, OptLevel, TransferHoist};
+
+/// What one pass did to one stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Nodes removed (dead, deduplicated, or round-trip-eliminated).
+    pub eliminated: u64,
+    /// Node pairs fused into one fused node.
+    pub fused: u64,
+    /// Uploads merged or sunk to first use.
+    pub hoisted: u64,
+}
+
+impl PassStats {
+    /// Sums another pass's stats into this one.
+    pub fn merge(&mut self, other: &PassStats) {
+        self.eliminated = self.eliminated.saturating_add(other.eliminated);
+        self.fused = self.fused.saturating_add(other.fused);
+        self.hoisted = self.hoisted.saturating_add(other.hoisted);
+    }
+}
+
+/// One rewrite over a recorded stream.
+///
+/// The contract every implementation must keep: the rewritten stream is
+/// **bit-exact** — executing it on any backend yields the same outputs,
+/// in the same marking order, as the input stream — and the rewrite is
+/// **deterministic**: the same input always produces the same output
+/// node list, so farm replays stay reproducible.
+pub trait Pass {
+    /// Short stable name (telemetry, bench tables).
+    fn name(&self) -> &'static str;
+
+    /// Rewrites `stream` into an equivalent, cheaper stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recording errors from rebuilding (impossible for
+    /// well-formed inputs; surfaced rather than panicking).
+    fn run(&self, stream: &OpStream) -> Result<(OpStream, PassStats)>;
+}
+
+/// Cumulative optimizer telemetry for one stream (or one absorbed group
+/// of streams).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OptStats {
+    /// Nodes in the stream(s) before optimization.
+    pub ops_in: u64,
+    /// Nodes after optimization.
+    pub ops_out: u64,
+    /// Nodes removed across all passes.
+    pub ops_eliminated: u64,
+    /// Node pairs fused across all passes.
+    pub ops_fused: u64,
+    /// Uploads merged or sunk across all passes.
+    pub uploads_hoisted: u64,
+    /// Estimated cycles saved under the static cost model (see
+    /// [`crate::stream_cost`]); the bench measures the real delta.
+    pub estimated_cycles_saved: u64,
+}
+
+impl OptStats {
+    /// Sums another stream's optimizer stats into this one.
+    pub fn merge(&mut self, other: &OptStats) {
+        self.ops_in = self.ops_in.saturating_add(other.ops_in);
+        self.ops_out = self.ops_out.saturating_add(other.ops_out);
+        self.ops_eliminated = self.ops_eliminated.saturating_add(other.ops_eliminated);
+        self.ops_fused = self.ops_fused.saturating_add(other.ops_fused);
+        self.uploads_hoisted = self.uploads_hoisted.saturating_add(other.uploads_hoisted);
+        self.estimated_cycles_saved =
+            self.estimated_cycles_saved.saturating_add(other.estimated_cycles_saved);
+    }
+
+    /// Stamps the optimizer counters into a [`StreamReport`] so the
+    /// wins ride the existing telemetry paths (evaluator totals, farm
+    /// ledgers, service reports).
+    pub fn stamp(&self, report: &mut StreamReport) {
+        report.ops_eliminated = report.ops_eliminated.saturating_add(self.ops_eliminated);
+        report.ops_fused = report.ops_fused.saturating_add(self.ops_fused);
+        report.uploads_hoisted = report.uploads_hoisted.saturating_add(self.uploads_hoisted);
+    }
+}
+
+/// A fixed, deterministic sequence of passes applied front to back.
+pub struct PassRunner {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl std::fmt::Debug for PassRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.passes.iter().map(|p| p.name())).finish()
+    }
+}
+
+impl PassRunner {
+    /// A runner over an explicit pass sequence (bench ablations build
+    /// every subset this way).
+    pub fn new(passes: Vec<Box<dyn Pass>>) -> Self {
+        Self { passes }
+    }
+
+    /// The `O1` rewrite pipeline, in its fixed order: CSE/NTT-form
+    /// caching first (exposes dead nodes), dead-op elimination, then
+    /// transfer hoisting over the surviving uploads, then fusion last
+    /// so no earlier pass needs to reason about fused nodes.
+    pub fn o1() -> Self {
+        Self::new(vec![Box::new(Cse), Box::new(Dce), Box::new(TransferHoist), Box::new(Fuse)])
+    }
+
+    /// The rewrite pipeline for `level`: empty at `O0`, [`Self::o1`]
+    /// otherwise (partitioning is a separate, farm-level step — see
+    /// [`crate::Partitioner`]).
+    pub fn for_level(level: OptLevel) -> Self {
+        match level {
+            OptLevel::O0 => Self::new(Vec::new()),
+            OptLevel::O1 | OptLevel::O2 => Self::o1(),
+        }
+    }
+
+    /// The pass names, in application order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass in order and returns the rewritten stream with
+    /// cumulative stats (including the static-model cycle estimate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first pass failure.
+    pub fn optimize(&self, stream: &OpStream) -> Result<(OpStream, OptStats)> {
+        let before = stream_cost(stream);
+        let mut current = stream.clone();
+        let mut total = PassStats::default();
+        for pass in &self.passes {
+            let (next, stats) = pass.run(&current)?;
+            total.merge(&stats);
+            current = next;
+        }
+        let stats = OptStats {
+            ops_in: stream.len() as u64,
+            ops_out: current.len() as u64,
+            ops_eliminated: total.eliminated,
+            ops_fused: total.fused,
+            uploads_hoisted: total.hoisted,
+            estimated_cycles_saved: before.saturating_sub(stream_cost(&current)),
+        };
+        Ok((current, stats))
+    }
+}
+
+/// Re-records `op` into `dst` with operands remapped through `map`
+/// (old node index → new handle). The shared emission primitive every
+/// pass rebuilds streams with.
+pub(crate) fn emit_mapped(
+    dst: &mut OpStream,
+    op: &StreamOp,
+    map: &[Option<StreamHandle>],
+) -> Result<StreamHandle> {
+    let m = |h: &StreamHandle| -> Result<StreamHandle> {
+        map[h.index()].ok_or(CoreError::BadHandle { id: h.index() as u64 })
+    };
+    match op {
+        StreamOp::Upload(v) => dst.upload(v.clone()),
+        StreamOp::Input(h) => Ok(dst.input(*h)),
+        StreamOp::Ntt(a) => dst.ntt(m(a)?),
+        StreamOp::Intt(a) => dst.intt(m(a)?),
+        StreamOp::Hadamard(a, b) => dst.hadamard(m(a)?, m(b)?),
+        StreamOp::HadamardIntt(a, b) => dst.hadamard_intt(m(a)?, m(b)?),
+        StreamOp::HadamardAdd(a, b, acc) => dst.hadamard_add(m(a)?, m(b)?, m(acc)?),
+        StreamOp::PointwiseAdd(a, b) => dst.pointwise_add(m(a)?, m(b)?),
+        StreamOp::PointwiseSub(a, b) => dst.pointwise_sub(m(a)?, m(b)?),
+        StreamOp::ScalarMul(a, c) => dst.scalar_mul(m(a)?, *c),
+        StreamOp::PolyMul(a, b) => dst.poly_mul(m(a)?, m(b)?),
+    }
+}
+
+/// Per-node use counts (dependency fan-out plus output markings) — the
+/// liveness view passes share.
+pub(crate) fn use_counts(stream: &OpStream) -> Vec<usize> {
+    let mut uses = vec![0usize; stream.len()];
+    for node in stream.nodes() {
+        for dep in node.deps().into_iter().flatten() {
+            uses[dep.index()] += 1;
+        }
+    }
+    for out in stream.outputs() {
+        uses[out.index()] += 1;
+    }
+    uses
+}
+
+/// Which nodes are marked as outputs.
+pub(crate) fn output_marks(stream: &OpStream) -> Vec<bool> {
+    let mut marks = vec![false; stream.len()];
+    for out in stream.outputs() {
+        marks[out.index()] = true;
+    }
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{poly, run, N};
+
+    fn tensorish() -> OpStream {
+        let mut st = OpStream::new(N);
+        let a0 = st.upload(poly(1)).unwrap();
+        let a1 = st.upload(poly(2)).unwrap();
+        let b0 = st.upload(poly(1)).unwrap(); // duplicate of a0's payload
+        let b1 = st.upload(poly(3)).unwrap();
+        let fa0 = st.ntt(a0).unwrap();
+        let fa1 = st.ntt(a1).unwrap();
+        let fb0 = st.ntt(b0).unwrap(); // CSE: same value as fa0
+        let fb1 = st.ntt(b1).unwrap();
+        let t0 = st.hadamard(fa0, fb0).unwrap();
+        let c0 = st.intt(t0).unwrap(); // fuses to HadamardIntt
+        let x01 = st.hadamard(fa0, fb1).unwrap();
+        let x10 = st.hadamard(fa1, fb0).unwrap();
+        let mid = st.pointwise_add(x01, x10).unwrap(); // fuses to HadamardAdd
+        let c1 = st.intt(mid).unwrap();
+        let dead = st.scalar_mul(fa1, 5).unwrap(); // dead
+        let _ = dead;
+        for h in [c0, c1] {
+            st.output(h).unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn o1_pipeline_shrinks_and_preserves_outputs() {
+        let st = tensorish();
+        let truth = run(&st);
+        let (opt, stats) = PassRunner::o1().optimize(&st).unwrap();
+        assert_eq!(run(&opt), truth, "rewrites must be bit-exact");
+        assert!(opt.len() < st.len(), "{} !< {}", opt.len(), st.len());
+        assert!(stats.ops_eliminated > 0);
+        assert!(stats.ops_fused > 0);
+        assert!(stats.estimated_cycles_saved > 0);
+        assert_eq!(stats.ops_in, st.len() as u64);
+        assert_eq!(stats.ops_out, opt.len() as u64);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let st = tensorish();
+        let runner = PassRunner::o1();
+        let (a, sa) = runner.optimize(&st).unwrap();
+        let (b, sb) = runner.optimize(&st).unwrap();
+        assert_eq!(crate::testutil::shape(&a), crate::testutil::shape(&b));
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn stats_merge_and_stamp() {
+        let mut a = OptStats {
+            ops_in: 10,
+            ops_out: 7,
+            ops_eliminated: 2,
+            ops_fused: 1,
+            uploads_hoisted: 1,
+            estimated_cycles_saved: 100,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.ops_in, 20);
+        assert_eq!(a.ops_eliminated, 4);
+        assert_eq!(a.estimated_cycles_saved, 200);
+        let mut r = StreamReport::default();
+        a.stamp(&mut r);
+        assert_eq!(r.ops_eliminated, 4);
+        assert_eq!(r.ops_fused, 2);
+        assert_eq!(r.uploads_hoisted, 2);
+    }
+
+    #[test]
+    fn runner_names_follow_order() {
+        assert_eq!(PassRunner::o1().pass_names(), vec!["cse", "dce", "hoist", "fuse"]);
+        assert!(PassRunner::for_level(OptLevel::O0).pass_names().is_empty());
+    }
+}

@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use cofhee_bfv::{BfvParams, Ciphertext, Plaintext, RelinKey};
 use cofhee_farm::{Job, JobKind, Scheduler, Session, SessionId};
+use cofhee_opt::OptLevel;
 
 use crate::admission::{AdmissionPolicy, QueueView};
 use crate::error::{AdmitError, DenyReason, QuotaKind, Result, ServiceError};
@@ -108,12 +109,20 @@ pub struct GatewayConfig {
     /// More slots than dies keeps every die's FIFO fed; the default
     /// from [`GatewayConfig::for_chips`] is 2× the die count.
     pub farm_slots: usize,
+    /// Stream-compiler level applied to requests that do not choose
+    /// their own via [`Gateway::submit_opt`]. `O0` by default; every
+    /// level is bit-exact, so this only trades compile work for cycles.
+    pub opt_level: OptLevel,
 }
 
 impl GatewayConfig {
     /// The default configuration for a farm of `chips` dies.
     pub fn for_chips(chips: usize) -> Self {
-        Self { default_quotas: QuotaConfig::default(), farm_slots: (2 * chips).max(1) }
+        Self {
+            default_quotas: QuotaConfig::default(),
+            farm_slots: (2 * chips).max(1),
+            opt_level: OptLevel::O0,
+        }
     }
 }
 
@@ -122,6 +131,7 @@ impl GatewayConfig {
 struct Queued {
     ticket: Ticket,
     request: Request,
+    opt_level: OptLevel,
 }
 
 /// A dispatched request whose virtual finish time has not been reached.
@@ -159,6 +169,7 @@ pub struct Gateway {
     next_ticket: u64,
     farm_slots: usize,
     default_quotas: QuotaConfig,
+    default_opt_level: OptLevel,
     fault: Option<ServiceError>,
     latency_samples: Vec<u64>,
     queue_samples: Vec<u64>,
@@ -179,6 +190,7 @@ impl Gateway {
             next_ticket: 0,
             farm_slots: config.farm_slots.max(1),
             default_quotas: config.default_quotas,
+            default_opt_level: config.opt_level,
             fault: None,
             latency_samples: Vec::new(),
             queue_samples: Vec::new(),
@@ -272,6 +284,23 @@ impl Gateway {
         self.submit_at(tenant, request, self.now)
     }
 
+    /// Submits a request at the current clock with an explicit
+    /// stream-compiler level for this request only (overriding
+    /// [`GatewayConfig::opt_level`]). Results are bit-identical at every
+    /// level — the level only changes how many cycles the farm spends.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`AdmitError`]s, as [`Gateway::submit`].
+    pub fn submit_opt(
+        &mut self,
+        tenant: TenantId,
+        request: Request,
+        level: OptLevel,
+    ) -> core::result::Result<Ticket, AdmitError> {
+        self.submit_opt_at(tenant, request, level, self.now)
+    }
+
     /// Submits a request arriving at virtual cycle `at` (clamped to the
     /// clock — time never runs backwards). The event loop advances to
     /// `at` first, so the admission decision sees exactly the queue and
@@ -285,6 +314,22 @@ impl Gateway {
         &mut self,
         tenant: TenantId,
         request: Request,
+        at: u64,
+    ) -> core::result::Result<Ticket, AdmitError> {
+        self.submit_opt_at(tenant, request, self.default_opt_level, at)
+    }
+
+    /// [`Gateway::submit_opt`] at virtual cycle `at` (clamped to the
+    /// clock).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`AdmitError`]s, as [`Gateway::submit`].
+    pub fn submit_opt_at(
+        &mut self,
+        tenant: TenantId,
+        request: Request,
+        level: OptLevel,
         at: u64,
     ) -> core::result::Result<Ticket, AdmitError> {
         self.advance_to(at.max(self.now));
@@ -352,7 +397,7 @@ impl Gateway {
         self.next_ticket += 1;
         self.tickets.insert(ticket.id(), ticket);
         let t = &mut self.tenants[tenant.raw() as usize];
-        t.queue.push_back(Queued { ticket, request });
+        t.queue.push_back(Queued { ticket, request, opt_level: level });
         t.in_flight += 1;
         t.stats.admitted += 1;
         t.stats.peak_queue = t.stats.peak_queue.max(t.queue.len() as u64);
@@ -436,7 +481,7 @@ impl Gateway {
             Request::MulRelin(a, b) => JobKind::MulRelin(ct(*a), ct(*b)),
         };
         let job = Job { session, kind, arrival: self.now };
-        match self.sched.run(vec![job]) {
+        match self.sched.run_with_opt(vec![job], queued.opt_level) {
             Ok(mut outcomes) => {
                 let o = outcomes.pop().expect("one job in, one outcome out");
                 self.registry.materialize(queued.ticket.result(), o.result, o.finish);
@@ -567,11 +612,51 @@ impl Gateway {
     /// Evicts `handle` from the registry, refunding its bytes
     /// (owner-only).
     ///
+    /// Queued requests that can no longer run or deliver — because they
+    /// read the handle as an operand, or because the handle *is* their
+    /// reserved result — are cancelled rather than stranded: their
+    /// reservations are refunded, their tenants' in-flight counts drop,
+    /// and the cascade follows chains of dependent queued requests.
+    /// Cancelled tickets surface in [`TenantStats::cancelled`], so
+    /// `completed + cancelled == admitted` still holds after a drain.
+    ///
     /// # Errors
     ///
     /// ACL violations reject as validation errors.
     pub fn evict(&mut self, owner: TenantId, handle: CtHandle) -> Result<()> {
-        self.registry.evict(handle, owner).map_err(|reason| AdmitError::Denied { reason }.into())
+        self.registry
+            .evict(handle, owner)
+            .map_err(|reason| ServiceError::from(AdmitError::Denied { reason }))?;
+        self.cancel_dependents(handle);
+        self.fill_slots();
+        Ok(())
+    }
+
+    /// Cancels every queued request invalidated by the eviction of
+    /// `evicted`, cascading through reservations the cancellations
+    /// orphan in turn.
+    fn cancel_dependents(&mut self, evicted: CtHandle) {
+        let mut worklist = vec![evicted];
+        while let Some(gone) = worklist.pop() {
+            let mut cancelled: Vec<Ticket> = Vec::new();
+            for t in &mut self.tenants {
+                t.queue.retain(|q| {
+                    let dead = q.ticket.result() == gone || q.request.operands().contains(&gone);
+                    if dead {
+                        cancelled.push(q.ticket);
+                    }
+                    !dead
+                });
+            }
+            for ticket in cancelled {
+                let t = &mut self.tenants[ticket.tenant().raw() as usize];
+                t.in_flight -= 1;
+                t.stats.cancelled += 1;
+                if self.registry.evict(ticket.result(), ticket.tenant()).is_ok() {
+                    worklist.push(ticket.result());
+                }
+            }
+        }
     }
 
     /// The gateway's virtual clock.

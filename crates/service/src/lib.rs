@@ -76,6 +76,7 @@ mod registry;
 mod telemetry;
 
 pub use admission::{AdmissionPolicy, QueueView, RejectNewest, TenantFair};
+pub use cofhee_opt::OptLevel;
 pub use error::{AdmitError, DenyReason, ErrorKind, QuotaKind, Result, ServiceError};
 pub use gateway::{Gateway, GatewayConfig, QuotaConfig, Request};
 pub use handle::{CtHandle, TenantId, Ticket};

@@ -159,8 +159,15 @@ impl CiphertextRegistry {
 
     /// Fills a reserved handle with its result, readable from
     /// `ready_at` onwards.
+    ///
+    /// Eviction legitimately races with completion — the owner may drop
+    /// a reserved result handle while its producing request is still
+    /// queued or in flight — so a missing entry discards the result
+    /// instead of panicking.
     pub(crate) fn materialize(&mut self, handle: CtHandle, ct: Ciphertext, ready_at: u64) {
-        let entry = self.entries.get_mut(&handle.raw()).expect("reserved handle");
+        let Some(entry) = self.entries.get_mut(&handle.raw()) else {
+            return;
+        };
         debug_assert!(matches!(entry.state, EntryState::Pending), "materialize twice");
         debug_assert_eq!(
             ciphertext_bytes(ct.len(), entry.n),

@@ -25,6 +25,9 @@ pub struct TenantStats {
     pub rejected_denied: u64,
     /// Admitted requests that ran to completion.
     pub completed: u64,
+    /// Admitted requests cancelled before dispatch because an operand
+    /// or their reserved result handle was evicted from the registry.
+    pub cancelled: u64,
     /// Deepest the tenant's admission queue ever got.
     pub peak_queue: u64,
     /// Total cycles completed requests spent waiting (admission →
@@ -103,6 +106,13 @@ impl ServiceReport {
         self.sum(|s| s.completed)
     }
 
+    /// Admitted requests cancelled by an eviction before dispatch.
+    /// Every admitted request is accounted for:
+    /// `completed + cancelled == admitted` after a full drain.
+    pub fn cancelled(&self) -> u64 {
+        self.sum(|s| s.cancelled)
+    }
+
     /// Fraction of offered requests that were rejected.
     pub fn reject_rate(&self) -> f64 {
         let submitted = self.submitted();
@@ -162,13 +172,21 @@ impl ServiceReport {
             self.service.p50,
             self.service.p95,
         ));
+        let st = &self.farm.stream_totals;
+        if st.ops_eliminated + st.ops_fused + st.uploads_hoisted > 0 {
+            out.push_str(&format!(
+                "optimizer: {} ops eliminated, {} fused, {} uploads hoisted\n",
+                st.ops_eliminated, st.ops_fused, st.uploads_hoisted,
+            ));
+        }
         for (label, s) in &self.tenants {
             out.push_str(&format!(
-                "  {:<12} offered {:>5}, admitted {:>5}, done {:>5}, rejected {:>4} (quota {}, queue {}, denied {}), peak queue {}\n",
+                "  {:<12} offered {:>5}, admitted {:>5}, done {:>5}, cancelled {:>3}, rejected {:>4} (quota {}, queue {}, denied {}), peak queue {}\n",
                 label,
                 s.submitted,
                 s.admitted,
                 s.completed,
+                s.cancelled,
                 s.rejected(),
                 s.rejected_quota,
                 s.rejected_queue,

@@ -22,6 +22,10 @@
 //! * [`core`] — the device driver: Algorithm 2/3 schedules, execution
 //!   modes, RNS dispatch, host-link accounting, and the unified
 //!   `PolyBackend` execution API (pluggable CPU / chip backends).
+//! * [`opt`] — the stream compiler: an optimizing pass pipeline (DCE,
+//!   CSE, transfer hoisting, fusion) over recorded `OpStream`s, plus
+//!   the multi-die stream partitioner, behind the `O0`/`O1`/`O2`
+//!   opt-level dial.
 //! * [`apps`] — CryptoNets and logistic regression, as op-count models
 //!   and as functional encrypted demos.
 //! * [`farm`] — the multi-chip execution service: a pool of simulated
@@ -43,6 +47,7 @@ pub use cofhee_arith as arith;
 pub use cofhee_bfv as bfv;
 pub use cofhee_core as core;
 pub use cofhee_farm as farm;
+pub use cofhee_opt as opt;
 pub use cofhee_physical as physical;
 pub use cofhee_poly as poly;
 pub use cofhee_service as service;

@@ -8,7 +8,7 @@ use cofhee::bfv::{BfvParams, Decryptor, Encryptor, Evaluator, KeyGenerator, Plai
 use cofhee::core::ChipBackendFactory;
 use cofhee::farm::{ChipFarm, Scheduler, WorkStealing};
 use cofhee::service::{
-    CtHandle, Gateway, GatewayConfig, QuotaConfig, Request, TenantFair, TenantId,
+    CtHandle, Gateway, GatewayConfig, OptLevel, QuotaConfig, Request, TenantFair, TenantId,
 };
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
@@ -131,6 +131,89 @@ fn run_script(
         want.push(f.dec.decrypt(mirror).unwrap().coeffs().to_vec());
     }
     (log, got, want, gw.report().render())
+}
+
+/// Builds a 1-die gateway with one registered tenant and two uploaded
+/// constants (3 and 4).
+fn one_die(f: &mut Fixture) -> (Gateway, TenantId, CtHandle, CtHandle) {
+    let farm = ChipFarm::new(1, ChipBackendFactory::silicon()).unwrap();
+    let sched = Scheduler::new(farm, Box::new(WorkStealing));
+    let mut gw = Gateway::new(sched, Box::new(TenantFair::default()), GatewayConfig::for_chips(1));
+    let alice = gw.register_tenant("alice", &f.params, Some(f.rlk.clone())).unwrap();
+    let mut put = |v: u64, f: &mut Fixture| {
+        let ct = f.enc.encrypt(&Plaintext::constant(&f.params, v).unwrap(), &mut f.rng).unwrap();
+        gw.put_ciphertext(alice, ct).unwrap()
+    };
+    let x = put(3, f);
+    let y = put(4, f);
+    (gw, alice, x, y)
+}
+
+/// Evicting a queued request's *pending result* handle must not panic
+/// the drain when the producing slot frees up — the orphaned request is
+/// cancelled and accounted for instead.
+#[test]
+fn evicting_a_pending_result_cancels_the_queued_request() {
+    let mut f = fixture();
+    let (mut gw, alice, x, _y) = one_die(&mut f);
+    // t1 dispatches immediately; t2 chains on t1's result, so it is
+    // still queued when its own result handle is evicted.
+    let t1 = gw.submit(alice, Request::Add(x, x)).unwrap();
+    let t2 = gw.submit(alice, Request::Add(t1.result(), x)).unwrap();
+    gw.evict(alice, t2.result()).unwrap();
+    gw.drain().unwrap();
+    let r = gw.report();
+    assert_eq!(r.completed(), 1);
+    assert_eq!(r.cancelled(), 1);
+    assert_eq!(r.completed() + r.cancelled(), r.admitted());
+    // t1's result still downloads; t2's reservation is gone.
+    assert_eq!(f.dec.decrypt(gw.result(&t1).unwrap()).unwrap().coeffs()[0], 6);
+    assert!(gw.result(&t2).is_err());
+}
+
+/// Evicting an *operand* of a queued request must not strand it: the
+/// request is cancelled, the cancellation cascades through queued
+/// requests chained on its reservation, and every admitted ticket stays
+/// accounted for (`completed + cancelled == admitted`).
+#[test]
+fn evicting_an_operand_cascades_cancellation_through_dependents() {
+    let mut f = fixture();
+    let (mut gw, alice, x, y) = one_die(&mut f);
+    let t1 = gw.submit(alice, Request::Add(x, x)).unwrap();
+    // t2 needs t1's result AND y; t3 chains on t2. Both stay queued.
+    let t2 = gw.submit(alice, Request::Add(t1.result(), y)).unwrap();
+    let t3 = gw.submit(alice, Request::Add(t2.result(), x)).unwrap();
+    let bytes_before = gw.registry().bytes_used(alice);
+    gw.evict(alice, y).unwrap();
+    gw.drain().unwrap();
+    let r = gw.report();
+    assert_eq!(r.completed(), 1, "t1 still runs");
+    assert_eq!(r.cancelled(), 2, "t2 and, transitively, t3 are cancelled");
+    assert_eq!(r.completed() + r.cancelled(), r.admitted(), "no request silently stranded");
+    // Cancelled reservations refund their registry bytes.
+    assert!(gw.registry().bytes_used(alice) < bytes_before);
+    assert!(gw.result(&t2).is_err());
+    assert!(gw.result(&t3).is_err());
+    assert_eq!(f.dec.decrypt(gw.result(&t1).unwrap()).unwrap().coeffs()[0], 6);
+}
+
+/// Per-request opt levels ride through the gateway: an O1 `MulRelin`
+/// decrypts exactly like the O0 default, and the optimizer counters it
+/// produces surface in the rendered service report.
+#[test]
+fn per_request_opt_levels_are_bit_exact_and_surface_in_telemetry() {
+    let mut f = fixture();
+    let (mut gw, alice, x, y) = one_die(&mut f);
+    let base = gw.submit(alice, Request::MulRelin(x, y)).unwrap();
+    let opt = gw.submit_opt(alice, Request::MulRelin(x, y), OptLevel::O1).unwrap();
+    gw.drain().unwrap();
+    let a = f.dec.decrypt(gw.result(&base).unwrap()).unwrap();
+    let b = f.dec.decrypt(gw.result(&opt).unwrap()).unwrap();
+    assert_eq!(a.coeffs(), b.coeffs());
+    assert_eq!(a.coeffs()[0], 12);
+    let report = gw.report();
+    assert!(report.farm.stream_totals.ops_fused > 0, "O1 fuses the key-switch accumulates");
+    assert!(report.render().contains("optimizer:"));
 }
 
 proptest! {

@@ -13,6 +13,7 @@ use cofhee::arith::primes::ntt_prime;
 use cofhee::core::{
     ChipBackend, CpuBackend, OpStream, PolyBackend, StreamExecutor, StreamHandle, StreamJob,
 };
+use cofhee::opt::{execute_partitioned, optimize, OptLevel, Partitioner};
 use cofhee::sim::ChipConfig;
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
@@ -132,6 +133,65 @@ proptest! {
         let mut sync_chip =
             ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
         prop_assert_eq!(run_sync(&mut sync_chip, &inputs, &steps), truth);
+    }
+
+    // The stream-compiler contract: at every opt level the optimized
+    // stream is bit-identical to the recorded one, on both the CPU
+    // reference and the simulated chip, for arbitrary programs — and
+    // never costs more ops than it started with.
+    #[test]
+    fn optimized_streams_are_bit_identical_to_recorded(
+        inputs in pvec(pvec(any::<u128>(), N), 3),
+        steps in pvec((any::<usize>(), any::<usize>(), any::<usize>(), any::<u128>()), 16),
+    ) {
+        let q = modulus();
+        let (stream, _) = record(&inputs, &steps);
+
+        let mut cpu = CpuBackend::new(q, N).unwrap();
+        let truth = StreamExecutor::run(&mut cpu, &stream).unwrap().outputs;
+
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            let (opt, stats) = optimize(&stream, level).unwrap();
+            prop_assert!(opt.len() <= stream.len(), "{level}: optimization grew the stream");
+            if level == OptLevel::O0 {
+                prop_assert!(stats.ops_out == stats.ops_in, "O0 is identity");
+            } else {
+                prop_assert!(stats.ops_out <= stats.ops_in, "{}: op count went up", level);
+            }
+
+            let mut cpu = CpuBackend::new(q, N).unwrap();
+            let on_cpu = StreamExecutor::run(&mut cpu, &opt).unwrap();
+            prop_assert!(on_cpu.outputs == truth, "{level} on cpu diverged");
+
+            let mut chip = ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+            let on_chip = StreamExecutor::run(&mut chip, &opt).unwrap();
+            prop_assert!(on_chip.outputs == truth, "{level} on chip diverged");
+        }
+    }
+
+    // Partitioned execution (the O2 farm path): splitting a stream into
+    // per-die sub-streams and chaining cross-part values as re-uploads
+    // reproduces the whole-stream outputs exactly.
+    #[test]
+    fn partitioned_execution_matches_whole_stream(
+        inputs in pvec(pvec(any::<u128>(), N), 3),
+        steps in pvec((any::<usize>(), any::<usize>(), any::<usize>(), any::<u128>()), 28),
+        parts in 2usize..5,
+    ) {
+        let q = modulus();
+        let (stream, _) = record(&inputs, &steps);
+
+        let mut cpu = CpuBackend::new(q, N).unwrap();
+        let truth = StreamExecutor::run(&mut cpu, &stream).unwrap().outputs;
+
+        // Force splitting even for short random programs.
+        let plan = Partitioner { max_parts: parts, min_nodes: 4 }.partition(&stream);
+        let outputs = execute_partitioned(&stream, &plan, |_, part_stream, _| {
+            let mut chip = ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+            Ok(StreamExecutor::run(&mut chip, part_stream)?.outputs)
+        })
+        .unwrap();
+        prop_assert_eq!(outputs, truth);
     }
 
     // Parallel limb dispatch returns each stream's own results, in job
