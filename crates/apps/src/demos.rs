@@ -11,10 +11,19 @@
 //!   integer linear score computed under encryption; the sigmoid/threshold
 //!   decision is applied client-side after decryption, as in the paper's
 //!   reference application.
+//! * [`ApproxLogistic`] — the CKKS variant of the same model: real-valued
+//!   weights, and the sigmoid itself evaluated *under encryption* as a
+//!   degree-3 polynomial, so the server returns a probability rather than
+//!   a raw score.
 
+use cofhee_arith::primes;
 use cofhee_bfv::{
     BatchEncoder, BfvError, BfvParams, Ciphertext, Decryptor, Encryptor, Evaluator, KeyGenerator,
     Plaintext, RelinKey,
+};
+use cofhee_ckks::{
+    CkksCiphertext, CkksEncoder, CkksEncryptor, CkksError, CkksEvaluator, CkksParams, CkksRelinKey,
+    Level,
 };
 use cofhee_core::{BackendFactory, CpuBackendFactory};
 use rand::Rng;
@@ -221,6 +230,199 @@ impl LogisticScorer {
     }
 }
 
+/// Degree-3 least-squares sigmoid approximation on `[-4, 4]`:
+/// `σ(z) ≈ 0.5 + 0.197·z − 0.004·z³` — the standard polynomial used by
+/// CKKS logistic-regression pipelines, accurate to ~0.03 on that range.
+#[must_use]
+pub fn sigmoid_deg3(z: f64) -> f64 {
+    0.5 + SIGMOID_C1 * z - SIGMOID_C3 * z * z * z
+}
+
+const SIGMOID_C1: f64 = 0.197;
+const SIGMOID_C3: f64 = 0.004;
+
+/// CKKS logistic-regression inference with the sigmoid evaluated *under
+/// encryption* as a degree-3 polynomial.
+///
+/// Where [`LogisticScorer`] returns an integer score for the client to
+/// threshold, this variant works on real-valued weights and returns an
+/// (approximate) probability: the server computes
+/// `σ(w·x + b) ≈ 0.5 + z·(0.197 − 0.004·z²)` homomorphically, spending
+/// four modulus-chain levels — one for the weighted score, one for
+/// `z²`, one for the inner affine term, and one for the outer product.
+#[derive(Debug)]
+pub struct ApproxLogistic {
+    params: CkksParams,
+    encoder: CkksEncoder,
+    eval: CkksEvaluator,
+    rlk: CkksRelinKey,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl ApproxLogistic {
+    /// Builds the model on the CPU backend.
+    ///
+    /// # Errors
+    ///
+    /// Parameter failures.
+    pub fn new(
+        params: &CkksParams,
+        weights: Vec<f64>,
+        bias: f64,
+        rlk: CkksRelinKey,
+    ) -> Result<Self, CkksError> {
+        Self::with_backend(params, weights, bias, rlk, &CpuBackendFactory)
+    }
+
+    /// Same model on an explicit execution backend (CPU or simulated
+    /// CoFHEE chip).
+    ///
+    /// # Errors
+    ///
+    /// Parameter or backend bring-up failures.
+    pub fn with_backend(
+        params: &CkksParams,
+        weights: Vec<f64>,
+        bias: f64,
+        rlk: CkksRelinKey,
+        factory: &dyn BackendFactory,
+    ) -> Result<Self, CkksError> {
+        Ok(Self {
+            params: params.clone(),
+            encoder: CkksEncoder::new(params),
+            eval: CkksEvaluator::with_backend(params, factory)?,
+            rlk,
+            weights,
+            bias,
+        })
+    }
+
+    /// A modulus chain deep enough for the degree-3 sigmoid: a ~40-bit
+    /// base prime plus four ~21-bit scale primes (the testing chain's
+    /// two rescale levels cannot absorb the score rescale, the
+    /// squaring, the inner rescale, and the outer product; the chain
+    /// product must also stay inside the chip's 128-bit native width).
+    ///
+    /// # Errors
+    ///
+    /// Prime-search or parameter-validation failures.
+    pub fn demo_params(n: usize) -> Result<CkksParams, CkksError> {
+        let mut moduli = vec![primes::ntt_prime(40, n)?];
+        moduli.extend(primes::ntt_primes(21, n, 4)?);
+        CkksParams::new(n, moduli, (1u64 << 21) as f64, 18)
+    }
+
+    /// The evaluator driving the encrypted math (telemetry inspection).
+    pub fn evaluator(&self) -> &CkksEvaluator {
+        &self.eval
+    }
+
+    /// Computes `σ(w·x + b)` per slot over encrypted feature
+    /// ciphertexts (one ciphertext per feature, slots = batch).
+    ///
+    /// # Errors
+    ///
+    /// Evaluation failures (parameter mismatches, level exhaustion on a
+    /// too-shallow chain).
+    pub fn infer(&self, features: &[CkksCiphertext]) -> Result<CkksCiphertext, CkksError> {
+        let slots = self.params.slots();
+        // Linear score at the product scale Δ², one rescale down.
+        let mut acc: Option<CkksCiphertext> = None;
+        for (ct, &w) in features.iter().zip(&self.weights) {
+            let w_pt = self.encoder.encode(&vec![w; slots])?;
+            let term = self.eval.mul_plain(ct, &w_pt)?;
+            acc = Some(match acc {
+                Some(a) => self.eval.add(&a, &term)?,
+                None => term,
+            });
+        }
+        let mut z = acc.expect("at least one feature");
+        let b_pt = self.encoder.encode_at(&vec![self.bias; slots], z.level(), z.scale())?;
+        z = self.eval.add_plain(&z, &b_pt)?;
+        let z = self.eval.rescale(&z)?;
+
+        // z², then the inner affine term u = 0.197 − 0.004·z².
+        let z2 = self.eval.multiply_relin_rescale(&z, &z, &self.rlk)?;
+        let c3 =
+            self.encoder.encode_at(&vec![-SIGMOID_C3; slots], z2.level(), self.params.scale())?;
+        let mut u = self.eval.mul_plain(&z2, &c3)?;
+        let c1 = self.encoder.encode_at(&vec![SIGMOID_C1; slots], u.level(), u.scale())?;
+        u = self.eval.add_plain(&u, &c1)?;
+        let u = self.eval.rescale(&u)?;
+
+        // Outer product z·u needs z brought down to u's level and scale.
+        let z_d = self.align(&z, u.level(), u.scale())?;
+        let t = self.eval.multiply_relin_rescale(&z_d, &u, &self.rlk)?;
+        let half = self.encoder.encode_at(&vec![0.5; slots], t.level(), t.scale())?;
+        self.eval.add_plain(&t, &half)
+    }
+
+    /// Drops `ct` to `level`/`scale` by multiplying with 1.0 encoded at
+    /// the scale that makes each rescale land where the next operand
+    /// expects it (a mod-switch spelled in the primitive vocabulary the
+    /// chip executes).
+    fn align(
+        &self,
+        ct: &CkksCiphertext,
+        level: Level,
+        scale: f64,
+    ) -> Result<CkksCiphertext, CkksError> {
+        let mut out = ct.clone();
+        while out.level() > level {
+            let q = self.params.moduli()[out.level().index()] as f64;
+            let target =
+                if out.level().lower() == Some(level) { scale } else { self.params.scale() };
+            let one = self.encoder.encode_at(
+                &vec![1.0; self.params.slots()],
+                out.level(),
+                target * q / out.scale(),
+            )?;
+            out = self.eval.rescale(&self.eval.mul_plain(&out, &one)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Reference plaintext inference: the same degree-3 polynomial on
+    /// `f64` (what the encrypted path approximates).
+    pub fn infer_plain(&self, features: &[Vec<f64>]) -> Vec<f64> {
+        let batch = features[0].len();
+        (0..batch)
+            .map(|i| {
+                let z = self
+                    .weights
+                    .iter()
+                    .zip(features)
+                    .fold(self.bias, |acc, (&w, x)| acc + w * x[i]);
+                sigmoid_deg3(z)
+            })
+            .collect()
+    }
+}
+
+/// Helper: encrypts one real-valued feature vector per CKKS ciphertext
+/// (slots = batch).
+///
+/// # Errors
+///
+/// Encoding/encryption failures.
+pub fn encrypt_real_features<G: Rng + ?Sized>(
+    params: &CkksParams,
+    encryptor: &CkksEncryptor,
+    features: &[Vec<f64>],
+    rng: &mut G,
+) -> Result<Vec<CkksCiphertext>, CkksError> {
+    let encoder = CkksEncoder::new(params);
+    features
+        .iter()
+        .map(|f| {
+            let mut slots = f.clone();
+            slots.resize(params.slots(), 0.0);
+            encryptor.encrypt(&encoder.encode(&slots)?, rng)
+        })
+        .collect()
+}
+
 /// Helper: encrypts one feature vector per ciphertext (slots = batch).
 ///
 /// # Errors
@@ -309,6 +511,35 @@ mod tests {
         let got = decrypt_slots(&params, &dec, &[score_ct]).unwrap();
         let expect = scorer.score_plain(&features);
         assert_eq!(&got[0][..2], &expect[..], "scores");
+    }
+
+    #[test]
+    fn approx_logistic_evaluates_sigmoid_under_encryption() {
+        use cofhee_ckks::{CkksDecryptor, CkksKeyGenerator};
+        let params = ApproxLogistic::demo_params(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let kg = CkksKeyGenerator::new(&params);
+        let sk = kg.secret_key(&mut rng).unwrap();
+        let pk = kg.public_key(&sk, &mut rng).unwrap();
+        let rlk = kg.relin_key(&sk, &mut rng).unwrap();
+        let model = ApproxLogistic::new(&params, vec![0.8, -0.5, 0.3], 0.2, rlk).unwrap();
+
+        // Batch of 4 inferences across slots, 3 features each; the
+        // resulting scores span the polynomial's [-4, 4] sweet spot.
+        let features =
+            vec![vec![1.0, -2.0, 0.5, 3.0], vec![0.5, 1.5, -1.0, -0.5], vec![-1.0, 0.0, 2.0, 1.0]];
+        let enc = CkksEncryptor::new(&params, pk);
+        let cts = encrypt_real_features(&params, &enc, &features, &mut rng).unwrap();
+        let prob_ct = model.infer(&cts).unwrap();
+
+        let dec = CkksDecryptor::new(&params, sk);
+        let got = CkksEncoder::new(&params).decode(&dec.decrypt(&prob_ct).unwrap()).unwrap();
+        let expect = model.infer_plain(&features);
+        for (i, (&g, &e)) in got.iter().zip(&expect).enumerate() {
+            assert!((g - e).abs() < 2e-2, "slot {i}: {g} vs {e}");
+        }
+        // Four chain levels consumed: score, z², inner term, outer product.
+        assert_eq!(prob_ct.level(), Level::new(0));
     }
 
     #[test]

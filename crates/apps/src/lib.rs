@@ -10,10 +10,11 @@
 //!   accounting: exact operation mixes, per-op cost models measured from
 //!   the simulator (CoFHEE) and from `cofhee-bfv` (CPU), and the Table X
 //!   estimator with the 2.23× / 1.46× speedup reproduction.
-//! * [`demos`] — *functional* encrypted inference running end to end on
-//!   the BFV implementation: a CryptoNets-style square-activation layer
-//!   and a logistic-regression scorer, both verified against plaintext
-//!   reference models.
+//! * [`demos`] — *functional* encrypted inference running end to end:
+//!   a CryptoNets-style square-activation layer and a
+//!   logistic-regression scorer on BFV, plus a CKKS logistic model that
+//!   evaluates the sigmoid itself under encryption as a degree-3
+//!   polynomial — all verified against plaintext reference models.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +29,8 @@ pub use costs::{
     measured_stream_report, OpCosts, RELIN_DIGITS,
 };
 pub use demos::{
-    constant_plaintext, decrypt_slots, encrypt_features, LogisticScorer, SquareLayerNet,
+    constant_plaintext, decrypt_slots, encrypt_features, encrypt_real_features, sigmoid_deg3,
+    ApproxLogistic, LogisticScorer, SquareLayerNet,
 };
 pub use estimate::{render_table10, table10, AppEstimate};
 pub use workloads::{Table10Reference, Workload};

@@ -21,6 +21,8 @@
 //!   (`ψ`, `ω`, `n⁻¹` — the chip's `INV_POLYDEG` register).
 //! * [`rns`] — the Residue Number System (Section II-D): tower
 //!   decomposition and CRT reconstruction.
+//! * [`signed`] — centered signed representatives and round-to-nearest
+//!   division, the decoder primitives shared by BFV and CKKS.
 //!
 //! # Examples
 //!
@@ -54,6 +56,7 @@ mod u256;
 pub mod primes;
 pub mod rns;
 pub mod roots;
+pub mod signed;
 
 pub use barrett::{Barrett128, Barrett64, MAX_BARRETT64_BITS};
 pub use error::{ArithError, Result};

@@ -1,0 +1,198 @@
+//! Signed-centered representatives and round-to-nearest division.
+//!
+//! FHE decoders keep returning to the same two primitives: interpreting a
+//! residue in `[0, q)` (or a CRT composition in `[0, Q)`) as the *centered*
+//! signed value in `(−q/2, q/2]`, and dividing by a scaling factor with
+//! round-to-nearest (`⌊x/Δ⌉`, the Eq. 4 rounding in BFV decrypt and the
+//! `/Δ` step of the CKKS decoder). Both used to be open-coded at each call
+//! site; this module is their one home, shared by `cofhee_bfv` (decrypt,
+//! tensor recombination) and `cofhee_ckks` (decoding out of the RNS chain).
+
+use crate::u256::U256;
+
+/// Centered representative of `v` modulo `q`, as `(magnitude, is_negative)`.
+///
+/// Values in `[0, q/2]` map to themselves with positive sign; values above
+/// `q/2` map to `q − v` with negative sign, so the result is the unique
+/// signed integer in `(−q/2, q/2]` congruent to `v`.
+#[inline]
+#[must_use]
+pub fn centered(q: u128, v: u128) -> (u128, bool) {
+    debug_assert!(v < q, "residue must be reduced mod q");
+    if v > q / 2 {
+        (q - v, true)
+    } else {
+        (v, false)
+    }
+}
+
+/// Centered representative of `v` modulo `q` as an `i64`, when it fits.
+///
+/// Returns `None` if the centered magnitude exceeds `i64::MAX` — callers
+/// decoding small scaled values (CKKS coefficients after rescaling, BFV
+/// noise terms) treat that as corruption rather than silently truncating.
+#[inline]
+#[must_use]
+pub fn centered_i64(q: u128, v: u128) -> Option<i64> {
+    let (mag, neg) = centered(q, v);
+    let mag = i64::try_from(mag).ok()?;
+    Some(if neg { -mag } else { mag })
+}
+
+/// Maps a signed integer into its canonical residue in `[0, q)`.
+///
+/// The inverse of [`centered_i64`] for magnitudes below `q/2`.
+#[inline]
+#[must_use]
+pub fn to_residue(q: u128, v: i64) -> u128 {
+    if v >= 0 {
+        (v as u128) % q
+    } else {
+        let m = (v.unsigned_abs() as u128) % q;
+        if m == 0 {
+            0
+        } else {
+            q - m
+        }
+    }
+}
+
+/// Round-to-nearest division `⌊num/den⌉` (ties round up).
+///
+/// # Panics
+///
+/// Panics if `den` is zero (standard division-by-zero semantics).
+#[inline]
+#[must_use]
+pub fn round_div(num: u128, den: u128) -> u128 {
+    (num + den / 2) / den
+}
+
+/// Round-to-nearest division `⌊num/den⌉` over 256-bit numerators (ties
+/// round up) — the wide variant behind BFV's `⌊t·x/q⌉` and the CKKS
+/// decoder's `⌊x/Δ⌉` when `x` spans several RNS limbs.
+///
+/// # Panics
+///
+/// Panics if `den` is zero.
+#[inline]
+#[must_use]
+pub fn round_div_u256(num: U256, den: U256) -> U256 {
+    num.wrapping_add(den.shr(1)).div_rem(den).0
+}
+
+/// Round-to-nearest division of a signed magnitude: `(|x|, sign) / den`,
+/// rounding the magnitude and keeping the sign (a zero result is
+/// normalized to positive).
+#[inline]
+#[must_use]
+pub fn round_div_centered(mag: U256, neg: bool, den: u128) -> (U256, bool) {
+    let q = round_div_u256(mag, U256::from_u128(den));
+    (q, neg && !q.is_zero())
+}
+
+/// Converts a centered `(magnitude, sign)` pair to the nearest `f64`.
+///
+/// Magnitudes above 128 bits are handled by scaling down the top 128 bits
+/// — f64 only carries 53 significand bits, so the dropped low bits are
+/// already below its resolution.
+#[inline]
+#[must_use]
+pub fn centered_to_f64(mag: U256, neg: bool) -> f64 {
+    let abs = match mag.to_u128() {
+        Some(x) => x as f64,
+        None => {
+            let shift = mag.bits() - 128;
+            let top = mag.shr(shift).low_u128() as f64;
+            top * 2f64.powi(shift as i32)
+        }
+    };
+    if neg {
+        -abs
+    } else {
+        abs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_splits_at_half() {
+        let q = 17u128;
+        assert_eq!(centered(q, 0), (0, false));
+        assert_eq!(centered(q, 8), (8, false)); // q/2 stays positive
+        assert_eq!(centered(q, 9), (8, true)); // q − 9
+        assert_eq!(centered(q, 16), (1, true));
+    }
+
+    #[test]
+    fn centered_i64_round_trips_with_to_residue() {
+        let q = (1u128 << 61) - 1;
+        for v in [-1_000_000i64, -3, -1, 0, 1, 2, 999_999_937] {
+            let r = to_residue(q, v);
+            assert_eq!(centered_i64(q, r), Some(v));
+        }
+    }
+
+    #[test]
+    fn centered_i64_rejects_oversized_magnitudes() {
+        let q = u128::MAX - 158; // a wide odd modulus stand-in
+        assert_eq!(centered_i64(q, q / 2), None);
+    }
+
+    #[test]
+    fn to_residue_reduces_wide_magnitudes() {
+        let q = 97u128;
+        assert_eq!(to_residue(q, -97), 0);
+        assert_eq!(to_residue(q, -98), 96);
+        assert_eq!(to_residue(q, 194), 0);
+    }
+
+    #[test]
+    fn round_div_rounds_to_nearest() {
+        assert_eq!(round_div(10, 4), 3); // 2.5 → 3 (ties up)
+        assert_eq!(round_div(9, 4), 2); // 2.25 → 2
+        assert_eq!(round_div(11, 4), 3); // 2.75 → 3
+        assert_eq!(round_div(0, 7), 0);
+    }
+
+    #[test]
+    fn round_div_u256_matches_narrow() {
+        for (n, d) in [(10u128, 4u128), (9, 4), (11, 4), (u128::MAX / 3, 12345)] {
+            assert_eq!(
+                round_div_u256(U256::from_u128(n), U256::from_u128(d)).to_u128(),
+                Some(round_div(n, d))
+            );
+        }
+    }
+
+    #[test]
+    fn round_div_u256_handles_wide_numerators() {
+        // (2^200 + d/2) / d for d = 2^64: exactly 2^136 + rounding of d/2/d.
+        let num = U256::ONE.shl(200);
+        let den = U256::ONE.shl(64);
+        assert_eq!(round_div_u256(num, den), U256::ONE.shl(136));
+    }
+
+    #[test]
+    fn round_div_centered_keeps_sign_and_normalizes_zero() {
+        let (q, neg) = round_div_centered(U256::from_u128(10), true, 4);
+        assert_eq!(q.to_u128(), Some(3));
+        assert!(neg);
+        let (z, zneg) = round_div_centered(U256::from_u128(1), true, 10);
+        assert!(z.is_zero());
+        assert!(!zneg, "a rounded-to-zero value has no sign");
+    }
+
+    #[test]
+    fn centered_to_f64_narrow_and_wide() {
+        assert_eq!(centered_to_f64(U256::from_u128(1 << 40), false), (1u64 << 40) as f64);
+        assert_eq!(centered_to_f64(U256::from_u128(5), true), -5.0);
+        // 2^200: exactly representable in f64.
+        let wide = U256::ONE.shl(200);
+        assert_eq!(centered_to_f64(wide, false), 2f64.powi(200));
+        assert_eq!(centered_to_f64(wide, true), -(2f64.powi(200)));
+    }
+}

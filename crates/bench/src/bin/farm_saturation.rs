@@ -54,7 +54,7 @@ fn stage_tenant(n: usize) -> Result<Tenant, Box<dyn std::error::Error>> {
         coeffs[0] = v;
         pts.push(Plaintext::new(&params, coeffs)?);
     }
-    Ok(Tenant { params, rlk, inputs: ReplayInputs { ciphertexts: cts, plaintexts: pts } })
+    Ok(Tenant { params, rlk, inputs: ReplayInputs::bfv(cts, pts) })
 }
 
 /// Replays one workload spec through a fresh farm, returning the

@@ -185,8 +185,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|_| Job { session: id, kind: JobKind::MulRelin(a.clone(), b.clone()), arrival: 0 })
             .collect();
         let outcomes = sched.run_with_opt(jobs, level)?;
-        let coeffs: Vec<u64> =
-            outcomes.iter().map(|o| dec.decrypt(&o.result).unwrap().coeffs()[0]).collect();
+        let coeffs: Vec<u64> = outcomes
+            .iter()
+            .map(|o| dec.decrypt(o.result.expect_bfv()).unwrap().coeffs()[0])
+            .collect();
         let r = sched.report();
         let st = &r.stream_totals;
         let lv = format!("{level}");

@@ -120,8 +120,7 @@ impl Decryptor {
                 let (mag, neg) = sampling::elem_to_centered(ring, c);
                 let (num, hi) = U256::from_u128(mag).widening_mul(U256::from_u128(t as u128));
                 debug_assert!(hi.is_zero());
-                let rounded =
-                    num.wrapping_add(U256::from_u128(q / 2)).div_rem(U256::from_u128(q)).0;
+                let rounded = cofhee_arith::signed::round_div_u256(num, U256::from_u128(q));
                 let m = rounded.rem(U256::from_u128(t as u128)).low_u128() as u64;
                 if neg && m != 0 {
                     t - m

@@ -47,7 +47,7 @@ use std::sync::{Arc, Mutex};
 
 use cofhee_core::{
     BackendFactory, CommStats, CpuBackendFactory, OpReport, OpStream, PolyBackend, PolyHandle,
-    StreamExecutor, StreamHandle, StreamJob, StreamReport,
+    StreamExecutor, StreamJob, StreamReport,
 };
 use cofhee_opt::{OptLevel, OptStats, PassRunner};
 use cofhee_poly::{Domain, Polynomial};
@@ -655,41 +655,24 @@ impl Evaluator {
             return Err(BfvError::WrongCiphertextSize { expected: 3, found: ct.len() });
         }
         let n = self.params.n();
-        let w = rlk.base_bits;
-        let mask: u128 = (1u128 << w) - 1;
-        let c2 = &ct.polys()[2];
+        let digits = cofhee_core::digit_decompose(
+            &ct.polys()[2].to_u128_vec(),
+            rlk.base_bits,
+            rlk.parts.len(),
+        );
+        let base: Vec<Vec<u128>> = ct.polys()[..2].iter().map(|c| c.to_u128_vec()).collect();
 
         let mut be = lock(&self.q_backend);
         let key_handles = self.relin_key_handles(be.as_mut(), rlk)?;
 
         // Record the whole key-switch dataflow, then submit once.
         let mut st = OpStream::new(n);
-        let mut accs: [Option<StreamHandle>; 2] = [None, None];
-        for (i, &(fk0, fk1)) in key_handles.iter().enumerate() {
-            // Digit i of every coefficient of c2 (unsigned decomposition).
-            let digits: Vec<u128> =
-                c2.coeffs().iter().map(|&c| (c >> (w * i as u32)) & mask).collect();
-            debug_assert_eq!(digits.len(), n);
-            let fd = {
-                let d = st.upload(digits)?;
-                st.ntt(d)?
-            };
-            for (key, acc) in [fk0, fk1].into_iter().zip(accs.iter_mut()) {
-                let fk = st.input(key);
-                let prod = st.hadamard(fd, fk)?;
-                *acc = Some(match acc.take() {
-                    None => prod,
-                    Some(sum) => st.pointwise_add(sum, prod)?,
-                });
-            }
-        }
-        for (acc, c) in accs.into_iter().zip(&ct.polys()[..2]) {
-            let acc = acc.expect("relin keys always carry at least one digit");
-            let folded = st.intt(acc)?;
-            let base = st.upload(c.to_u128_vec())?;
-            let out = st.pointwise_add(base, folded)?;
-            st.output(out)?;
-        }
+        cofhee_core::record_key_switch(
+            &mut st,
+            &digits,
+            cofhee_core::KeySwitchKeys::Resident(&key_handles),
+            &base,
+        )?;
 
         let mut opt_totals = OptStats::default();
         let st = self.compile_stream(st, &mut opt_totals)?;

@@ -31,7 +31,7 @@
 //! scheduling policy and chip count.
 
 use cofhee_arith::U256;
-use cofhee_core::{OpStream, StreamHandle};
+use cofhee_core::{KeySwitchKeys, OpStream};
 
 use crate::ciphertext::Ciphertext;
 use crate::error::{BfvError, Result};
@@ -163,7 +163,6 @@ impl Evaluator {
             }
         }
         let basis = self.params().mult_basis();
-        let half = self.params().mult_basis_half();
         let q = self.params().q();
         let t = self.params().t() as u128;
         let mut out_polys = Vec::with_capacity(3);
@@ -174,15 +173,13 @@ impl Evaluator {
                 for (r, limb) in residues.iter_mut().zip(limbs) {
                     *r = limb[part][j];
                 }
-                let x = basis.compose(&residues)?;
-                let (mag, neg) =
-                    if x > half { (basis.product().wrapping_sub(x), true) } else { (x, false) };
-                // y = ⌊(t·mag + q/2) / q⌋ — parameters guarantee t·mag
-                // fits 256 bits (see BfvParams validation).
+                let (mag, neg) = basis.compose_centered(&residues)?;
+                // y = ⌊t·mag / q⌉ — parameters guarantee t·mag fits 256
+                // bits (see BfvParams validation).
                 let (num, hi) = mag.widening_mul(U256::from_u128(t));
                 debug_assert!(hi.is_zero());
                 let _ = hi;
-                let y = num.wrapping_add(U256::from_u128(q / 2)).div_rem(U256::from_u128(q)).0;
+                let y = cofhee_arith::signed::round_div_u256(num, U256::from_u128(q));
                 let r = y.rem(U256::from_u128(q)).low_u128();
                 coeffs.push(if neg && r != 0 {
                     q - r
@@ -219,38 +216,17 @@ impl Evaluator {
             return Err(BfvError::WrongCiphertextSize { expected: 3, found: ct.len() });
         }
         let n = self.params().n();
-        let w = rlk.base_bits;
-        let mask: u128 = (1u128 << w) - 1;
-        let c2 = &ct.polys()[2];
+        let digits = cofhee_core::digit_decompose(
+            &ct.polys()[2].to_u128_vec(),
+            rlk.base_bits,
+            rlk.parts.len(),
+        );
+        let keys: Vec<(Vec<u128>, Vec<u128>)> =
+            rlk.parts.iter().map(|(k0, k1)| (k0.to_u128_vec(), k1.to_u128_vec())).collect();
+        let base: Vec<Vec<u128>> = ct.polys()[..2].iter().map(|c| c.to_u128_vec()).collect();
 
         let mut st = OpStream::new(n);
-        let mut accs: [Option<StreamHandle>; 2] = [None, None];
-        for (i, (k0, k1)) in rlk.parts.iter().enumerate() {
-            let digits: Vec<u128> =
-                c2.coeffs().iter().map(|&c| (c >> (w * i as u32)) & mask).collect();
-            let fd = {
-                let d = st.upload(digits)?;
-                st.ntt(d)?
-            };
-            for (key, acc) in [k0, k1].into_iter().zip(accs.iter_mut()) {
-                let fk = {
-                    let raw = st.upload(key.to_u128_vec())?;
-                    st.ntt(raw)?
-                };
-                let prod = st.hadamard(fd, fk)?;
-                *acc = Some(match acc.take() {
-                    None => prod,
-                    Some(sum) => st.pointwise_add(sum, prod)?,
-                });
-            }
-        }
-        for (acc, c) in accs.into_iter().zip(&ct.polys()[..2]) {
-            let acc = acc.expect("relin keys always carry at least one digit");
-            let folded = st.intt(acc)?;
-            let base = st.upload(c.to_u128_vec())?;
-            let out = st.pointwise_add(base, folded)?;
-            st.output(out)?;
-        }
+        cofhee_core::record_key_switch(&mut st, &digits, KeySwitchKeys::Inline(&keys), &base)?;
         Ok(st)
     }
 

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use cofhee_arith::{primes, rns::RnsBasis, Barrett128, U256};
+use cofhee_arith::{primes, rns::RnsBasis, Barrett128};
 use cofhee_poly::PolyRing;
 
 use crate::error::{BfvError, Result};
@@ -178,11 +178,6 @@ impl BfvParams {
     #[inline]
     pub fn mult_basis(&self) -> &RnsBasis {
         &self.mult_basis
-    }
-
-    /// Half of the computation-basis product, for centering.
-    pub(crate) fn mult_basis_half(&self) -> U256 {
-        self.mult_basis.product().shr(1)
     }
 
     /// Structural equality of parameter sets (same `n`, `t`, `q`).

@@ -49,23 +49,13 @@ pub fn error_poly<R: ModRing, G: Rng + ?Sized>(ring: &R, n: usize, rng: &mut G) 
 
 /// Maps a small signed integer into the ring.
 pub fn signed_to_elem<R: ModRing>(ring: &R, v: i64) -> R::Elem {
-    if v >= 0 {
-        ring.from_u128(v as u128)
-    } else {
-        ring.from_u128(ring.modulus() - v.unsigned_abs() as u128)
-    }
+    ring.from_u128(cofhee_arith::signed::to_residue(ring.modulus(), v))
 }
 
 /// Interprets a ring element as a centered signed value in
 /// `(−q/2, q/2]`, returned as `(magnitude, is_negative)`.
 pub fn elem_to_centered<R: ModRing>(ring: &R, e: R::Elem) -> (u128, bool) {
-    let v = ring.to_u128(e);
-    let q = ring.modulus();
-    if v > q / 2 {
-        (q - v, true)
-    } else {
-        (v, false)
-    }
+    cofhee_arith::signed::centered(ring.modulus(), ring.to_u128(e))
 }
 
 #[cfg(test)]

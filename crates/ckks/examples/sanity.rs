@@ -1,0 +1,54 @@
+use cofhee_ckks::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let p = CkksParams::insecure_testing(64).unwrap();
+    let enc = CkksEncoder::new(&p);
+    let kg = CkksKeyGenerator::new(&p);
+    let mut rng = StdRng::seed_from_u64(42);
+    let sk = kg.secret_key(&mut rng).unwrap();
+    let pk = kg.public_key(&sk, &mut rng).unwrap();
+    let rlk = kg.relin_key(&sk, &mut rng).unwrap();
+    let encryptor = CkksEncryptor::new(&p, pk);
+    let decryptor = CkksDecryptor::new(&p, sk);
+    let ev = CkksEvaluator::new(&p).unwrap();
+
+    let a: Vec<f64> = (0..p.slots()).map(|i| (i as f64 * 0.2).sin() * 2.0).collect();
+    let b: Vec<f64> = (0..p.slots()).map(|i| (i as f64 * 0.13).cos() * 1.5).collect();
+    let ca = encryptor.encrypt(&enc.encode(&a).unwrap(), &mut rng).unwrap();
+    let cb = encryptor.encrypt(&enc.encode(&b).unwrap(), &mut rng).unwrap();
+
+    // add
+    let sum = ev.add(&ca, &cb).unwrap();
+    let back = enc.decode(&decryptor.decrypt(&sum).unwrap()).unwrap();
+    for (i, v) in back.iter().enumerate() {
+        let want = a[i] + b[i];
+        assert!((v - want).abs() < 1e-5, "add slot {i}: {v} vs {want}");
+    }
+    println!("add ok");
+
+    // multiply + relin + rescale
+    let prod = ev.multiply_relin_rescale(&ca, &cb, &rlk).unwrap();
+    println!("prod level {:?} scale {}", prod.level(), prod.scale());
+    let back = enc.decode(&decryptor.decrypt(&prod).unwrap()).unwrap();
+    let mut max_err = 0.0f64;
+    for (i, v) in back.iter().enumerate() {
+        let want = a[i] * b[i];
+        max_err = max_err.max((v - want).abs());
+    }
+    println!("mult max err {max_err:e}");
+    assert!(max_err < 1e-3, "multiply error too large: {max_err}");
+
+    // second multiply at level 1
+    let prod2 = ev.multiply_relin_rescale(&prod, &prod, &rlk).unwrap();
+    let back = enc.decode(&decryptor.decrypt(&prod2).unwrap()).unwrap();
+    let mut max_err = 0.0f64;
+    for (i, v) in back.iter().enumerate() {
+        let want = (a[i] * b[i]) * (a[i] * b[i]);
+        max_err = max_err.max((v - want).abs());
+    }
+    println!("mult^2 max err {max_err:e}");
+    assert!(max_err < 1e-2, "squared error too large: {max_err}");
+    println!("sanity ok");
+}

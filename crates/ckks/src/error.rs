@@ -1,0 +1,114 @@
+//! Error types for the CKKS scheme implementation.
+
+use core::fmt;
+
+use cofhee_arith::ArithError;
+use cofhee_core::CoreError;
+use cofhee_poly::PolyError;
+
+/// Errors produced by the CKKS layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CkksError {
+    /// Parameter validation failed.
+    InvalidParams {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// Operands from different parameter sets were combined.
+    ParamsMismatch,
+    /// Operands sit at different levels of the modulus chain; the caller
+    /// must rescale (or mod-switch) them to a common level first.
+    LevelMismatch {
+        /// Level of the first operand.
+        a: usize,
+        /// Level of the second operand.
+        b: usize,
+    },
+    /// The modulus chain is exhausted: no scale prime left to drop.
+    LevelExhausted,
+    /// Operand scaling factors disagree beyond floating-point slack.
+    ScaleMismatch {
+        /// Scale of the first operand.
+        a: f64,
+        /// Scale of the second operand.
+        b: f64,
+    },
+    /// An operation needed a different ciphertext size (e.g. multiply
+    /// wants 2 components, relinearize wants 3).
+    WrongCiphertextSize {
+        /// Expected number of components.
+        expected: usize,
+        /// Actual number of components.
+        found: usize,
+    },
+    /// A value could not be encoded (non-finite, or `|x·Δ|` overflows
+    /// the coefficient range the chain can carry).
+    EncodingOutOfRange {
+        /// The offending value (after scaling, when applicable).
+        value: f64,
+    },
+    /// Error from the polynomial layer.
+    Poly(PolyError),
+    /// Error from the arithmetic layer.
+    Arith(ArithError),
+    /// Error from the execution backend (CPU or chip driver).
+    Backend(CoreError),
+}
+
+impl fmt::Display for CkksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParams { reason } => write!(f, "invalid CKKS parameters: {reason}"),
+            Self::ParamsMismatch => write!(f, "operands use different CKKS parameter sets"),
+            Self::LevelMismatch { a, b } => {
+                write!(f, "operands sit at different chain levels ({a} vs {b})")
+            }
+            Self::LevelExhausted => write!(f, "modulus chain exhausted: no level left to drop"),
+            Self::ScaleMismatch { a, b } => {
+                write!(f, "operand scaling factors disagree ({a:e} vs {b:e})")
+            }
+            Self::WrongCiphertextSize { expected, found } => {
+                write!(f, "ciphertext has {found} components, expected {expected}")
+            }
+            Self::EncodingOutOfRange { value } => {
+                write!(f, "value {value:e} cannot be encoded at this scale")
+            }
+            Self::Poly(e) => write!(f, "polynomial error: {e}"),
+            Self::Arith(e) => write!(f, "arithmetic error: {e}"),
+            Self::Backend(e) => write!(f, "backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Poly(e) => Some(e),
+            Self::Arith(e) => Some(e),
+            Self::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PolyError> for CkksError {
+    fn from(e: PolyError) -> Self {
+        Self::Poly(e)
+    }
+}
+
+impl From<ArithError> for CkksError {
+    fn from(e: ArithError) -> Self {
+        Self::Arith(e)
+    }
+}
+
+impl From<CoreError> for CkksError {
+    fn from(e: CoreError) -> Self {
+        Self::Backend(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CkksError>;

@@ -1,0 +1,371 @@
+//! The CKKS evaluator: approximate homomorphic arithmetic where every
+//! ring operation dispatches through the [`PolyBackend`]/[`OpStream`]
+//! machinery — one backend per chain prime, one stream per active limb.
+//!
+//! The shape mirrors `cofhee_bfv::Evaluator`, with the CRT roles swapped:
+//! BFV brings up extra computation primes only inside `multiply`, while
+//! CKKS *lives* in RNS — a ciphertext at level ℓ is `ℓ+1` independent
+//! mod-`qⱼ` polynomials, so **every** operation fans one stream per limb
+//! across the per-prime backends ([`StreamExecutor::run_parallel`], one
+//! thread and one backend each). The limb streams are recorded by the
+//! builders in the `streams` module (also the farm's job layer) and are
+//! identical on every backend and at every [`OptLevel`]: the stream
+//! compiler's CSE/fusion/transfer-hoist passes and the O2 partitioner
+//! apply unchanged, which is the point of reusing the op set.
+//!
+//! Per primitive:
+//!
+//! * `add`/`sub`/`add_plain` — pointwise limb streams.
+//! * `mul_plain` — one Algorithm 2 `poly_mul` per component per limb.
+//! * `multiply` — the 2×2 tensor per limb (4 NTTs, fused
+//!   Hadamard+iNTT outer components, NTT-domain middle accumulate),
+//!   exactly the dataflow of the BFV tensor stream but **without** the
+//!   centered lift or CRT recombination: CKKS products are approximate
+//!   by design, the per-limb residues *are* the result. Scales multiply.
+//! * `rescale` — the modulus-chain drop `⌊ct/q_ℓ⌉`: the top limb's
+//!   centered representative is lifted into every remaining limb
+//!   host-side, then each limb subtracts it and multiplies by
+//!   `q_ℓ⁻¹ mod qⱼ` — a `pointwise_sub` + `scalar_mul` stream per
+//!   remaining limb. Scale divides by `q_ℓ`; one level is consumed.
+//! * `relinearize` — the digit-decomposition key switch: the cubic
+//!   component is CRT-composed host-side (the chain fits the chip's
+//!   128-bit native width by parameter validation), digit-decomposed,
+//!   and folded back via the scheme-neutral
+//!   [`cofhee_core::record_key_switch`] builder — one self-contained
+//!   stream per limb, key material inline.
+
+use std::sync::{Arc, Mutex};
+
+use cofhee_core::{
+    BackendFactory, CommStats, CpuBackendFactory, OpReport, OpStream, PolyBackend, StreamExecutor,
+    StreamJob, StreamReport,
+};
+use cofhee_opt::{OptLevel, OptStats, PassRunner};
+
+use crate::ciphertext::{scales_match, CkksCiphertext, CkksPlaintext};
+use crate::error::{CkksError, Result};
+use crate::keys::CkksRelinKey;
+use crate::params::CkksParams;
+
+/// A shared, lockable backend (the evaluator is `Clone` + `Sync`; clones
+/// share the backends and their telemetry).
+type SharedBackend = Arc<Mutex<Box<dyn PolyBackend>>>;
+
+/// Evaluates approximate homomorphic operations for one parameter set on
+/// a pluggable execution backend.
+#[derive(Debug, Clone)]
+pub struct CkksEvaluator {
+    pub(crate) params: CkksParams,
+    /// Backend family label (from the factory that built the backends).
+    backend_name: &'static str,
+    /// One backend per chain prime, base prime first.
+    limb_backends: Vec<SharedBackend>,
+    /// Accumulated stream-execution telemetry (serial vs overlapped)
+    /// across every submit this evaluator (and its clones) issued.
+    stream_totals: Arc<Mutex<StreamReport>>,
+    /// Stream-compiler level applied to every recorded stream before
+    /// submit (`O0` — execute exactly as recorded — by default).
+    opt_level: OptLevel,
+}
+
+fn lock(be: &SharedBackend) -> std::sync::MutexGuard<'_, Box<dyn PolyBackend>> {
+    be.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl CkksEvaluator {
+    /// Builds the evaluator on the default [`CpuBackendFactory`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend bring-up failures (none for validated
+    /// parameter sets).
+    pub fn new(params: &CkksParams) -> Result<Self> {
+        Self::with_backend(params, &CpuBackendFactory)
+    }
+
+    /// Builds the evaluator on an explicit backend family — the same
+    /// one-line chip swap as the BFV evaluator. One backend is brought
+    /// up per chain prime; streams for a level-ℓ ciphertext use the
+    /// first `ℓ+1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend bring-up failures.
+    pub fn with_backend(params: &CkksParams, factory: &dyn BackendFactory) -> Result<Self> {
+        let n = params.n();
+        let mut limb_backends = Vec::with_capacity(params.moduli().len());
+        for &q in params.moduli() {
+            limb_backends.push(Arc::new(Mutex::new(factory.make(q, n)?)));
+        }
+        Ok(Self {
+            params: params.clone(),
+            backend_name: factory.name(),
+            limb_backends,
+            stream_totals: Arc::new(Mutex::new(StreamReport::default())),
+            opt_level: OptLevel::O0,
+        })
+    }
+
+    /// Builder-style: the same evaluator with the stream compiler set to
+    /// `level`. Every level is bit-exact, as for BFV.
+    #[must_use]
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
+    /// Sets the stream-compiler level for subsequent operations.
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.opt_level = level;
+    }
+
+    /// The stream-compiler level currently applied before submits.
+    #[must_use]
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// The parameter set this evaluator serves.
+    #[must_use]
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// The backend family executing the polynomial ops ("cpu",
+    /// "cofhee-chip", ...).
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    /// Cumulative execution telemetry across every limb backend.
+    #[must_use]
+    pub fn backend_report(&self) -> OpReport {
+        let mut total = OpReport::default();
+        for be in &self.limb_backends {
+            total.absorb(&lock(be).report());
+        }
+        total
+    }
+
+    /// Cumulative host-communication accounting across all limb
+    /// backends (zero on the CPU path).
+    #[must_use]
+    pub fn backend_comm_stats(&self) -> CommStats {
+        let mut total = CommStats::default();
+        for be in &self.limb_backends {
+            total.merge(&lock(be).comm_stats());
+        }
+        total
+    }
+
+    /// Accumulated stream-execution telemetry across every submit this
+    /// evaluator issued (concurrent limb groups absorb with overlapped
+    /// wall clock = slowest limb).
+    #[must_use]
+    pub fn backend_stream_report(&self) -> StreamReport {
+        *self.stream_totals.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Clears accumulated telemetry on every backend.
+    pub fn reset_backend_telemetry(&self) {
+        for be in &self.limb_backends {
+            lock(be).reset_telemetry();
+        }
+        *self.stream_totals.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            StreamReport::default();
+    }
+
+    /// Rewrites `stream` under the evaluator's [`OptLevel`], folding the
+    /// optimizer counters into `totals`. At `O0` this is the identity.
+    pub(crate) fn compile_stream(
+        &self,
+        stream: OpStream,
+        totals: &mut OptStats,
+    ) -> Result<OpStream> {
+        if self.opt_level == OptLevel::O0 {
+            return Ok(stream);
+        }
+        let (opt, stats) = PassRunner::for_level(self.opt_level).optimize(&stream)?;
+        totals.merge(&stats);
+        Ok(opt)
+    }
+
+    fn absorb_stream(&self, report: &StreamReport) {
+        self.stream_totals.lock().unwrap_or_else(std::sync::PoisonError::into_inner).absorb(report);
+    }
+
+    /// Compiles per-limb streams at the evaluator's [`OptLevel`], fans
+    /// them out across threads (stream `j` on the limb-`j` backend),
+    /// absorbs the group's telemetry (overlapped wall clock = slowest
+    /// limb), and returns each limb's downloaded outputs in order.
+    pub(crate) fn run_limb_streams(&self, streams: Vec<OpStream>) -> Result<Vec<Vec<Vec<u128>>>> {
+        let mut opt_totals = OptStats::default();
+        let streams = streams
+            .into_iter()
+            .map(|st| self.compile_stream(st, &mut opt_totals))
+            .collect::<Result<Vec<_>>>()?;
+        let mut guards: Vec<_> = self.limb_backends[..streams.len()].iter().map(lock).collect();
+        let jobs: Vec<StreamJob<'_>> = guards
+            .iter_mut()
+            .zip(&streams)
+            .map(|(g, stream)| StreamJob { backend: (**g).as_mut(), stream })
+            .collect();
+        let outcomes = StreamExecutor::run_parallel(jobs)?;
+        drop(guards);
+
+        let mut limbs = Vec::with_capacity(streams.len());
+        let mut group = StreamReport::default();
+        let (mut wall_cycles, mut wall_seconds) = (0u64, 0.0f64);
+        for outcome in outcomes {
+            wall_cycles = wall_cycles.max(outcome.report.overlapped_cycles);
+            wall_seconds = wall_seconds.max(outcome.report.overlapped_seconds);
+            group.absorb(&outcome.report);
+            limbs.push(outcome.outputs);
+        }
+        group.overlapped_cycles = wall_cycles;
+        group.overlapped_seconds = wall_seconds;
+        opt_totals.stamp(&mut group);
+        self.absorb_stream(&group);
+        Ok(limbs)
+    }
+
+    /// Slot-wise homomorphic addition (same level, same scale).
+    ///
+    /// # Errors
+    ///
+    /// Level/scale mismatches and backend failures.
+    pub fn add(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext> {
+        let limbs = self.run_limb_streams(self.add_streams(a, b)?)?;
+        self.ciphertext_from_limb_outputs(limbs, a.level(), a.scale())
+    }
+
+    /// Slot-wise homomorphic subtraction (same level, same scale).
+    ///
+    /// # Errors
+    ///
+    /// Level/scale mismatches and backend failures.
+    pub fn sub(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext> {
+        let limbs = self.run_limb_streams(self.sub_streams(a, b)?)?;
+        self.ciphertext_from_limb_outputs(limbs, a.level(), a.scale())
+    }
+
+    /// Adds an encoded plaintext onto the first component (matching
+    /// level and scale required).
+    ///
+    /// # Errors
+    ///
+    /// Level/scale mismatches and backend failures.
+    pub fn add_plain(&self, a: &CkksCiphertext, pt: &CkksPlaintext) -> Result<CkksCiphertext> {
+        let limbs = self.run_limb_streams(self.add_plain_streams(a, pt)?)?;
+        self.ciphertext_from_limb_outputs(limbs, a.level(), a.scale())
+    }
+
+    /// Multiplies by an encoded plaintext (matching level); the result
+    /// scale is the product of the operand scales — rescale to return
+    /// to Δ.
+    ///
+    /// # Errors
+    ///
+    /// Level mismatches and backend failures.
+    pub fn mul_plain(&self, a: &CkksCiphertext, pt: &CkksPlaintext) -> Result<CkksCiphertext> {
+        let limbs = self.run_limb_streams(self.mul_plain_streams(a, pt)?)?;
+        self.ciphertext_from_limb_outputs(limbs, a.level(), a.scale() * pt.scale())
+    }
+
+    /// Approximate ciphertext multiplication: the 2×2 tensor per limb,
+    /// yielding a 3-component ciphertext at the product scale. Apply
+    /// [`CkksEvaluator::relinearize`] then [`CkksEvaluator::rescale`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::WrongCiphertextSize`] unless both operands
+    /// have two components, plus level-mismatch and backend failures.
+    pub fn multiply(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext> {
+        let limbs = self.run_limb_streams(self.tensor_streams(a, b)?)?;
+        self.ciphertext_from_limb_outputs(limbs, a.level(), a.scale() * b.scale())
+    }
+
+    /// Folds the cubic component back onto two via digit-decomposition
+    /// key switching (one self-contained stream per limb).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::WrongCiphertextSize`] unless the input has
+    /// three components, plus backend failures.
+    pub fn relinearize(&self, ct: &CkksCiphertext, rlk: &CkksRelinKey) -> Result<CkksCiphertext> {
+        let limbs = self.run_limb_streams(self.relin_streams(ct, rlk)?)?;
+        self.ciphertext_from_limb_outputs(limbs, ct.level(), ct.scale())
+    }
+
+    /// Drops the top chain prime: divides the ciphertext (and its scale)
+    /// by `q_ℓ` with rounding, consuming one level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::LevelExhausted`] at the chain bottom, plus
+    /// backend failures.
+    pub fn rescale(&self, ct: &CkksCiphertext) -> Result<CkksCiphertext> {
+        let streams = self.rescale_streams(ct)?;
+        let level = ct.level().lower().ok_or(CkksError::LevelExhausted)?;
+        let scale = self.rescaled_scale(ct)?;
+        let limbs = self.run_limb_streams(streams)?;
+        self.ciphertext_from_limb_outputs(limbs, level, scale)
+    }
+
+    /// The scale a rescale of `ct` would land on (`scale / q_ℓ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::LevelExhausted`] at the chain bottom.
+    pub fn rescaled_scale(&self, ct: &CkksCiphertext) -> Result<f64> {
+        if ct.level().lower().is_none() {
+            return Err(CkksError::LevelExhausted);
+        }
+        let q_top = self.params.moduli()[ct.level().index()];
+        Ok(ct.scale() / q_top as f64)
+    }
+
+    /// Convenience: multiply, relinearize, rescale — the full
+    /// ciphertext-product pipeline, landing one level down at ≈ Δ.
+    ///
+    /// # Errors
+    ///
+    /// Combines the three phases' error conditions.
+    pub fn multiply_relin_rescale(
+        &self,
+        a: &CkksCiphertext,
+        b: &CkksCiphertext,
+        rlk: &CkksRelinKey,
+    ) -> Result<CkksCiphertext> {
+        let product = self.multiply(a, b)?;
+        let relin = self.relinearize(&product, rlk)?;
+        self.rescale(&relin)
+    }
+
+    /// Shape/level validation shared by the stream builders.
+    pub(crate) fn check_ct(&self, ct: &CkksCiphertext) -> Result<()> {
+        if ct.level() > self.params.top_level() {
+            return Err(CkksError::ParamsMismatch);
+        }
+        for c in ct.components() {
+            if c.len() != ct.level().limbs() || c.iter().any(|l| l.len() != self.params.n()) {
+                return Err(CkksError::ParamsMismatch);
+            }
+        }
+        Ok(())
+    }
+
+    /// Level + scale agreement for binary ciphertext ops.
+    pub(crate) fn check_aligned(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<()> {
+        self.check_ct(a)?;
+        self.check_ct(b)?;
+        if a.level() != b.level() {
+            return Err(CkksError::LevelMismatch { a: a.level().index(), b: b.level().index() });
+        }
+        if !scales_match(a.scale(), b.scale()) {
+            return Err(CkksError::ScaleMismatch { a: a.scale(), b: b.scale() });
+        }
+        Ok(())
+    }
+}

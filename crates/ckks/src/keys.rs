@@ -1,0 +1,277 @@
+//! CKKS key material: secret/public keys and the relinearization key,
+//! all carried per RNS limb of the modulus chain.
+//!
+//! The small signed polynomials (ternary secret, CBD errors) are sampled
+//! *once* as integers and mapped into every limb's ring — that is what
+//! makes the per-limb representations consistent residues of a single
+//! integer polynomial. The public uniform polynomials are sampled
+//! independently per limb, which by CRT **is** a uniform sample modulo
+//! the chain product. Sampling reuses the scheme-agnostic helpers from
+//! `cofhee_bfv::sampling` (generic over [`cofhee_arith::ModRing`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cofhee_arith::{Barrett128, ModRing};
+use cofhee_bfv::sampling;
+use cofhee_poly::{Domain, Polynomial};
+use rand::Rng;
+
+use crate::error::Result;
+use crate::params::CkksParams;
+
+/// Process-global relin-key tags (see [`CkksRelinKey::tag`]).
+static NEXT_RELIN_TAG: AtomicU64 = AtomicU64::new(1);
+
+/// One small signed polynomial represented in every limb's ring.
+pub(crate) type LimbPolys = Vec<Polynomial<Barrett128>>;
+
+/// The ternary secret key `s`, with `s` and `s²` resident per limb.
+#[derive(Debug, Clone)]
+pub struct CkksSecretKey {
+    /// `s` per limb.
+    pub(crate) s: LimbPolys,
+    /// `s²` per limb (precomputed for 3-component decryption).
+    pub(crate) s_sq: LimbPolys,
+}
+
+/// The public encryption key: `(p0, p1) = (−(a·s + e), a)` per limb.
+#[derive(Debug, Clone)]
+pub struct CkksPublicKey {
+    /// `(p0ⱼ, p1ⱼ)` for each chain limb `j`.
+    pub(crate) parts: Vec<(Polynomial<Barrett128>, Polynomial<Barrett128>)>,
+}
+
+/// The relinearization key: per digit `i` of the base-`2^w`
+/// decomposition, per limb `j`, the pair
+/// `(k0 = −(a·s + e) + Tⁱ·s², k1 = a)` as raw residue vectors — the form
+/// [`cofhee_core::KeySwitchKeys::Inline`] takes, so key-switch streams
+/// stay self-contained and run on any borrowed backend.
+#[derive(Debug, Clone)]
+pub struct CkksRelinKey {
+    pub(crate) base_bits: u32,
+    /// `parts[digit][limb] = (k0 residues, k1 residues)`.
+    pub(crate) parts: Vec<Vec<(Vec<u128>, Vec<u128>)>>,
+    /// Process-unique identity for backend-resident caching.
+    pub(crate) tag: u64,
+}
+
+impl CkksRelinKey {
+    /// Digit width `w` of the decomposition this key switches.
+    #[must_use]
+    pub fn base_bits(&self) -> u32 {
+        self.base_bits
+    }
+
+    /// Number of digits the key carries (covers the full chain; lower
+    /// levels use a prefix).
+    #[must_use]
+    pub fn digit_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Process-unique identity, for caching NTT-transformed key
+    /// material on a backend.
+    #[must_use]
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The `(k0, k1)` residue pairs of limb `j`, one per digit — the
+    /// inline key set a limb-`j` key-switch stream carries.
+    #[must_use]
+    pub fn limb_parts(&self, j: usize) -> Vec<(Vec<u128>, Vec<u128>)> {
+        self.parts.iter().map(|digit| digit[j].clone()).collect()
+    }
+}
+
+/// Samples CKKS key material for one parameter set.
+#[derive(Debug)]
+pub struct CkksKeyGenerator {
+    params: CkksParams,
+}
+
+impl CkksKeyGenerator {
+    /// Builds a generator for `params`.
+    #[must_use]
+    pub fn new(params: &CkksParams) -> Self {
+        Self { params: params.clone() }
+    }
+
+    /// Samples a ternary secret key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates polynomial-arithmetic failures (none for validated
+    /// parameter sets).
+    pub fn secret_key<G: Rng + ?Sized>(&self, rng: &mut G) -> Result<CkksSecretKey> {
+        let signed = self.sample_signed(rng, SignedDist::Ternary);
+        let s = self.lift_signed(&signed)?;
+        let s_sq =
+            s.iter().map(|p| p.negacyclic_mul(p)).collect::<cofhee_poly::Result<Vec<_>>>()?;
+        Ok(CkksSecretKey { s, s_sq })
+    }
+
+    /// Derives the public key `(−(a·s + e), a)` from a secret key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates polynomial-arithmetic failures.
+    pub fn public_key<G: Rng + ?Sized>(
+        &self,
+        sk: &CkksSecretKey,
+        rng: &mut G,
+    ) -> Result<CkksPublicKey> {
+        let e = self.lift_signed(&self.sample_signed(rng, SignedDist::Cbd))?;
+        let mut parts = Vec::with_capacity(self.limbs());
+        for (j, e_j) in e.iter().enumerate() {
+            let a = self.uniform(j, rng)?;
+            let p0 = a.negacyclic_mul(&sk.s[j])?.add(e_j)?.neg();
+            parts.push((p0, a));
+        }
+        Ok(CkksPublicKey { parts })
+    }
+
+    /// Derives the relinearization key at the parameter set's digit
+    /// width: digit `i` encodes `Tⁱ·s²` (`T = 2^w`) under fresh
+    /// randomness, represented in every limb.
+    ///
+    /// # Errors
+    ///
+    /// Propagates polynomial-arithmetic failures.
+    pub fn relin_key<G: Rng + ?Sized>(
+        &self,
+        sk: &CkksSecretKey,
+        rng: &mut G,
+    ) -> Result<CkksRelinKey> {
+        let w = self.params.base_bits();
+        let digits = self.params.digits_at(self.params.top_level());
+        let mut parts = Vec::with_capacity(digits);
+        for i in 0..digits {
+            let e = self.lift_signed(&self.sample_signed(rng, SignedDist::Cbd))?;
+            let mut digit = Vec::with_capacity(self.limbs());
+            for (j, e_j) in e.iter().enumerate() {
+                let ring = *self.params.ring(j).ring();
+                let a = self.uniform(j, rng)?;
+                // Tⁱ mod qⱼ via repeated squaring on 2^w.
+                let t_pow = ring.pow(ring.from_u128(1u128 << w), i as u128);
+                let k0 = a
+                    .negacyclic_mul(&sk.s[j])?
+                    .add(e_j)?
+                    .neg()
+                    .add(&sk.s_sq[j].scalar_mul(t_pow))?;
+                digit.push((k0.to_u128_vec(), a.to_u128_vec()));
+            }
+            parts.push(digit);
+        }
+        Ok(CkksRelinKey {
+            base_bits: w,
+            parts,
+            tag: NEXT_RELIN_TAG.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    fn limbs(&self) -> usize {
+        self.params.moduli().len()
+    }
+
+    /// Crate-internal: one shared signed sample for the encryptor
+    /// (`ternary` selects the secret distribution, else CBD noise).
+    pub(crate) fn sample_signed_public<G: Rng + ?Sized>(
+        &self,
+        rng: &mut G,
+        ternary: bool,
+    ) -> Vec<i64> {
+        self.sample_signed(rng, if ternary { SignedDist::Ternary } else { SignedDist::Cbd })
+    }
+
+    /// Samples one small signed polynomial, shared across limbs.
+    fn sample_signed<G: Rng + ?Sized>(&self, rng: &mut G, dist: SignedDist) -> Vec<i64> {
+        // Sample in the base limb's ring, recover the exact signed value
+        // (magnitudes ≤ 20 ≪ q₀/2), and reuse it for every limb.
+        let ring = self.params.ring(0).ring();
+        let elems = match dist {
+            SignedDist::Ternary => sampling::ternary(ring, self.params.n(), rng),
+            SignedDist::Cbd => sampling::error_poly(ring, self.params.n(), rng),
+        };
+        elems
+            .into_iter()
+            .map(|e| {
+                let (mag, neg) = sampling::elem_to_centered(ring, e);
+                if neg {
+                    -(mag as i64)
+                } else {
+                    mag as i64
+                }
+            })
+            .collect()
+    }
+
+    /// Represents one signed integer polynomial in every limb's ring.
+    fn lift_signed(&self, signed: &[i64]) -> Result<LimbPolys> {
+        (0..self.limbs())
+            .map(|j| {
+                let ctx = self.params.ring(j).clone();
+                let coeffs = signed
+                    .iter()
+                    .map(|&v| sampling::signed_to_elem(ctx.ring(), v))
+                    .collect::<Vec<_>>();
+                Ok(Polynomial::from_elems(ctx, coeffs, Domain::Coefficient)?)
+            })
+            .collect()
+    }
+
+    fn uniform<G: Rng + ?Sized>(&self, j: usize, rng: &mut G) -> Result<Polynomial<Barrett128>> {
+        let ctx = self.params.ring(j).clone();
+        let coeffs = sampling::uniform(ctx.ring(), self.params.n(), rng);
+        Ok(Polynomial::from_elems(ctx, coeffs, Domain::Coefficient)?)
+    }
+}
+
+enum SignedDist {
+    Ternary,
+    Cbd,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> CkksParams {
+        CkksParams::insecure_testing(64).unwrap()
+    }
+
+    #[test]
+    fn secret_key_is_consistent_across_limbs() {
+        let p = params();
+        let kg = CkksKeyGenerator::new(&p);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sk = kg.secret_key(&mut rng).unwrap();
+        // Every limb must carry the same signed polynomial.
+        for j in 1..p.moduli().len() {
+            for k in 0..p.n() {
+                let r0 = p.ring(0).ring();
+                let rj = p.ring(j).ring();
+                let (m0, n0) = sampling::elem_to_centered(r0, sk.s[0].coeffs()[k]);
+                let (mj, nj) = sampling::elem_to_centered(rj, sk.s[j].coeffs()[k]);
+                assert_eq!((m0, n0 && m0 != 0), (mj, nj && mj != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn relin_key_covers_top_level_digits() {
+        let p = params();
+        let kg = CkksKeyGenerator::new(&p);
+        let mut rng = StdRng::seed_from_u64(8);
+        let sk = kg.secret_key(&mut rng).unwrap();
+        let rlk = kg.relin_key(&sk, &mut rng).unwrap();
+        assert_eq!(rlk.digit_count(), p.digits_at(p.top_level()));
+        assert_eq!(rlk.base_bits(), p.base_bits());
+        assert_eq!(rlk.limb_parts(0).len(), rlk.digit_count());
+        // Tags are process-unique.
+        let rlk2 = kg.relin_key(&sk, &mut rng).unwrap();
+        assert_ne!(rlk.tag(), rlk2.tag());
+    }
+}

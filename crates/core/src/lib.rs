@@ -26,6 +26,8 @@
 //!   DMA-overlapped transfers, or fanned out across threads one stream
 //!   per CRT limb. [`StreamReport`] prices every submit both serially
 //!   and overlapped.
+//! * [`record_key_switch`] — the scheme-neutral digit-decomposition
+//!   key-switch stream builder shared by BFV and CKKS relinearization.
 //!
 //! # Examples
 //!
@@ -53,6 +55,7 @@ mod backend;
 mod chip_stream;
 mod device;
 mod error;
+mod keyswitch;
 mod modes;
 mod ops;
 mod rns;
@@ -64,6 +67,7 @@ pub use backend::{
 };
 pub use device::{BankPlan, CommStats, Device, Link};
 pub use error::{CoreError, Result};
+pub use keyswitch::{digit_decompose, record_key_switch, KeySwitchKeys};
 pub use modes::{standard_links, ExecutionMode, ModeOutcome};
 pub use ops::{CiphertextMulOutcome, PolyMulOutcome};
 pub use rns::{RnsDevice, RnsMulOutcome};

@@ -3,6 +3,7 @@
 use core::fmt;
 
 use cofhee_bfv::BfvError;
+use cofhee_ckks::CkksError;
 use cofhee_core::CoreError;
 use cofhee_sim::SimError;
 
@@ -13,7 +14,7 @@ use cofhee_sim::SimError;
 /// die code propagates driver/simulator failures with `?` instead of
 /// `map_err` boilerplate at every call site; the farm attaches the
 /// offending die's index at its single execution chokepoint.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum FarmError {
     /// A farm needs at least one die.
@@ -46,8 +47,17 @@ pub enum FarmError {
         /// The underlying driver error.
         source: CoreError,
     },
+    /// A job's scheme did not match its session's (a CKKS job under a
+    /// BFV session or vice versa).
+    SchemeMismatch {
+        /// The offending session id.
+        id: u64,
+    },
     /// Error from the BFV layer (stream recording, host-side finishing).
     Bfv(BfvError),
+    /// Error from the CKKS layer (stream recording, host-side
+    /// finishing).
+    Ckks(CkksError),
 }
 
 impl FarmError {
@@ -73,7 +83,11 @@ impl fmt::Display for FarmError {
                 write!(f, "chip {chip}: {source}")
             }
             Self::Backend { chip: None, source } => write!(f, "chip error: {source}"),
+            Self::SchemeMismatch { id } => {
+                write!(f, "session {id} serves a different scheme than the job")
+            }
             Self::Bfv(e) => write!(f, "bfv error: {e}"),
+            Self::Ckks(e) => write!(f, "ckks error: {e}"),
         }
     }
 }
@@ -83,6 +97,7 @@ impl std::error::Error for FarmError {
         match self {
             Self::Backend { source, .. } => Some(source),
             Self::Bfv(e) => Some(e),
+            Self::Ckks(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +118,12 @@ impl From<SimError> for FarmError {
 impl From<BfvError> for FarmError {
     fn from(e: BfvError) -> Self {
         Self::Bfv(e)
+    }
+}
+
+impl From<CkksError> for FarmError {
+    fn from(e: CkksError) -> Self {
+        Self::Ckks(e)
     }
 }
 

@@ -94,7 +94,7 @@ mod telemetry;
 pub use error::{FarmError, Result};
 pub use farm::{ChipFarm, ExecutedStream};
 pub use policy::{DieStatus, PlacementPolicy, RoundRobin, ShortestQueue, WorkStealing};
-pub use replay::{workload_jobs, ReplayInputs, ReplaySpec};
-pub use scheduler::{Job, JobKind, JobOutcome, Scheduler};
-pub use session::{Session, SessionId};
+pub use replay::{mixed_workload_jobs, workload_jobs, ReplayInputs, ReplaySpec};
+pub use scheduler::{Job, JobKind, JobOutcome, JobResult, Scheduler};
+pub use session::{Scheme, Session, SessionId};
 pub use telemetry::{latency_percentiles, ChipStats, FarmReport, LatencyPercentiles};

@@ -8,9 +8,15 @@
 //! tenant-supplied pool by a seeded PRNG, and arrivals spaced by a
 //! configurable inter-arrival gap (the offered-load knob the
 //! `farm_saturation` bench sweeps).
+//!
+//! The operand pool is **scheme-tagged**: BFV and CKKS operands live in
+//! separate pools, so a mixed-scheme replay ([`mixed_workload_jobs`])
+//! draws each job's operands from the right pool and the whole mix
+//! stays deterministic — the replay satellite of the CKKS PR.
 
 use cofhee_apps::Workload;
 use cofhee_bfv::{Ciphertext, Plaintext};
+use cofhee_ckks::{CkksCiphertext, CkksPlaintext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -19,13 +25,38 @@ use crate::scheduler::{Job, JobKind};
 use crate::session::SessionId;
 
 /// The operand pool a tenant stages for a replay: fresh 2-component
-/// ciphertexts and plaintexts the generated jobs draw from.
-#[derive(Debug, Clone)]
+/// ciphertexts and plaintexts the generated jobs draw from, tagged by
+/// scheme. BFV-only replays leave the CKKS pools empty (and vice
+/// versa); [`mixed_workload_jobs`] needs both populated.
+#[derive(Debug, Clone, Default)]
 pub struct ReplayInputs {
-    /// Ciphertext operands (2-component; `MulRelin` inputs).
+    /// BFV ciphertext operands (2-component; `MulRelin` inputs).
     pub ciphertexts: Vec<Ciphertext>,
-    /// Plaintext operands for the `ct+pt` / `ct*pt` jobs.
+    /// BFV plaintext operands for the `ct+pt` / `ct*pt` jobs.
     pub plaintexts: Vec<Plaintext>,
+    /// CKKS ciphertext operands (2-component, all at one level/scale).
+    pub ckks_ciphertexts: Vec<CkksCiphertext>,
+    /// CKKS encoded-plaintext operands for `ckks:ct*pt` jobs.
+    pub ckks_plaintexts: Vec<CkksPlaintext>,
+}
+
+impl ReplayInputs {
+    /// A BFV-only pool (the common case; CKKS pools stay empty).
+    pub fn bfv(ciphertexts: Vec<Ciphertext>, plaintexts: Vec<Plaintext>) -> Self {
+        Self { ciphertexts, plaintexts, ..Self::default() }
+    }
+
+    /// Builder-style: the same pool with CKKS operands staged as well.
+    #[must_use]
+    pub fn with_ckks(
+        mut self,
+        ciphertexts: Vec<CkksCiphertext>,
+        plaintexts: Vec<CkksPlaintext>,
+    ) -> Self {
+        self.ckks_ciphertexts = ciphertexts;
+        self.ckks_plaintexts = plaintexts;
+        self
+    }
 }
 
 /// How a workload mix is scaled and offered to the farm.
@@ -66,7 +97,8 @@ fn scaled(count: u64, divisor: u64) -> u64 {
     }
 }
 
-/// Builds the deterministic job list for `workload` under `spec`.
+/// Builds the deterministic job list for `workload` under `spec`
+/// (BFV jobs, drawing from the BFV pools).
 ///
 /// The kind sequence interleaves by largest-remaining-count (ties in
 /// fixed add → mul-plain → mul-relin order), so heavy op types spread
@@ -84,11 +116,50 @@ pub fn workload_jobs(
     spec: &ReplaySpec,
     inputs: &ReplayInputs,
 ) -> Result<Vec<Job>> {
+    build_jobs(session, None, workload, spec, inputs)
+}
+
+/// Builds a deterministic **mixed-scheme** job list: the same workload
+/// shape, with each emitted job alternating between the BFV session
+/// (even positions) and the CKKS session (odd positions), operands
+/// drawn from the matching scheme-tagged pool. A fixed
+/// `(workload, spec, inputs)` triple yields the same interleaving, the
+/// same operands, and therefore bit-identical results — extending the
+/// farm's determinism contract across schemes.
+///
+/// # Errors
+///
+/// Returns [`FarmError::EmptyInputs`] when a needed pool (either
+/// scheme) is empty.
+pub fn mixed_workload_jobs(
+    bfv_session: SessionId,
+    ckks_session: SessionId,
+    workload: &Workload,
+    spec: &ReplaySpec,
+    inputs: &ReplayInputs,
+) -> Result<Vec<Job>> {
+    build_jobs(bfv_session, Some(ckks_session), workload, spec, inputs)
+}
+
+fn build_jobs(
+    bfv_session: SessionId,
+    ckks_session: Option<SessionId>,
+    workload: &Workload,
+    spec: &ReplaySpec,
+    inputs: &ReplayInputs,
+) -> Result<Vec<Job>> {
     if inputs.ciphertexts.is_empty() {
+        return Err(FarmError::EmptyInputs);
+    }
+    let mixed = ckks_session.is_some();
+    if mixed && inputs.ckks_ciphertexts.is_empty() {
         return Err(FarmError::EmptyInputs);
     }
     let needs_pt = workload.ct_pt_mul > 0;
     if needs_pt && inputs.plaintexts.is_empty() {
+        return Err(FarmError::EmptyInputs);
+    }
+    if needs_pt && mixed && inputs.ckks_plaintexts.is_empty() {
         return Err(FarmError::EmptyInputs);
     }
     let mut remaining = [
@@ -100,19 +171,43 @@ pub fn workload_jobs(
     let total: u64 = remaining.iter().sum();
     let mut jobs = Vec::with_capacity(total as usize);
     let mut arrival = 0u64;
+    let mut emitted = 0u64;
     while remaining.iter().any(|&r| r > 0) {
         let kind_idx = (0..3).max_by_key(|&i| (remaining[i], 2 - i)).expect("3 kinds");
         remaining[kind_idx] -= 1;
-        let ct = |rng: &mut StdRng| {
-            inputs.ciphertexts[rng.gen_range(0..inputs.ciphertexts.len())].clone()
+        // Mixed replays alternate schemes deterministically by emit
+        // position; single-scheme replays always take the BFV branch.
+        let (session, kind) = match ckks_session {
+            Some(ckks) if emitted % 2 == 1 => {
+                let ct = |rng: &mut StdRng| {
+                    inputs.ckks_ciphertexts[rng.gen_range(0..inputs.ckks_ciphertexts.len())].clone()
+                };
+                let pt = |rng: &mut StdRng| {
+                    inputs.ckks_plaintexts[rng.gen_range(0..inputs.ckks_plaintexts.len())].clone()
+                };
+                let kind = match kind_idx {
+                    0 => JobKind::CkksAdd(ct(&mut rng), ct(&mut rng)),
+                    1 => JobKind::CkksMulPlain(ct(&mut rng), pt(&mut rng)),
+                    _ => JobKind::CkksMulRelin(ct(&mut rng), ct(&mut rng)),
+                };
+                (ckks, kind)
+            }
+            _ => {
+                let ct = |rng: &mut StdRng| {
+                    inputs.ciphertexts[rng.gen_range(0..inputs.ciphertexts.len())].clone()
+                };
+                let pt = |rng: &mut StdRng| {
+                    inputs.plaintexts[rng.gen_range(0..inputs.plaintexts.len())].clone()
+                };
+                let kind = match kind_idx {
+                    0 => JobKind::Add(ct(&mut rng), ct(&mut rng)),
+                    1 => JobKind::MulPlain(ct(&mut rng), pt(&mut rng)),
+                    _ => JobKind::MulRelin(ct(&mut rng), ct(&mut rng)),
+                };
+                (bfv_session, kind)
+            }
         };
-        let pt =
-            |rng: &mut StdRng| inputs.plaintexts[rng.gen_range(0..inputs.plaintexts.len())].clone();
-        let kind = match kind_idx {
-            0 => JobKind::Add(ct(&mut rng), ct(&mut rng)),
-            1 => JobKind::MulPlain(ct(&mut rng), pt(&mut rng)),
-            _ => JobKind::MulRelin(ct(&mut rng), ct(&mut rng)),
-        };
+        emitted += 1;
         jobs.push(Job { session, kind, arrival });
         arrival = arrival.saturating_add(spec.inter_arrival_cycles);
     }
@@ -143,7 +238,25 @@ mod tests {
                 Plaintext::new(&params, c).unwrap()
             })
             .collect();
-        ReplayInputs { ciphertexts: cts, plaintexts: pts }
+        ReplayInputs::bfv(cts, pts)
+    }
+
+    fn ckks_operands() -> (Vec<CkksCiphertext>, Vec<CkksPlaintext>) {
+        let params = cofhee_ckks::CkksParams::insecure_testing(32).unwrap();
+        let enc = cofhee_ckks::CkksEncoder::new(&params);
+        let kg = cofhee_ckks::CkksKeyGenerator::new(&params);
+        let mut rng = StdRng::seed_from_u64(6);
+        let sk = kg.secret_key(&mut rng).unwrap();
+        let pk = kg.public_key(&sk, &mut rng).unwrap();
+        let encryptor = cofhee_ckks::CkksEncryptor::new(&params, pk);
+        let cts = (0..2)
+            .map(|v| {
+                let pt = enc.encode(&[v as f64 + 0.5]).unwrap();
+                encryptor.encrypt(&pt, &mut rng).unwrap()
+            })
+            .collect();
+        let pts = vec![enc.encode(&[1.5]).unwrap()];
+        (cts, pts)
     }
 
     #[test]
@@ -180,11 +293,45 @@ mod tests {
     }
 
     #[test]
+    fn mixed_replays_interleave_schemes_deterministically() {
+        let (cts, pts) = ckks_operands();
+        let ins = inputs().with_ckks(cts, pts);
+        let spec = ReplaySpec::closed(20_000, 13);
+        let bfv = SessionId::new(0);
+        let ckks = SessionId::new(1);
+        let a = mixed_workload_jobs(bfv, ckks, &Workload::cryptonets(), &spec, &ins).unwrap();
+        let b = mixed_workload_jobs(bfv, ckks, &Workload::cryptonets(), &spec, &ins).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.session, y.session);
+            assert_eq!(x.kind.name(), y.kind.name());
+        }
+        // Both schemes are represented, each under its own session.
+        assert!(a.iter().any(|j| j.session == ckks && j.kind.name().starts_with("ckks:")));
+        assert!(a.iter().any(|j| j.session == bfv && !j.kind.name().starts_with("ckks:")));
+        // Scheme alternates by emit position.
+        for (i, j) in a.iter().enumerate() {
+            assert_eq!(j.session == ckks, i % 2 == 1, "job {i}");
+        }
+    }
+
+    #[test]
     fn empty_pools_are_typed_errors() {
         let spec = ReplaySpec::closed(1, 0);
-        let empty = ReplayInputs { ciphertexts: vec![], plaintexts: vec![] };
+        let empty = ReplayInputs::default();
         assert!(matches!(
             workload_jobs(SessionId::new(0), &Workload::cryptonets(), &spec, &empty),
+            Err(FarmError::EmptyInputs)
+        ));
+        // Mixed replays also need the CKKS pool.
+        assert!(matches!(
+            mixed_workload_jobs(
+                SessionId::new(0),
+                SessionId::new(1),
+                &Workload::cryptonets(),
+                &spec,
+                &inputs()
+            ),
             Err(FarmError::EmptyInputs)
         ));
     }

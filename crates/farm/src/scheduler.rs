@@ -2,6 +2,7 @@
 //! per-limb streams placed across dies, finished ciphertexts out.
 
 use cofhee_bfv::{Ciphertext, Plaintext};
+use cofhee_ckks::{CkksCiphertext, CkksPlaintext};
 use cofhee_core::{OpStream, StreamReport};
 use cofhee_opt::{execute_partitioned, OptLevel, PartitionPlan, Partitioner, PassRunner};
 
@@ -10,6 +11,9 @@ use crate::farm::{ChipFarm, ExecutedStream};
 use crate::policy::PlacementPolicy;
 use crate::session::{Session, SessionId};
 use crate::telemetry::{latency_percentiles, FarmReport};
+
+/// Per-limb stream outputs: `outputs[limb][output][coefficient]`.
+type LimbOutputs = Vec<Vec<Vec<u128>>>;
 
 /// One homomorphic operation submitted to the farm.
 #[derive(Debug, Clone)]
@@ -23,6 +27,13 @@ pub enum JobKind {
     /// Ciphertext × ciphertext multiplication followed by
     /// relinearization — the paper's `EvalMult` + key switch.
     MulRelin(Ciphertext, Ciphertext),
+    /// CKKS slot-wise addition (same level and scale).
+    CkksAdd(CkksCiphertext, CkksCiphertext),
+    /// CKKS ciphertext × encoded-plaintext multiplication.
+    CkksMulPlain(CkksCiphertext, CkksPlaintext),
+    /// CKKS ciphertext multiplication, relinearized and rescaled — the
+    /// full product pipeline, landing one level down at ≈ Δ.
+    CkksMulRelin(CkksCiphertext, CkksCiphertext),
 }
 
 impl JobKind {
@@ -33,7 +44,68 @@ impl JobKind {
             Self::AddPlain(..) => "ct+pt",
             Self::MulPlain(..) => "ct*pt",
             Self::MulRelin(..) => "ct*ct+relin",
+            Self::CkksAdd(..) => "ckks:ct+ct",
+            Self::CkksMulPlain(..) => "ckks:ct*pt",
+            Self::CkksMulRelin(..) => "ckks:ct*ct+relin+rescale",
         }
+    }
+}
+
+/// A completed job's ciphertext, tagged by scheme.
+#[derive(Debug, Clone)]
+pub enum JobResult {
+    /// A BFV result.
+    Bfv(Ciphertext),
+    /// A CKKS result.
+    Ckks(CkksCiphertext),
+}
+
+impl JobResult {
+    /// The BFV ciphertext, when the job was a BFV job.
+    pub fn as_bfv(&self) -> Option<&Ciphertext> {
+        match self {
+            Self::Bfv(ct) => Some(ct),
+            Self::Ckks(_) => None,
+        }
+    }
+
+    /// The CKKS ciphertext, when the job was a CKKS job.
+    pub fn as_ckks(&self) -> Option<&CkksCiphertext> {
+        match self {
+            Self::Ckks(ct) => Some(ct),
+            Self::Bfv(_) => None,
+        }
+    }
+
+    /// The BFV ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job was a CKKS job.
+    pub fn expect_bfv(&self) -> &Ciphertext {
+        self.as_bfv().expect("BFV result expected, job produced a CKKS ciphertext")
+    }
+
+    /// The CKKS ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job was a BFV job.
+    pub fn expect_ckks(&self) -> &CkksCiphertext {
+        self.as_ckks().expect("CKKS result expected, job produced a BFV ciphertext")
+    }
+
+    /// Number of ciphertext components, scheme-independent.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Bfv(ct) => ct.len(),
+            Self::Ckks(ct) => ct.len(),
+        }
+    }
+
+    /// Always false — both schemes' ciphertexts carry ≥ 2 components.
+    pub fn is_empty(&self) -> bool {
+        false
     }
 }
 
@@ -57,8 +129,8 @@ pub struct JobOutcome {
     pub index: usize,
     /// The owning session.
     pub session: SessionId,
-    /// The resulting ciphertext.
-    pub result: Ciphertext,
+    /// The resulting ciphertext, tagged by scheme.
+    pub result: JobResult,
     /// Arrival cycle.
     pub arrival: u64,
     /// Virtual cycle the last of the job's streams finished.
@@ -299,48 +371,81 @@ impl Scheduler {
         }
     }
 
+    /// Runs a batch of per-limb streams that are all ready at `ready`
+    /// (the CKKS fan-out: stream `j` carries modulus `moduli[j]`).
+    /// Returns the per-limb outputs, the batch finish, and the
+    /// critical-path service (the widest limb).
+    fn run_limb_batch(
+        &mut self,
+        moduli: &[u128],
+        n: usize,
+        streams: Vec<OpStream>,
+        ready: u64,
+    ) -> Result<(LimbOutputs, u64, u64)> {
+        let mut limbs = Vec::with_capacity(streams.len());
+        let (mut finish, mut service) = (ready, 0u64);
+        for (stream, &q) in streams.into_iter().zip(moduli) {
+            let (outs, f, s) = self.run_stream(q, n, stream, ready)?;
+            finish = finish.max(f);
+            service = service.max(s);
+            limbs.push(outs);
+        }
+        Ok((limbs, finish, service))
+    }
+
     /// Executes one job, returning its result, finish time, critical-
     /// path service cycles, and stream count.
-    fn run_job(&mut self, job: &Job) -> Result<(Ciphertext, u64, u64, usize)> {
+    fn run_job(&mut self, job: &Job) -> Result<(JobResult, u64, u64, usize)> {
         let session = self.session_handle(job.session)?;
-        let ev = session.evaluator();
-        let (q, n) = (session.params().q(), session.params().n());
+        match &job.kind {
+            JobKind::Add(..)
+            | JobKind::AddPlain(..)
+            | JobKind::MulPlain(..)
+            | JobKind::MulRelin(..) => self.run_bfv_job(&session, job),
+            JobKind::CkksAdd(..) | JobKind::CkksMulPlain(..) | JobKind::CkksMulRelin(..) => {
+                self.run_ckks_job(&session, job)
+            }
+        }
+    }
+
+    /// The BFV job kinds (exact arithmetic, single modulus `q` outside
+    /// the multiply's extension basis).
+    fn run_bfv_job(
+        &mut self,
+        session: &Session,
+        job: &Job,
+    ) -> Result<(JobResult, u64, u64, usize)> {
+        let (params, ev, rlk) = session.bfv(job.session)?;
+        let (q, n) = (params.q(), params.n());
         match &job.kind {
             JobKind::Add(a, b) => {
                 let st = ev.add_stream(a, b)?;
                 let (outs, finish, service) = self.run_stream(q, n, st, job.arrival)?;
-                Ok((ev.ciphertext_from_outputs(outs)?, finish, service, 1))
+                Ok((JobResult::Bfv(ev.ciphertext_from_outputs(outs)?), finish, service, 1))
             }
             JobKind::AddPlain(a, pt) => {
                 let st = ev.add_plain_stream(a, pt)?;
                 let (outs, finish, service) = self.run_stream(q, n, st, job.arrival)?;
-                Ok((ev.ciphertext_from_outputs(outs)?, finish, service, 1))
+                Ok((JobResult::Bfv(ev.ciphertext_from_outputs(outs)?), finish, service, 1))
             }
             JobKind::MulPlain(a, pt) => {
                 let st = ev.mul_plain_stream(a, pt)?;
                 let (outs, finish, service) = self.run_stream(q, n, st, job.arrival)?;
-                Ok((ev.ciphertext_from_outputs(outs)?, finish, service, 1))
+                Ok((JobResult::Bfv(ev.ciphertext_from_outputs(outs)?), finish, service, 1))
             }
             JobKind::MulRelin(a, b) => {
-                let rlk = session
-                    .relin_key()
-                    .ok_or(FarmError::MissingRelinKey { id: job.session.raw() })?;
+                let rlk = rlk.ok_or(FarmError::MissingRelinKey { id: job.session.raw() })?;
                 // Phase 1: the per-CRT-limb tensor streams, independent
                 // and all ready at arrival — the farm's parallelism.
                 let streams = ev.tensor_streams(a, b)?;
                 let stream_count = streams.len();
-                let primes = session.params().mult_basis().moduli().to_vec();
-                let mut limbs = Vec::with_capacity(stream_count);
-                let mut tensor_done = job.arrival;
+                let primes = params.mult_basis().moduli().to_vec();
+                // Phase 1: the per-CRT-limb tensor streams, independent
+                // and all ready at arrival — the farm's parallelism.
                 // Critical-path service: the widest tensor limb plus the
                 // key switch — what the job would cost on an idle farm.
-                let mut tensor_service = 0u64;
-                for (stream, &p) in streams.into_iter().zip(&primes) {
-                    let (outs, finish, service) = self.run_stream(p, n, stream, job.arrival)?;
-                    tensor_done = tensor_done.max(finish);
-                    tensor_service = tensor_service.max(service);
-                    limbs.push(outs);
-                }
+                let (limbs, tensor_done, tensor_service) =
+                    self.run_limb_batch(&primes, n, streams, job.arrival)?;
                 // Host-side CRT reconstruction + Eq. 4 rounding (not
                 // cycle-accounted: the host works off-die).
                 let prod3 = ev.tensor_combine(&limbs)?;
@@ -352,8 +457,87 @@ impl Scheduler {
                 let (outs, finish, relin_service) = self.run_stream(q, n, rst, tensor_done)?;
                 let ct = ev.ciphertext_from_outputs(outs)?;
                 let service = tensor_service.saturating_add(relin_service);
-                Ok((ct, finish, service, stream_count + 1))
+                Ok((JobResult::Bfv(ct), finish, service, stream_count + 1))
             }
+            _ => unreachable!("non-BFV kinds dispatch to run_ckks_job"),
+        }
+    }
+
+    /// The CKKS job kinds: every operation fans one stream per active
+    /// RNS limb (stream `j` under chain prime `qⱼ`), and the multiply
+    /// pipeline chains three limb batches — tensor at arrival,
+    /// key-switch once every tensor limb is in, rescale once the key
+    /// switch lands — with host-side CRT work (compose, digit
+    /// decomposition, centered lifts) between phases, off-die and not
+    /// cycle-accounted, exactly like BFV's `tensor_combine`.
+    fn run_ckks_job(
+        &mut self,
+        session: &Session,
+        job: &Job,
+    ) -> Result<(JobResult, u64, u64, usize)> {
+        let (params, ev, rlk) = session.ckks(job.session)?;
+        let n = params.n();
+        match &job.kind {
+            JobKind::CkksAdd(a, b) => {
+                let streams = ev.add_streams(a, b).map_err(FarmError::Ckks)?;
+                let moduli = params.moduli_at(a.level()).to_vec();
+                let count = streams.len();
+                let (limbs, finish, service) =
+                    self.run_limb_batch(&moduli, n, streams, job.arrival)?;
+                let ct = ev
+                    .ciphertext_from_limb_outputs(limbs, a.level(), a.scale())
+                    .map_err(FarmError::Ckks)?;
+                Ok((JobResult::Ckks(ct), finish, service, count))
+            }
+            JobKind::CkksMulPlain(a, pt) => {
+                let streams = ev.mul_plain_streams(a, pt).map_err(FarmError::Ckks)?;
+                let moduli = params.moduli_at(a.level()).to_vec();
+                let count = streams.len();
+                let (limbs, finish, service) =
+                    self.run_limb_batch(&moduli, n, streams, job.arrival)?;
+                let ct = ev
+                    .ciphertext_from_limb_outputs(limbs, a.level(), a.scale() * pt.scale())
+                    .map_err(FarmError::Ckks)?;
+                Ok((JobResult::Ckks(ct), finish, service, count))
+            }
+            JobKind::CkksMulRelin(a, b) => {
+                let rlk = rlk.ok_or(FarmError::MissingRelinKey { id: job.session.raw() })?;
+                let level = a.level();
+                let moduli = params.moduli_at(level).to_vec();
+                // Phase 1: per-limb tensor streams, all ready at arrival.
+                let streams = ev.tensor_streams(a, b).map_err(FarmError::Ckks)?;
+                let mut count = streams.len();
+                let (limbs, tensor_done, tensor_service) =
+                    self.run_limb_batch(&moduli, n, streams, job.arrival)?;
+                let prod3 = ev
+                    .ciphertext_from_limb_outputs(limbs, level, a.scale() * b.scale())
+                    .map_err(FarmError::Ckks)?;
+                // Phase 2: the digit-decomposition key switch, ready
+                // once every tensor limb is in (the host CRT-composes
+                // the cubic component between the phases).
+                let streams = ev.relin_streams(&prod3, rlk).map_err(FarmError::Ckks)?;
+                count += streams.len();
+                let (limbs, relin_done, relin_service) =
+                    self.run_limb_batch(&moduli, n, streams, tensor_done)?;
+                let relin = ev
+                    .ciphertext_from_limb_outputs(limbs, level, prod3.scale())
+                    .map_err(FarmError::Ckks)?;
+                // Phase 3: the modulus-chain drop, one stream per
+                // remaining limb, ready once the key switch lands.
+                let streams = ev.rescale_streams(&relin).map_err(FarmError::Ckks)?;
+                count += streams.len();
+                let scale = ev.rescaled_scale(&relin).map_err(FarmError::Ckks)?;
+                let lower = level.lower().expect("rescale_streams guards the chain bottom");
+                let (limbs, finish, rescale_service) =
+                    self.run_limb_batch(&moduli[..lower.limbs()], n, streams, relin_done)?;
+                let ct = ev
+                    .ciphertext_from_limb_outputs(limbs, lower, scale)
+                    .map_err(FarmError::Ckks)?;
+                let service =
+                    tensor_service.saturating_add(relin_service).saturating_add(rescale_service);
+                Ok((JobResult::Ckks(ct), finish, service, count))
+            }
+            _ => unreachable!("BFV kinds dispatch to run_bfv_job"),
         }
     }
 
@@ -481,8 +665,10 @@ mod tests {
                 Job { session: id, kind: JobKind::MulRelin(a, b), arrival: 0 },
             ])
             .unwrap();
-        let decrypted: Vec<u64> =
-            outcomes.iter().map(|o| t.dec.decrypt(&o.result).unwrap().coeffs()[0]).collect();
+        let decrypted: Vec<u64> = outcomes
+            .iter()
+            .map(|o| t.dec.decrypt(o.result.expect_bfv()).unwrap().coeffs()[0])
+            .collect();
         assert_eq!(decrypted, vec![20, 39, 270, 99]);
         assert_eq!(outcomes[3].streams, t.params.mult_basis().moduli().len() + 1);
         let report = s.report();
@@ -511,7 +697,7 @@ mod tests {
         let ok = s
             .run(vec![Job { session: id, kind: JobKind::Add(a.clone(), a.clone()), arrival: 0 }])
             .unwrap();
-        assert_eq!(t.dec.decrypt(&ok[0].result).unwrap().coeffs()[0], 4);
+        assert_eq!(t.dec.decrypt(ok[0].result.expect_bfv()).unwrap().coeffs()[0], 4);
         // …but a multiply needs the key, typed.
         let err = s
             .run(vec![Job { session: id, kind: JobKind::MulRelin(a.clone(), a), arrival: 0 }])
@@ -541,7 +727,7 @@ mod tests {
             let outcomes = s.run(jobs(id)).unwrap();
             let values: Vec<Vec<Vec<u128>>> = outcomes
                 .iter()
-                .map(|o| o.result.polys().iter().map(|p| p.to_u128_vec()).collect())
+                .map(|o| o.result.expect_bfv().polys().iter().map(|p| p.to_u128_vec()).collect())
                 .collect();
             match &reference {
                 None => reference = Some(values),
@@ -590,10 +776,16 @@ mod tests {
             let (mut s, id) = sched(4, Box::new(WorkStealing), &t);
             let outcomes = s.run_with_opt(jobs(id), level).unwrap();
             assert_eq!(s.opt_level(), level);
-            for (p, d) in outcomes[0].result.polys().iter().zip(baseline[0].result.polys()) {
+            for (p, d) in outcomes[0]
+                .result
+                .expect_bfv()
+                .polys()
+                .iter()
+                .zip(baseline[0].result.expect_bfv().polys())
+            {
                 assert_eq!(p.coeffs(), d.coeffs(), "{level} must be bit-exact");
             }
-            assert_eq!(t.dec.decrypt(&outcomes[0].result).unwrap().coeffs()[0], 42);
+            assert_eq!(t.dec.decrypt(outcomes[0].result.expect_bfv()).unwrap().coeffs()[0], 42);
             let report = s.report();
             assert!(report.stream_totals.ops_fused > 0, "{level}: rewrites are reported");
             if level == OptLevel::O2 {
@@ -657,8 +849,8 @@ mod tests {
             ])
             .unwrap();
         // Each tenant decrypts its own result with its own key.
-        assert_eq!(ta.dec.decrypt(&outcomes[0].result).unwrap().coeffs()[0], 16);
-        assert_eq!(tb.dec.decrypt(&outcomes[1].result).unwrap().coeffs()[0], 36);
+        assert_eq!(ta.dec.decrypt(outcomes[0].result.expect_bfv()).unwrap().coeffs()[0], 16);
+        assert_eq!(tb.dec.decrypt(outcomes[1].result.expect_bfv()).unwrap().coeffs()[0], 36);
         // Foreign session ids fail typed. (Only the crate can even
         // construct an unissued id — the public type is opaque.)
         let err = s
@@ -669,5 +861,109 @@ mod tests {
             }])
             .unwrap_err();
         assert!(matches!(err, FarmError::UnknownSession { id: 99 }));
+    }
+    struct CkksTenant {
+        params: cofhee_ckks::CkksParams,
+        encoder: cofhee_ckks::CkksEncoder,
+        enc: cofhee_ckks::CkksEncryptor,
+        dec: cofhee_ckks::CkksDecryptor,
+        rlk: cofhee_ckks::CkksRelinKey,
+        rng: StdRng,
+    }
+
+    fn ckks_tenant(seed: u64) -> CkksTenant {
+        let params = cofhee_ckks::CkksParams::insecure_testing(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = cofhee_ckks::CkksKeyGenerator::new(&params);
+        let sk = kg.secret_key(&mut rng).unwrap();
+        let pk = kg.public_key(&sk, &mut rng).unwrap();
+        let rlk = kg.relin_key(&sk, &mut rng).unwrap();
+        CkksTenant {
+            encoder: cofhee_ckks::CkksEncoder::new(&params),
+            enc: cofhee_ckks::CkksEncryptor::new(&params, pk),
+            dec: cofhee_ckks::CkksDecryptor::new(&params, sk),
+            rlk,
+            params,
+            rng,
+        }
+    }
+
+    fn ckks_encrypt(t: &mut CkksTenant, values: &[f64]) -> CkksCiphertext {
+        let pt = t.encoder.encode(values).unwrap();
+        t.enc.encrypt(&pt, &mut t.rng).unwrap()
+    }
+
+    fn ckks_decode(t: &CkksTenant, ct: &CkksCiphertext, slots: usize) -> Vec<f64> {
+        let pt = t.dec.decrypt(ct).unwrap();
+        t.encoder.decode(&pt).unwrap()[..slots].to_vec()
+    }
+
+    #[test]
+    fn ckks_jobs_run_end_to_end_on_the_farm() {
+        let mut t = ckks_tenant(77);
+        let farm = ChipFarm::new(2, ChipBackendFactory::silicon()).unwrap();
+        let mut s = Scheduler::new(farm, Box::new(WorkStealing));
+        let id = s.open_session(Session::new_ckks("approx", &t.params, t.rlk.clone()).unwrap());
+        let a = ckks_encrypt(&mut t, &[1.5, -2.25]);
+        let b = ckks_encrypt(&mut t, &[0.5, 4.0]);
+        let pt = t.encoder.encode(&[2.0, 3.0]).unwrap();
+        let outcomes = s
+            .run(vec![
+                Job { session: id, kind: JobKind::CkksAdd(a.clone(), b.clone()), arrival: 0 },
+                Job { session: id, kind: JobKind::CkksMulPlain(a.clone(), pt), arrival: 0 },
+                Job { session: id, kind: JobKind::CkksMulRelin(a.clone(), b.clone()), arrival: 0 },
+            ])
+            .unwrap();
+        let sum = ckks_decode(&t, outcomes[0].result.expect_ckks(), 2);
+        assert!((sum[0] - 2.0).abs() < 1e-4 && (sum[1] - 1.75).abs() < 1e-4, "{sum:?}");
+        let scaled = ckks_decode(&t, outcomes[1].result.expect_ckks(), 2);
+        assert!((scaled[0] - 3.0).abs() < 1e-4 && (scaled[1] + 6.75).abs() < 1e-4, "{scaled:?}");
+        let prod_ct = outcomes[2].result.expect_ckks();
+        assert_eq!(
+            prod_ct.level(),
+            t.params.top_level().lower().unwrap(),
+            "rescale dropped a level"
+        );
+        let prod = ckks_decode(&t, prod_ct, 2);
+        assert!((prod[0] - 0.75).abs() < 1e-3 && (prod[1] + 9.0).abs() < 1e-3, "{prod:?}");
+        // The multiply ran as three farm phases (tensor, relin, rescale)
+        // and its service time covers all of them.
+        assert!(outcomes[2].streams > outcomes[0].streams);
+        assert!(outcomes[2].service_cycles > outcomes[0].service_cycles);
+    }
+
+    #[test]
+    fn ckks_scheme_and_relin_violations_are_typed_errors() {
+        let mut t = ckks_tenant(78);
+        let mut bt = tenant(79);
+        let farm = ChipFarm::new(1, ChipBackendFactory::silicon()).unwrap();
+        let mut s = Scheduler::new(farm, Box::new(RoundRobin::default()));
+        let keyless = s.open_session(Session::ckks_without_relin("approx", &t.params).unwrap());
+        let a = ckks_encrypt(&mut t, &[1.0]);
+        // A multiply without key-switch material fails typed...
+        let err = s
+            .run(vec![Job {
+                session: keyless,
+                kind: JobKind::CkksMulRelin(a.clone(), a.clone()),
+                arrival: 0,
+            }])
+            .unwrap_err();
+        assert!(matches!(err, FarmError::MissingRelinKey { id: 0 }));
+        // ...and a BFV job under a CKKS session (or vice versa) is a
+        // scheme mismatch, not a panic.
+        let bfv_ct = encrypt(&mut bt, 2);
+        let err = s
+            .run(vec![Job {
+                session: keyless,
+                kind: JobKind::Add(bfv_ct.clone(), bfv_ct),
+                arrival: 0,
+            }])
+            .unwrap_err();
+        assert!(matches!(err, FarmError::SchemeMismatch { id: 0 }));
+        let bfv_id = s.open_session(Session::without_relin("exact", &bt.params).unwrap());
+        let err = s
+            .run(vec![Job { session: bfv_id, kind: JobKind::CkksAdd(a.clone(), a), arrival: 0 }])
+            .unwrap_err();
+        assert!(matches!(err, FarmError::SchemeMismatch { id: 1 }));
     }
 }

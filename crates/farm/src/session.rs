@@ -1,8 +1,9 @@
 //! Tenant sessions: the unit of multi-tenancy the farm schedules for.
 
 use cofhee_bfv::{BfvParams, Evaluator, RelinKey};
+use cofhee_ckks::{CkksEvaluator, CkksParams, CkksRelinKey};
 
-use crate::error::Result;
+use crate::error::{FarmError, Result};
 
 /// Identifies an open session within one [`Scheduler`](crate::Scheduler).
 ///
@@ -36,11 +37,33 @@ impl core::fmt::Display for SessionId {
     }
 }
 
-/// One tenant's standing state on the farm: BFV parameters, the public
-/// evaluation material (relinearization key), and an [`Evaluator`]
+/// The scheme a session's key material and evaluator serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Exact integer arithmetic (the paper's native scheme).
+    Bfv,
+    /// Approximate arithmetic over packed reals.
+    Ckks,
+}
+
+/// The scheme-specific half of a session.
+#[derive(Debug, Clone)]
+enum Backing {
+    Bfv { params: BfvParams, evaluator: Evaluator, rlk: Option<RelinKey> },
+    Ckks { params: CkksParams, evaluator: CkksEvaluator, rlk: Option<CkksRelinKey> },
+}
+
+/// One tenant's standing state on the farm: scheme parameters, the
+/// public evaluation material (relinearization key), and an evaluator
 /// handle used purely for job-stream recording and host-side finishing
-/// (CRT recombination, Eq. 4 rounding) — the polynomial work itself
-/// always executes on farm dies.
+/// (CRT recombination, rounding) — the polynomial work itself always
+/// executes on farm dies.
+///
+/// A session serves exactly one scheme — BFV
+/// ([`Session::new`]/[`Session::without_relin`]) or CKKS
+/// ([`Session::new_ckks`]/[`Session::ckks_without_relin`]). Jobs of the
+/// other scheme fail typed with
+/// [`FarmError::SchemeMismatch`](crate::FarmError).
 ///
 /// The tenant keeps the secret key; the farm only ever holds what a
 /// real FHE service would: parameters, ciphertexts in flight, and
@@ -48,14 +71,12 @@ impl core::fmt::Display for SessionId {
 #[derive(Debug, Clone)]
 pub struct Session {
     tenant: String,
-    params: BfvParams,
-    evaluator: Evaluator,
-    rlk: Option<RelinKey>,
+    backing: Backing,
 }
 
 impl Session {
-    /// Opens a session for `tenant` under `params` with the tenant's
-    /// relinearization key.
+    /// Opens a BFV session for `tenant` under `params` with the
+    /// tenant's relinearization key.
     ///
     /// # Errors
     ///
@@ -63,11 +84,13 @@ impl Session {
     /// parameter sets).
     pub fn new(tenant: &str, params: &BfvParams, rlk: RelinKey) -> Result<Self> {
         let mut s = Self::without_relin(tenant, params)?;
-        s.rlk = Some(rlk);
+        if let Backing::Bfv { rlk: slot, .. } = &mut s.backing {
+            *slot = Some(rlk);
+        }
         Ok(s)
     }
 
-    /// Opens a session that never uploaded relinearization material.
+    /// Opens a BFV session that never uploaded relinearization material.
     /// Such a session can run every job kind except
     /// [`JobKind::MulRelin`](crate::JobKind::MulRelin), which fails
     /// with [`FarmError::MissingRelinKey`](crate::FarmError) — the
@@ -80,9 +103,44 @@ impl Session {
     pub fn without_relin(tenant: &str, params: &BfvParams) -> Result<Self> {
         Ok(Self {
             tenant: tenant.to_string(),
-            params: params.clone(),
-            evaluator: Evaluator::new(params)?,
-            rlk: None,
+            backing: Backing::Bfv {
+                params: params.clone(),
+                evaluator: Evaluator::new(params)?,
+                rlk: None,
+            },
+        })
+    }
+
+    /// Opens a CKKS session for `tenant` with the tenant's
+    /// relinearization key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator bring-up failures (none for validated
+    /// parameter sets).
+    pub fn new_ckks(tenant: &str, params: &CkksParams, rlk: CkksRelinKey) -> Result<Self> {
+        let mut s = Self::ckks_without_relin(tenant, params)?;
+        if let Backing::Ckks { rlk: slot, .. } = &mut s.backing {
+            *slot = Some(rlk);
+        }
+        Ok(s)
+    }
+
+    /// Opens a CKKS session without relinearization material (every job
+    /// kind except `CkksMulRelin` runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator bring-up failures (none for validated
+    /// parameter sets).
+    pub fn ckks_without_relin(tenant: &str, params: &CkksParams) -> Result<Self> {
+        Ok(Self {
+            tenant: tenant.to_string(),
+            backing: Backing::Ckks {
+                params: params.clone(),
+                evaluator: CkksEvaluator::new(params).map_err(FarmError::Ckks)?,
+                rlk: None,
+            },
         })
     }
 
@@ -91,20 +149,106 @@ impl Session {
         &self.tenant
     }
 
+    /// Which scheme this session serves.
+    pub fn scheme(&self) -> Scheme {
+        match &self.backing {
+            Backing::Bfv { .. } => Scheme::Bfv,
+            Backing::Ckks { .. } => Scheme::Ckks,
+        }
+    }
+
     /// The session's BFV parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics for CKKS sessions — check [`Session::scheme`] first, or
+    /// use the typed accessors the scheduler uses internally.
     pub fn params(&self) -> &BfvParams {
-        &self.params
+        match &self.backing {
+            Backing::Bfv { params, .. } => params,
+            Backing::Ckks { .. } => panic!("params(): CKKS session; use ckks_params()"),
+        }
     }
 
     /// The evaluator handle recording job streams and finishing them
     /// host-side.
+    ///
+    /// # Panics
+    ///
+    /// Panics for CKKS sessions — check [`Session::scheme`] first.
     pub fn evaluator(&self) -> &Evaluator {
-        &self.evaluator
+        match &self.backing {
+            Backing::Bfv { evaluator, .. } => evaluator,
+            Backing::Ckks { .. } => panic!("evaluator(): CKKS session; use ckks_evaluator()"),
+        }
     }
 
-    /// The tenant's relinearization key, when one was uploaded.
+    /// The tenant's BFV relinearization key, when one was uploaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics for CKKS sessions — check [`Session::scheme`] first.
     pub fn relin_key(&self) -> Option<&RelinKey> {
-        self.rlk.as_ref()
+        match &self.backing {
+            Backing::Bfv { rlk, .. } => rlk.as_ref(),
+            Backing::Ckks { .. } => panic!("relin_key(): CKKS session; use ckks_relin_key()"),
+        }
+    }
+
+    /// The session's CKKS parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics for BFV sessions — check [`Session::scheme`] first.
+    pub fn ckks_params(&self) -> &CkksParams {
+        match &self.backing {
+            Backing::Ckks { params, .. } => params,
+            Backing::Bfv { .. } => panic!("ckks_params(): BFV session; use params()"),
+        }
+    }
+
+    /// The CKKS evaluator handle recording job streams and finishing
+    /// them host-side.
+    ///
+    /// # Panics
+    ///
+    /// Panics for BFV sessions — check [`Session::scheme`] first.
+    pub fn ckks_evaluator(&self) -> &CkksEvaluator {
+        match &self.backing {
+            Backing::Ckks { evaluator, .. } => evaluator,
+            Backing::Bfv { .. } => panic!("ckks_evaluator(): BFV session; use evaluator()"),
+        }
+    }
+
+    /// The tenant's CKKS relinearization key, when one was uploaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics for BFV sessions — check [`Session::scheme`] first.
+    pub fn ckks_relin_key(&self) -> Option<&CkksRelinKey> {
+        match &self.backing {
+            Backing::Ckks { rlk, .. } => rlk.as_ref(),
+            Backing::Bfv { .. } => panic!("ckks_relin_key(): BFV session; use relin_key()"),
+        }
+    }
+
+    /// Typed BFV access for the scheduler: errors instead of panicking.
+    pub(crate) fn bfv(&self, id: SessionId) -> Result<(&BfvParams, &Evaluator, Option<&RelinKey>)> {
+        match &self.backing {
+            Backing::Bfv { params, evaluator, rlk } => Ok((params, evaluator, rlk.as_ref())),
+            Backing::Ckks { .. } => Err(FarmError::SchemeMismatch { id: id.raw() }),
+        }
+    }
+
+    /// Typed CKKS access for the scheduler: errors instead of panicking.
+    pub(crate) fn ckks(
+        &self,
+        id: SessionId,
+    ) -> Result<(&CkksParams, &CkksEvaluator, Option<&CkksRelinKey>)> {
+        match &self.backing {
+            Backing::Ckks { params, evaluator, rlk } => Ok((params, evaluator, rlk.as_ref())),
+            Backing::Bfv { .. } => Err(FarmError::SchemeMismatch { id: id.raw() }),
+        }
     }
 }
 
@@ -122,6 +266,7 @@ mod tests {
         let rlk = kg.relin_key(16, &mut rng).unwrap();
         let s = Session::new("acme", &params, rlk).unwrap();
         assert_eq!(s.tenant(), "acme");
+        assert_eq!(s.scheme(), Scheme::Bfv);
         assert_eq!(s.params().n(), 32);
         assert!(s.relin_key().expect("uploaded").digit_count() > 0);
         assert_eq!(format!("{}", SessionId::new(4)), "session#4");
@@ -133,5 +278,30 @@ mod tests {
         let params = BfvParams::insecure_testing(32).unwrap();
         let s = Session::without_relin("acme", &params).unwrap();
         assert!(s.relin_key().is_none());
+    }
+
+    #[test]
+    fn ckks_sessions_are_scheme_tagged() {
+        let params = cofhee_ckks::CkksParams::insecure_testing(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let kg = cofhee_ckks::CkksKeyGenerator::new(&params);
+        let sk = kg.secret_key(&mut rng).unwrap();
+        let rlk = kg.relin_key(&sk, &mut rng).unwrap();
+        let s = Session::new_ckks("approx", &params, rlk).unwrap();
+        assert_eq!(s.scheme(), Scheme::Ckks);
+        assert_eq!(s.ckks_params().n(), 32);
+        assert!(s.ckks_relin_key().is_some());
+        assert!(s.bfv(SessionId::new(0)).is_err());
+        assert!(s.ckks(SessionId::new(0)).is_ok());
+        let keyless = Session::ckks_without_relin("approx2", &params).unwrap();
+        assert!(keyless.ckks_relin_key().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "CKKS session")]
+    fn bfv_accessor_panics_on_ckks_session() {
+        let params = cofhee_ckks::CkksParams::insecure_testing(32).unwrap();
+        let s = Session::ckks_without_relin("approx", &params).unwrap();
+        let _ = s.params();
     }
 }

@@ -36,6 +36,9 @@ pub enum DenyReason {
     /// An inline plaintext operand uses a different plaintext modulus
     /// than the tenant's session.
     PlaintextModulusMismatch,
+    /// The request's scheme (BFV vs CKKS) does not match the tenant's
+    /// session scheme.
+    SchemeMismatch,
     /// The gateway stopped admitting after an execution fault (fail
     /// closed); the fault surfaces from the next `drain` call.
     Faulted,
@@ -51,6 +54,9 @@ impl fmt::Display for DenyReason {
             Self::MissingRelinKey => write!(f, "session has no relinearization key"),
             Self::PlaintextModulusMismatch => {
                 write!(f, "inline plaintext uses a different plaintext modulus")
+            }
+            Self::SchemeMismatch => {
+                write!(f, "request scheme does not match the tenant's session scheme")
             }
             Self::Faulted => write!(f, "gateway is faulted and no longer admits requests"),
         }
@@ -144,7 +150,7 @@ pub enum ErrorKind {
 /// Wraps [`FarmError`], [`BfvError`], and [`CoreError`] with `From`
 /// impls so every lower layer propagates with `?`, and classifies each
 /// variant under a stable [`ErrorKind`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ServiceError {
     /// A rejection from the admission path.
@@ -158,6 +164,12 @@ pub enum ServiceError {
     /// virtual cycle — drain further before downloading.
     ResultPending {
         /// The not-yet-materialized handle.
+        handle: CtHandle,
+    },
+    /// The handle holds a ciphertext of the other scheme — use the
+    /// matching download accessor (`download` vs `download_ckks`).
+    WrongScheme {
+        /// The handle whose stored scheme differs from the accessor.
         handle: CtHandle,
     },
     /// Error from the farm layer (scheduling, die faults).
@@ -176,7 +188,9 @@ impl ServiceError {
             Self::Admit(AdmitError::QuotaExceeded { .. } | AdmitError::QueueFull { .. }) => {
                 ErrorKind::Admission
             }
-            Self::Admit(AdmitError::Denied { .. }) => ErrorKind::Validation,
+            Self::Admit(AdmitError::Denied { .. }) | Self::WrongScheme { .. } => {
+                ErrorKind::Validation
+            }
             Self::UnknownTicket { .. } | Self::ResultPending { .. } => ErrorKind::NotFound,
             Self::Farm(_) | Self::Bfv(_) | Self::Backend(_) => ErrorKind::Execution,
         }
@@ -190,6 +204,9 @@ impl fmt::Display for ServiceError {
             Self::UnknownTicket { ticket } => write!(f, "ticket {ticket} was never issued"),
             Self::ResultPending { handle } => {
                 write!(f, "{handle} has not materialized yet — drain the gateway further")
+            }
+            Self::WrongScheme { handle } => {
+                write!(f, "{handle} stores a ciphertext of the other scheme")
             }
             Self::Farm(e) => write!(f, "farm error: {e}"),
             Self::Bfv(e) => write!(f, "bfv error: {e}"),

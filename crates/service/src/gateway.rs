@@ -26,13 +26,14 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use cofhee_bfv::{BfvParams, Ciphertext, Plaintext, RelinKey};
+use cofhee_ckks::{CkksCiphertext, CkksParams, CkksRelinKey};
 use cofhee_farm::{Job, JobKind, Scheduler, Session, SessionId};
 use cofhee_opt::OptLevel;
 
 use crate::admission::{AdmissionPolicy, QueueView};
 use crate::error::{AdmitError, DenyReason, QuotaKind, Result, ServiceError};
 use crate::handle::{CtHandle, TenantId, Ticket};
-use crate::registry::{ciphertext_bytes, CiphertextRegistry};
+use crate::registry::{ciphertext_bytes, CiphertextRegistry, StoredCiphertext};
 use crate::telemetry::{percentiles, ServiceReport, TenantStats};
 
 /// One handle-addressed homomorphic request.
@@ -50,6 +51,11 @@ pub enum Request {
     MulPlain(CtHandle, Plaintext),
     /// Ciphertext × ciphertext multiplication + relinearization.
     MulRelin(CtHandle, CtHandle),
+    /// CKKS ciphertext + ciphertext addition (slotwise, approximate).
+    CkksAdd(CtHandle, CtHandle),
+    /// CKKS ciphertext × ciphertext multiplication + relinearization +
+    /// rescale (the result drops one chain level).
+    CkksMulRelin(CtHandle, CtHandle),
 }
 
 impl Request {
@@ -60,13 +66,18 @@ impl Request {
             Self::AddPlain(..) => "ct+pt",
             Self::MulPlain(..) => "ct*pt",
             Self::MulRelin(..) => "ct*ct+relin",
+            Self::CkksAdd(..) => "ckks:ct+ct",
+            Self::CkksMulRelin(..) => "ckks:ct*ct+relin+rescale",
         }
     }
 
     /// The ciphertext operand handles the request reads.
     pub fn operands(&self) -> Vec<CtHandle> {
         match self {
-            Self::Add(a, b) | Self::MulRelin(a, b) => vec![*a, *b],
+            Self::Add(a, b)
+            | Self::MulRelin(a, b)
+            | Self::CkksAdd(a, b)
+            | Self::CkksMulRelin(a, b) => vec![*a, *b],
             Self::AddPlain(a, _) | Self::MulPlain(a, _) => vec![*a],
         }
     }
@@ -76,6 +87,16 @@ impl Request {
             Self::AddPlain(_, pt) | Self::MulPlain(_, pt) => Some(pt),
             _ => None,
         }
+    }
+
+    /// Whether this request targets a CKKS session.
+    fn is_ckks(&self) -> bool {
+        matches!(self, Self::CkksAdd(..) | Self::CkksMulRelin(..))
+    }
+
+    /// Whether this request needs key-switch material.
+    fn needs_relin(&self) -> bool {
+        matches!(self, Self::MulRelin(..) | Self::CkksMulRelin(..))
     }
 }
 
@@ -142,11 +163,48 @@ struct Inflight {
     service_cycles: u64,
 }
 
+/// A tenant's parameter set, tagged by scheme. The registry fingerprint
+/// of a CKKS tenant uses the full modulus-chain product as `q` (it fits
+/// the chip's 128-bit native width by construction), so cross-scheme
+/// and cross-parameter operands are both caught by the same check.
+#[derive(Debug, Clone)]
+enum SchemeParams {
+    Bfv(BfvParams),
+    Ckks(CkksParams),
+}
+
+impl SchemeParams {
+    fn n(&self) -> usize {
+        match self {
+            Self::Bfv(p) => p.n(),
+            Self::Ckks(p) => p.n(),
+        }
+    }
+
+    /// The `(q, n)` compatibility fingerprint registry entries carry.
+    fn fingerprint(&self) -> (u128, usize) {
+        match self {
+            Self::Bfv(p) => (p.q(), p.n()),
+            Self::Ckks(p) => (p.moduli().iter().product(), p.n()),
+        }
+    }
+
+    /// Worst-case bytes a request's 2-component result can occupy —
+    /// what admission reserves. CKKS results may materialize smaller
+    /// (rescale drops a limb); the registry re-trues the charge then.
+    fn result_reserve_bytes(&self) -> u64 {
+        match self {
+            Self::Bfv(p) => ciphertext_bytes(2, p.n()),
+            Self::Ckks(p) => ciphertext_bytes(2 * p.moduli().len(), p.n()),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Tenant {
     label: String,
     session: SessionId,
-    params: BfvParams,
+    params: SchemeParams,
     has_relin: bool,
     quotas: QuotaConfig,
     queue: VecDeque<Queued>,
@@ -217,18 +275,51 @@ impl Gateway {
             None => Session::without_relin(label, params),
         }
         .map_err(ServiceError::from)?;
+        Ok(self.push_tenant(label, session, SchemeParams::Bfv(params.clone()), has_relin))
+    }
+
+    /// Registers a CKKS tenant: opens its farm session under `params`,
+    /// with or without relinearization material. CKKS and BFV tenants
+    /// share the same registry, queues, and admission machinery; only
+    /// the request kinds a tenant may submit differ.
+    ///
+    /// # Errors
+    ///
+    /// Session bring-up failures propagate from the farm layer.
+    pub fn register_ckks_tenant(
+        &mut self,
+        label: &str,
+        params: &CkksParams,
+        rlk: Option<CkksRelinKey>,
+    ) -> Result<TenantId> {
+        let has_relin = rlk.is_some();
+        let session = match rlk {
+            Some(rlk) => Session::new_ckks(label, params, rlk),
+            None => Session::ckks_without_relin(label, params),
+        }
+        .map_err(ServiceError::from)?;
+        Ok(self.push_tenant(label, session, SchemeParams::Ckks(params.clone()), has_relin))
+    }
+
+    fn push_tenant(
+        &mut self,
+        label: &str,
+        session: Session,
+        params: SchemeParams,
+        has_relin: bool,
+    ) -> TenantId {
         let id = TenantId::new(self.tenants.len() as u64);
         self.tenants.push(Tenant {
             label: label.to_string(),
             session: self.sched.open_session(session),
-            params: params.clone(),
+            params,
             has_relin,
             quotas: self.default_quotas,
             queue: VecDeque::new(),
             in_flight: 0,
             stats: TenantStats::default(),
         });
-        Ok(id)
+        id
     }
 
     /// Overrides one tenant's quotas.
@@ -252,11 +343,38 @@ impl Gateway {
     ///
     /// Unknown tenants and byte-quota violations reject typed.
     pub fn put_ciphertext(&mut self, tenant: TenantId, ct: Ciphertext) -> Result<CtHandle> {
+        self.put_stored(tenant, StoredCiphertext::Bfv(ct), false)
+    }
+
+    /// Uploads a CKKS ciphertext into the registry under `tenant`'s
+    /// ownership. Charged against the tenant's registry-byte quota.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tenants, scheme mismatches (a BFV tenant uploading CKKS
+    /// material), and byte-quota violations reject typed.
+    pub fn put_ckks_ciphertext(
+        &mut self,
+        tenant: TenantId,
+        ct: CkksCiphertext,
+    ) -> Result<CtHandle> {
+        self.put_stored(tenant, StoredCiphertext::Ckks(ct), true)
+    }
+
+    fn put_stored(
+        &mut self,
+        tenant: TenantId,
+        ct: StoredCiphertext,
+        ckks: bool,
+    ) -> Result<CtHandle> {
         let t = self
             .tenants
             .get(tenant.raw() as usize)
             .ok_or(AdmitError::Denied { reason: DenyReason::UnknownTenant })?;
-        let bytes = ciphertext_bytes(ct.len(), t.params.n());
+        if matches!(t.params, SchemeParams::Ckks(_)) != ckks {
+            return Err(AdmitError::Denied { reason: DenyReason::SchemeMismatch }.into());
+        }
+        let bytes = ct.bytes(t.params.n());
         let would_use = self.registry.bytes_used(tenant).saturating_add(bytes);
         if would_use > t.quotas.max_bytes {
             return Err(AdmitError::QuotaExceeded {
@@ -266,7 +384,7 @@ impl Gateway {
             }
             .into());
         }
-        let (q, n) = (t.params.q(), t.params.n());
+        let (q, n) = t.params.fingerprint();
         Ok(self.registry.insert(tenant, ct, q, n))
     }
 
@@ -366,7 +484,7 @@ impl Gateway {
                 requested: would_fly,
             });
         }
-        let result_bytes = ciphertext_bytes(2, t.params.n());
+        let result_bytes = t.params.result_reserve_bytes();
         let would_use = self.registry.bytes_used(tenant).saturating_add(result_bytes);
         if would_use > t.quotas.max_bytes {
             let limit = t.quotas.max_bytes;
@@ -388,10 +506,7 @@ impl Gateway {
         // Admitted: only now does the registry change. The result
         // handle exists immediately, so dependent requests can chain on
         // it before the producer runs.
-        let (q, n) = {
-            let t = &self.tenants[tenant.raw() as usize];
-            (t.params.q(), t.params.n())
-        };
+        let (q, n) = self.tenants[tenant.raw() as usize].params.fingerprint();
         let result = self.registry.reserve(tenant, q, n, result_bytes);
         let ticket = Ticket::new(self.next_ticket, tenant, result, self.now);
         self.next_ticket += 1;
@@ -411,19 +526,26 @@ impl Gateway {
         request: &Request,
     ) -> core::result::Result<(), DenyReason> {
         let t = &self.tenants[tenant.raw() as usize];
+        if request.is_ckks() != matches!(t.params, SchemeParams::Ckks(_)) {
+            return Err(DenyReason::SchemeMismatch);
+        }
+        let (tq, tn) = t.params.fingerprint();
         for handle in request.operands() {
             self.registry.readable(handle, tenant)?;
             let (q, n) = self.registry.params_of(handle).expect("readable implies present");
-            if q != t.params.q() || n != t.params.n() {
+            if q != tq || n != tn {
                 return Err(DenyReason::ParamsMismatch(handle));
             }
         }
         if let Some(pt) = request.plaintext() {
-            if pt.modulus() != t.params.t() || pt.coeffs().len() != t.params.n() {
+            // Inline plaintexts only appear on BFV request kinds, which
+            // the scheme check above pinned to BFV tenants.
+            let SchemeParams::Bfv(params) = &t.params else { unreachable!("scheme checked") };
+            if pt.modulus() != params.t() || pt.coeffs().len() != params.n() {
                 return Err(DenyReason::PlaintextModulusMismatch);
             }
         }
-        if matches!(request, Request::MulRelin(..)) && !t.has_relin {
+        if request.needs_relin() && !t.has_relin {
             return Err(DenyReason::MissingRelinKey);
         }
         Ok(())
@@ -472,6 +594,16 @@ impl Gateway {
             self.registry
                 .ready_ciphertext(h, self.now)
                 .expect("dispatch only fires with ready operands")
+                .as_bfv()
+                .expect("validation pinned operand schemes")
+                .clone()
+        };
+        let ckks = |h: CtHandle| {
+            self.registry
+                .ready_ciphertext(h, self.now)
+                .expect("dispatch only fires with ready operands")
+                .as_ckks()
+                .expect("validation pinned operand schemes")
                 .clone()
         };
         let kind = match &queued.request {
@@ -479,12 +611,14 @@ impl Gateway {
             Request::AddPlain(a, pt) => JobKind::AddPlain(ct(*a), pt.clone()),
             Request::MulPlain(a, pt) => JobKind::MulPlain(ct(*a), pt.clone()),
             Request::MulRelin(a, b) => JobKind::MulRelin(ct(*a), ct(*b)),
+            Request::CkksAdd(a, b) => JobKind::CkksAdd(ckks(*a), ckks(*b)),
+            Request::CkksMulRelin(a, b) => JobKind::CkksMulRelin(ckks(*a), ckks(*b)),
         };
         let job = Job { session, kind, arrival: self.now };
         match self.sched.run_with_opt(vec![job], queued.opt_level) {
             Ok(mut outcomes) => {
                 let o = outcomes.pop().expect("one job in, one outcome out");
-                self.registry.materialize(queued.ticket.result(), o.result, o.finish);
+                self.registry.materialize(queued.ticket.result(), o.result.into(), o.finish);
                 self.inflight.push(Inflight {
                     ticket: queued.ticket,
                     finish: o.finish,
@@ -555,15 +689,31 @@ impl Gateway {
         }
     }
 
-    /// The ciphertext behind `handle`, if `tenant` may read it and it
-    /// has materialized by the current clock.
+    /// The BFV ciphertext behind `handle`, if `tenant` may read it and
+    /// it has materialized by the current clock.
     ///
     /// # Errors
     ///
     /// ACL violations reject as validation errors; materialized-but-
-    /// not-yet-finished results return
-    /// [`ServiceError::ResultPending`].
+    /// not-yet-finished results return [`ServiceError::ResultPending`];
+    /// CKKS entries return [`ServiceError::WrongScheme`] (use
+    /// [`Gateway::download_ckks`]).
     pub fn download(&self, tenant: TenantId, handle: CtHandle) -> Result<&Ciphertext> {
+        self.download_stored(tenant, handle)?.as_bfv().ok_or(ServiceError::WrongScheme { handle })
+    }
+
+    /// The CKKS ciphertext behind `handle`, if `tenant` may read it and
+    /// it has materialized by the current clock.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::download`], with [`ServiceError::WrongScheme`] for
+    /// BFV entries.
+    pub fn download_ckks(&self, tenant: TenantId, handle: CtHandle) -> Result<&CkksCiphertext> {
+        self.download_stored(tenant, handle)?.as_ckks().ok_or(ServiceError::WrongScheme { handle })
+    }
+
+    fn download_stored(&self, tenant: TenantId, handle: CtHandle) -> Result<&StoredCiphertext> {
         if self.tenants.get(tenant.raw() as usize).is_none() {
             return Err(AdmitError::Denied { reason: DenyReason::UnknownTenant }.into());
         }
@@ -575,16 +725,32 @@ impl Gateway {
             .ok_or(ServiceError::ResultPending { handle })
     }
 
-    /// The result ciphertext of an admitted request, by ticket.
+    /// The result BFV ciphertext of an admitted request, by ticket.
     ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownTicket`] for tickets this gateway never
     /// issued; [`ServiceError::ResultPending`] before the drain reaches
-    /// the request's finish cycle.
+    /// the request's finish cycle; [`ServiceError::WrongScheme`] for
+    /// CKKS requests (use [`Gateway::result_ckks`]).
     pub fn result(&self, ticket: &Ticket) -> Result<&Ciphertext> {
         match self.tickets.get(&ticket.id()) {
             Some(stored) if stored == ticket => self.download(ticket.tenant(), ticket.result()),
+            _ => Err(ServiceError::UnknownTicket { ticket: ticket.id() }),
+        }
+    }
+
+    /// The result CKKS ciphertext of an admitted request, by ticket.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::result`], with [`ServiceError::WrongScheme`] for
+    /// BFV requests.
+    pub fn result_ckks(&self, ticket: &Ticket) -> Result<&CkksCiphertext> {
+        match self.tickets.get(&ticket.id()) {
+            Some(stored) if stored == ticket => {
+                self.download_ckks(ticket.tenant(), ticket.result())
+            }
             _ => Err(ServiceError::UnknownTicket { ticket: ticket.id() }),
         }
     }
@@ -898,5 +1064,94 @@ mod tests {
         assert!(report.queue.max > 0, "a 1-die burst must queue");
         assert!(report.latency.max >= report.queue.max + report.service.p50);
         assert_eq!(report.farm.jobs, 4);
+    }
+    struct CkksClient {
+        params: CkksParams,
+        encoder: cofhee_ckks::CkksEncoder,
+        enc: cofhee_ckks::CkksEncryptor,
+        dec: cofhee_ckks::CkksDecryptor,
+        rlk: CkksRelinKey,
+        rng: StdRng,
+    }
+
+    fn ckks_client(seed: u64) -> CkksClient {
+        let params = CkksParams::insecure_testing(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = cofhee_ckks::CkksKeyGenerator::new(&params);
+        let sk = kg.secret_key(&mut rng).unwrap();
+        let pk = kg.public_key(&sk, &mut rng).unwrap();
+        let rlk = kg.relin_key(&sk, &mut rng).unwrap();
+        CkksClient {
+            encoder: cofhee_ckks::CkksEncoder::new(&params),
+            enc: cofhee_ckks::CkksEncryptor::new(&params, pk),
+            dec: cofhee_ckks::CkksDecryptor::new(&params, sk),
+            rlk,
+            params,
+            rng,
+        }
+    }
+
+    fn ckks_encrypt(c: &mut CkksClient, values: &[f64]) -> CkksCiphertext {
+        let pt = c.encoder.encode(values).unwrap();
+        c.enc.encrypt(&pt, &mut c.rng).unwrap()
+    }
+
+    #[test]
+    fn ckks_tenants_share_the_gateway_with_bfv_tenants() {
+        let mut b = client(80);
+        let mut c = ckks_client(81);
+        let mut gw = gateway(2, Box::new(TenantFair::default()));
+        let exact = gw.register_tenant("exact", &b.params, Some(b.rlk.clone())).unwrap();
+        let approx = gw.register_ckks_tenant("approx", &c.params, Some(c.rlk.clone())).unwrap();
+
+        let bx = gw.put_ciphertext(exact, encrypt(&mut b, 6)).unwrap();
+        let ax = gw.put_ckks_ciphertext(approx, ckks_encrypt(&mut c, &[1.5, -2.0])).unwrap();
+        let ay = gw.put_ckks_ciphertext(approx, ckks_encrypt(&mut c, &[0.5, 3.0])).unwrap();
+
+        // Both schemes interleave through the same admission machinery,
+        // and CKKS requests chain on result handles like BFV ones.
+        let tb = gw.submit(exact, Request::MulRelin(bx, bx)).unwrap();
+        let t1 = gw.submit(approx, Request::CkksAdd(ax, ay)).unwrap();
+        let t2 = gw.submit(approx, Request::CkksMulRelin(t1.result(), ax)).unwrap();
+        let reserved = gw.registry().bytes_used(approx);
+        gw.drain().unwrap();
+
+        assert_eq!(b.dec.decrypt(gw.result(&tb).unwrap()).unwrap().coeffs()[0], 36);
+        let decode = |gw: &Gateway, t: &Ticket| {
+            let pt = c.dec.decrypt(gw.result_ckks(t).unwrap()).unwrap();
+            c.encoder.decode(&pt).unwrap()
+        };
+        let sum = decode(&gw, &t1);
+        assert!((sum[0] - 2.0).abs() < 1e-4 && (sum[1] - 1.0).abs() < 1e-4, "{sum:?}");
+        let prod = decode(&gw, &t2);
+        assert!((prod[0] - 3.0).abs() < 1e-3 && (prod[1] + 2.0).abs() < 1e-3, "{prod:?}");
+
+        // The multiply's result rescaled down a level, so the byte
+        // charge was re-trued below the worst-case reservation.
+        assert!(gw.registry().bytes_used(approx) < reserved);
+
+        // Scheme misuse fails typed at every surface: wrong-scheme
+        // request, wrong-scheme upload, wrong-scheme download.
+        let err = gw.submit(approx, Request::Add(ax, ay)).unwrap_err();
+        assert_eq!(err, AdmitError::Denied { reason: DenyReason::SchemeMismatch });
+        let err = gw.submit(exact, Request::CkksAdd(bx, bx)).unwrap_err();
+        assert_eq!(err, AdmitError::Denied { reason: DenyReason::SchemeMismatch });
+        let err = gw.put_ciphertext(approx, encrypt(&mut b, 1)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Validation);
+        assert!(matches!(gw.result(&t1), Err(ServiceError::WrongScheme { .. })));
+        assert!(matches!(gw.download_ckks(exact, bx), Err(ServiceError::WrongScheme { .. })));
+
+        // Cross-scheme operand references are caught by the fingerprint
+        // even before dispatch: a CKKS tenant naming a BFV handle it was
+        // granted cannot run it.
+        gw.share(exact, bx, approx).unwrap();
+        let err = gw.submit(approx, Request::CkksAdd(bx, ax)).unwrap_err();
+        assert_eq!(err, AdmitError::Denied { reason: DenyReason::ParamsMismatch(bx) });
+
+        // A keyless CKKS tenant cannot multiply.
+        let keyless = gw.register_ckks_tenant("keyless", &c.params, None).unwrap();
+        let kx = gw.put_ckks_ciphertext(keyless, ckks_encrypt(&mut c, &[1.0])).unwrap();
+        let err = gw.submit(keyless, Request::CkksMulRelin(kx, kx)).unwrap_err();
+        assert_eq!(err, AdmitError::Denied { reason: DenyReason::MissingRelinKey });
     }
 }

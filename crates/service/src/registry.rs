@@ -15,9 +15,60 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use cofhee_bfv::Ciphertext;
+use cofhee_ckks::CkksCiphertext;
+use cofhee_farm::JobResult;
 
 use crate::error::DenyReason;
 use crate::handle::{CtHandle, TenantId};
+
+/// A registry entry's payload: the registry stores ciphertexts of both
+/// schemes side by side, and download accessors extract the matching
+/// variant (or fail typed with
+/// [`ServiceError::WrongScheme`](crate::ServiceError)).
+#[derive(Debug, Clone)]
+pub enum StoredCiphertext {
+    /// An exact-arithmetic BFV ciphertext.
+    Bfv(Ciphertext),
+    /// An approximate-arithmetic CKKS ciphertext (level- and
+    /// scale-tagged RNS limbs).
+    Ckks(CkksCiphertext),
+}
+
+impl StoredCiphertext {
+    /// Bytes this ciphertext occupies at degree `n` (u128
+    /// coefficients; CKKS counts every live limb of every component).
+    pub fn bytes(&self, n: usize) -> u64 {
+        match self {
+            Self::Bfv(ct) => ciphertext_bytes(ct.len(), n),
+            Self::Ckks(ct) => ct.bytes(),
+        }
+    }
+
+    /// The BFV ciphertext, when this entry holds one.
+    pub fn as_bfv(&self) -> Option<&Ciphertext> {
+        match self {
+            Self::Bfv(ct) => Some(ct),
+            Self::Ckks(_) => None,
+        }
+    }
+
+    /// The CKKS ciphertext, when this entry holds one.
+    pub fn as_ckks(&self) -> Option<&CkksCiphertext> {
+        match self {
+            Self::Ckks(ct) => Some(ct),
+            Self::Bfv(_) => None,
+        }
+    }
+}
+
+impl From<JobResult> for StoredCiphertext {
+    fn from(r: JobResult) -> Self {
+        match r {
+            JobResult::Bfv(ct) => Self::Bfv(ct),
+            JobResult::Ckks(ct) => Self::Ckks(ct),
+        }
+    }
+}
 
 /// Who may read an entry besides its owner.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,7 +86,7 @@ enum EntryState {
     /// Reserved at admission; the producing job has not finished.
     Pending,
     /// Materialized: readable from `ready_at` onwards.
-    Ready { ct: Ciphertext, ready_at: u64 },
+    Ready { ct: StoredCiphertext, ready_at: u64 },
 }
 
 #[derive(Debug)]
@@ -114,11 +165,11 @@ impl CiphertextRegistry {
     pub(crate) fn insert(
         &mut self,
         owner: TenantId,
-        ct: Ciphertext,
+        ct: StoredCiphertext,
         q: u128,
         n: usize,
     ) -> CtHandle {
-        let bytes = ciphertext_bytes(ct.len(), n);
+        let bytes = ct.bytes(n);
         let handle = CtHandle::new(self.next);
         self.next += 1;
         self.entries.insert(
@@ -164,16 +215,22 @@ impl CiphertextRegistry {
     /// a reserved result handle while its producing request is still
     /// queued or in flight — so a missing entry discards the result
     /// instead of panicking.
-    pub(crate) fn materialize(&mut self, handle: CtHandle, ct: Ciphertext, ready_at: u64) {
+    ///
+    /// The reservation was an estimate (CKKS multiplies rescale, so
+    /// their results carry one limb fewer than the worst case the
+    /// admission charged); the charge is re-trued to the materialized
+    /// size here, so byte accounting always reflects what is actually
+    /// stored.
+    pub(crate) fn materialize(&mut self, handle: CtHandle, ct: StoredCiphertext, ready_at: u64) {
         let Some(entry) = self.entries.get_mut(&handle.raw()) else {
             return;
         };
         debug_assert!(matches!(entry.state, EntryState::Pending), "materialize twice");
-        debug_assert_eq!(
-            ciphertext_bytes(ct.len(), entry.n),
-            entry.bytes,
-            "reservation estimate must match the materialized size"
-        );
+        let actual = ct.bytes(entry.n);
+        let reserved = entry.bytes;
+        entry.bytes = actual;
+        let used = self.bytes_by_tenant.entry(entry.owner).or_insert(0);
+        *used = used.saturating_sub(reserved).saturating_add(actual);
         entry.state = EntryState::Ready { ct, ready_at };
     }
 
@@ -200,7 +257,7 @@ impl CiphertextRegistry {
     }
 
     /// The materialized ciphertext, if `handle` is ready by cycle `at`.
-    pub(crate) fn ready_ciphertext(&self, handle: CtHandle, at: u64) -> Option<&Ciphertext> {
+    pub(crate) fn ready_ciphertext(&self, handle: CtHandle, at: u64) -> Option<&StoredCiphertext> {
         match self.entries.get(&handle.raw()).map(|e| &e.state) {
             Some(EntryState::Ready { ct, ready_at }) if *ready_at <= at => Some(ct),
             _ => None,
@@ -272,7 +329,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let (alice, bob, carol) = (TenantId::new(0), TenantId::new(1), TenantId::new(2));
         let mut reg = CiphertextRegistry::new();
-        let h = reg.insert(alice, ct(&params, 5, &mut rng), params.q(), params.n());
+        let h = reg.insert(
+            alice,
+            StoredCiphertext::Bfv(ct(&params, 5, &mut rng)),
+            params.q(),
+            params.n(),
+        );
 
         assert!(reg.readable(h, alice).is_ok());
         assert_eq!(reg.readable(h, bob), Err(DenyReason::NotAuthorized(h)));
@@ -300,7 +362,12 @@ mod tests {
         let alice = TenantId::new(0);
         let mut reg = CiphertextRegistry::new();
         let per_ct = ciphertext_bytes(2, params.n());
-        let h = reg.insert(alice, ct(&params, 5, &mut rng), params.q(), params.n());
+        let h = reg.insert(
+            alice,
+            StoredCiphertext::Bfv(ct(&params, 5, &mut rng)),
+            params.q(),
+            params.n(),
+        );
         assert_eq!(reg.bytes_used(alice), per_ct);
 
         let r = reg.reserve(alice, params.q(), params.n(), per_ct);
@@ -308,7 +375,7 @@ mod tests {
         assert!(!reg.is_ready(r));
         assert!(reg.ready_ciphertext(r, u64::MAX).is_none());
 
-        reg.materialize(r, ct(&params, 6, &mut rng), 500);
+        reg.materialize(r, StoredCiphertext::Bfv(ct(&params, 6, &mut rng)), 500);
         assert!(reg.is_ready(r));
         assert!(reg.ready_ciphertext(r, 499).is_none(), "not ready before its finish cycle");
         assert!(reg.ready_ciphertext(r, 500).is_some());

@@ -14,6 +14,10 @@
 //!   oracles, golden test vectors.
 //! * [`bfv`] — the BFV scheme (the SEAL-equivalent CPU baseline) with
 //!   exact ciphertext multiplication and RNS tower execution.
+//! * [`ckks`] — the CKKS approximate-arithmetic scheme on the same
+//!   silicon: RNS modulus chain with level tracking, canonical-embedding
+//!   encoder, and an evaluator whose multiply/rescale/relinearize all
+//!   dispatch through the recorded-stream machinery the BFV path uses.
 //! * [`sim`] — the chip: SRAM banks, AHB addressing, Barrett PE, MDMC
 //!   with the calibrated cycle model, command FIFO, Cortex-M0, power.
 //! * [`adpll`] — the all-digital PLL's behavioral model.
@@ -45,6 +49,7 @@ pub use cofhee_adpll as adpll;
 pub use cofhee_apps as apps;
 pub use cofhee_arith as arith;
 pub use cofhee_bfv as bfv;
+pub use cofhee_ckks as ckks;
 pub use cofhee_core as core;
 pub use cofhee_farm as farm;
 pub use cofhee_opt as opt;

@@ -1,0 +1,241 @@
+//! Acceptance tests for the CKKS subsystem: encoding precision,
+//! approximate homomorphism against plain `f64` arithmetic, CPU-vs-chip
+//! bit-exactness of every recorded stream, and stream-compiler parity
+//! (`O0 ≡ O1 ≡ O2`).
+//!
+//! CKKS is *approximate by design* — decrypt(encrypt(x)) ≈ x — but the
+//! execution underneath it is exact integer arithmetic, so two
+//! different properties are pinned down here: the **error bound** of
+//! the scheme (relative to the scale Δ) and the **bit-exactness** of
+//! the hardware path (CPU backend, chip backend, and every optimizer
+//! level all produce identical limb residues).
+
+use cofhee::ckks::{
+    CkksCiphertext, CkksDecryptor, CkksEncoder, CkksEncryptor, CkksEvaluator, CkksKeyGenerator,
+    CkksParams, CkksRelinKey, CkksSecretKey,
+};
+use cofhee::core::{ChipBackendFactory, CpuBackendFactory};
+use cofhee::opt::OptLevel;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 32;
+
+/// The encode∘decode precision target: 2⁻²⁰ absolute error on values
+/// in the unit box, far below Δ⁻¹ headroom but far above f64 noise.
+const ENCODE_EPS: f64 = 1.0 / (1 << 20) as f64;
+
+struct Fixture {
+    params: CkksParams,
+    encoder: CkksEncoder,
+    enc: CkksEncryptor,
+    dec: CkksDecryptor,
+    sk: CkksSecretKey,
+    rlk: CkksRelinKey,
+    rng: StdRng,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let params = CkksParams::insecure_testing(N).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kg = CkksKeyGenerator::new(&params);
+    let sk = kg.secret_key(&mut rng).unwrap();
+    let pk = kg.public_key(&sk, &mut rng).unwrap();
+    let rlk = kg.relin_key(&sk, &mut rng).unwrap();
+    Fixture {
+        encoder: CkksEncoder::new(&params),
+        enc: CkksEncryptor::new(&params, pk),
+        dec: CkksDecryptor::new(&params, sk.clone()),
+        sk,
+        rlk,
+        params,
+        rng,
+    }
+}
+
+fn encrypt(f: &mut Fixture, values: &[f64]) -> CkksCiphertext {
+    let pt = f.encoder.encode(values).unwrap();
+    f.enc.encrypt(&pt, &mut f.rng).unwrap()
+}
+
+fn decode(f: &Fixture, ct: &CkksCiphertext, slots: usize) -> Vec<f64> {
+    let pt = f.dec.decrypt(ct).unwrap();
+    f.encoder.decode(&pt).unwrap()[..slots].to_vec()
+}
+
+fn max_err(got: &[f64], want: &[f64]) -> f64 {
+    got.iter().zip(want).map(|(g, w)| (g - w).abs()).fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Canonical-embedding round trip: encode∘decode recovers every slot
+    // to better than 2⁻²⁰ without any encryption noise in the way.
+    #[test]
+    fn encode_decode_roundtrip_is_within_2_pow_neg_20(
+        raw in pvec(-4_000_000i64..4_000_000, N / 2),
+    ) {
+        let values: Vec<f64> = raw.iter().map(|&v| v as f64 / 1e6).collect();
+        let f = fixture(1);
+        let pt = f.encoder.encode(&values).unwrap();
+        let back = f.encoder.decode(&pt).unwrap();
+        let err = max_err(&back[..values.len()], &values);
+        prop_assert!(err < ENCODE_EPS, "round-trip error {err:.3e} >= 2^-20");
+    }
+
+    // Approximate homomorphism: encrypted add / sub / mul_plain /
+    // multiply+relin+rescale track plain f64 slot arithmetic. The
+    // multiply bound is looser (tensor noise grows with Δ⁻¹ scaled by
+    // operand magnitude) but stays far below any useful signal.
+    #[test]
+    fn encrypted_arithmetic_tracks_f64_arithmetic(
+        raw_a in pvec(-2_000_000i64..2_000_000, 4),
+        raw_b in pvec(-2_000_000i64..2_000_000, 4),
+        seed in 0u64..1000,
+    ) {
+        let a: Vec<f64> = raw_a.iter().map(|&v| v as f64 / 1e6).collect();
+        let b: Vec<f64> = raw_b.iter().map(|&v| v as f64 / 1e6).collect();
+        let mut f = fixture(seed);
+        let ev = CkksEvaluator::new(&f.params).unwrap();
+        let ca = encrypt(&mut f, &a);
+        let cb = encrypt(&mut f, &b);
+
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let got = decode(&f, &ev.add(&ca, &cb).unwrap(), 4);
+        prop_assert!(max_err(&got, &sum) < 1e-4, "add drifted: {got:?} vs {sum:?}");
+
+        let diff: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        let got = decode(&f, &ev.sub(&ca, &cb).unwrap(), 4);
+        prop_assert!(max_err(&got, &diff) < 1e-4, "sub drifted");
+
+        let pt_b = f.encoder.encode(&b).unwrap();
+        let scaled: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+        let got = decode(&f, &ev.mul_plain(&ca, &pt_b).unwrap(), 4);
+        prop_assert!(max_err(&got, &scaled) < 1e-3, "mul_plain drifted");
+
+        let prod = ev.multiply_relin_rescale(&ca, &cb, &f.rlk).unwrap();
+        prop_assert_eq!(prod.level(), f.params.top_level().lower().unwrap());
+        let got = decode(&f, &prod, 4);
+        prop_assert!(
+            max_err(&got, &scaled) < 1e-3,
+            "ct*ct drifted: {:?} vs {:?}",
+            got,
+            scaled
+        );
+    }
+}
+
+/// The hardware contract: the chip backend produces bit-identical limb
+/// residues to the CPU backend for every CKKS primitive — the
+/// approximation lives in the scheme, never in the silicon.
+#[test]
+fn cpu_and_chip_backends_are_bit_identical() {
+    let mut f = fixture(42);
+    let cpu = CkksEvaluator::with_backend(&f.params, &CpuBackendFactory).unwrap();
+    let chip = CkksEvaluator::with_backend(&f.params, &ChipBackendFactory::silicon()).unwrap();
+    assert_eq!(chip.backend_name(), "cofhee-chip");
+
+    let a = encrypt(&mut f, &[1.5, -0.25, 3.0]);
+    let b = encrypt(&mut f, &[0.5, 2.0, -1.0]);
+    let pt = f.encoder.encode(&[1.25, 1.25, 1.25]).unwrap();
+
+    let pairs = [
+        (cpu.add(&a, &b).unwrap(), chip.add(&a, &b).unwrap()),
+        (cpu.sub(&a, &b).unwrap(), chip.sub(&a, &b).unwrap()),
+        (cpu.add_plain(&a, &pt).unwrap(), chip.add_plain(&a, &pt).unwrap()),
+        (cpu.mul_plain(&a, &pt).unwrap(), chip.mul_plain(&a, &pt).unwrap()),
+        (
+            cpu.multiply_relin_rescale(&a, &b, &f.rlk).unwrap(),
+            chip.multiply_relin_rescale(&a, &b, &f.rlk).unwrap(),
+        ),
+    ];
+    for (c, s) in &pairs {
+        assert_eq!(c.components(), s.components(), "chip diverged from CPU");
+        assert_eq!(c.level(), s.level());
+    }
+
+    // The chip path actually executed PE work (NTT butterflies and
+    // modular multiplies), not a host-side shortcut.
+    let report = chip.backend_report();
+    assert!(report.butterflies > 0 && report.mults > 0);
+}
+
+/// Stream-compiler parity: every optimizer level yields bit-identical
+/// CKKS results — the passes (CSE, fusion, transfer hoisting, O2
+/// partitioning) reshape the recorded streams, never the values.
+#[test]
+fn optimizer_levels_are_bit_exact_and_report_rewrites() {
+    let mut f = fixture(7);
+    let a = encrypt(&mut f, &[0.5, -1.5]);
+    let b = encrypt(&mut f, &[2.5, 0.75]);
+
+    let mut reference: Option<CkksCiphertext> = None;
+    for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        let ev = CkksEvaluator::new(&f.params).unwrap().with_opt_level(level);
+        assert_eq!(ev.opt_level(), level);
+        let prod = ev.multiply_relin_rescale(&a, &b, &f.rlk).unwrap();
+        match &reference {
+            None => reference = Some(prod),
+            Some(r) => {
+                assert_eq!(r.components(), prod.components(), "{level} diverged from O0");
+                assert_eq!(r.level(), prod.level());
+            }
+        }
+        if level > OptLevel::O0 {
+            let report = ev.backend_stream_report();
+            assert!(
+                report.ops_fused + report.ops_eliminated + report.uploads_hoisted > 0,
+                "{level} must report rewrites on a relin stream"
+            );
+        }
+    }
+
+    // Sanity on the reference: it still decrypts to a·b.
+    let got = decode(&f, reference.as_ref().unwrap(), 2);
+    assert!((got[0] - 1.25).abs() < 1e-3 && (got[1] + 1.125).abs() < 1e-3, "{got:?}");
+    let _ = &f.sk;
+}
+
+/// Deep circuits consume the modulus chain level by level and fail
+/// typed — not silently — when it is exhausted.
+#[test]
+fn level_exhaustion_is_a_typed_error() {
+    let mut f = fixture(11);
+    let ev = CkksEvaluator::new(&f.params).unwrap();
+    let mut acc = encrypt(&mut f, &[1.1]);
+    let base = encrypt(&mut f, &[0.9]);
+    let mut expect = 1.1f64;
+    // Multiply down the whole chain…
+    while acc.level().index() > 0 {
+        let b_at = ev.mul_plain(&base, &f.encoder.encode(&[1.0]).unwrap());
+        let _ = b_at; // operand alignment handled internally per level
+        let aligned = align_to(&ev, &base, &acc);
+        acc = ev.multiply_relin_rescale(&acc, &aligned, &f.rlk).unwrap();
+        expect *= 0.9;
+        let got = decode(&f, &acc, 1)[0];
+        assert!((got - expect).abs() < 1e-2, "level {}: {got} vs {expect}", acc.level());
+    }
+    // …and the next multiply has no limb left to rescale into.
+    let aligned = align_to(&ev, &base, &acc);
+    let err = ev.multiply_relin_rescale(&acc, &aligned, &f.rlk).unwrap_err();
+    assert!(matches!(err, cofhee::ckks::CkksError::LevelExhausted), "{err:?}");
+}
+
+/// Drops `ct` to `target`'s level/scale by multiplying with an encoded
+/// 1.0 at matching scale and rescaling, so operands align for the next
+/// multiply. (A production stack would expose a dedicated mod-switch;
+/// the multiply-by-one route exercises the same streams.)
+fn align_to(ev: &CkksEvaluator, ct: &CkksCiphertext, target: &CkksCiphertext) -> CkksCiphertext {
+    let mut out = ct.clone();
+    let params = ev.params();
+    let encoder = CkksEncoder::new(params);
+    while out.level() > target.level() {
+        let needed = target.scale() * params.moduli()[out.level().index()] as f64 / out.scale();
+        let one = encoder.encode_at(&[1.0], out.level(), needed).unwrap();
+        out = ev.rescale(&ev.mul_plain(&out, &one).unwrap()).unwrap();
+    }
+    out
+}

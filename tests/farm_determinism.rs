@@ -121,7 +121,7 @@ fn run(
     let outcomes = sched.run(jobs).unwrap();
     let values = outcomes
         .iter()
-        .map(|o| o.result.polys().iter().map(|p| p.to_u128_vec()).collect())
+        .map(|o| o.result.expect_bfv().polys().iter().map(|p| p.to_u128_vec()).collect())
         .collect();
     (values, sched.report())
 }
@@ -191,10 +191,68 @@ proptest! {
         let (jobs, expected) = build_jobs(&f, &descs, gap, id);
         let outcomes = sched.run(jobs).unwrap();
         for (o, expect) in outcomes.iter().zip(&expected) {
-            let got = f.dec.decrypt(&o.result).unwrap().coeffs()[0];
+            let got = f.dec.decrypt(o.result.expect_bfv()).unwrap().coeffs()[0];
             prop_assert_eq!(got, *expect);
         }
     }
+}
+
+/// Mixed BFV+CKKS replays extend the determinism contract across
+/// schemes: a fixed workload mix run through `mixed_workload_jobs`
+/// yields the same scheme interleaving, bit-identical BFV ciphertexts,
+/// and bit-identical CKKS limb residues on every run and farm size.
+#[test]
+fn mixed_scheme_replays_are_bit_identical_across_runs_and_farm_sizes() {
+    use cofhee::apps::Workload;
+    use cofhee::ckks::{CkksEncoder, CkksEncryptor, CkksKeyGenerator, CkksParams};
+    use cofhee::farm::{mixed_workload_jobs, JobResult, ReplayInputs, ReplaySpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let f = fixture();
+    let ckks_params = CkksParams::insecure_testing(N).unwrap();
+    let encoder = CkksEncoder::new(&ckks_params);
+    let mut rng = StdRng::seed_from_u64(909);
+    let kg = CkksKeyGenerator::new(&ckks_params);
+    let sk = kg.secret_key(&mut rng).unwrap();
+    let pk = kg.public_key(&sk, &mut rng).unwrap();
+    let ckks_rlk = kg.relin_key(&sk, &mut rng).unwrap();
+    let enc = CkksEncryptor::new(&ckks_params, pk);
+    let ckks_cts = [[1.25, -0.5], [2.0, 3.5]]
+        .iter()
+        .map(|v| enc.encrypt(&encoder.encode(v).unwrap(), &mut rng).unwrap())
+        .collect();
+    let ckks_pts = vec![encoder.encode(&[0.75]).unwrap()];
+    let inputs = ReplayInputs::bfv(f.cts.clone(), f.pts.clone()).with_ckks(ckks_cts, ckks_pts);
+    let spec = ReplaySpec::closed(40_000, 17).offered(300);
+
+    let run = |chips: usize| {
+        let farm = ChipFarm::new(chips, ChipBackendFactory::silicon()).unwrap();
+        let mut sched = Scheduler::new(farm, Box::new(WorkStealing));
+        let bfv = sched.open_session(Session::new("exact", &f.params, f.rlk.clone()).unwrap());
+        let ckks = sched
+            .open_session(Session::new_ckks("approx", &ckks_params, ckks_rlk.clone()).unwrap());
+        let jobs = mixed_workload_jobs(bfv, ckks, &Workload::cryptonets(), &spec, &inputs).unwrap();
+        assert!(jobs.iter().any(|j| j.kind.name().starts_with("ckks:")));
+        let outcomes = sched.run(jobs).unwrap();
+        let values: Vec<Vec<Vec<Vec<u128>>>> = outcomes
+            .iter()
+            .map(|o| match &o.result {
+                JobResult::Bfv(ct) => {
+                    vec![ct.polys().iter().map(|p| p.to_u128_vec()).collect()]
+                }
+                JobResult::Ckks(ct) => ct.components().to_vec(),
+            })
+            .collect();
+        (values, sched.report().makespan_cycles)
+    };
+
+    let (v1a, m1a) = run(1);
+    let (v1b, m1b) = run(1);
+    assert_eq!(v1a, v1b, "repeated mixed runs must be bit-identical");
+    assert_eq!(m1a, m1b, "and cycle-identical");
+    let (v3, _) = run(3);
+    assert_eq!(v1a, v3, "farm size must never change mixed-scheme values");
 }
 
 /// Multi-chip farms must never do *more* total stream work than one

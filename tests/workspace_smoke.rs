@@ -63,6 +63,30 @@ fn bfv_encrypt_multiply_decrypt() {
 }
 
 #[test]
+fn ckks_encrypt_multiply_decrypt_approximately() {
+    use cofhee::ckks::{
+        CkksDecryptor, CkksEncoder, CkksEncryptor, CkksEvaluator, CkksKeyGenerator, CkksParams,
+    };
+    let params = CkksParams::insecure_testing(64).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let kg = CkksKeyGenerator::new(&params);
+    let sk = kg.secret_key(&mut rng).unwrap();
+    let pk = kg.public_key(&sk, &mut rng).unwrap();
+    let rlk = kg.relin_key(&sk, &mut rng).unwrap();
+
+    let encoder = CkksEncoder::new(&params);
+    let enc = CkksEncryptor::new(&params, pk);
+    let dec = CkksDecryptor::new(&params, sk);
+    let eval = CkksEvaluator::new(&params).unwrap();
+
+    let a = enc.encrypt(&encoder.encode(&[1.5, -2.0]).unwrap(), &mut rng).unwrap();
+    let b = enc.encrypt(&encoder.encode(&[4.0, 0.5]).unwrap(), &mut rng).unwrap();
+    let prod = eval.multiply_relin_rescale(&a, &b, &rlk).unwrap();
+    let got = encoder.decode(&dec.decrypt(&prod).unwrap()).unwrap();
+    assert!((got[0] - 6.0).abs() < 1e-3 && (got[1] + 1.0).abs() < 1e-3, "{got:?}");
+}
+
+#[test]
 fn sim_chip_dispatches_one_command() {
     let n = 1 << 6;
     let mut chip = Chip::silicon().unwrap();
