@@ -70,6 +70,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cofhee_arith::{Barrett128, Barrett64, LazyRing, ModRing};
+use cofhee_obs::TraceContext;
 use cofhee_poly::cache::TwiddleCache;
 use cofhee_poly::lazy::HarveyNtt;
 use cofhee_poly::pointwise;
@@ -254,6 +255,19 @@ pub trait PolyBackend: fmt::Debug + Send {
     fn execute_stream(&mut self, stream: &OpStream) -> Result<StreamOutcome> {
         stream::replay_sync(self, stream)
     }
+
+    /// Installs the tracing context used by subsequent
+    /// [`PolyBackend::execute_stream`] calls: which sink to record
+    /// into, which die's timeline tracks to write, and the virtual
+    /// cycle the next stream starts at.
+    ///
+    /// The provided default ignores the context — backends without a
+    /// cycle model ([`CpuBackend`]) have no die timeline to trace, and
+    /// the disabled path stays provably zero-perturbation because no
+    /// instrumentation site is ever reached. [`ChipBackend`] stores the
+    /// context and emits per-batch drain spans, DMA segments, and
+    /// interrupt instants while executing streams.
+    fn set_trace(&mut self, _ctx: TraceContext) {}
 }
 
 /// Builds [`PolyBackend`]s for arbitrary `(q, n)` pairs.
@@ -657,6 +671,12 @@ pub struct ChipBackend {
     pub(crate) pool: HashMap<u64, Vec<u128>>,
     pub(crate) report: OpReport,
     comm_base: CommStats,
+    /// Tracing destination for stream execution; [`TraceContext::disabled`]
+    /// until a farm (or test) installs a recording sink.
+    pub(crate) trace: TraceContext,
+    /// End cycle of the last DMA segment emitted on this die's link
+    /// track, kept across streams so link segments never regress.
+    pub(crate) trace_dma_tail: u64,
 }
 
 impl ChipBackend {
@@ -685,6 +705,8 @@ impl ChipBackend {
             pool: HashMap::new(),
             report: OpReport::default(),
             comm_base: CommStats::default(),
+            trace: TraceContext::disabled(),
+            trace_dma_tail: 0,
         }
     }
 
@@ -847,6 +869,10 @@ impl PolyBackend for ChipBackend {
     /// `chip_stream` module docs for the schedule.
     fn execute_stream(&mut self, stream: &OpStream) -> Result<StreamOutcome> {
         crate::chip_stream::execute(self, stream)
+    }
+
+    fn set_trace(&mut self, ctx: TraceContext) {
+        self.trace = ctx;
     }
 }
 

@@ -39,6 +39,7 @@
 //! final drain).
 
 use cofhee_arith::ModRing;
+use cofhee_obs::{TraceEvent, Track};
 use cofhee_sim::{BankId, Command, Slot, COMMAND_WORDS, FIFO_DEPTH};
 
 use crate::backend::ChipBackend;
@@ -95,6 +96,10 @@ struct Scheduler<'a> {
     /// compute.
     last_upload_bank: Option<BankId>,
     report: StreamReport,
+    /// Compute cycles already emitted onto this stream's die track;
+    /// batch spans start at `trace.base + trace_off`, so their
+    /// durations sum exactly to `overlapped_cycles`.
+    trace_off: u64,
 }
 
 impl<'a> Scheduler<'a> {
@@ -122,7 +127,61 @@ impl<'a> Scheduler<'a> {
             wire_in: 0.0,
             last_upload_bank: None,
             report: StreamReport::default(),
+            trace_off: 0,
         }
+    }
+
+    /// Emits the timeline events of one drained batch: the link-upload
+    /// DMA segment that streamed it in, the PE-compute span (batch
+    /// drain), and the drain-interrupt instant. Compute spans start at
+    /// `trace.base + trace_off`, so per-die compute durations sum
+    /// exactly to the stream's `overlapped_cycles` — and therefore to
+    /// the farm's per-die busy cycles. DMA segments serialize on the
+    /// die's link track (`trace_dma_tail` persists across streams), so
+    /// link segments never overlap or regress.
+    fn trace_batch(&mut self, wire_in: f64, wall_cycles: u64, commands: u64, irq: bool) {
+        if !self.be.trace.enabled() {
+            return;
+        }
+        let die = self.be.trace.die;
+        let freq = self.be.device.chip().config().freq_hz as f64;
+        let start = self.be.trace.base + self.trace_off;
+        let end = start.saturating_add(wall_cycles);
+        self.trace_off += wall_cycles;
+        let wire_cycles = (wire_in * freq).round() as u64;
+        if wire_cycles > 0 {
+            let s = start.saturating_sub(wire_cycles).max(self.be.trace_dma_tail);
+            let e = s + wire_cycles;
+            self.be.trace_dma_tail = e;
+            self.be.trace.sink.record(TraceEvent::span(Track::DieDma(die), "dma-upload", s, e));
+        }
+        self.be.trace.sink.record(
+            TraceEvent::span(Track::DieCompute(die), "drain", start, end).arg("commands", commands),
+        );
+        if irq {
+            self.be.trace.sink.record(TraceEvent::instant(Track::DieCompute(die), "irq", end));
+        }
+    }
+
+    /// Emits the readout DMA segment that streams the marked outputs
+    /// back after the final drain.
+    fn trace_readout(&mut self) {
+        if !self.be.trace.enabled() || self.report.downloaded_bytes == 0 {
+            return;
+        }
+        let freq = self.be.device.chip().config().freq_hz as f64;
+        let poly_bytes = self.n as u64 * 16;
+        let downloads = self.report.downloaded_bytes / poly_bytes;
+        let wire = downloads as f64 * self.be.device.link_transfer_seconds(poly_bytes);
+        let wire_cycles = (wire * freq).round() as u64;
+        if wire_cycles == 0 {
+            return;
+        }
+        let die = self.be.trace.die;
+        let s = (self.be.trace.base + self.trace_off).max(self.be.trace_dma_tail);
+        let e = s + wire_cycles;
+        self.be.trace_dma_tail = e;
+        self.be.trace.sink.record(TraceEvent::span(Track::DieDma(die), "dma-readout", s, e));
     }
 
     fn live_count(&self) -> usize {
@@ -178,12 +237,12 @@ impl<'a> Scheduler<'a> {
                 self.report.batches += 1;
                 self.report.serial_cycles += drained.serial_cycles;
                 self.report.overlapped_cycles += drained.report.cycles;
-                self.report.interrupts += u64::from(self.be.device.take_interrupt());
+                let irq = self.be.device.take_interrupt();
+                self.report.interrupts += u64::from(irq);
                 self.be.report.absorb(&drained.report);
-                self.batches.push(Batch {
-                    wire_in: std::mem::take(&mut self.wire_in),
-                    wall_cycles: drained.report.cycles,
-                });
+                let wire_in = std::mem::take(&mut self.wire_in);
+                self.batches.push(Batch { wire_in, wall_cycles: drained.report.cycles });
+                self.trace_batch(wire_in, drained.report.cycles, drained.executed, irq);
             }
         }
         for s in &mut self.slots {
@@ -394,6 +453,7 @@ impl<'a> Scheduler<'a> {
             self.report.downloaded_bytes += poly_bytes;
             self.release(*out);
         }
+        self.trace_readout();
         self.finish_timing();
         Ok(outputs)
     }
@@ -576,6 +636,54 @@ mod tests {
         // + 1 readout DMA.
         assert_eq!(r.uploaded_bytes, 2 * poly_bytes + 10 * cmd_bytes);
         assert_eq!(r.downloaded_bytes, poly_bytes);
+    }
+
+    #[test]
+    fn traced_drain_spans_sum_exactly_to_overlapped_cycles() {
+        use cofhee_obs::{EventKind, MemorySink, TraceContext, Track};
+
+        let q = q();
+        let st = deep_stream(10);
+        let mut plain = ChipBackend::connect(ChipConfig::silicon(), q, N).unwrap();
+        let untraced = plain.execute_stream(&st).unwrap();
+
+        let sink = MemorySink::shared();
+        let link = Link::Spi(Spi::new(50_000_000));
+        let mut chip = ChipBackend::connect_via(ChipConfig::silicon(), q, N, link).unwrap();
+        chip.set_trace(TraceContext::new(sink.clone(), 3, 1_000));
+        let traced = chip.execute_stream(&st).unwrap();
+        assert_eq!(traced.outputs, untraced.outputs, "tracing must not perturb results");
+        assert_eq!(traced.report.overlapped_cycles, untraced.report.overlapped_cycles);
+
+        let events = sink.events();
+        let drains: Vec<_> = events
+            .iter()
+            .filter(|e| e.track == Track::DieCompute(3) && e.name == "drain")
+            .collect();
+        assert_eq!(drains.len() as u64, traced.report.batches);
+        assert_eq!(drains[0].kind.start(), 1_000, "first batch starts at the trace base");
+        let total: u64 = drains.iter().map(|e| e.kind.duration()).sum();
+        assert_eq!(
+            total, traced.report.overlapped_cycles,
+            "drain spans must tile the stream's busy window exactly"
+        );
+        let irqs = events.iter().filter(|e| e.name == "irq").count() as u64;
+        assert_eq!(irqs, traced.report.interrupts);
+
+        // The timed link produces serialized, non-overlapping DMA
+        // segments on the die's link track.
+        let mut dma_tail = 0u64;
+        let mut dma_seen = 0;
+        for e in events.iter().filter(|e| e.track == Track::DieDma(3)) {
+            let EventKind::Span { start, end } = e.kind else {
+                panic!("DMA track must hold spans only")
+            };
+            assert!(start >= dma_tail, "link segments must not overlap");
+            dma_tail = end;
+            dma_seen += 1;
+        }
+        assert!(dma_seen > 0, "a timed link must produce DMA segments");
+        assert!(events.iter().any(|e| e.name == "dma-readout"));
     }
 
     #[test]

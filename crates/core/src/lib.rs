@@ -78,3 +78,8 @@ pub use stream::{
 // Telemetry types surfaced through the backend API, re-exported so
 // backend consumers need not depend on `cofhee_sim` directly.
 pub use cofhee_sim::OpReport;
+
+// Tracing types surfaced through [`PolyBackend::set_trace`],
+// re-exported so backend consumers need not depend on `cofhee_obs`
+// directly.
+pub use cofhee_obs::{SharedSink, TraceContext};

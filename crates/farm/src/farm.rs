@@ -1,8 +1,13 @@
 //! The die pool: N simulated CoFHEE chips under one virtual-time clock.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use cofhee_core::{BackendFactory, ChipBackendFactory, OpStream, PolyBackend, StreamOutcome};
+use cofhee_core::{
+    BackendFactory, ChipBackendFactory, OpStream, PolyBackend, SharedSink, StreamOutcome,
+    TraceContext,
+};
+use cofhee_obs::null_sink;
 
 use crate::error::{FarmError, Result};
 use crate::policy::DieStatus;
@@ -109,6 +114,11 @@ pub struct ExecutedStream {
 pub struct ChipFarm {
     factory: ChipBackendFactory,
     dies: Vec<Die>,
+    /// Trace sink handed to each die backend before every stream (as a
+    /// [`TraceContext`] carrying the die index and start cycle).
+    /// [`cofhee_obs::NullSink`] by default, so untraced farms skip all
+    /// instrumentation.
+    trace: SharedSink,
 }
 
 impl ChipFarm {
@@ -121,7 +131,19 @@ impl ChipFarm {
         if chips == 0 {
             return Err(FarmError::EmptyFarm);
         }
-        Ok(Self { factory, dies: (0..chips).map(|_| Die::new()).collect() })
+        Ok(Self { factory, dies: (0..chips).map(|_| Die::new()).collect(), trace: null_sink() })
+    }
+
+    /// Installs a trace sink: every subsequent stream execution emits
+    /// its per-die drain spans, DMA segments, and interrupt instants
+    /// into it, stamped on the farm's virtual timeline.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.trace = sink;
+    }
+
+    /// The installed trace sink (the null sink unless one was set).
+    pub fn trace_sink(&self) -> &SharedSink {
+        &self.trace
     }
 
     /// Number of dies in the pool.
@@ -180,9 +202,12 @@ impl ChipFarm {
                 slot.insert(factory.make(q, n).map_err(|e| FarmError::on_chip(chip, e))?)
             }
         };
+        let start = ready.max(die.clock);
+        if self.trace.enabled() {
+            backend.set_trace(TraceContext::new(Arc::clone(&self.trace), chip, start));
+        }
         let outcome = backend.execute_stream(stream).map_err(|e| FarmError::on_chip(chip, e))?;
         let cost = outcome.report.overlapped_cycles;
-        let start = ready.max(die.clock);
         let finish = start.saturating_add(cost);
         die.clock = finish;
         die.busy = die.busy.saturating_add(cost);

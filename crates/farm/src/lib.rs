@@ -39,8 +39,11 @@
 //! job list therefore yields bit-identical ciphertexts **and**
 //! identical telemetry across repeated runs — and bit-identical
 //! ciphertexts across farm sizes and policies, since placement can
-//! change only timing, never values. `tests/farm_determinism.rs`
-//! property-checks both.
+//! change only timing, never values. The workspace-level
+//! `tests/farm_determinism.rs` property-checks both, and tracing is
+//! held to the same bar: `tests/obs_zero_perturbation.rs` checks that
+//! a live [`MemorySink`](cofhee_obs::MemorySink) leaves ciphertexts
+//! and cycle telemetry bit-identical to the default `NullSink` run.
 //!
 //! # Example
 //!

@@ -1,16 +1,20 @@
 //! The session-aware job scheduler: whole homomorphic operations in,
 //! per-limb streams placed across dies, finished ciphertexts out.
 
+use std::sync::Arc;
+
 use cofhee_bfv::{Ciphertext, Plaintext};
 use cofhee_ckks::{CkksCiphertext, CkksPlaintext};
-use cofhee_core::{OpStream, StreamReport};
+use cofhee_core::{OpStream, SharedSink, StreamReport};
+use cofhee_obs::{null_sink, CycleHistogram, MetricsRegistry, TraceEvent, Track};
 use cofhee_opt::{execute_partitioned, OptLevel, PartitionPlan, Partitioner, PassRunner};
+use cofhee_poly::TwiddleCache;
 
 use crate::error::{FarmError, Result};
 use crate::farm::{ChipFarm, ExecutedStream};
 use crate::policy::PlacementPolicy;
 use crate::session::{Session, SessionId};
-use crate::telemetry::{latency_percentiles, FarmReport};
+use crate::telemetry::{FarmReport, LatencyPercentiles};
 
 /// Per-limb stream outputs: `outputs[limb][output][coefficient]`.
 type LimbOutputs = Vec<Vec<Vec<u128>>>;
@@ -197,9 +201,18 @@ pub struct Scheduler {
     farm: ChipFarm,
     policy: Box<dyn PlacementPolicy>,
     sessions: Vec<std::sync::Arc<Session>>,
-    latencies: Vec<u64>,
-    queue_cycles: Vec<u64>,
-    service_cycles: Vec<u64>,
+    /// Per-job latency / queue-wait / critical-path-service cycles,
+    /// kept as mergeable log₂ histograms so million-job replays stay
+    /// O(1) memory (the exact nearest-rank path survives as the test
+    /// oracle in `telemetry`).
+    latencies: CycleHistogram,
+    queue_cycles: CycleHistogram,
+    service_cycles: CycleHistogram,
+    /// Peak queue depth each die showed at a placement decision.
+    queue_depth_peaks: Vec<u64>,
+    /// Trace sink for job lifecycle spans, phase spans, and placement
+    /// instants; the null sink unless installed.
+    trace: SharedSink,
     jobs_done: u64,
     stream_totals: StreamReport,
     /// Stream-compiler level applied to every stream before placement
@@ -215,13 +228,30 @@ impl Scheduler {
             farm,
             policy,
             sessions: Vec::new(),
-            latencies: Vec::new(),
-            queue_cycles: Vec::new(),
-            service_cycles: Vec::new(),
+            latencies: CycleHistogram::new(),
+            queue_cycles: CycleHistogram::new(),
+            service_cycles: CycleHistogram::new(),
+            queue_depth_peaks: Vec::new(),
+            trace: null_sink(),
             jobs_done: 0,
             stream_totals: StreamReport::default(),
             opt_level: OptLevel::O0,
         }
+    }
+
+    /// Installs a trace sink on the scheduler *and* its farm: job
+    /// lifecycle spans and phase chains land on per-job tenant tracks,
+    /// placement instants and batch drains on the per-die tracks.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.farm.set_trace_sink(Arc::clone(&sink));
+        self.trace = sink;
+    }
+
+    /// Jobs completed so far — also the sequence number the *next* job
+    /// will trace under (front-ends use it to pre-label queue spans on
+    /// the same per-job track the scheduler will write).
+    pub fn jobs_done(&self) -> u64 {
+        self.jobs_done
     }
 
     /// Sets the stream-compiler level applied to every subsequent
@@ -278,6 +308,18 @@ impl Scheduler {
     ) -> Result<ExecutedStream> {
         let statuses = self.farm.statuses(ready);
         let chip = self.policy.place(&statuses, ready);
+        if self.queue_depth_peaks.len() < statuses.len() {
+            self.queue_depth_peaks.resize(statuses.len(), 0);
+        }
+        let depth = statuses[chip].pending as u64;
+        self.queue_depth_peaks[chip] = self.queue_depth_peaks[chip].max(depth);
+        if self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::instant(Track::DieCompute(chip), "place", ready)
+                    .arg("pending", depth)
+                    .arg("ops", stream.len() as u64),
+            );
+        }
         let run = self.farm.execute(chip, q, n, stream, ready)?;
         self.stream_totals.absorb(&run.outcome.report);
         Ok(run)
@@ -285,16 +327,33 @@ impl Scheduler {
 
     /// Rewrites `stream` under the scheduler's [`OptLevel`], folding the
     /// optimizer counters into the farm's stream telemetry. Identity at
-    /// `O0`.
-    fn compile(&mut self, stream: OpStream) -> Result<OpStream> {
+    /// `O0`. With a trace sink installed, each effective pass lands as a
+    /// compiler-track instant at `ready` (the stream's virtual ready
+    /// time) carrying its op-delta counters.
+    fn compile(&mut self, stream: OpStream, ready: u64) -> Result<OpStream> {
         if self.opt_level == OptLevel::O0 {
             return Ok(stream);
         }
-        let (opt, stats) = PassRunner::for_level(self.opt_level).optimize(&stream)?;
+        let runner = PassRunner::for_level(self.opt_level);
+        let (opt, stats) = if self.trace.enabled() {
+            runner.optimize_traced(&stream, &self.trace, ready)?
+        } else {
+            runner.optimize(&stream)?
+        };
         let mut delta = StreamReport::default();
         stats.stamp(&mut delta);
         self.stream_totals.absorb(&delta);
         Ok(opt)
+    }
+
+    /// Emits a phase span on the in-flight job's per-job track (the job
+    /// traces under sequence number `jobs_done`, bumped only after the
+    /// job completes).
+    fn trace_phase(&self, session: SessionId, name: &'static str, start: u64, end: u64) {
+        if self.trace.enabled() {
+            let track = Track::Job { tenant: session.raw(), seq: self.jobs_done };
+            self.trace.record(TraceEvent::span(track, name, start, end));
+        }
     }
 
     /// Compiles and executes one stream: placed whole at `O0`/`O1`, and
@@ -308,7 +367,7 @@ impl Scheduler {
         stream: OpStream,
         ready: u64,
     ) -> Result<(Vec<Vec<u128>>, u64, u64)> {
-        let stream = self.compile(stream)?;
+        let stream = self.compile(stream, ready)?;
         if self.opt_level >= OptLevel::O2 {
             let plan = Partitioner::new(self.farm.chips()).partition(&stream);
             if plan.parts() > 1 {
@@ -421,16 +480,19 @@ impl Scheduler {
             JobKind::Add(a, b) => {
                 let st = ev.add_stream(a, b)?;
                 let (outs, finish, service) = self.run_stream(q, n, st, job.arrival)?;
+                self.trace_phase(job.session, "compute", job.arrival, finish);
                 Ok((JobResult::Bfv(ev.ciphertext_from_outputs(outs)?), finish, service, 1))
             }
             JobKind::AddPlain(a, pt) => {
                 let st = ev.add_plain_stream(a, pt)?;
                 let (outs, finish, service) = self.run_stream(q, n, st, job.arrival)?;
+                self.trace_phase(job.session, "compute", job.arrival, finish);
                 Ok((JobResult::Bfv(ev.ciphertext_from_outputs(outs)?), finish, service, 1))
             }
             JobKind::MulPlain(a, pt) => {
                 let st = ev.mul_plain_stream(a, pt)?;
                 let (outs, finish, service) = self.run_stream(q, n, st, job.arrival)?;
+                self.trace_phase(job.session, "compute", job.arrival, finish);
                 Ok((JobResult::Bfv(ev.ciphertext_from_outputs(outs)?), finish, service, 1))
             }
             JobKind::MulRelin(a, b) => {
@@ -455,6 +517,8 @@ impl Scheduler {
                 // split across dies.
                 let rst = ev.relin_stream(&prod3, rlk)?;
                 let (outs, finish, relin_service) = self.run_stream(q, n, rst, tensor_done)?;
+                self.trace_phase(job.session, "tensor", job.arrival, tensor_done);
+                self.trace_phase(job.session, "relin", tensor_done, finish);
                 let ct = ev.ciphertext_from_outputs(outs)?;
                 let service = tensor_service.saturating_add(relin_service);
                 Ok((JobResult::Bfv(ct), finish, service, stream_count + 1))
@@ -484,6 +548,7 @@ impl Scheduler {
                 let count = streams.len();
                 let (limbs, finish, service) =
                     self.run_limb_batch(&moduli, n, streams, job.arrival)?;
+                self.trace_phase(job.session, "compute", job.arrival, finish);
                 let ct = ev
                     .ciphertext_from_limb_outputs(limbs, a.level(), a.scale())
                     .map_err(FarmError::Ckks)?;
@@ -495,6 +560,7 @@ impl Scheduler {
                 let count = streams.len();
                 let (limbs, finish, service) =
                     self.run_limb_batch(&moduli, n, streams, job.arrival)?;
+                self.trace_phase(job.session, "compute", job.arrival, finish);
                 let ct = ev
                     .ciphertext_from_limb_outputs(limbs, a.level(), a.scale() * pt.scale())
                     .map_err(FarmError::Ckks)?;
@@ -530,6 +596,9 @@ impl Scheduler {
                 let lower = level.lower().expect("rescale_streams guards the chain bottom");
                 let (limbs, finish, rescale_service) =
                     self.run_limb_batch(&moduli[..lower.limbs()], n, streams, relin_done)?;
+                self.trace_phase(job.session, "tensor", job.arrival, tensor_done);
+                self.trace_phase(job.session, "relin", tensor_done, relin_done);
+                self.trace_phase(job.session, "rescale", relin_done, finish);
                 let ct = ev
                     .ciphertext_from_limb_outputs(limbs, lower, scale)
                     .map_err(FarmError::Ckks)?;
@@ -567,9 +636,20 @@ impl Scheduler {
             let job = &jobs[ji];
             let (result, finish, service_cycles, streams) = self.run_job(job)?;
             let latency = finish.saturating_sub(job.arrival);
-            self.latencies.push(latency);
-            self.queue_cycles.push(latency.saturating_sub(service_cycles));
-            self.service_cycles.push(service_cycles);
+            if self.trace.enabled() {
+                // The enclosing job span: same track as the phase spans
+                // (they tile it exactly), longest duration at the same
+                // start, so it sorts — and nests — as their parent.
+                let track = Track::Job { tenant: job.session.raw(), seq: self.jobs_done };
+                self.trace.record(
+                    TraceEvent::span(track, job.kind.name(), job.arrival, finish)
+                        .arg("streams", streams as u64)
+                        .arg("service_cycles", service_cycles),
+                );
+            }
+            self.latencies.record(latency);
+            self.queue_cycles.record(latency.saturating_sub(service_cycles));
+            self.service_cycles.record(service_cycles);
             self.jobs_done += 1;
             outcomes.push(JobOutcome {
                 index: ji,
@@ -595,12 +675,40 @@ impl Scheduler {
             jobs: self.jobs_done,
             streams,
             makespan_cycles: self.farm.makespan(),
-            latency: latency_percentiles(&self.latencies),
-            queue: latency_percentiles(&self.queue_cycles),
-            service: latency_percentiles(&self.service_cycles),
+            latency: LatencyPercentiles::from_histogram(&self.latencies),
+            queue: LatencyPercentiles::from_histogram(&self.queue_cycles),
+            service: LatencyPercentiles::from_histogram(&self.service_cycles),
             stream_totals: self.stream_totals,
             freq_hz: self.farm.freq_hz(),
         }
+    }
+
+    /// A machine-readable metrics snapshot of everything this scheduler
+    /// has run: farm-level counters, per-die busy/queue-depth series,
+    /// the three latency histograms, and the process-wide twiddle-cache
+    /// counters (the chip's NTT constant store — farm workloads should
+    /// hit it far more often than they miss).
+    ///
+    /// Built on demand — the hot path never touches a string-keyed map.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("farm.jobs", self.jobs_done);
+        m.gauge_set("farm.makespan_cycles", self.farm.makespan().min(i64::MAX as u64) as i64);
+        for c in self.farm.chip_stats() {
+            m.counter_add(&format!("farm.die{}.streams", c.chip), c.streams);
+            m.counter_add(&format!("farm.die{}.busy_cycles", c.chip), c.busy_cycles);
+            m.gauge_set(&format!("farm.die{}.queue_depth_max", c.chip), c.max_queue_depth as i64);
+        }
+        for (die, &peak) in self.queue_depth_peaks.iter().enumerate() {
+            m.gauge_set(&format!("farm.die{die}.queue_depth_at_place"), peak as i64);
+        }
+        m.histogram_merge("farm.latency_cycles", &self.latencies);
+        m.histogram_merge("farm.queue_cycles", &self.queue_cycles);
+        m.histogram_merge("farm.service_cycles", &self.service_cycles);
+        let tw = TwiddleCache::stats();
+        m.counter_add("twiddle_cache.hits", tw.hits);
+        m.counter_add("twiddle_cache.misses", tw.misses);
+        m
     }
 }
 
@@ -965,5 +1073,104 @@ mod tests {
             .run(vec![Job { session: bfv_id, kind: JobKind::CkksAdd(a.clone(), a), arrival: 0 }])
             .unwrap_err();
         assert!(matches!(err, FarmError::SchemeMismatch { id: 1 }));
+    }
+
+    #[test]
+    fn traced_runs_reconcile_die_spans_with_chip_stats_exactly() {
+        use cofhee_obs::{EventKind, MemorySink, Track};
+        let mut t = tenant(41);
+        let (mut s, id) = sched(2, Box::new(WorkStealing), &t);
+        let sink = MemorySink::shared();
+        s.set_trace_sink(sink.clone());
+        let a = encrypt(&mut t, 3);
+        let b = encrypt(&mut t, 5);
+        s.run(vec![
+            Job { session: id, kind: JobKind::MulRelin(a.clone(), b.clone()), arrival: 0 },
+            Job { session: id, kind: JobKind::Add(a.clone(), b.clone()), arrival: 50 },
+        ])
+        .unwrap();
+        let events = sink.events();
+
+        // Acceptance invariant: per-die drain-span durations sum exactly
+        // to the die's ChipStats busy cycles — no rounding slack.
+        let chips = s.farm().chip_stats();
+        assert!(chips.iter().any(|c| c.streams > 0));
+        for c in &chips {
+            let total: u64 = events
+                .iter()
+                .filter(|e| e.track == Track::DieCompute(c.chip) && e.name == "drain")
+                .map(|e| e.kind.duration())
+                .sum();
+            assert_eq!(total, c.busy_cycles, "die {} spans drift from ChipStats", c.chip);
+        }
+
+        // Job 0 (the multiply): tensor+relin tile the lifecycle span.
+        let job0: Vec<_> = events
+            .iter()
+            .filter(|e| e.track == (Track::Job { tenant: id.raw(), seq: 0 }))
+            .collect();
+        let outer = job0.iter().find(|e| e.name == "ct*ct+relin").expect("lifecycle span");
+        let tensor = job0.iter().find(|e| e.name == "tensor").expect("tensor phase");
+        let relin = job0.iter().find(|e| e.name == "relin").expect("relin phase");
+        let (
+            EventKind::Span { start: os, end: oe },
+            EventKind::Span { start: ts, end: te },
+            EventKind::Span { start: rs, end: re },
+        ) = (outer.kind, tensor.kind, relin.kind)
+        else {
+            panic!("job events must be spans");
+        };
+        assert_eq!((ts, re), (os, oe), "phases must tile the job span");
+        assert_eq!(te, rs, "relin starts the cycle tensor ends");
+
+        // Placement decisions landed as die-track instants.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.track, Track::DieCompute(_)) && e.name == "place"));
+
+        // And the metrics snapshot reflects the run.
+        let m = s.metrics();
+        assert_eq!(m.counter("farm.jobs"), 2);
+        assert_eq!(m.histogram("farm.latency_cycles").map(CycleHistogram::count), Some(2));
+        let busy: u64 = chips.iter().map(|c| c.busy_cycles).sum();
+        let counted: u64 =
+            chips.iter().map(|c| m.counter(&format!("farm.die{}.busy_cycles", c.chip))).sum();
+        assert_eq!(counted, busy);
+    }
+
+    #[test]
+    fn twiddle_cache_hit_rate_exceeds_90_percent_on_farm_runs() {
+        let mut t = tenant(43);
+        let a = encrypt(&mut t, 2);
+        let b = encrypt(&mut t, 3);
+        let jobs = |id: SessionId| {
+            (0..3)
+                .map(|i| Job {
+                    session: id,
+                    kind: JobKind::MulRelin(a.clone(), b.clone()),
+                    arrival: i * 10,
+                })
+                .collect::<Vec<_>>()
+        };
+        // Warm the process-wide cache with one throwaway farm run, then
+        // measure the hit rate over a second identical run: every NTT
+        // table is interned by then, so the delta should be nearly all
+        // hits. (Counters are global and other tests run concurrently —
+        // the margin over 90% is wide in practice, typically >99%.)
+        let (mut warm, wid) = sched(2, Box::new(WorkStealing), &t);
+        warm.run(jobs(wid)).unwrap();
+        let before = cofhee_poly::TwiddleCache::stats();
+        let (mut s, id) = sched(2, Box::new(WorkStealing), &t);
+        s.run(jobs(id)).unwrap();
+        let after = cofhee_poly::TwiddleCache::stats();
+        let hits = after.hits - before.hits;
+        let misses = after.misses - before.misses;
+        assert!(hits > 0, "farm runs must exercise the twiddle cache");
+        let rate = hits as f64 / (hits + misses) as f64;
+        assert!(rate > 0.9, "twiddle hit rate {rate:.3} <= 0.9 ({hits} hits / {misses} misses)");
+        // The scheduler's metrics snapshot exposes the same counters to
+        // farm-layer consumers.
+        let m = s.metrics();
+        assert!(m.counter("twiddle_cache.hits") >= hits);
     }
 }

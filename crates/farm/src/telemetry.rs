@@ -8,6 +8,7 @@
 //! million-job replay pins at `u64::MAX` instead of wrapping.
 
 use cofhee_core::StreamReport;
+use cofhee_obs::CycleHistogram;
 
 /// One die's lifetime counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +35,14 @@ impl ChipStats {
     }
 }
 
-/// Job-latency percentiles in simulated cycles (nearest-rank).
+/// Job-latency percentiles in simulated cycles.
+///
+/// Production reports come from [`LatencyPercentiles::from_histogram`]
+/// over a [`CycleHistogram`] — O(1) memory, mergeable, never
+/// over-reporting (each quantile is the lower bound of its log₂
+/// sub-bucket, at most ~6.25% under the exact nearest-rank value).
+/// [`latency_percentiles`] keeps the exact clone-and-sort path as the
+/// test oracle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyPercentiles {
     /// Median.
@@ -43,11 +51,35 @@ pub struct LatencyPercentiles {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile — separates the "one slow relinearization"
+    /// tail from the p99 body on large replays.
+    pub p99_9: u64,
     /// Worst observed.
     pub max: u64,
+    /// Samples the percentiles summarize.
+    pub count: u64,
 }
 
-/// Nearest-rank percentiles over a latency sample (sorted internally).
+impl LatencyPercentiles {
+    /// Percentiles from a streaming histogram (the production path).
+    pub fn from_histogram(hist: &CycleHistogram) -> Self {
+        if hist.count() == 0 {
+            return Self::default();
+        }
+        Self {
+            p50: hist.percentile(50.0),
+            p95: hist.percentile(95.0),
+            p99: hist.percentile(99.0),
+            p99_9: hist.percentile(99.9),
+            max: hist.max(),
+            count: hist.count(),
+        }
+    }
+}
+
+/// Exact nearest-rank percentiles over a latency sample (sorted
+/// internally). O(n log n) per call — kept as the oracle the histogram
+/// path is tested against, and for small one-shot samples.
 pub fn latency_percentiles(latencies: &[u64]) -> LatencyPercentiles {
     if latencies.is_empty() {
         return LatencyPercentiles::default();
@@ -62,7 +94,9 @@ pub fn latency_percentiles(latencies: &[u64]) -> LatencyPercentiles {
         p50: rank(50.0),
         p95: rank(95.0),
         p99: rank(99.0),
+        p99_9: rank(99.9),
         max: *sorted.last().expect("non-empty"),
+        count: sorted.len() as u64,
     }
 }
 
@@ -176,10 +210,38 @@ mod tests {
         assert_eq!(p.p50, 50);
         assert_eq!(p.p95, 95);
         assert_eq!(p.p99, 99);
+        assert_eq!(p.p99_9, 100);
         assert_eq!(p.max, 100);
+        assert_eq!(p.count, 100);
         assert_eq!(latency_percentiles(&[]), LatencyPercentiles::default());
         let single = latency_percentiles(&[42]);
         assert_eq!((single.p50, single.p99, single.max), (42, 42, 42));
+    }
+
+    #[test]
+    fn histogram_percentiles_match_the_exact_oracle_within_a_sub_bucket() {
+        // Skewed sample with a heavy tail, like real job latencies.
+        let lat: Vec<u64> = (0..5000u64).map(|i| 1000 + i * i % 700_003).collect();
+        let exact = latency_percentiles(&lat);
+        let mut hist = CycleHistogram::new();
+        for &v in &lat {
+            hist.record(v);
+        }
+        let approx = LatencyPercentiles::from_histogram(&hist);
+        assert_eq!(approx.count, exact.count);
+        assert_eq!(approx.max, exact.max);
+        for (a, e) in [
+            (approx.p50, exact.p50),
+            (approx.p95, exact.p95),
+            (approx.p99, exact.p99),
+            (approx.p99_9, exact.p99_9),
+        ] {
+            // Lower bound of the exact value's 1/16-wide sub-bucket:
+            // never above, within ~6.25% below.
+            assert!(a <= e, "histogram over-reported: {a} > {e}");
+            assert!(e - a <= e / 16 + 1, "histogram too far under: {a} vs {e}");
+        }
+        assert_eq!(LatencyPercentiles::from_histogram(&CycleHistogram::new()), Default::default());
     }
 
     #[test]

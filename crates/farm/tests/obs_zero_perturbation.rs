@@ -1,0 +1,162 @@
+//! Tracing must be pure observation: running any job list under a live
+//! `MemorySink` has to produce bit-identical ciphertexts and identical
+//! cycle telemetry to the same list under the default `NullSink`.
+//!
+//! This is the observability layer's core contract — `enabled()` guards
+//! mean a disabled sink costs one virtual call per site, and an
+//! *enabled* sink may add host work but must never touch the virtual
+//! die clock or the arithmetic. The properties here drive randomized
+//! BFV+CKKS job mixes through both configurations and diff everything
+//! the farm can report.
+
+use cofhee_bfv::{BfvParams, Ciphertext, Encryptor, KeyGenerator, Plaintext, RelinKey};
+use cofhee_ckks::{
+    CkksCiphertext, CkksEncoder, CkksEncryptor, CkksKeyGenerator, CkksParams, CkksPlaintext,
+    CkksRelinKey,
+};
+use cofhee_core::ChipBackendFactory;
+use cofhee_farm::{
+    ChipFarm, Job, JobKind, JobOutcome, JobResult, Scheduler, Session, SessionId, WorkStealing,
+};
+use cofhee_obs::MemorySink;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic operand pools for both schemes, rebuilt per case so
+/// the two runs start from byte-identical inputs.
+struct Pools {
+    bfv_params: BfvParams,
+    bfv_rlk: RelinKey,
+    cts: Vec<Ciphertext>,
+    pts: Vec<Plaintext>,
+    ckks_params: CkksParams,
+    ckks_rlk: CkksRelinKey,
+    ckts: Vec<CkksCiphertext>,
+    cpts: Vec<CkksPlaintext>,
+}
+
+fn pools(seed: u64) -> Pools {
+    let n = 32;
+    let bfv_params = BfvParams::insecure_testing(n).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kg = KeyGenerator::new(&bfv_params, &mut rng);
+    let enc = Encryptor::new(&bfv_params, kg.public_key(&mut rng).unwrap());
+    let bfv_rlk = kg.relin_key(16, &mut rng).unwrap();
+    let pts: Vec<Plaintext> =
+        (1..=3u64).map(|v| Plaintext::constant(&bfv_params, v).unwrap()).collect();
+    let cts = pts.iter().map(|pt| enc.encrypt(pt, &mut rng).unwrap()).collect();
+
+    let ckks_params = CkksParams::insecure_testing(n).unwrap();
+    let ckg = CkksKeyGenerator::new(&ckks_params);
+    let sk = ckg.secret_key(&mut rng).unwrap();
+    let pk = ckg.public_key(&sk, &mut rng).unwrap();
+    let ckks_rlk = ckg.relin_key(&sk, &mut rng).unwrap();
+    let encoder = CkksEncoder::new(&ckks_params);
+    let cenc = CkksEncryptor::new(&ckks_params, pk);
+    let cpts: Vec<CkksPlaintext> =
+        (1..=3).map(|v| encoder.encode(&[v as f64 * 0.25, -(v as f64)]).unwrap()).collect();
+    let ckts = cpts.iter().map(|pt| cenc.encrypt(pt, &mut rng).unwrap()).collect();
+
+    Pools { bfv_params, bfv_rlk, cts, pts, ckks_params, ckks_rlk, ckts, cpts }
+}
+
+impl Pools {
+    /// Decodes one proptest-drawn `(kind, i, j)` triple into a job.
+    fn job(&self, session: SessionId, kind: u8, i: usize, j: usize, arrival: u64) -> Job {
+        let ct = |k: usize| self.cts[k % self.cts.len()].clone();
+        let pt = |k: usize| self.pts[k % self.pts.len()].clone();
+        let cct = |k: usize| self.ckts[k % self.ckts.len()].clone();
+        let cpt = |k: usize| self.cpts[k % self.cpts.len()].clone();
+        let kind = match kind % 7 {
+            0 => JobKind::Add(ct(i), ct(j)),
+            1 => JobKind::AddPlain(ct(i), pt(j)),
+            2 => JobKind::MulPlain(ct(i), pt(j)),
+            3 => JobKind::MulRelin(ct(i), ct(j)),
+            4 => JobKind::CkksAdd(cct(i), cct(j)),
+            5 => JobKind::CkksMulPlain(cct(i), cpt(j)),
+            _ => JobKind::CkksMulRelin(cct(i), cct(j)),
+        };
+        Job { session, kind, arrival }
+    }
+}
+
+/// Runs one job list on a fresh farm; `traced` swaps the default
+/// `NullSink` for a live `MemorySink` (and returns its event count).
+fn run(
+    seed: u64,
+    chips: usize,
+    specs: &[(u8, usize, usize, u64)],
+    traced: bool,
+) -> (Vec<JobOutcome>, cofhee_farm::FarmReport, usize) {
+    let p = pools(seed);
+    let farm = ChipFarm::new(chips, ChipBackendFactory::silicon()).unwrap();
+    let mut sched = Scheduler::new(farm, Box::new(WorkStealing));
+    let sink = traced.then(MemorySink::shared);
+    if let Some(sink) = &sink {
+        sched.set_trace_sink(sink.clone());
+    }
+    let bfv = sched.open_session(Session::new("bfv", &p.bfv_params, p.bfv_rlk.clone()).unwrap());
+    let ckks =
+        sched.open_session(Session::new_ckks("ckks", &p.ckks_params, p.ckks_rlk.clone()).unwrap());
+    let mut arrival = 0u64;
+    let jobs: Vec<Job> = specs
+        .iter()
+        .map(|&(kind, i, j, gap)| {
+            arrival += gap;
+            let session = if kind % 7 < 4 { bfv } else { ckks };
+            p.job(session, kind, i, j, arrival)
+        })
+        .collect();
+    let outcomes = sched.run(jobs).unwrap();
+    let events = sink.map_or(0, |s| s.take().len());
+    (outcomes, sched.report(), events)
+}
+
+fn assert_results_identical(a: &JobResult, b: &JobResult) {
+    match (a, b) {
+        (JobResult::Bfv(x), JobResult::Bfv(y)) => assert_eq!(x, y),
+        (JobResult::Ckks(x), JobResult::Ckks(y)) => assert_eq!(x, y),
+        _ => panic!("traced and untraced runs disagree on the result scheme"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Bit-identical ciphertexts and identical cycle totals, traced
+    // vs. untraced, over random mixed-scheme job lists.
+    #[test]
+    fn tracing_perturbs_nothing(
+        seed in any::<u64>(),
+        chips in 1usize..4,
+        specs in proptest::collection::vec(
+            (any::<u8>(), 0usize..8, 0usize..8, 0u64..40_000),
+            8,
+        ),
+    ) {
+        let (base, base_report, base_events) = run(seed, chips, &specs, false);
+        let (traced, traced_report, traced_events) = run(seed, chips, &specs, true);
+
+        prop_assert_eq!(base_events, 0);
+        prop_assert!(traced_events > 0, "MemorySink must see the run");
+
+        prop_assert_eq!(base.len(), traced.len());
+        for (b, t) in base.iter().zip(&traced) {
+            assert_results_identical(&b.result, &t.result);
+            prop_assert_eq!(b.finish, t.finish);
+            prop_assert_eq!(b.latency, t.latency);
+            prop_assert_eq!(b.service_cycles, t.service_cycles);
+            prop_assert_eq!(b.streams, t.streams);
+        }
+
+        prop_assert_eq!(base_report.makespan_cycles, traced_report.makespan_cycles);
+        prop_assert_eq!(base_report.streams, traced_report.streams);
+        for (b, t) in base_report.chips.iter().zip(&traced_report.chips) {
+            prop_assert_eq!(b.busy_cycles, t.busy_cycles);
+            prop_assert_eq!(b.streams, t.streams);
+            prop_assert_eq!(b.final_clock, t.final_clock);
+            prop_assert_eq!(b.max_queue_depth, t.max_queue_depth);
+        }
+    }
+}

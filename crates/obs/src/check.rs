@@ -1,0 +1,361 @@
+//! Well-formedness checks for exported traces, used as hard gates by
+//! the `trace_export` bench bin (and CI through it): JSON syntax
+//! validity, monotone `ts` per track, and span nesting. The checks are
+//! dependency-free on purpose — the parser here is a strict little
+//! recursive-descent validator, plus a line-oriented reader for the
+//! one-event-per-line format [`crate::ChromeTrace`] emits.
+
+/// Validates that `text` is one syntactically well-formed JSON value.
+/// Strict on structure (balanced, correctly quoted, no trailing junk);
+/// does not build a document.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".to_string());
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|b| b as char), self.pos)),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            if !matches!(self.bump(), Some(c) if c.is_ascii_hexdigit()) {
+                                return Err(format!("bad \\u escape at byte {}", self.pos));
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos)),
+                },
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control char in string at byte {}", self.pos))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(format!("expected digits at byte {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(format!("expected fraction digits at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(format!("expected exponent digits at byte {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+/// One non-metadata event read back from an exported Chrome trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Phase: `'X'` for complete spans, `'i'` for instants.
+    pub ph: char,
+    /// Process id (track group).
+    pub pid: u64,
+    /// Thread id (track row).
+    pub tid: u64,
+    /// Start timestamp in virtual cycles.
+    pub ts: u64,
+    /// Duration in virtual cycles (0 for instants).
+    pub dur: u64,
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn num_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Reads the non-metadata events out of a trace rendered by
+/// [`crate::ChromeTrace`] (one event per line), preserving file order.
+/// Tolerant of unrelated lines; strict about the fields of lines it
+/// does recognize.
+pub fn parse_chrome_events(text: &str) -> Vec<ChromeEvent> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let ph = if line.contains("\"ph\": \"X\"") {
+            'X'
+        } else if line.contains("\"ph\": \"i\"") {
+            'i'
+        } else {
+            continue;
+        };
+        let (Some(name), Some(pid), Some(tid), Some(ts)) = (
+            str_field(line, "name"),
+            num_field(line, "pid"),
+            num_field(line, "tid"),
+            num_field(line, "ts"),
+        ) else {
+            continue;
+        };
+        let dur = if ph == 'X' { num_field(line, "dur").unwrap_or(0) } else { 0 };
+        out.push(ChromeEvent { name, ph, pid, tid, ts, dur });
+    }
+    out
+}
+
+/// Checks that `ts` never decreases within any `(pid, tid)` track, in
+/// the order events appear in the file.
+pub fn check_monotone_per_track(events: &[ChromeEvent]) -> Result<(), String> {
+    let mut last: std::collections::BTreeMap<(u64, u64), u64> = std::collections::BTreeMap::new();
+    for ev in events {
+        let prev = last.entry((ev.pid, ev.tid)).or_insert(0);
+        if ev.ts < *prev {
+            return Err(format!(
+                "track ({}, {}): ts {} after {} ('{}' out of order)",
+                ev.pid, ev.tid, ev.ts, prev, ev.name
+            ));
+        }
+        *prev = ev.ts;
+    }
+    Ok(())
+}
+
+/// Checks that complete spans on each track strictly nest: any two
+/// spans on one `(pid, tid)` row are either disjoint or one contains
+/// the other. Expects file order (ts ascending, longer spans first at
+/// equal ts) as produced by [`crate::ChromeTrace`].
+pub fn check_span_nesting(events: &[ChromeEvent]) -> Result<(), String> {
+    let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        if ev.ph != 'X' {
+            continue;
+        }
+        let stack = stacks.entry((ev.pid, ev.tid)).or_default();
+        let (start, end) = (ev.ts, ev.ts + ev.dur);
+        while matches!(stack.last(), Some(&(_, open_end)) if open_end <= start) {
+            stack.pop();
+        }
+        if let Some(&(open_start, open_end)) = stack.last() {
+            if end > open_end {
+                return Err(format!(
+                    "track ({}, {}): span '{}' [{start}, {end}] partially overlaps \
+                     enclosing [{open_start}, {open_end}]",
+                    ev.pid, ev.tid, ev.name
+                ));
+            }
+        }
+        stack.push((start, end));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            "\"a\\nb\\u00e9\"",
+            "{\"a\": [1, 2, {\"b\": true}], \"c\": null}",
+            "  {\"x\": \"y\"}  ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("rejected {ok:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "[1, 2,]",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "{'single': 1}",
+            "{\"a\": 01e}",
+            "nulL",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    fn ev(pid: u64, tid: u64, ts: u64, dur: u64) -> ChromeEvent {
+        ChromeEvent { name: "s".to_string(), ph: 'X', pid, tid, ts, dur }
+    }
+
+    #[test]
+    fn monotone_check_is_per_track() {
+        let good = vec![ev(1, 0, 10, 5), ev(1, 1, 0, 5), ev(1, 0, 15, 5)];
+        check_monotone_per_track(&good).unwrap();
+        let bad = vec![ev(1, 0, 10, 5), ev(1, 0, 9, 5)];
+        assert!(check_monotone_per_track(&bad).is_err());
+    }
+
+    #[test]
+    fn nesting_allows_containment_and_disjoint_rejects_partial_overlap() {
+        let good = vec![ev(1, 0, 0, 100), ev(1, 0, 0, 40), ev(1, 0, 40, 60), ev(1, 0, 200, 10)];
+        check_span_nesting(&good).unwrap();
+        let bad = vec![ev(1, 0, 0, 100), ev(1, 0, 50, 100)];
+        assert!(check_span_nesting(&bad).is_err());
+    }
+
+    #[test]
+    fn parses_rendered_event_lines() {
+        let text = "{\"traceEvents\": [\n\
+            {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {\"name\": \"dies\"}},\n\
+            {\"name\": \"drain\", \"cat\": \"farm\", \"ph\": \"X\", \"pid\": 1, \"tid\": 0, \"ts\": 5, \"dur\": 7, \"args\": {}},\n\
+            {\"name\": \"irq\", \"cat\": \"farm\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": 0, \"ts\": 12, \"args\": {}}\n\
+            ]}";
+        let events = parse_chrome_events(text);
+        assert_eq!(events.len(), 2, "metadata must be skipped");
+        assert_eq!(
+            events[0],
+            ChromeEvent { name: "drain".into(), ph: 'X', pid: 1, tid: 0, ts: 5, dur: 7 }
+        );
+        assert_eq!(events[1].ph, 'i');
+        assert_eq!(events[1].dur, 0);
+    }
+}

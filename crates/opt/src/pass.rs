@@ -1,7 +1,8 @@
 //! The [`Pass`] trait and the [`PassRunner`] pipeline, plus the shared
 //! rebuild machinery every rewrite pass emits through.
 
-use cofhee_core::{CoreError, OpStream, Result, StreamHandle, StreamOp, StreamReport};
+use cofhee_core::{CoreError, OpStream, Result, SharedSink, StreamHandle, StreamOp, StreamReport};
+use cofhee_obs::{TraceEvent, Track};
 
 use crate::cost::stream_cost;
 use crate::{Cse, Dce, Fuse, OptLevel, TransferHoist};
@@ -135,6 +136,31 @@ impl PassRunner {
     ///
     /// Propagates the first pass failure.
     pub fn optimize(&self, stream: &OpStream) -> Result<(OpStream, OptStats)> {
+        self.optimize_inner(stream, None)
+    }
+
+    /// [`Self::optimize`] with per-pass tracing: each pass lands as a
+    /// compiler-track instant at virtual time `at` (the stream's ready
+    /// time — compilation is host work, off the die clock) carrying the
+    /// pass's eliminated/fused/hoisted deltas and surviving node count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::optimize`].
+    pub fn optimize_traced(
+        &self,
+        stream: &OpStream,
+        sink: &SharedSink,
+        at: u64,
+    ) -> Result<(OpStream, OptStats)> {
+        self.optimize_inner(stream, Some((sink, at)))
+    }
+
+    fn optimize_inner(
+        &self,
+        stream: &OpStream,
+        trace: Option<(&SharedSink, u64)>,
+    ) -> Result<(OpStream, OptStats)> {
         let before = stream_cost(stream);
         let mut current = stream.clone();
         let mut total = PassStats::default();
@@ -142,6 +168,17 @@ impl PassRunner {
             let (next, stats) = pass.run(&current)?;
             total.merge(&stats);
             current = next;
+            if let Some((sink, at)) = trace {
+                if sink.enabled() {
+                    sink.record(
+                        TraceEvent::instant(Track::Compiler, pass.name(), at)
+                            .arg("eliminated", stats.eliminated)
+                            .arg("fused", stats.fused)
+                            .arg("hoisted", stats.hoisted)
+                            .arg("ops_out", current.len() as u64),
+                    );
+                }
+            }
         }
         let stats = OptStats {
             ops_in: stream.len() as u64,
@@ -277,6 +314,26 @@ mod tests {
         assert_eq!(r.ops_eliminated, 4);
         assert_eq!(r.ops_fused, 2);
         assert_eq!(r.uploads_hoisted, 2);
+    }
+
+    #[test]
+    fn traced_optimize_matches_untraced_and_records_each_pass() {
+        let st = tensorish();
+        let runner = PassRunner::o1();
+        let (plain, plain_stats) = runner.optimize(&st).unwrap();
+        let sink = cofhee_obs::MemorySink::shared();
+        let shared: SharedSink = sink.clone();
+        let (traced, traced_stats) = runner.optimize_traced(&st, &shared, 77).unwrap();
+        assert_eq!(crate::testutil::shape(&plain), crate::testutil::shape(&traced));
+        assert_eq!(plain_stats, traced_stats);
+        let events = sink.events();
+        assert_eq!(events.len(), runner.pass_names().len());
+        for (ev, name) in events.iter().zip(runner.pass_names()) {
+            assert_eq!(ev.track, Track::Compiler);
+            assert_eq!(ev.name, name);
+            assert_eq!(ev.kind.start(), 77);
+            assert!(ev.args.iter().any(|&(k, _)| k == "ops_out"));
+        }
     }
 
     #[test]

@@ -27,7 +27,9 @@ use std::collections::{BTreeMap, VecDeque};
 
 use cofhee_bfv::{BfvParams, Ciphertext, Plaintext, RelinKey};
 use cofhee_ckks::{CkksCiphertext, CkksParams, CkksRelinKey};
+use cofhee_core::SharedSink;
 use cofhee_farm::{Job, JobKind, Scheduler, Session, SessionId};
+use cofhee_obs::{null_sink, CycleHistogram, MetricsRegistry, TraceEvent, Track};
 use cofhee_opt::OptLevel;
 
 use crate::admission::{AdmissionPolicy, QueueView};
@@ -229,9 +231,15 @@ pub struct Gateway {
     default_quotas: QuotaConfig,
     default_opt_level: OptLevel,
     fault: Option<ServiceError>,
-    latency_samples: Vec<u64>,
-    queue_samples: Vec<u64>,
-    service_samples: Vec<u64>,
+    /// Completed-request latency / queue-wait / service cycles as
+    /// streaming histograms (same summary type the farm reports).
+    latency_samples: CycleHistogram,
+    queue_samples: CycleHistogram,
+    service_samples: CycleHistogram,
+    /// Trace sink for request instants on the gateway track and the
+    /// admit→queue→materialize chain on per-job tenant tracks; the null
+    /// sink unless installed.
+    trace: SharedSink,
 }
 
 impl Gateway {
@@ -250,9 +258,29 @@ impl Gateway {
             default_quotas: config.default_quotas,
             default_opt_level: config.opt_level,
             fault: None,
-            latency_samples: Vec::new(),
-            queue_samples: Vec::new(),
-            service_samples: Vec::new(),
+            latency_samples: CycleHistogram::new(),
+            queue_samples: CycleHistogram::new(),
+            service_samples: CycleHistogram::new(),
+            trace: null_sink(),
+        }
+    }
+
+    /// Installs a trace sink on the gateway and everything beneath it
+    /// (scheduler, farm, dies): request admits and typed rejects land as
+    /// gateway-track instants, each dispatched request's
+    /// admit→queue→materialize chain on its per-job tenant track, and
+    /// the farm/die events on their own tracks.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.sched.set_trace_sink(std::sync::Arc::clone(&sink));
+        self.trace = sink;
+    }
+
+    /// Emits a typed instant on the gateway track at the current clock.
+    fn trace_gateway(&self, name: &'static str, tenant: TenantId) {
+        if self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::instant(Track::Gateway, name, self.now).arg("tenant", tenant.raw()),
+            );
         }
     }
 
@@ -458,9 +486,11 @@ impl Gateway {
                 t.stats.submitted += 1;
                 t.stats.rejected_denied += 1;
             }
+            self.trace_gateway("reject:faulted", tenant);
             return Err(AdmitError::Denied { reason: DenyReason::Faulted });
         }
         if tenant.raw() as usize >= self.tenants.len() {
+            self.trace_gateway("reject:unknown-tenant", tenant);
             return Err(AdmitError::Denied { reason: DenyReason::UnknownTenant });
         }
         self.tenants[tenant.raw() as usize].stats.submitted += 1;
@@ -468,6 +498,7 @@ impl Gateway {
         // Validation: ownership, parameter compatibility, key material.
         if let Err(reason) = self.validate(tenant, &request) {
             self.tenants[tenant.raw() as usize].stats.rejected_denied += 1;
+            self.trace_gateway("reject:denied", tenant);
             return Err(AdmitError::Denied { reason });
         }
 
@@ -478,6 +509,7 @@ impl Gateway {
         if would_fly > t.quotas.max_in_flight {
             let limit = t.quotas.max_in_flight;
             self.tenants[tenant.raw() as usize].stats.rejected_quota += 1;
+            self.trace_gateway("reject:quota-inflight", tenant);
             return Err(AdmitError::QuotaExceeded {
                 quota: QuotaKind::InFlightJobs,
                 limit,
@@ -489,6 +521,7 @@ impl Gateway {
         if would_use > t.quotas.max_bytes {
             let limit = t.quotas.max_bytes;
             self.tenants[tenant.raw() as usize].stats.rejected_quota += 1;
+            self.trace_gateway("reject:quota-bytes", tenant);
             return Err(AdmitError::QuotaExceeded {
                 quota: QuotaKind::RegistryBytes,
                 limit,
@@ -500,6 +533,7 @@ impl Gateway {
         let capacity = t.quotas.queue_capacity;
         if t.queue.len() >= capacity {
             self.tenants[tenant.raw() as usize].stats.rejected_queue += 1;
+            self.trace_gateway("reject:queue-full", tenant);
             return Err(AdmitError::QueueFull { capacity });
         }
 
@@ -516,6 +550,13 @@ impl Gateway {
         t.in_flight += 1;
         t.stats.admitted += 1;
         t.stats.peak_queue = t.stats.peak_queue.max(t.queue.len() as u64);
+        if self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::instant(Track::Gateway, "admit", self.now)
+                    .arg("tenant", tenant.raw())
+                    .arg("ticket", ticket.id()),
+            );
+        }
         self.fill_slots();
         Ok(ticket)
     }
@@ -615,10 +656,27 @@ impl Gateway {
             Request::CkksMulRelin(a, b) => JobKind::CkksMulRelin(ckks(*a), ckks(*b)),
         };
         let job = Job { session, kind, arrival: self.now };
+        // The scheduler traces this job under its pre-run `jobs_done`
+        // sequence number — stamping the same (tenant, seq) track here
+        // puts the gateway-side chain on the job's own timeline.
+        let track = Track::Job { tenant: session.raw(), seq: self.sched.jobs_done() };
+        if self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::instant(track, "admit", queued.ticket.arrival())
+                    .arg("ticket", queued.ticket.id()),
+            );
+            self.trace.record(TraceEvent::span(track, "queue", queued.ticket.arrival(), self.now));
+        }
         match self.sched.run_with_opt(vec![job], queued.opt_level) {
             Ok(mut outcomes) => {
                 let o = outcomes.pop().expect("one job in, one outcome out");
                 self.registry.materialize(queued.ticket.result(), o.result.into(), o.finish);
+                if self.trace.enabled() {
+                    self.trace.record(
+                        TraceEvent::instant(track, "materialize", o.finish)
+                            .arg("ticket", queued.ticket.id()),
+                    );
+                }
                 self.inflight.push(Inflight {
                     ticket: queued.ticket,
                     finish: o.finish,
@@ -652,9 +710,9 @@ impl Gateway {
         t.stats.completed += 1;
         t.stats.queue_cycles = t.stats.queue_cycles.saturating_add(queued);
         t.stats.service_cycles = t.stats.service_cycles.saturating_add(fin.service_cycles);
-        self.latency_samples.push(latency);
-        self.queue_samples.push(queued);
-        self.service_samples.push(fin.service_cycles);
+        self.latency_samples.record(latency);
+        self.queue_samples.record(queued);
+        self.service_samples.record(fin.service_cycles);
         self.fill_slots();
         true
     }
@@ -793,6 +851,13 @@ impl Gateway {
         self.registry
             .evict(handle, owner)
             .map_err(|reason| ServiceError::from(AdmitError::Denied { reason }))?;
+        if self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::instant(Track::Gateway, "evict", self.now)
+                    .arg("tenant", owner.raw())
+                    .arg("handle", handle.raw()),
+            );
+        }
         self.cancel_dependents(handle);
         self.fill_slots();
         Ok(())
@@ -818,6 +883,13 @@ impl Gateway {
                 let t = &mut self.tenants[ticket.tenant().raw() as usize];
                 t.in_flight -= 1;
                 t.stats.cancelled += 1;
+                if self.trace.enabled() {
+                    self.trace.record(
+                        TraceEvent::instant(Track::Gateway, "cancel", self.now)
+                            .arg("tenant", ticket.tenant().raw())
+                            .arg("ticket", ticket.id()),
+                    );
+                }
                 if self.registry.evict(ticket.result(), ticket.tenant()).is_ok() {
                     worklist.push(ticket.result());
                 }
@@ -848,6 +920,29 @@ impl Gateway {
             service: percentiles(&self.service_samples),
             now: self.now,
         }
+    }
+
+    /// A metrics-registry snapshot of the whole stack: the scheduler's
+    /// farm metrics (die counters, latency histograms, twiddle-cache
+    /// hits) plus what only the gateway can see — admission outcomes,
+    /// registry occupancy, and the request-level latency split.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.sched.metrics();
+        for t in &self.tenants {
+            m.counter_add("gateway.submitted", t.stats.submitted);
+            m.counter_add("gateway.admitted", t.stats.admitted);
+            m.counter_add("gateway.completed", t.stats.completed);
+            m.counter_add("gateway.cancelled", t.stats.cancelled);
+            m.counter_add("gateway.rejected_quota", t.stats.rejected_quota);
+            m.counter_add("gateway.rejected_queue", t.stats.rejected_queue);
+            m.counter_add("gateway.rejected_denied", t.stats.rejected_denied);
+        }
+        m.gauge_set("gateway.now_cycles", self.now.min(i64::MAX as u64) as i64);
+        m.gauge_set("gateway.registry_entries", self.registry.len() as i64);
+        m.histogram_merge("gateway.latency_cycles", &self.latency_samples);
+        m.histogram_merge("gateway.queue_cycles", &self.queue_samples);
+        m.histogram_merge("gateway.service_cycles", &self.service_samples);
+        m
     }
 }
 
@@ -1153,5 +1248,49 @@ mod tests {
         let kx = gw.put_ckks_ciphertext(keyless, ckks_encrypt(&mut c, &[1.0])).unwrap();
         let err = gw.submit(keyless, Request::CkksMulRelin(kx, kx)).unwrap_err();
         assert_eq!(err, AdmitError::Denied { reason: DenyReason::MissingRelinKey });
+    }
+
+    #[test]
+    fn traced_gateway_emits_request_chains_and_typed_reject_instants() {
+        use cofhee_obs::{EventKind, MemorySink, Track};
+        let mut c = client(82);
+        let mut gw = gateway(2, Box::new(TenantFair::default()));
+        let sink = MemorySink::shared();
+        gw.set_trace_sink(sink.clone());
+        let alice = gw.register_tenant("alice", &c.params, None).unwrap();
+        let x = gw.put_ciphertext(alice, encrypt(&mut c, 3)).unwrap();
+        let t = gw.submit(alice, Request::Add(x, x)).unwrap();
+        // No relin key: a typed reject that must land on the trace too.
+        gw.submit(alice, Request::MulRelin(x, x)).unwrap_err();
+        gw.drain().unwrap();
+        assert!(gw.result(&t).is_ok());
+
+        let events = sink.events();
+        let gate: Vec<_> = events.iter().filter(|e| e.track == Track::Gateway).collect();
+        assert!(gate.iter().any(|e| e.name == "admit"));
+        assert!(gate.iter().any(|e| e.name == "reject:denied"));
+
+        // The admitted request's per-job chain: admit instant and queue
+        // span at its arrival, materialize instant at its finish — on
+        // the same (tenant, seq) track the scheduler spans use.
+        let job_track = Track::Job { tenant: 0, seq: 0 };
+        let job: Vec<_> = events.iter().filter(|e| e.track == job_track).collect();
+        let admit = job.iter().find(|e| e.name == "admit").expect("admit instant");
+        let queue = job.iter().find(|e| e.name == "queue").expect("queue span");
+        let done = job.iter().find(|e| e.name == "materialize").expect("materialize instant");
+        assert_eq!(admit.kind.start(), t.arrival());
+        assert!(matches!(queue.kind, EventKind::Span { .. }));
+        assert!(job.iter().any(|e| e.name == "ct+ct"), "scheduler span shares the track");
+        assert!(done.kind.start() >= queue.kind.start());
+
+        // The stack-wide metrics snapshot sees both layers.
+        let m = gw.metrics();
+        assert_eq!(m.counter("gateway.submitted"), 2);
+        assert_eq!(m.counter("gateway.admitted"), 1);
+        assert_eq!(m.counter("gateway.rejected_denied"), 1);
+        assert_eq!(m.counter("farm.jobs"), 1);
+        assert_eq!(m.histogram("gateway.latency_cycles").map(|h| h.count()), Some(1));
+        let json = m.render_json();
+        cofhee_obs::check::validate_json(&json).expect("metrics snapshot renders valid JSON");
     }
 }

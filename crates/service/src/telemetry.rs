@@ -6,7 +6,8 @@
 //! how many requests each tenant offered, how many were turned away and
 //! why, and how the completed work split between queueing and service.
 
-use cofhee_farm::{latency_percentiles, FarmReport, LatencyPercentiles};
+use cofhee_farm::{FarmReport, LatencyPercentiles};
+use cofhee_obs::CycleHistogram;
 
 /// One tenant's lifetime counters at the gateway.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -198,10 +199,10 @@ impl ServiceReport {
     }
 }
 
-/// Nearest-rank percentiles over a cycle sample (re-exported farm
-/// helper, used by the gateway for its own samples).
-pub(crate) fn percentiles(samples: &[u64]) -> LatencyPercentiles {
-    latency_percentiles(samples)
+/// Percentiles over a gateway cycle histogram (the farm's
+/// histogram-backed summary, used by the gateway for its own samples).
+pub(crate) fn percentiles(hist: &CycleHistogram) -> LatencyPercentiles {
+    LatencyPercentiles::from_histogram(hist)
 }
 
 #[cfg(test)]

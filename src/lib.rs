@@ -39,6 +39,9 @@
 //!   handle-addressed gateway, the tenant-scoped ciphertext registry
 //!   with ACLs, and admission control (quotas, bounded queues,
 //!   tenant-fair drain).
+//! * [`obs`] — the observability layer: cycle-timeline tracing with
+//!   per-die / per-job tracks, a metrics registry with log₂-bucketed
+//!   histograms, and Chrome trace-event export (Perfetto loadable).
 //!
 //! See the `examples/` directory for runnable entry points and
 //! EXPERIMENTS.md for the paper-vs-measured record.
@@ -52,6 +55,7 @@ pub use cofhee_bfv as bfv;
 pub use cofhee_ckks as ckks;
 pub use cofhee_core as core;
 pub use cofhee_farm as farm;
+pub use cofhee_obs as obs;
 pub use cofhee_opt as opt;
 pub use cofhee_physical as physical;
 pub use cofhee_poly as poly;

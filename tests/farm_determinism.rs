@@ -132,8 +132,11 @@ fn assert_reports_identical(a: &FarmReport, b: &FarmReport) {
     assert_eq!(a.jobs, b.jobs);
     assert_eq!(a.streams, b.streams);
     assert_eq!(a.makespan_cycles, b.makespan_cycles);
-    let (LatencyPercentiles { p50, p95, p99, max }, lb) = (a.latency, b.latency);
-    assert_eq!((p50, p95, p99, max), (lb.p50, lb.p95, lb.p99, lb.max));
+    let (LatencyPercentiles { p50, p95, p99, p99_9, max, count }, lb) = (a.latency, b.latency);
+    assert_eq!(
+        (p50, p95, p99, p99_9, max, count),
+        (lb.p50, lb.p95, lb.p99, lb.p99_9, lb.max, lb.count)
+    );
     assert_eq!(a.queue, b.queue);
     assert_eq!(a.service, b.service);
     let pairs: Vec<(&ChipStats, &ChipStats)> = a.chips.iter().zip(b.chips.iter()).collect();
