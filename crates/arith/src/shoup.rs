@@ -52,6 +52,24 @@ pub struct ShoupMul<E> {
 /// [`LazyRing::lazy_capable`] before using the lazy ops — a modulus
 /// without two bits of container headroom would overflow the redundant
 /// range.
+///
+/// # Examples
+///
+/// One lazy constant-multiply, then the final correction:
+///
+/// ```
+/// use cofhee_arith::{Barrett64, LazyRing, ModRing};
+///
+/// # fn main() -> Result<(), cofhee_arith::ArithError> {
+/// let ring = Barrett64::new(769)?; // q < 2^62: always lazy-capable
+/// assert!(ring.lazy_capable());
+/// let w = ring.shoup(5); // precompute once per fixed constant
+/// let r = ring.mul_lazy(700, &w); // redundant result, r < 2q
+/// assert!(r < ring.two_q());
+/// assert_eq!(ring.reduce_once(ring.fold_2q(r)) % 769, (700 * 5) % 769);
+/// # Ok(())
+/// # }
+/// ```
 pub trait LazyRing: ModRing {
     /// Whether the modulus leaves the two bits of headroom (`4q < β`)
     /// the lazy representation needs.

@@ -1,0 +1,120 @@
+//! Intra-repo markdown link checker: fails CI when docs rot.
+//!
+//! Scans every `*.md` at the repository root plus `docs/*.md` for
+//! inline links and images (`](target)`) and verifies that each
+//! **relative** target resolves to a real file or directory, after
+//! stripping any `#fragment`. External schemes (`http://`, `https://`,
+//! `mailto:`) and pure in-page anchors (`#section`) are out of scope —
+//! this gate exists because relative links silently break when files
+//! move, while external ones fail loudly in a browser.
+//!
+//! Std-only by design (no markdown crate in the tree): a hand-rolled
+//! scan for `](` outside fenced code blocks is enough for the
+//! CommonMark subset these docs use. Reference-style links (`[x]: url`)
+//! are not used in this repo and are not checked.
+//!
+//! ```sh
+//! cargo run --release -p cofhee_bench --bin docs_check
+//! ```
+//!
+//! Exit status 0 when every link resolves; 1 with one line per broken
+//! link otherwise.
+
+use std::path::{Path, PathBuf};
+
+/// Repository root, derived from this crate's manifest dir at compile
+/// time (`crates/bench` → two levels up). Keeps the checker working
+/// from any working directory `cargo run` is invoked in.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root exists")
+}
+
+/// Extracts inline link targets from one markdown source, skipping
+/// fenced code blocks (``` … ```) and inline code spans (`…`), where a
+/// literal `](` is example text, not a link.
+fn link_targets(src: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in src.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Drop inline code spans so `[a](b)` in backticks is ignored.
+        let mut cleaned = String::with_capacity(line.len());
+        let mut in_code = false;
+        for ch in line.chars() {
+            if ch == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                cleaned.push(ch);
+            }
+        }
+        let mut rest = cleaned.as_str();
+        while let Some(pos) = rest.find("](") {
+            rest = &rest[pos + 2..];
+            if let Some(end) = rest.find(')') {
+                let target = rest[..end].trim();
+                // `](url "title")` — keep the url part only.
+                let target = target.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    out.push((lineno + 1, target.to_string()));
+                }
+                rest = &rest[end + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Whether a target is a relative intra-repo path this checker owns.
+fn is_relative(target: &str) -> bool {
+    !(target.starts_with('#')
+        || target.starts_with('/')
+        || target.contains("://")
+        || target.starts_with("mailto:"))
+}
+
+fn main() {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in [root.clone(), root.join("docs")] {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+
+    let mut broken = 0usize;
+    let mut checked = 0usize;
+    for file in &files {
+        let src = std::fs::read_to_string(file).expect("listed file is readable");
+        let base = file.parent().expect("files live in a directory");
+        for (line, target) in link_targets(&src) {
+            if !is_relative(&target) {
+                continue;
+            }
+            checked += 1;
+            let path_part = target.split('#').next().unwrap_or("");
+            if !base.join(path_part).exists() {
+                broken += 1;
+                let rel = file.strip_prefix(&root).unwrap_or(file);
+                println!("broken link: {}:{line}: ]({target})", rel.display());
+            }
+        }
+    }
+
+    println!("docs_check: {} files, {checked} relative links, {broken} broken", files.len());
+    if broken > 0 {
+        std::process::exit(1);
+    }
+}

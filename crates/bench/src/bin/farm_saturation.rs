@@ -7,9 +7,17 @@
 //!    simulation stays tractable) is replayed closed-load through
 //!    farms of 1/2/4(/8) dies under the work-stealing policy. Reported:
 //!    throughput in ops/sec at the die clock, speedup over one die,
-//!    latency percentiles, mean utilization. The run *asserts* the
-//!    acceptance bar: 4 dies achieve > 2.5× single-die throughput on
-//!    the CryptoNets mix, on the overlapped-cycle virtual clock.
+//!    latency percentiles, mean utilization — plus **host ops/s**, the
+//!    wall-clock rate at which the host kernels (job decomposition,
+//!    stream recording, cycle-accurate simulation, host-side
+//!    finishing) push jobs through, the headline the throughput-grade
+//!    host kernel work is measured by. The run *asserts* two bars:
+//!    4 dies achieve > 2.5× single-die throughput on the CryptoNets
+//!    mix on the overlapped-cycle virtual clock, and the 4-die run's
+//!    host wall clock stays under 3× the 1-die run's (the host-side
+//!    work is per-job, not per-die; a blow-up there means the host
+//!    kernels regressed). The wall-clock gate re-measures once before
+//!    failing — it is the only host-time-dependent gate in CI.
 //! 2. **Saturation** — the CryptoNets mix is offered to the 4-die farm
 //!    at decreasing inter-arrival gaps; the knee is visible where p95
 //!    latency departs from the unloaded service time while throughput
@@ -58,21 +66,25 @@ fn stage_tenant(n: usize) -> Result<Tenant, Box<dyn std::error::Error>> {
 }
 
 /// Replays one workload spec through a fresh farm, returning the
-/// scheduler for its report. Session ids are opaque and scheduler-
-/// local, so the job list is generated against the id each fresh
-/// scheduler issues — same spec, same deterministic list.
+/// scheduler for its report plus the host wall-clock seconds the run
+/// itself took (farm bring-up excluded — the steady-state rate is the
+/// interesting number). Session ids are opaque and scheduler-local, so
+/// the job list is generated against the id each fresh scheduler
+/// issues — same spec, same deterministic list.
 fn run_farm(
     tenant: &Tenant,
     chips: usize,
     workload: &Workload,
     spec: &ReplaySpec,
-) -> Result<Scheduler, Box<dyn std::error::Error>> {
+) -> Result<(Scheduler, f64), Box<dyn std::error::Error>> {
     let farm = ChipFarm::new(chips, ChipBackendFactory::silicon())?;
     let mut sched = Scheduler::new(farm, Box::new(WorkStealing));
     let id = sched.open_session(Session::new("bench", &tenant.params, tenant.rlk.clone())?);
     let jobs = workload_jobs(id, workload, spec, &tenant.inputs)?;
+    let t = std::time::Instant::now();
     sched.run(jobs)?;
-    Ok(sched)
+    let wall = t.elapsed().as_secs_f64();
+    Ok((sched, wall))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -88,24 +100,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(Table X mixes scaled 1/{divisor}; closed load unless noted)\n");
 
     let mut cryptonets_scaling: Vec<(usize, f64)> = Vec::new();
+    // Host wall clock per CryptoNets run, keyed by die count — the
+    // host-kernel throughput gate reads chips 1 and 4.
+    let mut cryptonets_wall: Vec<(usize, f64)> = Vec::new();
     // The 4-die closed-load CryptoNets report doubles as the saturation
     // sweep's capacity probe — no need to re-simulate it below.
     let mut closed_four: Option<cofhee_farm::FarmReport> = None;
+    let mut host_headline: Option<f64> = None;
     for workload in Workload::all() {
         let spec = ReplaySpec::closed(divisor, 77);
         println!("{}", workload.name);
         println!(
-            "{:>5} | {:>12} {:>8} | {:>10} {:>10} {:>10} | {:>6}",
-            "chips", "ops/s", "speedup", "p50 cc", "p95 cc", "p99 cc", "util"
+            "{:>5} | {:>12} {:>8} | {:>10} {:>10} {:>10} | {:>6} | {:>10}",
+            "chips", "ops/s", "speedup", "p50 cc", "p95 cc", "p99 cc", "util", "host ops/s"
         );
         let mut base = None;
         for &chips in chip_counts {
-            let sched = run_farm(&tenant, chips, &workload, &spec)?;
+            let (sched, wall) = run_farm(&tenant, chips, &workload, &spec)?;
             let r = sched.report();
             let tput = r.throughput_ops_per_sec();
+            let host_tput = r.jobs as f64 / wall.max(f64::MIN_POSITIVE);
             let speedup = tput / *base.get_or_insert(tput);
             println!(
-                "{chips:>5} | {tput:>12.1} {speedup:>7.2}x | {:>10} {:>10} {:>10} | {:>5.1}%",
+                "{chips:>5} | {tput:>12.1} {speedup:>7.2}x | {:>10} {:>10} {:>10} | {:>5.1}% | {host_tput:>10.1}",
                 r.latency.p50,
                 r.latency.p95,
                 r.latency.p99,
@@ -113,8 +130,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             if workload.name == "CryptoNets" {
                 cryptonets_scaling.push((chips, tput));
+                cryptonets_wall.push((chips, wall));
                 if chips == 4 {
                     closed_four = Some(r);
+                    host_headline = Some(host_tput);
                 }
             }
         }
@@ -129,6 +148,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "4-die throughput must exceed 2.5x one die on CryptoNets: {four:.1} !> 2.5 * {one:.1}"
     );
     println!("scaling bar: 4 dies = {:.2}x one die on CryptoNets (> 2.5x required)\n", four / one);
+
+    // The host-kernel throughput bar: host work is per-job (decompose,
+    // record, simulate, finish), so running the same job list on 4
+    // dies must not take materially longer on the host wall clock than
+    // on 1 die. One re-measurement rejects scheduling noise on shared
+    // hosts before judging.
+    let wall_of = |walls: &[(usize, f64)], c: usize| {
+        walls.iter().find(|&&(wc, _)| wc == c).expect("measured above").1
+    };
+    let mut w1 = wall_of(&cryptonets_wall, 1);
+    let mut w4 = wall_of(&cryptonets_wall, 4);
+    if w4 >= 3.0 * w1 {
+        let spec = ReplaySpec::closed(divisor, 77);
+        let (_, f1) = run_farm(&tenant, 1, &Workload::cryptonets(), &spec)?;
+        let (s4, f4) = run_farm(&tenant, 4, &Workload::cryptonets(), &spec)?;
+        w1 = w1.min(f1);
+        w4 = w4.min(f4);
+        let r4 = s4.report();
+        host_headline = Some(r4.jobs as f64 / f4.max(f64::MIN_POSITIVE));
+    }
+    assert!(
+        w4 < 3.0 * w1,
+        "host wall clock must not blow up with die count: {w4:.3}s on 4 dies !< 3 * {w1:.3}s on 1"
+    );
+    let headline = host_headline.expect("4-die CryptoNets run always happens");
+    println!(
+        "host kernel bar: {headline:.1} jobs/s host wall-clock on the 4-die CryptoNets closed run \
+         ({w4:.3}s vs {w1:.3}s on 1 die; < 3x required)\n"
+    );
 
     // Saturation: offer the CryptoNets mix to the 4-die farm at rising
     // rates (shrinking inter-arrival gaps). The knee sits where p95
@@ -148,7 +196,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             closed.clone()
         } else {
             let spec = ReplaySpec::closed(divisor, 77).offered(gap);
-            run_farm(&tenant, 4, &Workload::cryptonets(), &spec)?.report()
+            run_farm(&tenant, 4, &Workload::cryptonets(), &spec)?.0.report()
         };
         println!(
             "{gap:>12} | {:>12.1} {:>10} {:>10} {:>5.1}%",

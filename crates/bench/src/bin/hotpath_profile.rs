@@ -18,25 +18,52 @@
 //! Always writes `BENCH_hotpath.json` (schema `cofhee-hotpath-v1`) to
 //! the working directory — the artifact CI uploads.
 //!
-//! **Full mode** asserts the tentpole acceptance criterion: ≥2x ns/op
-//! improvement on `ntt` and `poly_mul` at degree 2^13, on both rings.
+//! Degrees at or above the `2^12` threading gate also get
+//! **threaded-tier rows** (`ntt_threaded`, `poly_mul_threaded`): the
+//! same two-column record, with the baseline column holding the
+//! *single-threaded lazy* kernel and the comparison column the
+//! scoped-thread schedule under [`ThreadPolicy::auto`]. On a
+//! single-core host the schedule falls back to the sequential kernel,
+//! so those rows sit near 1.0x by construction — which is exactly what
+//! the wider `THREADED_REGRESSION_BUDGET` accounts for.
+//!
+//! **Full mode** asserts the tentpole acceptance criteria: ≥2x ns/op
+//! improvement on `ntt` and `poly_mul` at degree 2^13, on both rings —
+//! and, on hosts with ≥4 cores, ≥2x from the threaded NTT over the
+//! single-threaded lazy kernel at the same degree.
 //!
 //! **`--check`** is the CI perf-regression gate: it loads
 //! `bench/baselines/hotpath.json` and fails (with a diff table) if any
-//! lazy kernel's ns/op regressed more than 25% against the baseline.
-//! Both sides are normalized to the *same-run* strict kernel
-//! (`lazy_ns / strict_ns`) so the gate measures kernel quality, not
-//! the speed of the CI host it happens to run on.
+//! lazy kernel's ns/op regressed more than 25% against the baseline
+//! (75% for the noisier threaded rows). Both sides are normalized to
+//! the *same-run* baseline kernel (`lazy_ns / strict_ns`) so the gate
+//! measures kernel quality, not the speed of the CI host it happens to
+//! run on.
 
 use std::fmt::Write as _;
 
 use cofhee_arith::{primes::ntt_prime, Barrett128, Barrett64, LazyRing, ModRing};
-use cofhee_poly::{ntt, pointwise, HarveyNtt};
+use cofhee_poly::{ntt, pointwise, threaded::PARALLEL_MIN_LOG2, HarveyNtt, ThreadPolicy};
 
 /// Allowed relative regression of `lazy_ns / strict_ns` vs baseline.
 const REGRESSION_BUDGET: f64 = 0.25;
-/// The acceptance floor for `ntt` / `poly_mul` at degree 2^13.
+/// Allowed relative regression for the `*_threaded` rows: scheduling
+/// jitter hits a multi-thread measurement much harder than a
+/// single-thread one, and on single-core hosts the ratio hovers at
+/// 1.0x where small absolute wobbles are large relative ones.
+const THREADED_REGRESSION_BUDGET: f64 = 0.75;
+/// The acceptance floor for `ntt` / `poly_mul` at degree 2^13, and for
+/// the threaded NTT over single-threaded lazy on ≥4-core hosts.
 const ACCEPTANCE_SPEEDUP: f64 = 2.0;
+
+/// The per-row regression budget (threaded rows get the wider one).
+fn budget_for(op: &str) -> f64 {
+    if op.ends_with("_threaded") {
+        THREADED_REGRESSION_BUDGET
+    } else {
+        REGRESSION_BUDGET
+    }
+}
 
 #[derive(Debug, Clone, PartialEq)]
 struct Record {
@@ -200,6 +227,54 @@ fn measure<R: LazyRing>(
             },
         ),
     );
+
+    // --- threaded tier: scoped-thread schedule vs single-threaded
+    // lazy, only at degrees where the schedule actually engages ---
+    if log_n as usize >= PARALLEL_MIN_LOG2 {
+        // Bit-exactness under a forced multi-worker schedule (auto may
+        // resolve to 1 worker on a small host, which would test the
+        // fallback, not the schedule).
+        let forced = ThreadPolicy::exact(4);
+        let mut th = a.clone();
+        plan.forward_inplace_threaded(&mut th, &forced)?;
+        assert_eq!(th, fa, "{label} 2^{log_n}: threaded ntt != strict");
+        assert_eq!(
+            plan.poly_mul_threaded(&a, &b, &forced)?,
+            plan.poly_mul(&a, &b)?,
+            "{label} 2^{log_n}: threaded poly_mul != single"
+        );
+
+        let policy = ThreadPolicy::auto();
+        let mut push = |op: &str, (strict_ns, lazy_ns): (f64, f64)| {
+            out.push(Record { ring: label.into(), log_n, op: op.into(), strict_ns, lazy_ns });
+        };
+        push(
+            "ntt_threaded",
+            time_pair(
+                reps,
+                || {
+                    buf.copy_from_slice(&a);
+                    plan.forward_inplace(&mut buf).unwrap();
+                },
+                || {
+                    buf2.copy_from_slice(&a);
+                    plan.forward_inplace_threaded(&mut buf2, &policy).unwrap();
+                },
+            ),
+        );
+        push(
+            "poly_mul_threaded",
+            time_pair(
+                reps,
+                || {
+                    let _ = plan.poly_mul(&a, &b).unwrap();
+                },
+                || {
+                    let _ = plan.poly_mul_threaded(&a, &b, &policy).unwrap();
+                },
+            ),
+        );
+    }
     Ok(())
 }
 
@@ -284,7 +359,7 @@ fn gate_violations(records: &[Record], baseline: &[Record]) -> Vec<usize> {
         .filter_map(|(i, r)| {
             let b =
                 baseline.iter().find(|b| b.ring == r.ring && b.log_n == r.log_n && b.op == r.op)?;
-            (r.rel() / b.rel() - 1.0 > REGRESSION_BUDGET).then_some(i)
+            (r.rel() / b.rel() - 1.0 > budget_for(&r.op)).then_some(i)
         })
         .collect()
 }
@@ -297,9 +372,10 @@ fn check_against_baseline(
     baseline: &[Record],
 ) -> Result<usize, Box<dyn std::error::Error>> {
     println!(
-        "\nRegression gate vs {} (budget: +{:.0}% on lazy/strict)",
+        "\nRegression gate vs {} (budget: +{:.0}% on lazy/strict, +{:.0}% on threaded rows)",
         baseline_path().display(),
-        REGRESSION_BUDGET * 100.0
+        REGRESSION_BUDGET * 100.0,
+        THREADED_REGRESSION_BUDGET * 100.0
     );
     println!(
         "{:<11} {:>6} {:<14} | {:>10} {:>10} {:>8} | verdict",
@@ -315,7 +391,7 @@ fn check_against_baseline(
         };
         compared += 1;
         let delta = r.rel() / b.rel() - 1.0;
-        let bad = delta > REGRESSION_BUDGET;
+        let bad = delta > budget_for(&r.op);
         if bad {
             violations += 1;
         }
@@ -431,6 +507,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         println!("acceptance: ntt/poly_mul at 2^13 are ≥{ACCEPTANCE_SPEEDUP}x on both rings");
+
+        // The threaded-tier acceptance criterion is a statement about
+        // multi-core hosts only: with <4 cores the schedule cannot
+        // reach 2x no matter how good it is, so the assert is gated on
+        // the parallelism actually available.
+        let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        if cores >= 4 {
+            for r in records.iter().filter(|r| r.log_n == 13 && r.op == "ntt_threaded") {
+                assert!(
+                    r.speedup() >= ACCEPTANCE_SPEEDUP,
+                    "{} ntt_threaded at 2^13 on {cores} cores: {:.2}x < {ACCEPTANCE_SPEEDUP}x",
+                    r.ring,
+                    r.speedup()
+                );
+            }
+            println!(
+                "acceptance: threaded ntt at 2^13 is ≥{ACCEPTANCE_SPEEDUP}x over single-threaded \
+                 lazy on {cores} cores"
+            );
+        } else {
+            println!(
+                "acceptance: threaded ≥{ACCEPTANCE_SPEEDUP}x criterion skipped ({cores} core(s) \
+                 available, needs ≥4)"
+            );
+        }
     }
 
     if check {

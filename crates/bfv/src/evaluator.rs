@@ -47,7 +47,7 @@ use std::sync::{Arc, Mutex};
 
 use cofhee_core::{
     BackendFactory, CommStats, CpuBackendFactory, OpReport, OpStream, PolyBackend, PolyHandle,
-    StreamExecutor, StreamJob, StreamReport,
+    PoolStats, StreamExecutor, StreamJob, StreamReport,
 };
 use cofhee_opt::{OptLevel, OptStats, PassRunner};
 use cofhee_poly::{Domain, Polynomial};
@@ -244,6 +244,20 @@ impl Evaluator {
         let mut total = lock(&self.q_backend).report();
         for be in &self.mult_backends {
             total.absorb(&lock(be).report());
+        }
+        total
+    }
+
+    /// Cumulative scratch-pool telemetry across all backends (the
+    /// mod-q backend plus the per-prime tensor backends): once the
+    /// evaluator has warmed up, `misses` should stop growing — every
+    /// upload, transform, and product is served from recycled buffers
+    /// (the zero-alloc steady state proved by `cofhee_core`'s
+    /// counting-allocator harness).
+    pub fn backend_pool_stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for be in std::iter::once(&self.q_backend).chain(&self.mult_backends) {
+            total.absorb(&lock(be).pool_stats());
         }
         total
     }

@@ -14,10 +14,12 @@
 //!    [`Evaluator::mul_plain_stream`] record a single mod-`q` stream;
 //!    [`Evaluator::tensor_streams`] records one stream per CRT
 //!    computation prime (the per-limb decomposition of the exact Eq. 4
-//!    tensor); [`Evaluator::relin_stream`] records the key-switch inner
-//!    products as a self-contained mod-`q` stream (the relin-key
+//!    tensor); [`Evaluator::relin_stream`] delegates to the
+//!    scheme-neutral [`cofhee_core::record_key_switch`] builder (shared
+//!    with CKKS rescale-relinearize) to record the key-switch inner
+//!    products as a self-contained mod-`q` stream — the relin-key
 //!    polynomials travel *inside* the stream, so it runs on any
-//!    borrowed backend with no resident key cache).
+//!    borrowed backend with no resident key cache.
 //! 2. **Finish** — host-side reconstruction from the stream outputs:
 //!    [`Evaluator::ciphertext_from_outputs`] rewraps downloaded
 //!    components, and [`Evaluator::tensor_combine`] performs the CRT

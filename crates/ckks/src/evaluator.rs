@@ -37,8 +37,8 @@
 use std::sync::{Arc, Mutex};
 
 use cofhee_core::{
-    BackendFactory, CommStats, CpuBackendFactory, OpReport, OpStream, PolyBackend, StreamExecutor,
-    StreamJob, StreamReport,
+    BackendFactory, CommStats, CpuBackendFactory, OpReport, OpStream, PolyBackend, PoolStats,
+    StreamExecutor, StreamJob, StreamReport,
 };
 use cofhee_opt::{OptLevel, OptStats, PassRunner};
 
@@ -144,6 +144,20 @@ impl CkksEvaluator {
         let mut total = OpReport::default();
         for be in &self.limb_backends {
             total.absorb(&lock(be).report());
+        }
+        total
+    }
+
+    /// Cumulative scratch-pool telemetry across all limb backends: once
+    /// the chain is warm, `misses` stops growing — every per-limb
+    /// upload, transform, and rescale is served from recycled buffers
+    /// (the zero-alloc steady state proved by `cofhee_core`'s
+    /// counting-allocator harness).
+    #[must_use]
+    pub fn backend_pool_stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for be in &self.limb_backends {
+            total.absorb(&lock(be).pool_stats());
         }
         total
     }

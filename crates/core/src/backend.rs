@@ -74,6 +74,8 @@ use cofhee_obs::TraceContext;
 use cofhee_poly::cache::TwiddleCache;
 use cofhee_poly::lazy::HarveyNtt;
 use cofhee_poly::pointwise;
+use cofhee_poly::pool::{BufferPool, PoolStats};
+use cofhee_poly::ThreadPolicy;
 use cofhee_sim::{ChipConfig, OpReport, Slot, Spi, Uart};
 
 use crate::device::{CommStats, Device, Link};
@@ -268,6 +270,16 @@ pub trait PolyBackend: fmt::Debug + Send {
     /// context and emits per-batch drain spans, DMA segments, and
     /// interrupt instants while executing streams.
     fn set_trace(&mut self, _ctx: TraceContext) {}
+
+    /// Scratch-buffer recycling counters (see
+    /// [`cofhee_poly::pool::PoolStats`]): in steady state the hit rate
+    /// is 1.0 and the backend performs zero heap allocation per op.
+    ///
+    /// The provided default reports empty counters for backends
+    /// without a pool; [`CpuBackend`] and [`ChipBackend`] override it.
+    fn pool_stats(&self) -> PoolStats {
+        PoolStats::default()
+    }
 }
 
 /// Builds [`PolyBackend`]s for arbitrary `(q, n)` pairs.
@@ -402,11 +414,26 @@ struct CpuState<R: LazyRing> {
     plan: Arc<HarveyNtt<R>>,
     n: usize,
     pool: HashMap<u64, Vec<R::Elem>>,
+    /// Recycled scratch stock: every op takes its output (and scratch)
+    /// buffer here and [`CpuState::free`] returns handles to it, so a
+    /// warmed steady-state loop allocates nothing.
+    scratch: BufferPool<R::Elem>,
+    /// Worker budget for the threaded kernels (degree-gated inside
+    /// [`ThreadPolicy::effective`], so small transforms never spawn).
+    policy: ThreadPolicy,
 }
 
 impl<R: LazyRing> CpuState<R> {
     fn new(plan: Arc<HarveyNtt<R>>) -> Self {
-        Self { ring: plan.ring().clone(), n: plan.n(), plan, pool: HashMap::new() }
+        let n = plan.n();
+        Self {
+            ring: plan.ring().clone(),
+            n,
+            plan,
+            pool: HashMap::new(),
+            scratch: BufferPool::new(n),
+            policy: ThreadPolicy::auto(),
+        }
     }
 
     fn insert(&mut self, v: Vec<R::Elem>) -> PolyHandle {
@@ -415,57 +442,104 @@ impl<R: LazyRing> CpuState<R> {
         PolyHandle(id)
     }
 
+    /// Validates a handle without touching the scratch pool (ops
+    /// validate *before* taking buffers so the error path leaks
+    /// nothing).
+    fn check(&self, h: PolyHandle) -> Result<()> {
+        if self.pool.contains_key(&h.0) {
+            Ok(())
+        } else {
+            Err(CoreError::BadHandle { id: h.0 })
+        }
+    }
+
     fn get(&self, h: PolyHandle) -> Result<&Vec<R::Elem>> {
         self.pool.get(&h.0).ok_or(CoreError::BadHandle { id: h.0 })
+    }
+
+    fn free(&mut self, h: PolyHandle) {
+        if let Some(v) = self.pool.remove(&h.0) {
+            self.scratch.put(v);
+        }
     }
 
     fn upload(&mut self, coeffs: &[u128]) -> Result<PolyHandle> {
         if coeffs.len() != self.n {
             return Err(CoreError::BadOperandLength { expected: self.n, found: coeffs.len() });
         }
-        let v = coeffs.iter().map(|&c| self.ring.from_u128(c)).collect();
+        let mut v = self.scratch.take();
+        for (dst, &c) in v.iter_mut().zip(coeffs) {
+            *dst = self.ring.from_u128(c);
+        }
         Ok(self.insert(v))
     }
 
     fn download(&self, h: PolyHandle) -> Result<Vec<u128>> {
+        // The one deliberately allocating op: downloads cross the
+        // backend boundary into caller-owned memory.
         Ok(self.get(h)?.iter().map(|&c| self.ring.to_u128(c)).collect())
     }
 
     fn transform(&mut self, src: PolyHandle, forward: bool) -> Result<PolyHandle> {
-        let mut v = self.get(src)?.clone();
+        self.check(src)?;
+        let mut v = self.scratch.take();
+        v.copy_from_slice(&self.pool[&src.0]);
         if forward {
-            self.plan.forward_inplace(&mut v)?;
+            self.plan.forward_inplace_threaded(&mut v, &self.policy)?;
         } else {
-            self.plan.inverse_inplace(&mut v)?;
+            self.plan.inverse_inplace_threaded(&mut v, &self.policy)?;
         }
         Ok(self.insert(v))
     }
 
     fn pointwise(&mut self, x: PolyHandle, y: PolyHandle, op: PointwiseOp) -> Result<PolyHandle> {
-        let mut a = self.get(x)?.clone();
-        let b = self.get(y)?;
+        self.check(x)?;
+        self.check(y)?;
+        let mut a = self.scratch.take();
+        a.copy_from_slice(&self.pool[&x.0]);
         match op {
-            PointwiseOp::Mul => pointwise::mul_assign(&self.ring, &mut a, b)?,
-            PointwiseOp::Add => pointwise::add_assign(&self.ring, &mut a, b)?,
-            PointwiseOp::Sub => pointwise::sub_assign(&self.ring, &mut a, b)?,
+            PointwiseOp::Mul => pointwise::mul_assign(&self.ring, &mut a, &self.pool[&y.0])?,
+            PointwiseOp::Add => pointwise::add_assign(&self.ring, &mut a, &self.pool[&y.0])?,
+            PointwiseOp::Sub => pointwise::sub_assign(&self.ring, &mut a, &self.pool[&y.0])?,
         }
         Ok(self.insert(a))
     }
 
     fn scalar_mul(&mut self, x: PolyHandle, c: u128) -> Result<PolyHandle> {
-        let mut a = self.get(x)?.clone();
+        self.check(x)?;
+        let mut a = self.scratch.take();
+        a.copy_from_slice(&self.pool[&x.0]);
         let c = self.ring.from_u128(c);
         pointwise::scalar_mul_assign(&self.ring, &mut a, c);
         Ok(self.insert(a))
     }
 
     fn poly_mul(&mut self, a: PolyHandle, b: PolyHandle) -> Result<PolyHandle> {
-        let out = self.plan.poly_mul(self.get(a)?, self.get(b)?)?;
+        self.check(a)?;
+        self.check(b)?;
+        let mut out = self.scratch.take();
+        let mut tmp = self.scratch.take();
+        self.plan.poly_mul_into_threaded(
+            &self.pool[&a.0],
+            &self.pool[&b.0],
+            &mut out,
+            &mut tmp,
+            &self.policy,
+        )?;
+        self.scratch.put(tmp);
         Ok(self.insert(out))
     }
 
     fn hadamard_intt(&mut self, x: PolyHandle, y: PolyHandle) -> Result<PolyHandle> {
-        let out = self.plan.hadamard_intt(self.get(x)?, self.get(y)?)?;
+        self.check(x)?;
+        self.check(y)?;
+        let mut out = self.scratch.take();
+        self.plan.hadamard_intt_into_threaded(
+            &self.pool[&x.0],
+            &self.pool[&y.0],
+            &mut out,
+            &self.policy,
+        )?;
         Ok(self.insert(out))
     }
 }
@@ -496,7 +570,6 @@ macro_rules! with_engine {
 }
 
 /// Read-only variant of [`with_engine!`].
-#[cfg(test)]
 macro_rules! with_engine_ref {
     ($self:expr, $st:ident => $body:expr) => {
         match &$self.engine {
@@ -548,6 +621,18 @@ impl CpuBackend {
         (self.n as u64 / 2) * self.n.trailing_zeros() as u64
     }
 
+    /// Sets the worker budget for the threaded kernels. The default is
+    /// [`ThreadPolicy::auto`]; [`ThreadPolicy::effective`] still gates
+    /// by degree, so small transforms never spawn regardless.
+    pub fn set_thread_policy(&mut self, policy: ThreadPolicy) {
+        with_engine!(self, st => st.policy = policy);
+    }
+
+    /// The current worker budget.
+    pub fn thread_policy(&self) -> ThreadPolicy {
+        with_engine_ref!(self, st => st.policy)
+    }
+
     /// Live pool entries (leak checks in tests).
     #[cfg(test)]
     pub(crate) fn pool_len(&self) -> usize {
@@ -577,9 +662,7 @@ impl PolyBackend for CpuBackend {
     }
 
     fn free(&mut self, h: PolyHandle) {
-        with_engine!(self, st => {
-            st.pool.remove(&h.0);
-        });
+        with_engine!(self, st => st.free(h));
     }
 
     fn ntt(&mut self, src: PolyHandle) -> Result<PolyHandle> {
@@ -650,6 +733,10 @@ impl PolyBackend for CpuBackend {
     fn reset_telemetry(&mut self) {
         self.report = OpReport::default();
     }
+
+    fn pool_stats(&self) -> PoolStats {
+        with_engine_ref!(self, st => st.scratch.stats())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -670,6 +757,11 @@ pub struct ChipBackend {
     pub(crate) device: Device,
     pub(crate) pool: HashMap<u64, Vec<u128>>,
     pub(crate) report: OpReport,
+    /// Recycled host-mirror stock: uploads take staged buffers here and
+    /// frees return them, mirroring [`CpuBackend`]'s zero-alloc steady
+    /// state on the staging side. Stream execution stages
+    /// `StreamOp::Input` mirrors through it too.
+    pub(crate) scratch: BufferPool<u128>,
     comm_base: CommStats,
     /// Tracing destination for stream execution; [`TraceContext::disabled`]
     /// until a farm (or test) installs a recording sink.
@@ -700,10 +792,12 @@ impl ChipBackend {
 
     /// Wraps an already-connected [`Device`].
     pub fn from_device(device: Device) -> Self {
+        let n = device.n();
         Self {
             device,
             pool: HashMap::new(),
             report: OpReport::default(),
+            scratch: BufferPool::new(n),
             comm_base: CommStats::default(),
             trace: TraceContext::disabled(),
             trace_dma_tail: 0,
@@ -792,7 +886,10 @@ impl PolyBackend for ChipBackend {
             });
         }
         let ring = *self.device.ring();
-        let v: Vec<u128> = coeffs.iter().map(|&c| ring.from_u128(c)).collect();
+        let mut v = self.scratch.take();
+        for (dst, &c) in v.iter_mut().zip(coeffs) {
+            *dst = ring.from_u128(c);
+        }
         Ok(self.insert(v))
     }
 
@@ -801,7 +898,9 @@ impl PolyBackend for ChipBackend {
     }
 
     fn free(&mut self, h: PolyHandle) {
-        self.pool.remove(&h.0);
+        if let Some(v) = self.pool.remove(&h.0) {
+            self.scratch.put(v);
+        }
     }
 
     fn ntt(&mut self, src: PolyHandle) -> Result<PolyHandle> {
@@ -873,6 +972,10 @@ impl PolyBackend for ChipBackend {
 
     fn set_trace(&mut self, ctx: TraceContext) {
         self.trace = ctx;
+    }
+
+    fn pool_stats(&self) -> PoolStats {
+        self.scratch.stats()
     }
 }
 

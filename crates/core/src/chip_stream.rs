@@ -311,9 +311,16 @@ impl<'a> Scheduler<'a> {
                 self.host_upload(i, v)?;
             }
             StreamOp::Input(h) => {
-                let data =
-                    self.be.pool.get(&h.id()).ok_or(CoreError::BadHandle { id: h.id() })?.clone();
+                // Stage the host mirror through the recycled scratch
+                // stock instead of cloning it — warmed streams that
+                // reference resident handles (cached relin keys) add no
+                // heap traffic.
+                let mut data = self.be.scratch.take();
+                data.copy_from_slice(
+                    self.be.pool.get(&h.id()).ok_or(CoreError::BadHandle { id: h.id() })?,
+                );
                 self.host_upload(i, &data)?;
+                self.be.scratch.put(data);
             }
             StreamOp::Ntt(s) | StreamOp::Intt(s) => {
                 let src = self.operand(*s);

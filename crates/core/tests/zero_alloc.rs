@@ -1,0 +1,153 @@
+//! The allocation-counting harness behind the zero-alloc claim: a
+//! counting `#[global_allocator]` proves — not asserts — that a warmed
+//! [`CpuBackend`] runs the entire non-download op set with **zero**
+//! heap allocations, and that [`ChipBackend`] staging (upload/free)
+//! does the same.
+//!
+//! Methodology:
+//!
+//! * The wrapper counts every `alloc`/`alloc_zeroed`/`realloc`; the
+//!   steady-state window is the delta across `STEADY_ITERS` full
+//!   iterations after two warm-up iterations (warm-up populates the
+//!   twiddle cache, grows the handle map to capacity, and stocks the
+//!   [`cofhee_core::PoolStats`]-tracked buffer pool — two rounds, not
+//!   one, because the pool only learns the high-water buffer count
+//!   after a complete first pass).
+//! * Degree stays below the `2^12` threading gate and the policy is
+//!   pinned to [`ThreadPolicy::single`], so no scoped threads spawn:
+//!   thread stacks are OS allocations the counter cannot see, and the
+//!   zero-alloc contract is a statement about the *sequential* hot
+//!   path (see `docs/PERFORMANCE.md`).
+//! * Everything runs inside ONE `#[test]` so no concurrent libtest
+//!   thread pollutes the process-global counter.
+//!
+//! `cofhee_core` itself forbids `unsafe_code`; this harness is a
+//! separate crate root and needs `unsafe` only for the `GlobalAlloc`
+//! shim around [`System`].
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cofhee_arith::primes::ntt_prime;
+use cofhee_core::{ChipBackend, CpuBackend, PolyBackend, ThreadPolicy};
+use cofhee_sim::ChipConfig;
+
+/// Counts allocation events; forwards everything to [`System`].
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const N: usize = 256;
+const STEADY_ITERS: usize = 32;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// One steady-state traffic iteration: the full non-download op set
+/// (`download` is the one documented allocating op — it crosses the
+/// backend boundary into caller-owned memory) with every produced
+/// handle freed back to the pool.
+fn steady_iteration(be: &mut dyn PolyBackend, a: &[u128], b: &[u128]) {
+    let ha = be.upload(a).unwrap();
+    let hb = be.upload(b).unwrap();
+    let fa = be.ntt(ha).unwrap();
+    let fb = be.ntt(hb).unwrap();
+    let had = be.hadamard(fa, fb).unwrap();
+    let back = be.intt(had).unwrap();
+    let fused = be.hadamard_intt(fa, fb).unwrap();
+    let sum = be.pointwise_add(ha, hb).unwrap();
+    let diff = be.pointwise_sub(ha, hb).unwrap();
+    let scaled = be.scalar_mul(ha, 12345).unwrap();
+    let prod = be.poly_mul(ha, hb).unwrap();
+    for h in [ha, hb, fa, fb, had, back, fused, sum, diff, scaled, prod] {
+        be.free(h);
+    }
+}
+
+/// Warms a backend, then asserts the steady-state window allocates
+/// nothing and the buffer pool served every request from stock.
+fn assert_zero_alloc_steady_state(be: &mut dyn PolyBackend, a: &[u128], b: &[u128], label: &str) {
+    steady_iteration(be, a, b);
+    steady_iteration(be, a, b);
+
+    let warm = be.pool_stats();
+    let before = allocations();
+    for _ in 0..STEADY_ITERS {
+        steady_iteration(be, a, b);
+    }
+    let delta = allocations() - before;
+    let stats = be.pool_stats();
+
+    assert_eq!(delta, 0, "{label}: warmed steady state performed {delta} heap allocations");
+    assert_eq!(
+        stats.misses, warm.misses,
+        "{label}: buffer pool missed after warm-up (allocations hid behind the pool)"
+    );
+    assert!(
+        stats.hits > warm.hits,
+        "{label}: steady-state traffic did not exercise the buffer pool"
+    );
+}
+
+#[test]
+fn warmed_backends_run_allocation_free() {
+    let a: Vec<u128> = (0..N as u128).collect();
+    let b: Vec<u128> = (0..N as u128).map(|i| i * 3 + 1).collect();
+
+    // CpuBackend, narrow (Barrett64) engine.
+    let q55 = ntt_prime(55, N).unwrap();
+    let mut cpu = CpuBackend::new(q55, N).unwrap();
+    cpu.set_thread_policy(ThreadPolicy::single());
+    assert_zero_alloc_steady_state(&mut cpu, &a, &b, "cpu/narrow");
+
+    // CpuBackend, wide (Barrett128) engine — the chip-native width.
+    let q109 = ntt_prime(109, N).unwrap();
+    let mut cpu = CpuBackend::new(q109, N).unwrap();
+    cpu.set_thread_policy(ThreadPolicy::single());
+    assert_zero_alloc_steady_state(&mut cpu, &a, &b, "cpu/wide");
+
+    // ChipBackend staging: compute ops legitimately allocate (bank
+    // downloads produce fresh host mirrors), but the upload/free mirror
+    // traffic the farm front-end hammers must recycle.
+    let mut chip = ChipBackend::connect(ChipConfig::silicon(), q109, N).unwrap();
+    let h = chip.upload(&a).unwrap();
+    chip.free(h);
+    let h = chip.upload(&a).unwrap();
+    chip.free(h);
+    let warm = chip.pool_stats();
+    let before = allocations();
+    for _ in 0..STEADY_ITERS {
+        let h = chip.upload(&a).unwrap();
+        chip.free(h);
+    }
+    let delta = allocations() - before;
+    let stats = chip.pool_stats();
+    assert_eq!(delta, 0, "chip staging: warmed upload/free performed {delta} allocations");
+    assert_eq!(stats.misses, warm.misses, "chip staging: pool missed after warm-up");
+    assert!(stats.hits > warm.hits, "chip staging: traffic did not exercise the pool");
+}

@@ -4,8 +4,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cofhee_core::{
-    BackendFactory, ChipBackendFactory, OpStream, PolyBackend, SharedSink, StreamOutcome,
-    TraceContext,
+    BackendFactory, ChipBackendFactory, OpStream, PolyBackend, PoolStats, SharedSink,
+    StreamOutcome, TraceContext,
 };
 use cofhee_obs::null_sink;
 
@@ -220,6 +220,20 @@ impl ChipFarm {
     /// The farm-wide makespan: the virtual cycle the last die drains.
     pub fn makespan(&self) -> u64 {
         self.dies.iter().map(|d| d.clock).max().unwrap_or(0)
+    }
+
+    /// Farm-wide scratch-pool telemetry: the staging-buffer recycling
+    /// stats of every backend on every die, summed. Steady-state job
+    /// traffic holds `misses` flat — upload mirrors come from each
+    /// die's recycled stock (see `cofhee_poly::pool`).
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for die in &self.dies {
+            for be in die.backends.values() {
+                total.absorb(&be.pool_stats());
+            }
+        }
+        total
     }
 
     /// Per-die telemetry snapshots.

@@ -685,9 +685,10 @@ impl Scheduler {
 
     /// A machine-readable metrics snapshot of everything this scheduler
     /// has run: farm-level counters, per-die busy/queue-depth series,
-    /// the three latency histograms, and the process-wide twiddle-cache
+    /// the three latency histograms, the process-wide twiddle-cache
     /// counters (the chip's NTT constant store — farm workloads should
-    /// hit it far more often than they miss).
+    /// hit it far more often than they miss), and the farm-wide
+    /// staging-pool recycling counters under `farm.pool.*`.
     ///
     /// Built on demand — the hot path never touches a string-keyed map.
     pub fn metrics(&self) -> MetricsRegistry {
@@ -708,6 +709,17 @@ impl Scheduler {
         let tw = TwiddleCache::stats();
         m.counter_add("twiddle_cache.hits", tw.hits);
         m.counter_add("twiddle_cache.misses", tw.misses);
+        // Staging-buffer recycling across every die backend: in steady
+        // state `farm.pool.misses` stops growing (see cofhee_poly::pool).
+        let pool = self.farm.pool_stats();
+        m.record_pool_counters(
+            "farm.pool",
+            pool.hits,
+            pool.misses,
+            pool.recycled,
+            pool.resident,
+            pool.high_water,
+        );
         m
     }
 }
@@ -1136,6 +1148,11 @@ mod tests {
         let counted: u64 =
             chips.iter().map(|c| m.counter(&format!("farm.die{}.busy_cycles", c.chip))).sum();
         assert_eq!(counted, busy);
+        // The farm-wide staging-pool counters are exported under
+        // `farm.pool.*` (farm job streams carry operands inline, so the
+        // counters stay zero here — the keys must exist regardless).
+        assert!(m.iter().any(|(k, _)| k == "farm.pool.hits"), "pool counters must be exported");
+        assert!(m.gauge("farm.pool.resident").is_some());
     }
 
     #[test]

@@ -246,6 +246,39 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records a buffer-pool telemetry snapshot under `prefix` using
+    /// the stack-wide naming convention: `<prefix>.hits` / `.misses` /
+    /// `.recycled` as counters, `<prefix>.resident` / `.high_water` as
+    /// gauges. The pool type itself lives below this crate in the
+    /// dependency graph (`cofhee_poly::pool`), so the fields arrive as
+    /// plain values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cofhee_obs::MetricsRegistry;
+    ///
+    /// let mut m = MetricsRegistry::new();
+    /// m.record_pool_counters("farm.pool", 10, 2, 9, 3, 5);
+    /// assert_eq!(m.counter("farm.pool.hits"), 10);
+    /// assert_eq!(m.gauge("farm.pool.high_water"), Some(5));
+    /// ```
+    pub fn record_pool_counters(
+        &mut self,
+        prefix: &str,
+        hits: u64,
+        misses: u64,
+        recycled: u64,
+        resident: u64,
+        high_water: u64,
+    ) {
+        self.counter_add(&format!("{prefix}.hits"), hits);
+        self.counter_add(&format!("{prefix}.misses"), misses);
+        self.counter_add(&format!("{prefix}.recycled"), recycled);
+        self.gauge_set(&format!("{prefix}.resident"), resident.min(i64::MAX as u64) as i64);
+        self.gauge_set(&format!("{prefix}.high_water"), high_water.min(i64::MAX as u64) as i64);
+    }
+
     /// Iterates all metrics in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
         self.metrics.iter().map(|(k, v)| (k.as_str(), v))

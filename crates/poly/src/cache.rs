@@ -14,6 +14,18 @@
 //! and dies. The cache never evicts — the working set is a handful of
 //! parameter sets, each a few hundred KiB.
 //!
+//! Thread-safety: the store is a `OnceLock<Mutex<…>>` — lookups take a
+//! process-global lock for the duration of a map probe (and, on a
+//! miss, one table build). The lock guards only *plan acquisition*,
+//! which happens at bring-up; the hot path holds plans by `Arc` and
+//! never touches the cache again, so transforms — including the
+//! scoped-thread schedules of [`crate::threaded`], whose workers all
+//! read one interned plan concurrently — run lock-free. A poisoned
+//! lock is recovered, not propagated: an interned plan is immutable,
+//! so a panic elsewhere cannot leave it half-written. The batch APIs
+//! ([`HarveyNtt::ntt_many`](crate::HarveyNtt::ntt_many) and friends)
+//! amortize even the acquisition: one lookup serves a whole batch.
+//!
 //! # Example
 //!
 //! ```

@@ -119,7 +119,26 @@ impl<R: LazyRing> HarveyNtt<R> {
         &self.strict
     }
 
-    fn check_len(&self, len: usize) -> Result<()> {
+    /// The forward Shoup twiddle table `ψ^{brv(i)}` (crate-internal:
+    /// the threaded schedule indexes sub-ranges of it directly).
+    #[inline]
+    pub(crate) fn fwd_twiddles(&self) -> &[ShoupMul<R::Elem>] {
+        &self.fwd
+    }
+
+    /// The inverse Shoup twiddle table `ψ^{-brv(i)}`.
+    #[inline]
+    pub(crate) fn inv_twiddles(&self) -> &[ShoupMul<R::Elem>] {
+        &self.inv
+    }
+
+    /// The prepared `n⁻¹` Shoup pair.
+    #[inline]
+    pub(crate) fn n_inv_pair(&self) -> &ShoupMul<R::Elem> {
+        &self.n_inv
+    }
+
+    pub(crate) fn check_len(&self, len: usize) -> Result<()> {
         if len != self.n {
             return Err(PolyError::LengthMismatch { expected: self.n, found: len });
         }
@@ -132,7 +151,7 @@ impl<R: LazyRing> HarveyNtt<R> {
     /// side lazily (Harvey's lemma absorbs the unfolded `[0, 4q)`
     /// operand), and emits both outputs uncorrected. Output range
     /// `[0, 4q)`; no canonical correction anywhere.
-    fn forward_stages(&self, a: &mut [R::Elem]) {
+    pub(crate) fn forward_stages(&self, a: &mut [R::Elem]) {
         let ring = &self.ring;
         let n = self.n;
         let mut t = n;
@@ -157,7 +176,7 @@ impl<R: LazyRing> HarveyNtt<R> {
     /// The `log n` Gentleman–Sande stages, redundant in and out. The
     /// subtract side feeds `u − v + 2q` into the Shoup multiply
     /// uncorrected — Harvey's lemma absorbs the `[0, 4q)` operand.
-    fn inverse_stages(&self, a: &mut [R::Elem]) {
+    pub(crate) fn inverse_stages(&self, a: &mut [R::Elem]) {
         let ring = &self.ring;
         let mut t = 1;
         let mut m = self.n;
@@ -179,14 +198,14 @@ impl<R: LazyRing> HarveyNtt<R> {
 
     /// The single final correction pass after the forward stages:
     /// `[0, 4q) → [0, q)`.
-    fn correct(&self, a: &mut [R::Elem]) {
+    pub(crate) fn correct(&self, a: &mut [R::Elem]) {
         for x in a.iter_mut() {
             *x = self.ring.reduce_once(self.ring.fold_2q(*x));
         }
     }
 
     /// The `n⁻¹` normalization fused with the final correction.
-    fn scale_n_inv(&self, a: &mut [R::Elem]) {
+    pub(crate) fn scale_n_inv(&self, a: &mut [R::Elem]) {
         for x in a.iter_mut() {
             *x = self.ring.reduce_once(self.ring.mul_lazy(*x, &self.n_inv));
         }
@@ -240,20 +259,81 @@ impl<R: LazyRing> HarveyNtt<R> {
         if !self.lazy {
             return ntt::negacyclic_mul(&self.ring, a, b, &self.strict);
         }
-        let ring = &self.ring;
         let mut at = a.to_vec();
         let mut bt = b.to_vec();
-        self.forward_stages(&mut at);
-        self.forward_stages(&mut bt);
+        self.poly_mul_core(&mut at, &mut bt);
+        Ok(at)
+    }
+
+    /// The fused Algorithm 2 body on borrowed buffers: both operands
+    /// are transformed in place, the Hadamard pass lands in `at`, and
+    /// the inverse stages + `n⁻¹` correction leave the canonical
+    /// product in `at`. `bt` is consumed as scratch (left in NTT
+    /// domain, redundant range).
+    pub(crate) fn poly_mul_core(&self, at: &mut [R::Elem], bt: &mut [R::Elem]) {
+        let ring = &self.ring;
+        self.forward_stages(at);
+        self.forward_stages(bt);
         // Hadamard over redundant [0, 4q) operands: fold + correct
         // each, then the canonical product (already in [0, 2q)) feeds
         // the inverse stages directly.
-        for (x, &y) in at.iter_mut().zip(&bt) {
+        for (x, &y) in at.iter_mut().zip(bt.iter()) {
             *x = ring.mul(ring.reduce_once(ring.fold_2q(*x)), ring.reduce_once(ring.fold_2q(y)));
         }
-        self.inverse_stages(&mut at);
-        self.scale_n_inv(&mut at);
-        Ok(at)
+        self.inverse_stages(at);
+        self.scale_n_inv(at);
+    }
+
+    /// Allocation-free [`HarveyNtt::poly_mul`]: the product lands in
+    /// `out`, with `scratch` consumed as the second transform buffer.
+    /// Both buffers must already have length `n` — [`crate::pool`]
+    /// recycles exactly such buffers so steady-state callers never
+    /// touch the heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::LengthMismatch`] if any slice is not
+    /// length `n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cofhee_arith::Barrett64;
+    /// use cofhee_poly::HarveyNtt;
+    ///
+    /// # fn main() -> Result<(), cofhee_poly::PolyError> {
+    /// let ring = Barrett64::new(0x7e00001)?;
+    /// let plan = HarveyNtt::new(&ring, 8)?;
+    /// let a = vec![1u64; 8];
+    /// let b = vec![2u64; 8];
+    /// let mut out = vec![0u64; 8];
+    /// let mut scratch = vec![0u64; 8];
+    /// plan.poly_mul_into(&a, &b, &mut out, &mut scratch)?;
+    /// assert_eq!(out, plan.poly_mul(&a, &b)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn poly_mul_into(
+        &self,
+        a: &[R::Elem],
+        b: &[R::Elem],
+        out: &mut [R::Elem],
+        scratch: &mut [R::Elem],
+    ) -> Result<()> {
+        self.check_len(a.len())?;
+        self.check_len(b.len())?;
+        self.check_len(out.len())?;
+        self.check_len(scratch.len())?;
+        out.copy_from_slice(a);
+        scratch.copy_from_slice(b);
+        if !self.lazy {
+            ntt::forward_inplace(&self.ring, out, &self.strict)?;
+            ntt::forward_inplace(&self.ring, scratch, &self.strict)?;
+            crate::pointwise::mul_assign(&self.ring, out, scratch)?;
+            return ntt::inverse_inplace(&self.ring, out, &self.strict);
+        }
+        self.poly_mul_core(out, scratch);
+        Ok(())
     }
 
     /// Fused `intt ∘ hadamard`: pointwise product of two NTT-domain
@@ -277,6 +357,55 @@ impl<R: LazyRing> HarveyNtt<R> {
             self.scale_n_inv(&mut out);
         }
         Ok(out)
+    }
+
+    /// Allocation-free [`HarveyNtt::hadamard_intt`]: the pointwise
+    /// product of the NTT-domain operands `x`, `y` flows through the
+    /// inverse stages into `out`, which must already have length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::LengthMismatch`] if any slice is not
+    /// length `n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cofhee_arith::Barrett64;
+    /// use cofhee_poly::HarveyNtt;
+    ///
+    /// # fn main() -> Result<(), cofhee_poly::PolyError> {
+    /// let ring = Barrett64::new(0x7e00001)?;
+    /// let plan = HarveyNtt::new(&ring, 8)?;
+    /// let mut fa = vec![3u64; 8];
+    /// let mut fb = vec![5u64; 8];
+    /// plan.forward_inplace(&mut fa)?;
+    /// plan.forward_inplace(&mut fb)?;
+    /// let mut out = vec![0u64; 8];
+    /// plan.hadamard_intt_into(&fa, &fb, &mut out)?;
+    /// assert_eq!(out, plan.hadamard_intt(&fa, &fb)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn hadamard_intt_into(
+        &self,
+        x: &[R::Elem],
+        y: &[R::Elem],
+        out: &mut [R::Elem],
+    ) -> Result<()> {
+        self.check_len(x.len())?;
+        self.check_len(y.len())?;
+        self.check_len(out.len())?;
+        let ring = &self.ring;
+        for ((o, &a), &b) in out.iter_mut().zip(x).zip(y) {
+            *o = ring.mul(a, b);
+        }
+        if !self.lazy {
+            return ntt::inverse_inplace(ring, out, &self.strict);
+        }
+        self.inverse_stages(out);
+        self.scale_n_inv(out);
+        Ok(())
     }
 
     /// NTT-domain pointwise accumulation `a[i] += b[i]` (the transform
@@ -414,6 +543,48 @@ mod tests {
         let mut s = a.clone();
         ntt::forward_inplace(&ring, &mut s, plan.tables()).unwrap();
         assert_eq!(t, s);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let ring = ring64();
+        let n = 64;
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        let a = rand_poly64(n, 41);
+        let b = rand_poly64(n, 43);
+        let mut out = vec![0u64; n];
+        let mut scratch = vec![0u64; n];
+        plan.poly_mul_into(&a, &b, &mut out, &mut scratch).unwrap();
+        assert_eq!(out, plan.poly_mul(&a, &b).unwrap());
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward_inplace(&mut fa).unwrap();
+        plan.forward_inplace(&mut fb).unwrap();
+        plan.hadamard_intt_into(&fa, &fb, &mut out).unwrap();
+        assert_eq!(out, plan.hadamard_intt(&fa, &fb).unwrap());
+    }
+
+    #[test]
+    fn into_variants_match_on_strict_fallback() {
+        // 127-bit modulus: no lazy headroom, the _into paths must route
+        // through the strict kernels and still be allocation-shaped.
+        let n = 1 << 4;
+        let q = ntt_prime(127, n).unwrap();
+        let ring = Barrett128::new(q).unwrap();
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        assert!(!plan.is_lazy());
+        let a = rand_poly(q, n, 19);
+        let b = rand_poly(q, n, 29);
+        let mut out = vec![0u128; n];
+        let mut scratch = vec![0u128; n];
+        plan.poly_mul_into(&a, &b, &mut out, &mut scratch).unwrap();
+        assert_eq!(out, plan.poly_mul(&a, &b).unwrap());
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward_inplace(&mut fa).unwrap();
+        plan.forward_inplace(&mut fb).unwrap();
+        plan.hadamard_intt_into(&fa, &fb, &mut out).unwrap();
+        assert_eq!(out, plan.hadamard_intt(&fa, &fb).unwrap());
     }
 
     #[test]

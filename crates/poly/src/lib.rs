@@ -9,10 +9,19 @@
 //!   Gentleman–Sande inverse, the merged negacyclic path the chip
 //!   executes, and the explicit Algorithm 2 reference path.
 //! * [`lazy`] — the Harvey lazy-reduction hot path ([`HarveyNtt`]):
-//!   Shoup-paired twiddles, `[0, 2q)` redundant coefficients across
-//!   stages with a single final correction, and fused
-//!   `intt ∘ hadamard` / Algorithm 2 passes. Bit-exact with [`ntt`],
-//!   which remains the strict oracle.
+//!   Shoup-paired twiddles, redundant coefficients across stages
+//!   (`[0, 4q)` forward, `[0, 2q)` inverse) with a single final
+//!   correction, and fused `intt ∘ hadamard` / Algorithm 2 passes.
+//!   Bit-exact with [`ntt`], which remains the strict oracle.
+//! * [`threaded`] — the multi-threaded tier above [`lazy`]:
+//!   scoped-thread butterfly schedules ([`ThreadPolicy`]-gated, radix-4
+//!   fused head stages, independent sub-transforms) plus the
+//!   `ntt_many`/`poly_mul_many` batch APIs that amortize plan lookup
+//!   and spawn cost across per-limb fan-outs. Bit-exact with [`lazy`].
+//! * [`pool`] — [`BufferPool`]: bounded recycling of fixed-width
+//!   scratch vectors so warmed steady-state traffic performs zero heap
+//!   allocation (proved by a counting-allocator harness in
+//!   `cofhee_core`).
 //! * [`cache`] — the process-wide [`TwiddleCache`] interning one
 //!   transform plan per `(modulus, degree)` pair, shared by backends,
 //!   evaluators, and every die of a farm.
@@ -60,8 +69,12 @@ pub mod lazy;
 pub mod naive;
 pub mod ntt;
 pub mod pointwise;
+pub mod pool;
+pub mod threaded;
 
 pub use cache::{TwiddleCache, TwiddleCacheStats};
 pub use error::{PolyError, Result};
 pub use lazy::HarveyNtt;
 pub use polynomial::{Domain, PolyRing, Polynomial};
+pub use pool::{BufferPool, PoolStats};
+pub use threaded::ThreadPolicy;

@@ -1,0 +1,222 @@
+//! Fixed-width scratch-buffer recycling: the zero-allocation substrate
+//! of the steady-state hot path.
+//!
+//! Every kernel in this crate works on length-`n` coefficient vectors
+//! for one `(q, n)` pair, so a backend's scratch demand is a stream of
+//! identically-shaped buffers. [`BufferPool`] keeps a bounded free list
+//! of exactly such buffers: [`BufferPool::take`] pops a recycled vector
+//! (or allocates on a miss), [`BufferPool::put`] returns it. Once the
+//! pool is **warmed** — every live handle and scratch slot has been
+//! allocated once — a steady-state upload/transform/multiply/free loop
+//! performs *zero* heap allocation, which
+//! `crates/core/tests/zero_alloc.rs` proves with a counting global
+//! allocator rather than asserting.
+//!
+//! Invariants:
+//!
+//! * Every vector in the free list has length exactly
+//!   [`BufferPool::width`] — [`BufferPool::put`] silently drops
+//!   wrong-width strays, so a [`BufferPool::take`] never needs to
+//!   resize.
+//! * The free list is bounded (default 64 buffers); beyond the cap,
+//!   [`BufferPool::put`] drops the buffer instead of growing resident
+//!   memory without bound.
+//! * Contents of recycled buffers are **unspecified** (stale data, not
+//!   zeroed): callers must fully overwrite what they take. Every
+//!   kernel consumer in this workspace does (`copy_from_slice`, full
+//!   `iter_mut` writes).
+//!
+//! Thread-safety: a `BufferPool` is plain mutable state (`&mut self`
+//! methods, no interior mutability). Each `CpuBackend` engine owns its
+//! own pool; cross-thread sharing goes through whatever lock already
+//! guards the backend (the evaluators wrap backends in `Mutex`), so
+//! the pool adds no locking of its own to the hot path.
+//!
+//! # Examples
+//!
+//! ```
+//! use cofhee_poly::pool::BufferPool;
+//!
+//! let mut pool: BufferPool<u64> = BufferPool::new(1024);
+//! let buf = pool.take(); // first take: a miss, allocates
+//! assert_eq!(buf.len(), 1024);
+//! pool.put(buf);
+//! let again = pool.take(); // warmed: a hit, no allocation
+//! assert_eq!(pool.stats().hits, 1);
+//! assert_eq!(pool.stats().misses, 1);
+//! # drop(again);
+//! ```
+
+/// Counters describing a pool's lifetime behavior, exported through
+/// `PolyBackend::pool_stats` into the `cofhee_obs` metrics registry.
+///
+/// `hits / (hits + misses)` is the recycling rate: 1.0 in steady state,
+/// below it while the pool warms or when traffic outgrows the cap.
+///
+/// # Examples
+///
+/// ```
+/// use cofhee_poly::pool::PoolStats;
+///
+/// let mut total = PoolStats::default();
+/// let per_engine = PoolStats { hits: 10, misses: 2, ..PoolStats::default() };
+/// total.absorb(&per_engine);
+/// assert_eq!(total.hits, 10);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Takes served from the free list (no allocation).
+    pub hits: u64,
+    /// Takes that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned and kept for reuse.
+    pub recycled: u64,
+    /// Buffers currently parked in the free list.
+    pub resident: u64,
+    /// Largest free-list population ever reached.
+    pub high_water: u64,
+}
+
+impl PoolStats {
+    /// Accumulates another pool's counters into this one (summing
+    /// everything, including `high_water` — for a fleet of per-limb
+    /// pools the aggregate high water is the sum of the per-pool
+    /// peaks, an upper bound on simultaneous resident buffers).
+    pub fn absorb(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.recycled += other.recycled;
+        self.resident += other.resident;
+        self.high_water += other.high_water;
+    }
+}
+
+/// Default bound on parked buffers per pool.
+pub const DEFAULT_POOL_CAP: usize = 64;
+
+/// A bounded free list of fixed-width scratch vectors (see the
+/// [module docs](self) for invariants and the warm-up model).
+#[derive(Debug)]
+pub struct BufferPool<T> {
+    width: usize,
+    cap: usize,
+    free: Vec<Vec<T>>,
+    hits: u64,
+    misses: u64,
+    recycled: u64,
+    high_water: usize,
+}
+
+impl<T: Clone + Default> BufferPool<T> {
+    /// A pool of `width`-element buffers with the default cap.
+    pub fn new(width: usize) -> Self {
+        Self::with_cap(width, DEFAULT_POOL_CAP)
+    }
+
+    /// A pool of `width`-element buffers keeping at most `cap` parked.
+    pub fn with_cap(width: usize, cap: usize) -> Self {
+        Self { width, cap, free: Vec::new(), hits: 0, misses: 0, recycled: 0, high_water: 0 }
+    }
+
+    /// The fixed buffer width (the transform degree `n`).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pops a recycled buffer, or allocates `vec![T::default(); width]`
+    /// on a miss. Recycled contents are unspecified — overwrite fully.
+    #[inline]
+    pub fn take(&mut self) -> Vec<T> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.hits += 1;
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![T::default(); self.width]
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list. Wrong-width buffers and
+    /// overflow past the cap are dropped (counted neither as recycled
+    /// nor as an error — the pool only ever holds reusable stock).
+    #[inline]
+    pub fn put(&mut self, buf: Vec<T>) {
+        if buf.len() == self.width && self.free.len() < self.cap {
+            self.free.push(buf);
+            self.recycled += 1;
+            self.high_water = self.high_water.max(self.free.len());
+        }
+    }
+
+    /// Current counters (see [`PoolStats`]).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            recycled: self.recycled,
+            resident: self.free.len() as u64,
+            high_water: self.high_water as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmed_pool_stops_allocating() {
+        let mut pool: BufferPool<u64> = BufferPool::new(16);
+        let a = pool.take();
+        let b = pool.take();
+        assert_eq!(pool.stats().misses, 2);
+        pool.put(a);
+        pool.put(b);
+        for _ in 0..100 {
+            let x = pool.take();
+            let y = pool.take();
+            pool.put(x);
+            pool.put(y);
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 2, "warmed loop must not allocate");
+        assert_eq!(s.hits, 200);
+        assert_eq!(s.resident, 2);
+        assert_eq!(s.high_water, 2);
+    }
+
+    #[test]
+    fn wrong_width_and_overflow_are_dropped() {
+        let mut pool: BufferPool<u64> = BufferPool::with_cap(8, 2);
+        pool.put(vec![0; 4]); // wrong width: dropped
+        assert_eq!(pool.stats().resident, 0);
+        pool.put(vec![0; 8]);
+        pool.put(vec![0; 8]);
+        pool.put(vec![0; 8]); // over cap: dropped
+        let s = pool.stats();
+        assert_eq!(s.resident, 2);
+        assert_eq!(s.recycled, 2);
+        // Takes drain the parked stock before allocating again.
+        let _ = pool.take();
+        let _ = pool.take();
+        let _ = pool.take();
+        let s = pool.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn stats_absorb_sums_counters() {
+        let a = PoolStats { hits: 1, misses: 2, recycled: 3, resident: 4, high_water: 5 };
+        let mut total = a;
+        total.absorb(&a);
+        assert_eq!(
+            total,
+            PoolStats { hits: 2, misses: 4, recycled: 6, resident: 8, high_water: 10 }
+        );
+    }
+}

@@ -1,0 +1,981 @@
+//! Multi-threaded NTT/INTT schedules over `std::thread::scope` — the
+//! throughput tier above the single-threaded Harvey kernels.
+//!
+//! The butterfly network of a degree-`n` transform has `log n` stages.
+//! The first stages have few, huge blocks (stage `m` has `m` blocks of
+//! `n/m` coefficients); the last stages have many tiny ones. The
+//! threaded schedule exploits both shapes:
+//!
+//! * **Head stages** (`m <` workers): each block's butterfly range is
+//!   split into equal segments handed to different workers. Where two
+//!   head stages remain, they are **fused into a radix-4 pass**: each
+//!   quad of coefficients goes through both stages while hot in
+//!   registers — half the sweeps over the array, the cache-blocking
+//!   HEAAN-style software NTTs use.
+//! * **Tail stages** (`m ≥` workers): the array splits into `workers`
+//!   contiguous sub-arrays whose remaining stages are fully
+//!   independent — each worker runs its sub-transform start to finish
+//!   with no synchronization, the software image of HEAX's banks of
+//!   parallel NTT cores. (The inverse transform mirrors this:
+//!   independent sub-transforms first, then per-stage splitting for
+//!   the closing stages.)
+//!
+//! Every threaded kernel is **bit-exact** with its single-threaded
+//! Harvey counterpart (and therefore with the strict oracle): the
+//! schedule only re-partitions *which worker* executes each butterfly —
+//! the butterflies themselves, their `[0, 4q)`/`[0, 2q)` lazy ranges,
+//! and their stage order are unchanged. `tests/threaded_parity.rs`
+//! proptest-gates this across both engines and thread counts.
+//!
+//! Threading is **degree-gated** by [`ThreadPolicy::effective`]:
+//! below `2^12` coefficients the spawn cost dominates and everything
+//! runs single-threaded (this also keeps the sub-`2^12` steady state
+//! allocation-free — spawning threads allocates stacks, which is the
+//! cost the [`HarveyNtt::ntt_many`] batch APIs amortize over whole
+//! per-limb fan-outs). Moduli without lazy headroom fall back to the
+//! strict kernels, single-threaded.
+//!
+//! Everything here is safe Rust: disjoint `&mut` partitions come from
+//! `split_at_mut`/`chunks_mut`, and `std::thread::scope` joins every
+//! worker before the borrow ends.
+
+use cofhee_arith::{LazyRing, ShoupMul};
+
+use crate::error::Result;
+use crate::lazy::HarveyNtt;
+use crate::ntt;
+
+/// Transforms below `2^12` coefficients never spawn threads.
+pub const PARALLEL_MIN_LOG2: usize = 12;
+
+/// Hard cap on workers per transform.
+pub const MAX_THREADS: usize = 32;
+
+/// Minimum coefficients per worker sub-block (keeps tail sub-arrays
+/// cache-line friendly and spawn cost amortized).
+const MIN_CHUNK: usize = 256;
+
+/// One worker's slice of a binary pointwise op: mutable output chunk
+/// plus its read-only operand chunk.
+type PairChunk<'a, E> = (&'a mut [E], &'a [E]);
+
+/// One worker's slice of a ternary pointwise op: mutable output chunk
+/// plus its two read-only operand chunks.
+type TripleChunk<'a, E> = (&'a mut [E], &'a [E], &'a [E]);
+
+/// How many workers a kernel may use, resolved per call.
+///
+/// The policy holds a *requested* worker count; [`ThreadPolicy::effective`]
+/// clamps it per transform: power-of-two, at most [`MAX_THREADS`], `1`
+/// below the `2^12` degree gate, and small enough that every worker
+/// keeps at least 256 coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use cofhee_poly::ThreadPolicy;
+///
+/// let p = ThreadPolicy::exact(8);
+/// assert_eq!(p.effective(1 << 13), 8);
+/// assert_eq!(p.effective(1 << 8), 1); // below the degree gate
+/// assert_eq!(ThreadPolicy::exact(6).effective(1 << 13), 4); // power of two
+/// assert_eq!(ThreadPolicy::single().effective(1 << 14), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPolicy {
+    threads: usize,
+}
+
+impl ThreadPolicy {
+    /// As many workers as the host offers (capped at [`MAX_THREADS`]).
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self { threads: threads.min(MAX_THREADS) }
+    }
+
+    /// Exactly `threads` workers (clamped to `1..=`[`MAX_THREADS`]).
+    pub fn exact(threads: usize) -> Self {
+        Self { threads: threads.clamp(1, MAX_THREADS) }
+    }
+
+    /// Always single-threaded (the allocation-free steady-state choice
+    /// for latency-sensitive or small-degree traffic).
+    pub fn single() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The requested worker count before per-transform clamping.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Workers to use for a degree-`n` transform: the largest power of
+    /// two ≤ the request that leaves every worker ≥ 256 coefficients,
+    /// or `1` when `n < 2^12`.
+    pub fn effective(&self, n: usize) -> usize {
+        if self.threads <= 1 || n < (1 << PARALLEL_MIN_LOG2) {
+            return 1;
+        }
+        let mut w = 1usize;
+        while w * 2 <= self.threads && w * 2 <= MAX_THREADS {
+            w *= 2;
+        }
+        while w > 1 && n / w < MIN_CHUNK {
+            w /= 2;
+        }
+        w
+    }
+}
+
+impl Default for ThreadPolicy {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// A segment of one butterfly stage: paired lo/hi coefficient runs
+/// sharing a single twiddle.
+struct PairSeg<'a, E> {
+    lo: &'a mut [E],
+    hi: &'a mut [E],
+    w: ShoupMul<E>,
+}
+
+/// A radix-4 segment: four quarter-runs of one stage-`m` block going
+/// through stages `m` and `2m` fused.
+struct QuadSeg<'a, E> {
+    q0: &'a mut [E],
+    q1: &'a mut [E],
+    q2: &'a mut [E],
+    q3: &'a mut [E],
+    w1: ShoupMul<E>,
+    w2a: ShoupMul<E>,
+    w2b: ShoupMul<E>,
+}
+
+/// Distributes `items` round-robin over `workers` scoped threads (the
+/// calling thread takes one share itself, so `workers` means total
+/// parallelism, not extra threads).
+fn run_partitioned<I, F>(items: Vec<I>, workers: usize, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<I>> = Vec::with_capacity(workers);
+    buckets.resize_with(workers, Vec::new);
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push(item);
+    }
+    let own = buckets.pop().unwrap_or_default();
+    std::thread::scope(|s| {
+        for bucket in buckets {
+            let f = &f;
+            s.spawn(move || {
+                for item in bucket {
+                    f(item);
+                }
+            });
+        }
+        for item in own {
+            f(item);
+        }
+    });
+}
+
+/// Applies `f` to `workers` contiguous chunks of `a` in parallel.
+fn par_chunks<E, F>(a: &mut [E], workers: usize, f: F)
+where
+    E: Send,
+    F: Fn(&mut [E]) + Sync,
+{
+    if workers <= 1 || a.len() < 2 {
+        f(a);
+        return;
+    }
+    let chunk_len = a.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut chunks: Vec<&mut [E]> = a.chunks_mut(chunk_len).collect();
+        let own = chunks.pop();
+        for chunk in chunks {
+            let f = &f;
+            s.spawn(move || f(chunk));
+        }
+        if let Some(chunk) = own {
+            f(chunk);
+        }
+    });
+}
+
+/// The forward Cooley–Tukey stages under the threaded schedule —
+/// bit-exact with `HarveyNtt::forward_stages`. `workers` must be a
+/// power of two with `n / workers ≥ 256` (guaranteed by
+/// [`ThreadPolicy::effective`]).
+fn forward_stages_threaded<R: LazyRing>(plan: &HarveyNtt<R>, a: &mut [R::Elem], workers: usize) {
+    let n = plan.n();
+    let ring = plan.ring();
+    let fwd = plan.fwd_twiddles();
+    debug_assert!(workers.is_power_of_two() && n / workers >= MIN_CHUNK);
+    let mut m = 1usize;
+    let mut t = n / 2;
+    // Head stages: split within blocks; fuse radix-4 pairs.
+    while m < workers {
+        let segs = (workers / m).max(1);
+        if 2 * m < n && t >= 2 {
+            // Stages m and 2m fused: quads stay in registers.
+            let seg_len = (t / 2) / segs;
+            let mut items: Vec<QuadSeg<'_, R::Elem>> = Vec::with_capacity(m * segs);
+            for (b, block) in a.chunks_exact_mut(2 * t).enumerate() {
+                let w1 = fwd[m + b];
+                let w2a = fwd[2 * m + 2 * b];
+                let w2b = fwd[2 * m + 2 * b + 1];
+                let (h0, h1) = block.split_at_mut(t);
+                let (q0, q1) = h0.split_at_mut(t / 2);
+                let (q2, q3) = h1.split_at_mut(t / 2);
+                for (((s0, s1), s2), s3) in q0
+                    .chunks_mut(seg_len)
+                    .zip(q1.chunks_mut(seg_len))
+                    .zip(q2.chunks_mut(seg_len))
+                    .zip(q3.chunks_mut(seg_len))
+                {
+                    items.push(QuadSeg { q0: s0, q1: s1, q2: s2, q3: s3, w1, w2a, w2b });
+                }
+            }
+            run_partitioned(items, workers, |seg: QuadSeg<'_, R::Elem>| {
+                let QuadSeg { q0, q1, q2, q3, w1, w2a, w2b } = seg;
+                for (((x0, x1), x2), x3) in
+                    q0.iter_mut().zip(q1.iter_mut()).zip(q2.iter_mut()).zip(q3.iter_mut())
+                {
+                    // Stage m: pairs (x0, x2) and (x1, x3), twiddle w1.
+                    let u0 = ring.fold_2q(*x0);
+                    let v0 = ring.mul_lazy(*x2, &w1);
+                    let a0 = ring.add_raw(u0, v0);
+                    let a2 = ring.sub_raw(u0, v0);
+                    let u1 = ring.fold_2q(*x1);
+                    let v1 = ring.mul_lazy(*x3, &w1);
+                    let a1 = ring.add_raw(u1, v1);
+                    let a3 = ring.sub_raw(u1, v1);
+                    // Stage 2m: pairs (x0, x1) w2a and (x2, x3) w2b.
+                    let u = ring.fold_2q(a0);
+                    let v = ring.mul_lazy(a1, &w2a);
+                    *x0 = ring.add_raw(u, v);
+                    *x1 = ring.sub_raw(u, v);
+                    let u = ring.fold_2q(a2);
+                    let v = ring.mul_lazy(a3, &w2b);
+                    *x2 = ring.add_raw(u, v);
+                    *x3 = ring.sub_raw(u, v);
+                }
+            });
+            m *= 4;
+            t /= 4;
+        } else {
+            let seg_len = t / segs;
+            let mut items: Vec<PairSeg<'_, R::Elem>> = Vec::with_capacity(m * segs);
+            for (block, w) in a.chunks_exact_mut(2 * t).zip(&fwd[m..2 * m]) {
+                let (lo, hi) = block.split_at_mut(t);
+                for (ls, hs) in lo.chunks_mut(seg_len).zip(hi.chunks_mut(seg_len)) {
+                    items.push(PairSeg { lo: ls, hi: hs, w: *w });
+                }
+            }
+            run_partitioned(items, workers, |seg: PairSeg<'_, R::Elem>| {
+                for (x, y) in seg.lo.iter_mut().zip(seg.hi.iter_mut()) {
+                    let u = ring.fold_2q(*x);
+                    let v = ring.mul_lazy(*y, &seg.w);
+                    *x = ring.add_raw(u, v);
+                    *y = ring.sub_raw(u, v);
+                }
+            });
+            m *= 2;
+            t /= 2;
+        }
+    }
+    // Tail stages: `workers` independent contiguous sub-transforms.
+    if m >= n {
+        return;
+    }
+    let (m0, t0) = (m, t);
+    let chunk_len = n / workers;
+    let items: Vec<(usize, &mut [R::Elem])> = a.chunks_mut(chunk_len).enumerate().collect();
+    run_partitioned(items, workers, |(s, chunk): (usize, &mut [R::Elem])| {
+        let mut m = m0;
+        let mut t = t0;
+        while m < n {
+            // Sub-array s holds global blocks s·bpc .. (s+1)·bpc.
+            let bpc = m / workers;
+            let ws = &fwd[m + s * bpc..m + (s + 1) * bpc];
+            for (block, w) in chunk.chunks_exact_mut(2 * t).zip(ws) {
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = ring.fold_2q(*x);
+                    let v = ring.mul_lazy(*y, w);
+                    *x = ring.add_raw(u, v);
+                    *y = ring.sub_raw(u, v);
+                }
+            }
+            m *= 2;
+            t /= 2;
+        }
+    });
+}
+
+/// The inverse Gentleman–Sande stages under the threaded schedule —
+/// bit-exact with `HarveyNtt::inverse_stages`. Mirrors the forward
+/// split: independent sub-transforms first (many small blocks), then
+/// within-block splitting for the closing `log workers` stages.
+fn inverse_stages_threaded<R: LazyRing>(plan: &HarveyNtt<R>, a: &mut [R::Elem], workers: usize) {
+    let n = plan.n();
+    let ring = plan.ring();
+    let inv = plan.inv_twiddles();
+    debug_assert!(workers.is_power_of_two() && n / workers >= MIN_CHUNK);
+    // Early stages: blocks ≥ workers, so contiguous sub-arrays own
+    // whole blocks and run independently.
+    let chunk_len = n / workers;
+    let items: Vec<(usize, &mut [R::Elem])> = a.chunks_mut(chunk_len).enumerate().collect();
+    run_partitioned(items, workers, |(s, chunk): (usize, &mut [R::Elem])| {
+        let mut t = 1usize;
+        let mut m = n;
+        while m / 2 >= workers {
+            let h = m / 2;
+            let bpc = h / workers;
+            let ws = &inv[h + s * bpc..h + (s + 1) * bpc];
+            for (block, w) in chunk.chunks_exact_mut(2 * t).zip(ws) {
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = *x;
+                    let v = *y;
+                    *x = ring.add_lazy(u, v);
+                    *y = ring.mul_lazy(ring.sub_raw(u, v), w);
+                }
+            }
+            t *= 2;
+            m = h;
+        }
+    });
+    // Closing stages: fewer blocks than workers — split within blocks.
+    let mut t = n / workers;
+    let mut m = workers;
+    while m > 1 {
+        let h = m / 2;
+        let segs = (workers / h).max(1);
+        let seg_len = t / segs;
+        let mut items: Vec<PairSeg<'_, R::Elem>> = Vec::with_capacity(h * segs);
+        for (block, w) in a.chunks_exact_mut(2 * t).zip(&inv[h..2 * h]) {
+            let (lo, hi) = block.split_at_mut(t);
+            for (ls, hs) in lo.chunks_mut(seg_len).zip(hi.chunks_mut(seg_len)) {
+                items.push(PairSeg { lo: ls, hi: hs, w: *w });
+            }
+        }
+        run_partitioned(items, workers, |seg: PairSeg<'_, R::Elem>| {
+            for (x, y) in seg.lo.iter_mut().zip(seg.hi.iter_mut()) {
+                let u = *x;
+                let v = *y;
+                *x = ring.add_lazy(u, v);
+                *y = ring.mul_lazy(ring.sub_raw(u, v), &seg.w);
+            }
+        });
+        t *= 2;
+        m = h;
+    }
+}
+
+impl<R: LazyRing> HarveyNtt<R> {
+    /// Forward negacyclic NTT using up to `policy` workers — bit-exact
+    /// with [`HarveyNtt::forward_inplace`] (and the strict oracle) at
+    /// every thread count.
+    ///
+    /// Falls back to the single-threaded kernel below the `2^12`
+    /// degree gate or when the modulus has no lazy headroom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PolyError::LengthMismatch`] on wrong slice
+    /// length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cofhee_arith::{primes::ntt_prime, Barrett64};
+    /// use cofhee_poly::{HarveyNtt, ThreadPolicy};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let n = 1 << 12;
+    /// let q = ntt_prime(55, n)? as u64;
+    /// let ring = Barrett64::new(q)?;
+    /// let plan = HarveyNtt::new(&ring, n)?;
+    /// let mut threaded: Vec<u64> = (0..n as u64).collect();
+    /// let mut single = threaded.clone();
+    /// plan.forward_inplace_threaded(&mut threaded, &ThreadPolicy::exact(4))?;
+    /// plan.forward_inplace(&mut single)?;
+    /// assert_eq!(threaded, single);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn forward_inplace_threaded(&self, a: &mut [R::Elem], policy: &ThreadPolicy) -> Result<()> {
+        self.check_len(a.len())?;
+        let workers = policy.effective(self.n());
+        if !self.is_lazy() || workers <= 1 {
+            return self.forward_inplace(a);
+        }
+        forward_stages_threaded(self, a, workers);
+        let ring = self.ring();
+        par_chunks(a, workers, |chunk| {
+            for x in chunk.iter_mut() {
+                *x = ring.reduce_once(ring.fold_2q(*x));
+            }
+        });
+        Ok(())
+    }
+
+    /// Inverse negacyclic NTT (with `n⁻¹` scaling) using up to
+    /// `policy` workers — bit-exact with
+    /// [`HarveyNtt::inverse_inplace`] at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PolyError::LengthMismatch`] on wrong slice
+    /// length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cofhee_arith::{primes::ntt_prime, Barrett64};
+    /// use cofhee_poly::{HarveyNtt, ThreadPolicy};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let n = 1 << 12;
+    /// let q = ntt_prime(55, n)? as u64;
+    /// let ring = Barrett64::new(q)?;
+    /// let plan = HarveyNtt::new(&ring, n)?;
+    /// let a: Vec<u64> = (0..n as u64).collect();
+    /// let mut round = a.clone();
+    /// let policy = ThreadPolicy::exact(2);
+    /// plan.forward_inplace_threaded(&mut round, &policy)?;
+    /// plan.inverse_inplace_threaded(&mut round, &policy)?;
+    /// assert_eq!(round, a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn inverse_inplace_threaded(&self, a: &mut [R::Elem], policy: &ThreadPolicy) -> Result<()> {
+        self.check_len(a.len())?;
+        let workers = policy.effective(self.n());
+        if !self.is_lazy() || workers <= 1 {
+            return self.inverse_inplace(a);
+        }
+        inverse_stages_threaded(self, a, workers);
+        let ring = self.ring();
+        let n_inv = *self.n_inv_pair();
+        par_chunks(a, workers, |chunk| {
+            for x in chunk.iter_mut() {
+                *x = ring.reduce_once(ring.mul_lazy(*x, &n_inv));
+            }
+        });
+        Ok(())
+    }
+
+    /// Allocation-free threaded negacyclic product: like
+    /// [`HarveyNtt::poly_mul_into`], with every phase (two forward
+    /// transforms, the Hadamard pass, the inverse) under the threaded
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PolyError::LengthMismatch`] if any slice is
+    /// not length `n`.
+    pub fn poly_mul_into_threaded(
+        &self,
+        a: &[R::Elem],
+        b: &[R::Elem],
+        out: &mut [R::Elem],
+        scratch: &mut [R::Elem],
+        policy: &ThreadPolicy,
+    ) -> Result<()> {
+        self.check_len(a.len())?;
+        self.check_len(b.len())?;
+        self.check_len(out.len())?;
+        self.check_len(scratch.len())?;
+        let workers = policy.effective(self.n());
+        if !self.is_lazy() || workers <= 1 {
+            return self.poly_mul_into(a, b, out, scratch);
+        }
+        out.copy_from_slice(a);
+        scratch.copy_from_slice(b);
+        forward_stages_threaded(self, out, workers);
+        forward_stages_threaded(self, scratch, workers);
+        let ring = self.ring();
+        // Hadamard over redundant operands, split across workers.
+        let chunk_len = self.n() / workers;
+        std::thread::scope(|s| {
+            let mut pairs: Vec<PairChunk<'_, R::Elem>> =
+                out.chunks_mut(chunk_len).zip(scratch.chunks(chunk_len)).collect();
+            let own = pairs.pop();
+            for (oc, sc) in pairs {
+                s.spawn(move || {
+                    for (x, &y) in oc.iter_mut().zip(sc) {
+                        *x = ring.mul(
+                            ring.reduce_once(ring.fold_2q(*x)),
+                            ring.reduce_once(ring.fold_2q(y)),
+                        );
+                    }
+                });
+            }
+            if let Some((oc, sc)) = own {
+                for (x, &y) in oc.iter_mut().zip(sc) {
+                    *x = ring
+                        .mul(ring.reduce_once(ring.fold_2q(*x)), ring.reduce_once(ring.fold_2q(y)));
+                }
+            }
+        });
+        inverse_stages_threaded(self, out, workers);
+        let n_inv = *self.n_inv_pair();
+        par_chunks(out, workers, |chunk| {
+            for x in chunk.iter_mut() {
+                *x = ring.reduce_once(ring.mul_lazy(*x, &n_inv));
+            }
+        });
+        Ok(())
+    }
+
+    /// Allocation-free threaded `intt ∘ hadamard`: like
+    /// [`HarveyNtt::hadamard_intt_into`], with the pointwise product
+    /// and the inverse transform under the threaded schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PolyError::LengthMismatch`] if any slice is
+    /// not length `n`.
+    pub fn hadamard_intt_into_threaded(
+        &self,
+        x: &[R::Elem],
+        y: &[R::Elem],
+        out: &mut [R::Elem],
+        policy: &ThreadPolicy,
+    ) -> Result<()> {
+        self.check_len(x.len())?;
+        self.check_len(y.len())?;
+        self.check_len(out.len())?;
+        let workers = policy.effective(self.n());
+        if !self.is_lazy() || workers <= 1 {
+            return self.hadamard_intt_into(x, y, out);
+        }
+        let ring = self.ring();
+        let chunk_len = self.n() / workers;
+        std::thread::scope(|s| {
+            let mut triples: Vec<TripleChunk<'_, R::Elem>> = out
+                .chunks_mut(chunk_len)
+                .zip(x.chunks(chunk_len))
+                .zip(y.chunks(chunk_len))
+                .map(|((o, xc), yc)| (o, xc, yc))
+                .collect();
+            let own = triples.pop();
+            for (oc, xc, yc) in triples {
+                s.spawn(move || {
+                    for ((o, &a), &b) in oc.iter_mut().zip(xc).zip(yc) {
+                        *o = ring.mul(a, b);
+                    }
+                });
+            }
+            if let Some((oc, xc, yc)) = own {
+                for ((o, &a), &b) in oc.iter_mut().zip(xc).zip(yc) {
+                    *o = ring.mul(a, b);
+                }
+            }
+        });
+        inverse_stages_threaded(self, out, workers);
+        let n_inv = *self.n_inv_pair();
+        par_chunks(out, workers, |chunk| {
+            for v in chunk.iter_mut() {
+                *v = ring.reduce_once(ring.mul_lazy(*v, &n_inv));
+            }
+        });
+        Ok(())
+    }
+
+    /// Threaded [`HarveyNtt::poly_mul`] — allocates the result (and a
+    /// scratch buffer); steady-state callers should prefer
+    /// [`HarveyNtt::poly_mul_into_threaded`] with pooled buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PolyError::LengthMismatch`] on operand length
+    /// mismatch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cofhee_arith::{primes::ntt_prime, Barrett64};
+    /// use cofhee_poly::{HarveyNtt, ThreadPolicy};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let n = 1 << 12;
+    /// let q = ntt_prime(55, n)? as u64;
+    /// let ring = Barrett64::new(q)?;
+    /// let plan = HarveyNtt::new(&ring, n)?;
+    /// let a: Vec<u64> = (0..n as u64).collect();
+    /// let b: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+    /// let threaded = plan.poly_mul_threaded(&a, &b, &ThreadPolicy::exact(4))?;
+    /// assert_eq!(threaded, plan.poly_mul(&a, &b)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn poly_mul_threaded(
+        &self,
+        a: &[R::Elem],
+        b: &[R::Elem],
+        policy: &ThreadPolicy,
+    ) -> Result<Vec<R::Elem>> {
+        let mut out = vec![self.ring().zero(); self.n()];
+        let mut scratch = vec![self.ring().zero(); self.n()];
+        self.poly_mul_into_threaded(a, b, &mut out, &mut scratch, policy)?;
+        Ok(out)
+    }
+
+    /// One in-place negacyclic product on borrowed buffers: the result
+    /// lands in `at`, `bt` is consumed as scratch. Routes through the
+    /// lazy fused core or the strict kernels as the modulus allows.
+    fn mul_pair_inplace(&self, at: &mut [R::Elem], bt: &mut [R::Elem]) -> Result<()> {
+        if self.is_lazy() {
+            self.poly_mul_core(at, bt);
+            return Ok(());
+        }
+        ntt::forward_inplace(self.ring(), at, self.tables())?;
+        ntt::forward_inplace(self.ring(), bt, self.tables())?;
+        crate::pointwise::mul_assign(self.ring(), at, bt)?;
+        ntt::inverse_inplace(self.ring(), at, self.tables())
+    }
+
+    /// Batch forward NTT: transforms every polynomial in `polys`,
+    /// distributing whole transforms across workers — **one** plan
+    /// lookup and **one** thread spawn for the entire per-limb fan-out
+    /// the evaluators and farm produce, instead of one per call.
+    ///
+    /// A single-element batch delegates to
+    /// [`HarveyNtt::forward_inplace_threaded`] (within-transform
+    /// parallelism); larger batches use batch-level parallelism with
+    /// the single-threaded kernel per item, which has the better cache
+    /// behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PolyError::LengthMismatch`] if any polynomial
+    /// is not length `n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cofhee_arith::{primes::ntt_prime, Barrett64};
+    /// use cofhee_poly::{HarveyNtt, ThreadPolicy};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let n = 1 << 12;
+    /// let q = ntt_prime(55, n)? as u64;
+    /// let ring = Barrett64::new(q)?;
+    /// let plan = HarveyNtt::new(&ring, n)?;
+    /// let mut batch: Vec<Vec<u64>> =
+    ///     (0..4u64).map(|s| (0..n as u64).map(|i| i + s).collect()).collect();
+    /// let mut reference = batch.clone();
+    /// plan.ntt_many(&mut batch, &ThreadPolicy::exact(4))?;
+    /// for p in reference.iter_mut() {
+    ///     plan.forward_inplace(p)?;
+    /// }
+    /// assert_eq!(batch, reference);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn ntt_many<S>(&self, polys: &mut [S], policy: &ThreadPolicy) -> Result<()>
+    where
+        S: AsMut<[R::Elem]> + Send,
+    {
+        for p in polys.iter_mut() {
+            self.check_len(p.as_mut().len())?;
+        }
+        if polys.len() == 1 {
+            return self.forward_inplace_threaded(polys[0].as_mut(), policy);
+        }
+        self.for_each_batched(polys, policy, |p| {
+            self.forward_inplace(p).expect("length pre-checked")
+        })
+    }
+
+    /// Batch inverse NTT — the [`HarveyNtt::ntt_many`] counterpart for
+    /// [`HarveyNtt::inverse_inplace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PolyError::LengthMismatch`] if any polynomial
+    /// is not length `n`.
+    pub fn intt_many<S>(&self, polys: &mut [S], policy: &ThreadPolicy) -> Result<()>
+    where
+        S: AsMut<[R::Elem]> + Send,
+    {
+        for p in polys.iter_mut() {
+            self.check_len(p.as_mut().len())?;
+        }
+        if polys.len() == 1 {
+            return self.inverse_inplace_threaded(polys[0].as_mut(), policy);
+        }
+        self.for_each_batched(polys, policy, |p| {
+            self.inverse_inplace(p).expect("length pre-checked")
+        })
+    }
+
+    /// Batch negacyclic product: `az[i] ← az[i] · bz[i]` for every
+    /// pair, with whole products distributed across workers. `bz` is
+    /// consumed as per-pair scratch (left in NTT domain) — the batch
+    /// allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PolyError::LengthMismatch`] if the batches
+    /// differ in length or any polynomial is not length `n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cofhee_arith::{primes::ntt_prime, Barrett64};
+    /// use cofhee_poly::{HarveyNtt, ThreadPolicy};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let n = 1 << 12;
+    /// let q = ntt_prime(55, n)? as u64;
+    /// let ring = Barrett64::new(q)?;
+    /// let plan = HarveyNtt::new(&ring, n)?;
+    /// let a: Vec<u64> = (0..n as u64).collect();
+    /// let b: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+    /// let expect = plan.poly_mul(&a, &b)?;
+    /// let mut az = vec![a.clone(), a];
+    /// let mut bz = vec![b.clone(), b];
+    /// plan.poly_mul_many(&mut az, &mut bz, &ThreadPolicy::exact(2))?;
+    /// assert_eq!(az, vec![expect.clone(), expect]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn poly_mul_many<A, B>(
+        &self,
+        az: &mut [A],
+        bz: &mut [B],
+        policy: &ThreadPolicy,
+    ) -> Result<()>
+    where
+        A: AsMut<[R::Elem]> + Send,
+        B: AsMut<[R::Elem]> + Send,
+    {
+        if az.len() != bz.len() {
+            return Err(crate::PolyError::LengthMismatch { expected: az.len(), found: bz.len() });
+        }
+        for p in az.iter_mut() {
+            self.check_len(p.as_mut().len())?;
+        }
+        for p in bz.iter_mut() {
+            self.check_len(p.as_mut().len())?;
+        }
+        let batch = az.len();
+        if batch == 0 {
+            return Ok(());
+        }
+        let workers = policy.threads().min(batch);
+        if workers <= 1 || batch * self.n() < (1 << PARALLEL_MIN_LOG2) {
+            for (a, b) in az.iter_mut().zip(bz.iter_mut()) {
+                self.mul_pair_inplace(a.as_mut(), b.as_mut())?;
+            }
+            return Ok(());
+        }
+        let chunk = batch.div_ceil(workers);
+        std::thread::scope(|s| {
+            let mut groups: Vec<(&mut [A], &mut [B])> =
+                az.chunks_mut(chunk).zip(bz.chunks_mut(chunk)).collect();
+            let own = groups.pop();
+            for (ga, gb) in groups {
+                s.spawn(move || {
+                    for (a, b) in ga.iter_mut().zip(gb.iter_mut()) {
+                        self.mul_pair_inplace(a.as_mut(), b.as_mut()).expect("length pre-checked");
+                    }
+                });
+            }
+            if let Some((ga, gb)) = own {
+                for (a, b) in ga.iter_mut().zip(gb.iter_mut()) {
+                    self.mul_pair_inplace(a.as_mut(), b.as_mut()).expect("length pre-checked");
+                }
+            }
+        });
+        Ok(())
+    }
+
+    /// Shared batch distributor: whole-item parallelism over scoped
+    /// threads, sequential below the work threshold. (A batch of one
+    /// is routed to the within-transform threaded path by the public
+    /// entry points before reaching here.)
+    fn for_each_batched<S, F>(&self, polys: &mut [S], policy: &ThreadPolicy, f: F) -> Result<()>
+    where
+        S: AsMut<[R::Elem]> + Send,
+        F: Fn(&mut [R::Elem]) + Sync,
+    {
+        let batch = polys.len();
+        if batch == 0 {
+            return Ok(());
+        }
+        let workers = policy.threads().min(batch);
+        if workers <= 1 || batch * self.n() < (1 << PARALLEL_MIN_LOG2) {
+            for p in polys.iter_mut() {
+                f(p.as_mut());
+            }
+            return Ok(());
+        }
+        let chunk = batch.div_ceil(workers);
+        std::thread::scope(|s| {
+            let mut groups: Vec<&mut [S]> = polys.chunks_mut(chunk).collect();
+            let own = groups.pop();
+            for group in groups {
+                let f = &f;
+                s.spawn(move || {
+                    for p in group.iter_mut() {
+                        f(p.as_mut());
+                    }
+                });
+            }
+            if let Some(group) = own {
+                for p in group.iter_mut() {
+                    f(p.as_mut());
+                }
+            }
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofhee_arith::{primes::ntt_prime, Barrett128, Barrett64};
+
+    fn rand_poly(q: u128, n: usize, seed: u128) -> Vec<u128> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x14057b7ef767814f);
+                state % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn policy_effective_respects_gates() {
+        assert_eq!(ThreadPolicy::exact(16).effective(1 << 11), 1, "below degree gate");
+        assert_eq!(ThreadPolicy::exact(16).effective(1 << 12), 16);
+        assert_eq!(ThreadPolicy::exact(5).effective(1 << 13), 4, "power-of-two clamp");
+        assert_eq!(ThreadPolicy::exact(100).threads(), MAX_THREADS);
+        assert_eq!(ThreadPolicy::single().effective(1 << 14), 1);
+        assert!(ThreadPolicy::auto().threads() >= 1);
+        // Every worker keeps at least MIN_CHUNK coefficients.
+        let w = ThreadPolicy::exact(32).effective(1 << 12);
+        assert!((1 << 12) / w >= 256, "w = {w}");
+    }
+
+    #[test]
+    fn threaded_forward_matches_single_64() {
+        let n = 1 << 12;
+        let q = ntt_prime(55, n).unwrap() as u64;
+        let ring = Barrett64::new(q).unwrap();
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        let a: Vec<u64> = rand_poly(q as u128, n, 0xabc).into_iter().map(|c| c as u64).collect();
+        for threads in [1usize, 2, 4, 8, 16] {
+            let policy = ThreadPolicy::exact(threads);
+            let mut th = a.clone();
+            plan.forward_inplace_threaded(&mut th, &policy).unwrap();
+            let mut single = a.clone();
+            plan.forward_inplace(&mut single).unwrap();
+            assert_eq!(th, single, "threads = {threads}");
+            plan.inverse_inplace_threaded(&mut th, &policy).unwrap();
+            assert_eq!(th, a, "round trip, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_poly_mul_matches_single_128() {
+        let n = 1 << 12;
+        let q = ntt_prime(109, n).unwrap();
+        let ring = Barrett128::new(q).unwrap();
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        let a = rand_poly(q, n, 3);
+        let b = rand_poly(q, n, 5);
+        let expect = plan.poly_mul(&a, &b).unwrap();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward_inplace(&mut fa).unwrap();
+        plan.forward_inplace(&mut fb).unwrap();
+        let fused_expect = plan.hadamard_intt(&fa, &fb).unwrap();
+        for threads in [2usize, 4, 8] {
+            let policy = ThreadPolicy::exact(threads);
+            let got = plan.poly_mul_threaded(&a, &b, &policy).unwrap();
+            assert_eq!(got, expect, "threads = {threads}");
+            let mut fused = vec![0u128; n];
+            plan.hadamard_intt_into_threaded(&fa, &fb, &mut fused, &policy).unwrap();
+            assert_eq!(fused, fused_expect, "fused, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_apis_match_loops() {
+        let n = 1 << 9; // below the degree gate: exercises the batch split
+        let q = ntt_prime(55, n).unwrap() as u64;
+        let ring = Barrett64::new(q).unwrap();
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        let polys: Vec<Vec<u64>> = (0..6)
+            .map(|s| rand_poly(q as u128, n, 100 + s).into_iter().map(|c| c as u64).collect())
+            .collect();
+        let policy = ThreadPolicy::exact(4);
+
+        let mut batch = polys.clone();
+        plan.ntt_many(&mut batch, &policy).unwrap();
+        let mut reference = polys.clone();
+        for p in reference.iter_mut() {
+            plan.forward_inplace(p).unwrap();
+        }
+        assert_eq!(batch, reference);
+
+        plan.intt_many(&mut batch, &policy).unwrap();
+        assert_eq!(batch, polys);
+
+        let mut az = polys.clone();
+        let mut bz: Vec<Vec<u64>> = polys.iter().rev().cloned().collect();
+        let expect: Vec<Vec<u64>> =
+            az.iter().zip(&bz).map(|(a, b)| plan.poly_mul(a, b).unwrap()).collect();
+        plan.poly_mul_many(&mut az, &mut bz, &policy).unwrap();
+        assert_eq!(az, expect);
+    }
+
+    #[test]
+    fn batch_length_mismatch_is_rejected() {
+        let ring = Barrett64::new(0x7e00001).unwrap();
+        let plan = HarveyNtt::new(&ring, 8).unwrap();
+        let mut az = vec![vec![0u64; 8]];
+        let mut bz: Vec<Vec<u64>> = vec![];
+        assert!(plan.poly_mul_many(&mut az, &mut bz, &ThreadPolicy::single()).is_err());
+        let mut wrong = vec![vec![0u64; 4]];
+        assert!(plan.ntt_many(&mut wrong, &ThreadPolicy::single()).is_err());
+    }
+
+    #[test]
+    fn threaded_on_strict_fallback_modulus() {
+        // No lazy headroom: the threaded entry points must route
+        // through the strict kernels and still be correct.
+        let n = 1 << 4;
+        let q = ntt_prime(127, n).unwrap();
+        let ring = Barrett128::new(q).unwrap();
+        let plan = HarveyNtt::new(&ring, n).unwrap();
+        assert!(!plan.is_lazy());
+        let a = rand_poly(q, n, 7);
+        let mut t = a.clone();
+        let policy = ThreadPolicy::exact(4);
+        plan.forward_inplace_threaded(&mut t, &policy).unwrap();
+        plan.inverse_inplace_threaded(&mut t, &policy).unwrap();
+        assert_eq!(t, a);
+        let got = plan.poly_mul_threaded(&a, &a, &policy).unwrap();
+        assert_eq!(got, plan.poly_mul(&a, &a).unwrap());
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests: the threaded kernels are **bit-exact** with the
+//! single-threaded Harvey kernels, which `lazy_parity.rs` proves
+//! bit-exact with the strict oracle — so threaded ≡ single ≡ strict.
+//!
+//! Covered: forward/inverse NTT and the fully-fused product under
+//! explicit thread counts 1/2/4/8 (forced via `ThreadPolicy::exact`,
+//! so the schedule runs even on a single-core host), across Barrett64
+//! and Barrett128 and degrees 2^2–2^13, plus the batch APIs
+//! (`ntt_many`/`intt_many`/`poly_mul_many`) against their sequential
+//! loops.
+//!
+//! Degrees below the `2^12` gate exercise the single-threaded
+//! fallback; the deterministic `2^12`/`2^13` checks exercise the real
+//! scoped-thread schedule at every worker count (radix-4 fused head
+//! stages included).
+
+use cofhee_arith::{primes::ntt_prime, Barrett128, Barrett64, LazyRing};
+use cofhee_poly::{HarveyNtt, ThreadPolicy};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Degree sweep spanning the gate: everything below 2^12 must take the
+/// fallback, 2^12 takes the threaded schedule.
+const DEGREES: [usize; 6] = [4, 32, 256, 1024, 2048, 4096];
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn degree_strategy() -> impl Strategy<Value = usize> {
+    (0..DEGREES.len()).prop_map(|i| DEGREES[i])
+}
+
+/// Checks every threaded entry point against its single-threaded
+/// counterpart for one ring, degree, and operand pair.
+fn check_threaded_parity<R: LazyRing>(ring: &R, n: usize, a: &[R::Elem], b: &[R::Elem]) {
+    let plan = HarveyNtt::new(ring, n).unwrap();
+
+    let mut single_f = a.to_vec();
+    plan.forward_inplace(&mut single_f).unwrap();
+    let single_mul = plan.poly_mul(a, b).unwrap();
+
+    for threads in THREADS {
+        let policy = ThreadPolicy::exact(threads);
+
+        let mut th = a.to_vec();
+        plan.forward_inplace_threaded(&mut th, &policy).unwrap();
+        assert_eq!(th, single_f, "forward diverges, n = {n}, threads = {threads}");
+
+        plan.inverse_inplace_threaded(&mut th, &policy).unwrap();
+        assert_eq!(th, a, "round trip fails, n = {n}, threads = {threads}");
+
+        let got = plan.poly_mul_threaded(a, b, &policy).unwrap();
+        assert_eq!(got, single_mul, "poly_mul diverges, n = {n}, threads = {threads}");
+    }
+}
+
+/// Checks the batch APIs against elementwise loops.
+fn check_batch_parity<R: LazyRing>(ring: &R, n: usize, polys: &[Vec<R::Elem>]) {
+    let plan = HarveyNtt::new(ring, n).unwrap();
+    for threads in THREADS {
+        let policy = ThreadPolicy::exact(threads);
+
+        let mut batch = polys.to_vec();
+        plan.ntt_many(&mut batch, &policy).unwrap();
+        let mut reference = polys.to_vec();
+        for p in reference.iter_mut() {
+            plan.forward_inplace(p).unwrap();
+        }
+        assert_eq!(batch, reference, "ntt_many diverges, n = {n}, threads = {threads}");
+
+        plan.intt_many(&mut batch, &policy).unwrap();
+        assert_eq!(batch, polys, "intt_many round trip fails, n = {n}, threads = {threads}");
+
+        let mut az = polys.to_vec();
+        let mut bz: Vec<Vec<R::Elem>> = polys.iter().rev().cloned().collect();
+        let expect: Vec<Vec<R::Elem>> =
+            az.iter().zip(&bz).map(|(x, y)| plan.poly_mul(x, y).unwrap()).collect();
+        plan.poly_mul_many(&mut az, &mut bz, &policy).unwrap();
+        assert_eq!(az, expect, "poly_mul_many diverges, n = {n}, threads = {threads}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn threaded_matches_single_on_barrett64(
+        n in degree_strategy(),
+        seed_a in pvec(any::<u64>(), 4096),
+        seed_b in pvec(any::<u64>(), 4096),
+    ) {
+        // 55-bit tower prime; q ≡ 1 mod 2^14 serves every degree here.
+        let q = 18014398510645249u64;
+        let ring = Barrett64::new(q).unwrap();
+        let a: Vec<u64> = seed_a[..n].iter().map(|&c| c % q).collect();
+        let b: Vec<u64> = seed_b[..n].iter().map(|&c| c % q).collect();
+        check_threaded_parity(&ring, n, &a, &b);
+    }
+
+    #[test]
+    fn threaded_matches_single_on_barrett128(
+        n in degree_strategy(),
+        seed_a in pvec(any::<u128>(), 4096),
+        seed_b in pvec(any::<u128>(), 4096),
+    ) {
+        // The chip-native 109-bit width.
+        let q = ntt_prime(109, 1 << 14).unwrap();
+        let ring = Barrett128::new(q).unwrap();
+        prop_assert!(ring.lazy_capable());
+        let a: Vec<u128> = seed_a[..n].iter().map(|&c| c % q).collect();
+        let b: Vec<u128> = seed_b[..n].iter().map(|&c| c % q).collect();
+        check_threaded_parity(&ring, n, &a, &b);
+    }
+
+    #[test]
+    fn batch_apis_match_loops_on_barrett64(
+        n in degree_strategy(),
+        seeds in pvec(any::<u64>(), 5 * 4096),
+    ) {
+        let q = 18014398510645249u64;
+        let ring = Barrett64::new(q).unwrap();
+        let polys: Vec<Vec<u64>> = (0..5)
+            .map(|i| seeds[i * n..(i + 1) * n].iter().map(|&c| c % q).collect())
+            .collect();
+        check_batch_parity(&ring, n, &polys);
+    }
+
+    // The overflow edge at a full 62-bit modulus, at the first degree
+    // where the scoped-thread schedule actually engages.
+    #[test]
+    fn threaded_matches_single_at_q_near_2_62(
+        seed in any::<u64>(),
+    ) {
+        let n = 1 << 12;
+        let q = ntt_prime(62, n).unwrap();
+        prop_assert!(q >> 61 == 1, "must exercise a full 62-bit modulus");
+        let ring = Barrett64::new(q as u64).unwrap();
+        let mut state = seed as u128 | 1;
+        let mut rand_poly = || -> Vec<u64> {
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(0x5851f42d4c957f2d)
+                        .wrapping_add(0x14057b7ef767814f);
+                    (state % q as u128) as u64
+                })
+                .collect()
+        };
+        let a = rand_poly();
+        let b = rand_poly();
+        check_threaded_parity(&ring, n, &a, &b);
+    }
+}
+
+/// Deterministic full-scale check at the paper's `n = 2^13` evaluation
+/// point — the size the ≥2x threaded acceptance criterion is measured
+/// at — on the chip-native 109-bit width.
+#[test]
+fn threaded_matches_single_at_chip_scale() {
+    let n = 1 << 13;
+    let q = ntt_prime(109, n).unwrap();
+    let ring = Barrett128::new(q).unwrap();
+    let mut state = 0x1234_5678_9abc_def0u128;
+    let mut rand_poly = || -> Vec<u128> {
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x14057b7ef767814f);
+                state % q
+            })
+            .collect()
+    };
+    let a = rand_poly();
+    let b = rand_poly();
+    check_threaded_parity(&ring, n, &a, &b);
+}
